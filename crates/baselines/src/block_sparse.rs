@@ -1,0 +1,261 @@
+//! Block-sparse SpMM, in the style of the OpenAI block-sparse GPU kernels
+//! (Gray, Radford & Kingma — reference \[13\] of the paper).
+//!
+//! Each stored block is dense, so the kernel is a small GEMM per block:
+//! coalesced vector loads, shared-memory staging, full FMA utilization —
+//! recovering most of dense performance, at the model-quality cost of the
+//! structured topology (quantified by
+//! [`sparse::block::block_magnitude_retention`]). This comparator drives
+//! the `ext_block_sparse` study: structured kernels win on raw throughput
+//! per stored element; unstructured Sputnik wins on throughput per unit of
+//! retained model quality.
+
+use gpu_sim::{
+    AccessPattern, BlockContext, BufferId, BufferSpec, Dim3, Gpu, Kernel, LaunchStats,
+    SyncUnsafeSlice,
+};
+use sparse::block::BsrMatrix;
+use sparse::Matrix;
+
+pub const BUF_BLOCKS: BufferId = BufferId(0);
+pub const BUF_META: BufferId = BufferId(1);
+pub const BUF_B: BufferId = BufferId(2);
+pub const BUF_C: BufferId = BufferId(3);
+
+/// Output columns per thread block.
+const TILE_N: usize = 64;
+/// Threads per block.
+const THREADS: u32 = 128;
+
+/// Block-sparse SpMM: `A (BSR) x B (dense row-major) => C (dense)`.
+/// One thread block owns (block-row, 64-column) output tiles and walks the
+/// block row's nonzero blocks like a dense GEMM walks its K strips.
+pub struct BlockSpmmKernel<'a> {
+    a: &'a BsrMatrix<f32>,
+    b: Option<&'a Matrix<f32>>,
+    out: Option<SyncUnsafeSlice<'a, f32>>,
+    n: usize,
+}
+
+impl<'a> BlockSpmmKernel<'a> {
+    pub fn new(a: &'a BsrMatrix<f32>, b: &'a Matrix<f32>, out: &'a mut Matrix<f32>) -> Self {
+        assert_eq!(a.cols(), b.rows());
+        assert_eq!(out.rows(), a.rows());
+        assert_eq!(out.cols(), b.cols());
+        let n = b.cols();
+        Self { a, b: Some(b), out: Some(SyncUnsafeSlice::new(out.as_mut_slice())), n }
+    }
+
+    pub fn for_profile(a: &'a BsrMatrix<f32>, n: usize) -> Self {
+        Self { a, b: None, out: None, n }
+    }
+}
+
+impl Kernel for BlockSpmmKernel<'_> {
+    fn name(&self) -> String {
+        format!("block_sparse_spmm_b{}", self.a.block_size())
+    }
+
+    fn grid(&self) -> Dim3 {
+        Dim3::xy(self.n.div_ceil(TILE_N) as u32, self.a.block_rows() as u32)
+    }
+
+    fn block_dim(&self) -> Dim3 {
+        Dim3::x(THREADS)
+    }
+
+    fn shared_mem_bytes(&self) -> u32 {
+        let bs = self.a.block_size();
+        // One A block + one B strip (bs x TILE_N), double buffered.
+        (2 * (bs * bs + bs * TILE_N) * 4) as u32
+    }
+
+    fn regs_per_thread(&self) -> u32 {
+        64
+    }
+
+    fn buffers(&self) -> Vec<BufferSpec> {
+        vec![
+            BufferSpec {
+                id: BUF_BLOCKS,
+                name: "a_blocks",
+                footprint_bytes: self.a.stored_elements() as u64 * 4,
+                pattern: AccessPattern::Streaming,
+            },
+            BufferSpec {
+                id: BUF_META,
+                name: "a_block_meta",
+                footprint_bytes: (self.a.nnz_blocks() + self.a.block_rows() + 1) as u64 * 4,
+                pattern: AccessPattern::SharedReuse,
+            },
+            BufferSpec {
+                id: BUF_B,
+                name: "b",
+                footprint_bytes: (self.a.cols() * self.n * 4) as u64,
+                pattern: AccessPattern::SharedReuse,
+            },
+            BufferSpec {
+                id: BUF_C,
+                name: "c",
+                footprint_bytes: (self.a.rows() * self.n * 4) as u64,
+                pattern: AccessPattern::Streaming,
+            },
+        ]
+    }
+
+    fn execute_block(&self, block: Dim3, ctx: &mut BlockContext) {
+        let bs = self.a.block_size();
+        let br = block.y as usize;
+        let n0 = block.x as usize * TILE_N;
+        let tile_n = TILE_N.min(self.n - n0);
+        let warps = (THREADS / 32) as u64;
+
+        ctx.misc(8);
+        ctx.ld_global(BUF_META, br as u64 * 4, 2, 1, 4);
+
+        let nblocks = self.a.block_row_len(br);
+        for (bc, _) in self.a.block_row(br) {
+            // Stage the A block (dense, vectorized) and the B strip.
+            let a_elems = (bs * bs) as u64;
+            let b_elems = (bs * TILE_N) as u64;
+            let stage_instrs = (a_elems + b_elems).div_ceil(THREADS as u64 * 4);
+            ctx.cost.ld_global_instrs += stage_instrs * warps + 1;
+            ctx.cost.st_shared_instrs += stage_instrs * warps;
+            ctx.cost.gmem[BUF_BLOCKS.0 as usize].ld_sectors += a_elems * 4 / 32 + 1;
+            for r in 0..bs {
+                ctx.cost.gmem[BUF_B.0 as usize].ld_sectors += gpu_sim::memory::sectors_contiguous(
+                    ((bc * bs + r) * self.n + n0) as u64 * 4,
+                    tile_n as u64 * 4,
+                );
+            }
+            ctx.cost.shared_bytes += (a_elems + b_elems) * 4;
+            ctx.bar_sync();
+
+            // Dense math: bs x TILE_N x bs FMAs, cuBLAS-grade inner loop.
+            let fmas = (bs * TILE_N * bs) as u64;
+            ctx.cost.fma_instrs += fmas / 32;
+            ctx.cost.ld_shared_instrs += fmas / 32 / 8;
+            ctx.cost.shared_bytes += fmas / 8;
+            ctx.misc(4 * warps);
+            ctx.cost.flops += 2 * (bs * tile_n * bs) as u64;
+        }
+        if nblocks == 0 {
+            return;
+        }
+
+        // Store the block row's output strip.
+        let store_instrs = ((bs * tile_n) as u64).div_ceil(THREADS as u64 * 4).max(1);
+        ctx.cost.st_global_instrs += store_instrs * warps;
+        for r in 0..bs {
+            ctx.cost.gmem[BUF_C.0 as usize].st_sectors += gpu_sim::memory::sectors_contiguous(
+                ((br * bs + r) * self.n + n0) as u64 * 4,
+                tile_n as u64 * 4,
+            );
+        }
+
+        if ctx.functional() && self.b.is_some() {
+            let b = self.b.unwrap().as_slice();
+            let out = self.out.as_ref().unwrap();
+            let mut acc = vec![0.0f32; bs * tile_n];
+            for (bc, payload) in self.a.block_row(br) {
+                for r in 0..bs {
+                    for kk in 0..bs {
+                        let a_val = payload[r * bs + kk];
+                        if a_val == 0.0 {
+                            continue;
+                        }
+                        let brow = &b[(bc * bs + kk) * self.n + n0..(bc * bs + kk) * self.n + n0 + tile_n];
+                        for (x, bv) in brow.iter().enumerate() {
+                            acc[r * tile_n + x] += a_val * bv;
+                        }
+                    }
+                }
+            }
+            for r in 0..bs {
+                for x in 0..tile_n {
+                    unsafe { out.write((br * bs + r) * self.n + n0 + x, acc[r * tile_n + x]) };
+                }
+            }
+        }
+    }
+}
+
+/// Functional block-sparse SpMM.
+pub fn block_spmm(gpu: &Gpu, a: &BsrMatrix<f32>, b: &Matrix<f32>) -> (Matrix<f32>, LaunchStats) {
+    let mut out = Matrix::zeros(a.rows(), b.cols());
+    let stats = {
+        let kernel = BlockSpmmKernel::new(a, b, &mut out);
+        gpu.launch(&kernel)
+    };
+    (out, stats)
+}
+
+/// Profile block-sparse SpMM.
+pub fn block_spmm_profile(gpu: &Gpu, a: &BsrMatrix<f32>, n: usize) -> LaunchStats {
+    gpu.profile(&BlockSpmmKernel::for_profile(a, n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse::block;
+
+    #[test]
+    fn matches_dense_reference() {
+        let d = Matrix::<f32>::random(64, 64, 501);
+        let a = block::block_prune(&d, 8, 0.5);
+        let b = Matrix::<f32>::random(64, 48, 502);
+        let gpu = Gpu::v100();
+        let (c, stats) = block_spmm(&gpu, &a, &b);
+        let expect = a.to_dense().matmul(&b);
+        assert!(c.max_abs_diff(&expect) < 1e-3);
+        assert!(stats.time_us > 0.0);
+    }
+
+    #[test]
+    fn empty_block_rows_are_fine() {
+        // A matrix whose top half has no blocks at all.
+        let d = Matrix::<f32>::from_fn(32, 32, |r, _| if r >= 16 { 1.0 } else { 0.0 });
+        let a = sparse::block::BsrMatrix::from_dense(&d, 16);
+        let b = Matrix::<f32>::random(32, 32, 503);
+        let gpu = Gpu::v100();
+        let (c, _) = block_spmm(&gpu, &a, &b);
+        for x in 0..32 {
+            assert_eq!(c.get(0, x), 0.0, "empty block row stays zero");
+        }
+    }
+
+    #[test]
+    fn block_kernel_beats_unstructured_per_stored_element() {
+        // The structured win: at equal element sparsity, dense blocks run
+        // closer to dense-GEMM efficiency than unstructured CSR.
+        let gpu = Gpu::v100();
+        let d = Matrix::<f32>::random(2048, 2048, 504);
+        let blocked = block::block_prune(&d, 32, 0.8);
+        let unstructured = sparse::gen::uniform(2048, 2048, 0.8, 505);
+
+        let t_block = block_spmm_profile(&gpu, &blocked, 128);
+        let t_csr = sputnik::spmm_profile::<f32>(
+            &gpu,
+            &unstructured,
+            2048,
+            128,
+            sputnik::SpmmConfig::heuristic::<f32>(128),
+        );
+        // Equal useful FLOPs (same element count); compare time directly.
+        assert!(
+            t_block.time_us < t_csr.time_us,
+            "block kernel {} us should beat unstructured {} us at equal sparsity",
+            t_block.time_us,
+            t_csr.time_us
+        );
+    }
+
+    #[test]
+    fn but_structure_costs_model_quality() {
+        // ...which is the paper's argument for unstructured kernels.
+        let d = Matrix::<f32>::random(512, 512, 506);
+        let retention = block::block_magnitude_retention(&d, 32, 0.8);
+        assert!(retention < 0.9, "32x32 blocks lose weight magnitude, got {retention}");
+    }
+}

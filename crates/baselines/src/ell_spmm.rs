@@ -1,0 +1,226 @@
+//! ELLR-T-style SpMM (Vázquez et al., reference \[47\] of the paper).
+//!
+//! Thread-per-row over the column-major ELL arrays: at every step `j`, the
+//! warp's 32 threads read 32 *consecutive rows'* j-th entries — perfectly
+//! coalesced by construction, no shared memory, no alignment tricks. The
+//! format does the coalescing that Sputnik needs ROMA and subwarp tiling
+//! for; the bill arrives as padded slots (see
+//! [`sparse::ell::EllMatrix::padding_overhead`]) and one dense-matrix row
+//! load per slot, padding included.
+
+use gpu_sim::{
+    AccessPattern, BlockContext, BufferId, BufferSpec, Dim3, Gpu, Kernel, LaunchStats,
+    SyncUnsafeSlice,
+};
+use sparse::ell::EllMatrix;
+use sparse::Matrix;
+
+pub const BUF_VALUES: BufferId = BufferId(0);
+pub const BUF_INDICES: BufferId = BufferId(1);
+pub const BUF_LENGTHS: BufferId = BufferId(2);
+pub const BUF_B: BufferId = BufferId(3);
+pub const BUF_C: BufferId = BufferId(4);
+
+/// ELLR-T SpMM: `A (ELL) x B (dense row-major) => C`. Warp-per-32-rows,
+/// column tiles of 32.
+pub struct EllSpmmKernel<'a> {
+    a: &'a EllMatrix<f32>,
+    b: Option<&'a Matrix<f32>>,
+    out: Option<SyncUnsafeSlice<'a, f32>>,
+    n: usize,
+}
+
+impl<'a> EllSpmmKernel<'a> {
+    pub fn new(a: &'a EllMatrix<f32>, b: &'a Matrix<f32>, out: &'a mut Matrix<f32>) -> Self {
+        assert_eq!(a.cols(), b.rows());
+        assert_eq!(out.rows(), a.rows());
+        assert_eq!(out.cols(), b.cols());
+        let n = b.cols();
+        Self { a, b: Some(b), out: Some(SyncUnsafeSlice::new(out.as_mut_slice())), n }
+    }
+
+    pub fn for_profile(a: &'a EllMatrix<f32>, n: usize) -> Self {
+        Self { a, b: None, out: None, n }
+    }
+}
+
+impl Kernel for EllSpmmKernel<'_> {
+    fn name(&self) -> String {
+        "ellr_t_spmm".to_string()
+    }
+
+    fn grid(&self) -> Dim3 {
+        Dim3::xy(self.n.div_ceil(32) as u32, (self.a.rows() as u32).div_ceil(128))
+    }
+
+    fn block_dim(&self) -> Dim3 {
+        Dim3::x(128)
+    }
+
+    fn buffers(&self) -> Vec<BufferSpec> {
+        let padded = (self.a.rows() * self.a.width()) as u64;
+        vec![
+            BufferSpec { id: BUF_VALUES, name: "ell_values", footprint_bytes: padded * 4, pattern: AccessPattern::Streaming },
+            BufferSpec { id: BUF_INDICES, name: "ell_indices", footprint_bytes: padded * 4, pattern: AccessPattern::Streaming },
+            BufferSpec { id: BUF_LENGTHS, name: "row_lengths", footprint_bytes: self.a.rows() as u64 * 4, pattern: AccessPattern::SharedReuse },
+            BufferSpec {
+                id: BUF_B,
+                name: "b",
+                footprint_bytes: (self.a.cols() * self.n * 4) as u64,
+                pattern: AccessPattern::SharedReuse,
+            },
+            BufferSpec {
+                id: BUF_C,
+                name: "c",
+                footprint_bytes: (self.a.rows() * self.n * 4) as u64,
+                pattern: AccessPattern::Streaming,
+            },
+        ]
+    }
+
+    fn execute_block(&self, block: Dim3, ctx: &mut BlockContext) {
+        let rows = self.a.rows();
+        let r0 = block.y as usize * 128;
+        let count = 128.min(rows - r0);
+        if count == 0 {
+            return;
+        }
+        let n0 = block.x as usize * 32;
+        let tile_n = 32.min(self.n - n0);
+
+        ctx.misc(6);
+        ctx.ld_global(BUF_LENGTHS, r0 as u64 * 4, count as u32, 1, 4);
+
+        // Warps execute until their longest resident row is done (ELLR-T's
+        // per-row early exit limits the waste to the warp's max length).
+        for w0 in (0..count).step_by(32) {
+            let lanes = 32.min(count - w0);
+            let max_len = (w0..w0 + lanes).map(|i| self.a.row_length(r0 + i)).max().unwrap_or(0);
+            for j in 0..max_len {
+                // Values + indices at slot j: coalesced across the 32 rows.
+                ctx.ld_global(BUF_VALUES, ((j * rows + r0 + w0) * 4) as u64, lanes as u32, 1, 4);
+                ctx.ld_global(BUF_INDICES, ((j * rows + r0 + w0) * 4) as u64, lanes as u32, 1, 4);
+                // Each lane then reads ITS row's B entries for the column
+                // tile — 32 different B rows: a gather of row strips.
+                ctx.cost.ld_global_instrs += tile_n as u64; // one pass per output column
+                // Sector accounting: each active lane touches `tile_n`
+                // contiguous elements of its own B row.
+                let active = (w0..w0 + lanes)
+                    .filter(|&i| j < self.a.row_length(r0 + i))
+                    .count() as u64;
+                ctx.cost.gmem[BUF_B.0 as usize].ld_sectors +=
+                    active * gpu_sim::memory::sectors_contiguous(0, tile_n as u64 * 4);
+                ctx.cost.fma_instrs += tile_n as u64;
+                ctx.misc(3);
+                ctx.cost.flops += 2 * active * tile_n as u64;
+            }
+        }
+
+        // Coalesced stores of the tile.
+        ctx.cost.st_global_instrs += (count as u64).div_ceil(32) * tile_n as u64 / 8;
+        for r in r0..r0 + count {
+            ctx.cost.gmem[BUF_C.0 as usize].st_sectors += gpu_sim::memory::sectors_contiguous(
+                (r * self.n + n0) as u64 * 4,
+                tile_n as u64 * 4,
+            );
+        }
+
+        if ctx.functional() && self.b.is_some() {
+            let b = self.b.unwrap().as_slice();
+            let out = self.out.as_ref().unwrap();
+            for r in r0..r0 + count {
+                let mut acc = vec![0.0f32; tile_n];
+                for j in 0..self.a.row_length(r) {
+                    let (c, v) = self.a.slot(r, j);
+                    let brow = &b[c as usize * self.n + n0..c as usize * self.n + n0 + tile_n];
+                    for (x, bv) in brow.iter().enumerate() {
+                        acc[x] += v * bv;
+                    }
+                }
+                for (x, &v) in acc.iter().enumerate() {
+                    unsafe { out.write(r * self.n + n0 + x, v) };
+                }
+            }
+        }
+    }
+}
+
+/// Functional ELLR-T SpMM.
+pub fn ell_spmm(gpu: &Gpu, a: &EllMatrix<f32>, b: &Matrix<f32>) -> (Matrix<f32>, LaunchStats) {
+    let mut out = Matrix::zeros(a.rows(), b.cols());
+    let stats = {
+        let kernel = EllSpmmKernel::new(a, b, &mut out);
+        gpu.launch(&kernel)
+    };
+    (out, stats)
+}
+
+/// Profile ELLR-T SpMM.
+pub fn ell_spmm_profile(gpu: &Gpu, a: &EllMatrix<f32>, n: usize) -> LaunchStats {
+    gpu.profile(&EllSpmmKernel::for_profile(a, n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse::gen;
+
+    #[test]
+    fn matches_reference() {
+        let csr = gen::uniform(96, 64, 0.75, 911);
+        let a = EllMatrix::from_csr(&csr);
+        let b = Matrix::<f32>::random(64, 40, 912);
+        let gpu = Gpu::v100();
+        let (c, stats) = ell_spmm(&gpu, &a, &b);
+        let expect = sputnik::reference::spmm(&csr, &b);
+        assert!(c.max_abs_diff(&expect) < 1e-3);
+        assert!(stats.time_us > 0.0);
+    }
+
+    #[test]
+    fn competitive_on_balanced_dl_matrices() {
+        // Low CoV: ELL's padding is tiny and its coalescing is free, but a
+        // thread-per-row kernel (designed for SpMV) issues one load per
+        // output column per slot, so it still trails Sputnik's register
+        // tiling by a moderate factor — same order of magnitude, not more.
+        let gpu = Gpu::v100();
+        let csr = gen::with_cov(2048, 2048, 0.8, 0.15, 913);
+        let ell = EllMatrix::from_csr(&csr);
+        assert!(ell.padding_overhead() < 1.0);
+        let t_ell = ell_spmm_profile(&gpu, &ell, 128);
+        let t_csr = sputnik::spmm_profile::<f32>(
+            &gpu,
+            &csr,
+            2048,
+            128,
+            sputnik::SpmmConfig::heuristic::<f32>(128),
+        );
+        let ratio = t_ell.time_us / t_csr.time_us;
+        assert!(ratio < 8.0, "ELL should be same-order on balanced matrices, got {ratio:.2}x");
+    }
+
+    #[test]
+    fn collapses_on_heavy_tailed_matrices() {
+        // High CoV: the width blows up and ELL's padded slots bury it.
+        let gpu = Gpu::v100();
+        let csr = gen::power_law(2048, 2048, 100.0, 1.15, 914);
+        let ell = EllMatrix::from_csr(&csr);
+        assert!(ell.padding_overhead() > 2.0, "overhead {}", ell.padding_overhead());
+        let t_ell = ell_spmm_profile(&gpu, &ell, 128);
+        let t_csr = sputnik::spmm_profile::<f32>(
+            &gpu,
+            &csr,
+            2048,
+            128,
+            sputnik::SpmmConfig::heuristic::<f32>(128),
+        );
+        assert!(
+            t_ell.time_us > 1.5 * t_csr.time_us,
+            "ELL must fall behind on heavy tails: {} vs {}",
+            t_ell.time_us,
+            t_csr.time_us
+        );
+        // ...and its memory footprint balloons with the padding.
+        assert!(ell.bytes() > 2 * csr.bytes(sparse::IndexWidth::U32));
+    }
+}

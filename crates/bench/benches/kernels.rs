@@ -1,0 +1,172 @@
+//! Criterion wall-clock benchmarks of the simulator and the functional
+//! kernels, one group per paper artifact. These time the *host* cost of the
+//! simulation (useful for tracking regressions in this repository); the
+//! *simulated device* times are produced by the `src/bin` experiment
+//! harnesses.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_sim::Gpu;
+use sparse::{gen, Half, Matrix};
+use sputnik::{SddmmConfig, SpmmConfig};
+use std::hint::black_box;
+
+/// Figure 1's problem family at a fixed moderate size.
+fn bench_spmm(c: &mut Criterion) {
+    let gpu = Gpu::v100();
+    let mut group = c.benchmark_group("fig01_spmm");
+    for &sparsity in &[0.7f64, 0.9] {
+        let a = gen::uniform(1024, 1024, sparsity, 1);
+        let b = Matrix::<f32>::random(1024, 128, 2);
+        let cfg = SpmmConfig::heuristic::<f32>(128);
+        group.bench_with_input(
+            BenchmarkId::new("functional", format!("s{sparsity}")),
+            &sparsity,
+            |bench, _| bench.iter(|| black_box(sputnik::spmm(&gpu, &a, &b, cfg))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("profile", format!("s{sparsity}")),
+            &sparsity,
+            |bench, _| {
+                bench.iter(|| black_box(sputnik::spmm_profile::<f32>(&gpu, &a, 1024, 128, cfg)))
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Mixed-precision SpMM (Figure 9 right panel).
+fn bench_spmm_f16(c: &mut Criterion) {
+    let gpu = Gpu::v100();
+    let a = gen::uniform(1024, 1024, 0.8, 3).convert::<Half>();
+    let cfg = SpmmConfig::heuristic::<Half>(128);
+    c.bench_function("fig09_spmm_f16_profile", |bench| {
+        bench.iter(|| black_box(sputnik::spmm_profile::<Half>(&gpu, &a, 1024, 128, cfg)))
+    });
+}
+
+/// SDDMM on a weight-gradient-shaped problem (Figure 9 bottom-left).
+fn bench_sddmm(c: &mut Criterion) {
+    let gpu = Gpu::v100();
+    let mask = gen::uniform(512, 512, 0.8, 4);
+    let lhs = Matrix::<f32>::random(512, 256, 5);
+    let rhs = Matrix::<f32>::random(512, 256, 6);
+    let cfg = SddmmConfig::heuristic::<f32>(256);
+    c.bench_function("fig09_sddmm_functional", |bench| {
+        bench.iter(|| black_box(sputnik::sddmm(&gpu, &lhs, &rhs, &mask, cfg)))
+    });
+}
+
+/// The Figure 7 load-balance pair: swizzled vs standard ordering.
+fn bench_load_balance(c: &mut Criterion) {
+    let gpu = Gpu::v100();
+    let a = gen::with_cov(2048, 2048, 0.75, 1.2, 7);
+    let cfg = SpmmConfig::heuristic::<f32>(128);
+    let mut group = c.benchmark_group("fig07_load_balance");
+    group.bench_function("swizzled", |bench| {
+        bench.iter(|| black_box(sputnik::spmm_profile::<f32>(&gpu, &a, 2048, 128, cfg)))
+    });
+    group.bench_function("standard", |bench| {
+        bench.iter(|| {
+            black_box(sputnik::spmm_profile::<f32>(
+                &gpu,
+                &a,
+                2048,
+                128,
+                SpmmConfig { row_swizzle: false, ..cfg },
+            ))
+        })
+    });
+    group.finish();
+}
+
+/// Baseline kernels on an RNN-suite problem (Figure 10).
+fn bench_baselines(c: &mut Criterion) {
+    let gpu = Gpu::v100();
+    let a = gen::uniform(2048, 2048, 0.8, 8);
+    let mut group = c.benchmark_group("fig10_baselines");
+    group.bench_function("sputnik", |bench| {
+        bench.iter(|| {
+            black_box(sputnik::spmm_profile::<f32>(
+                &gpu,
+                &a,
+                2048,
+                128,
+                SpmmConfig::heuristic::<f32>(128),
+            ))
+        })
+    });
+    group.bench_function("cusparse", |bench| {
+        bench.iter(|| black_box(baselines::cusparse_spmm_profile::<f32>(&gpu, &a, 128)))
+    });
+    group.bench_function("merge_spmm", |bench| {
+        bench.iter(|| black_box(baselines::merge_spmm_profile::<f32>(&gpu, &a, 128).unwrap()))
+    });
+    group.bench_function("aspt", |bench| {
+        bench.iter(|| black_box(baselines::aspt_spmm_profile::<f32>(&gpu, &a, 128).unwrap()))
+    });
+    group.bench_function("cublas_dense", |bench| {
+        bench.iter(|| black_box(baselines::gemm_profile(&gpu, 2048, 2048, 128)))
+    });
+    group.finish();
+}
+
+/// Sparse softmax + attention pipeline (Table III's kernels).
+fn bench_attention(c: &mut Criterion) {
+    let gpu = Gpu::v100();
+    let mask = gen::attention_mask(1024, 64, 0.95, 9);
+    let mut group = c.benchmark_group("table03_attention");
+    group.bench_function("sparse_softmax", |bench| {
+        bench.iter(|| black_box(sputnik::sparse_softmax_profile::<f32>(&gpu, &mask)))
+    });
+    group.bench_function("sparse_attention_profile", |bench| {
+        bench.iter(|| black_box(dnn::attention::sparse_attention_profile(&gpu, &mask, 64)))
+    });
+    group.bench_function("dense_attention_profile", |bench| {
+        bench.iter(|| black_box(dnn::attention::dense_attention_profile(&gpu, 1024, 64)))
+    });
+    group.finish();
+}
+
+/// MobileNetV1 end-to-end cost model (Table IV).
+fn bench_mobilenet(c: &mut Criterion) {
+    let gpu = Gpu::v100();
+    let model = dnn::MobileNetV1::new(1.0);
+    let mut group = c.benchmark_group("table04_mobilenet");
+    group.sample_size(10);
+    group.bench_function("dense", |bench| {
+        bench.iter(|| black_box(dnn::mobilenet::benchmark(&gpu, &model, None, false)))
+    });
+    group.bench_function("sparse90", |bench| {
+        bench.iter(|| black_box(dnn::mobilenet::benchmark(&gpu, &model, Some(0.9), false)))
+    });
+    group.finish();
+}
+
+/// Matrix-generation and corpus machinery (Figure 2's inputs).
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig02_generators");
+    group.bench_function("uniform_1k", |bench| {
+        bench.iter(|| black_box(gen::uniform(1024, 1024, 0.8, 10)))
+    });
+    group.bench_function("attention_mask_2k", |bench| {
+        bench.iter(|| black_box(gen::attention_mask(2048, 64, 0.95, 11)))
+    });
+    group.bench_function("swizzle_8k", |bench| {
+        let a = gen::with_cov(8192, 512, 0.8, 0.5, 12);
+        bench.iter(|| black_box(sparse::RowSwizzle::by_length_desc(&a)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_spmm,
+    bench_spmm_f16,
+    bench_sddmm,
+    bench_load_balance,
+    bench_baselines,
+    bench_attention,
+    bench_mobilenet,
+    bench_generators
+);
+criterion_main!(benches);

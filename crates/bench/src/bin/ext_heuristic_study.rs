@@ -1,0 +1,121 @@
+//! Extension study: how good is the paper's kernel-selection heuristic?
+//!
+//! Section VII-B closes with "these results indicate that better kernel
+//! selection heuristics could greatly improve performance", and the
+//! MobileNet experiment needed an oracle for four layers. This study
+//! quantifies the gap on the corpus: for each problem, exhaustively profile
+//! a grid of SpMM variants (the oracle) and compare the heuristic's pick.
+
+use gpu_sim::Gpu;
+use serde::Serialize;
+use sparse::dataset;
+use sputnik::SpmmConfig;
+use sputnik_bench::{geo_mean, has_flag, write_json, Table};
+
+#[derive(Serialize)]
+struct Entry {
+    layer: String,
+    m: usize,
+    k: usize,
+    n: usize,
+    sparsity: f64,
+    heuristic_us: f64,
+    oracle_us: f64,
+    /// heuristic time / oracle time (1.0 = heuristic found the best variant).
+    gap: f64,
+    oracle_tag: String,
+}
+
+/// The variant grid the oracle searches.
+fn variants(k: usize, n: usize) -> Vec<SpmmConfig> {
+    let mut out = Vec::new();
+    for block_items_y in [1u32, 2, 4, 8] {
+        for block_items_x in [16u32, 32, 64] {
+            for vector_width in [1u32, 2, 4] {
+                let cfg = SpmmConfig {
+                    block_items_y,
+                    block_items_x,
+                    vector_width,
+                    roma: vector_width > 1,
+                    ..SpmmConfig::default()
+                };
+                if cfg.validate(k).is_err() || cfg.threads_x() > 32 {
+                    continue;
+                }
+                if vector_width as usize > 1 && n % vector_width as usize != 0 {
+                    continue;
+                }
+                out.push(cfg);
+            }
+        }
+    }
+    out
+}
+
+fn main() {
+    let gpu = Gpu::v100();
+    let count = if has_flag("--quick") { 12 } else { 40 };
+    let specs = dataset::dl_corpus_sample(count, 23);
+
+    let mut entries = Vec::new();
+    for spec in &specs {
+        let a = spec.generate();
+        let (inference, training) = spec.batch_sizes();
+        for batch in [inference, training] {
+            let n = spec.n(batch);
+            let heuristic = SpmmConfig::heuristic::<f32>(n);
+            let heuristic_us =
+                sputnik::spmm_profile::<f32>(&gpu, &a, spec.cols, n, heuristic).time_us;
+            let mut oracle_us = heuristic_us;
+            let mut oracle_tag = heuristic.tag();
+            for cfg in variants(spec.cols, n) {
+                let t = sputnik::spmm_profile::<f32>(&gpu, &a, spec.cols, n, cfg).time_us;
+                if t < oracle_us {
+                    oracle_us = t;
+                    oracle_tag = cfg.tag();
+                }
+            }
+            entries.push(Entry {
+                layer: spec.layer.to_string(),
+                m: spec.rows,
+                k: spec.cols,
+                n,
+                sparsity: spec.sparsity,
+                heuristic_us,
+                oracle_us,
+                gap: heuristic_us / oracle_us,
+                oracle_tag,
+            });
+        }
+    }
+
+    entries.sort_by(|a, b| b.gap.partial_cmp(&a.gap).unwrap());
+    let mut table = Table::new(
+        "Extension — heuristic vs oracle kernel selection (worst 10 problems)",
+        &["problem", "MxKxN", "sparsity", "heuristic", "oracle", "gap", "oracle variant"],
+    );
+    for e in entries.iter().take(10) {
+        table.row(&[
+            e.layer.clone(),
+            format!("{}x{}x{}", e.m, e.k, e.n),
+            format!("{:.2}", e.sparsity),
+            format!("{:.1}us", e.heuristic_us),
+            format!("{:.1}us", e.oracle_us),
+            format!("{:.2}x", e.gap),
+            e.oracle_tag.clone(),
+        ]);
+    }
+    table.print();
+
+    let gaps: Vec<f64> = entries.iter().map(|e| e.gap).collect();
+    let optimal = entries.iter().filter(|e| e.gap < 1.01).count();
+    println!(
+        "heuristic is optimal (within 1%) on {}/{} problems; geo-mean gap {:.3}x; worst {:.2}x",
+        optimal,
+        entries.len(),
+        geo_mean(&gaps),
+        gaps.iter().cloned().fold(0.0f64, f64::max)
+    );
+    println!("(The paper used an oracle for four MobileNet layers for the same reason.)");
+    write_json("ext_heuristic_study", &entries);
+}

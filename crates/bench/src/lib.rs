@@ -1,0 +1,9 @@
+//! # sputnik-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper (see DESIGN.md's per-experiment
+//! index), plus shared reporting helpers. Each binary prints the same rows
+//! or series the paper reports and appends a JSON record under `results/`.
+
+pub mod report;
+
+pub use report::{geo_mean, has_flag, write_json, Row, Table};

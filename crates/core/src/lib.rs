@@ -1,0 +1,26 @@
+//! # sputnik — sparse GPU kernels for deep learning, in simulation
+//!
+//! Rust reproduction of the kernels from *Sparse GPU Kernels for Deep
+//! Learning* (Gale, Zaharia, Young, Elsen — SC 2020): SpMM and SDDMM with
+//! hierarchical 1-D tiling, subwarp tiling, reverse offset memory alignment
+//! (ROMA), row-swizzle load balancing, index pre-scaling, residue unrolling,
+//! and mixed-precision variants — all executing against the `gpu-sim`
+//! simulated V100.
+pub mod batched;
+pub mod config;
+pub mod reference;
+pub mod roma;
+pub mod sddmm;
+pub mod softmax;
+pub mod spmm;
+pub mod transpose;
+pub mod tune;
+
+pub use batched::{sddmm_batched, spmm_batched, BatchedResult};
+pub use config::{SddmmConfig, SpmmConfig};
+pub use roma::MemoryAligner;
+pub use sddmm::{sddmm, sddmm_profile, SddmmKernel};
+pub use softmax::{sparse_softmax, sparse_softmax_profile, SparseSoftmaxKernel};
+pub use spmm::{spmm, spmm_profile, SpmmKernel};
+pub use transpose::{CachedTranspose, PermuteKernel};
+pub use tune::{AutoTuner, ProblemClass, TuneResult};

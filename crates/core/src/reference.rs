@@ -1,0 +1,184 @@
+//! Golden CPU reference implementations.
+//!
+//! Every simulated kernel in this workspace is validated against these
+//! straightforward implementations. They use f32 accumulation regardless of
+//! storage precision — the same numerics as the paper's mixed-precision
+//! scheme — so kernel outputs must match exactly (not approximately) when
+//! the kernel accumulates in the same order, and within tight tolerance
+//! otherwise.
+
+use sparse::{CsrMatrix, Matrix, Scalar};
+
+/// SpMM: `A (sparse, m x k) * B (dense, k x n) => C (dense, m x n)`.
+pub fn spmm<T: Scalar>(a: &CsrMatrix<T>, b: &Matrix<f32>) -> Matrix<f32> {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    let n = b.cols();
+    let mut c = Matrix::<f32>::zeros(a.rows(), n);
+    for i in 0..a.rows() {
+        let (cols, vals) = a.row(i);
+        for (&col, &val) in cols.iter().zip(vals) {
+            let v = val.to_f32();
+            let brow = b.row(col as usize);
+            let crow_start = i * n;
+            let out = c.as_mut_slice();
+            for j in 0..n {
+                out[crow_start + j] += v * brow[j];
+            }
+        }
+    }
+    c
+}
+
+/// SDDMM as the paper defines it for deep learning (Section IV-B):
+/// `D = (A * B^T) ⊙ I[C]` — for each nonzero position (i, j) of the mask
+/// `C`, compute the dot product of row i of `A` with row j of `B`.
+/// No element-wise scaling by C's values (the indicator form).
+pub fn sddmm<T: Scalar>(lhs: &Matrix<f32>, rhs: &Matrix<f32>, mask: &CsrMatrix<T>) -> CsrMatrix<f32> {
+    assert_eq!(lhs.cols(), rhs.cols(), "dot-product length must agree (B is transposed)");
+    assert_eq!(mask.rows(), lhs.rows());
+    assert_eq!(mask.cols(), rhs.rows());
+    let k = lhs.cols();
+    let mut values = Vec::with_capacity(mask.nnz());
+    for i in 0..mask.rows() {
+        let (cols, _) = mask.row(i);
+        let arow = lhs.row(i);
+        for &j in cols {
+            let brow = rhs.row(j as usize);
+            let mut acc = 0.0f32;
+            for l in 0..k {
+                acc += arow[l] * brow[l];
+            }
+            values.push(acc);
+        }
+    }
+    mask.convert::<f32>().with_values(values)
+}
+
+/// SDDMM with element-wise scaling by the mask values — the general form
+/// `D = (A * B^T) ⊙ C` from the literature, which the paper notes its
+/// approach extends to with "1 load and 1 multiply instruction".
+pub fn sddmm_scaled<T: Scalar>(
+    lhs: &Matrix<f32>,
+    rhs: &Matrix<f32>,
+    mask: &CsrMatrix<T>,
+) -> CsrMatrix<f32> {
+    let d = sddmm(lhs, rhs, mask);
+    let scaled: Vec<f32> = d
+        .values()
+        .iter()
+        .zip(mask.values())
+        .map(|(&v, &m)| v * m.to_f32())
+        .collect();
+    d.with_values(scaled)
+}
+
+/// Row-wise softmax over the nonzero values of a sparse matrix — the
+/// operation the paper wrote a custom kernel for in the sparse Transformer
+/// ("we additionally wrote a kernel that computes the softmax function on a
+/// sparse matrix"). Max-subtracted for numerical stability; empty rows
+/// produce no values.
+pub fn sparse_softmax(m: &CsrMatrix<f32>) -> CsrMatrix<f32> {
+    let mut values = Vec::with_capacity(m.nnz());
+    for i in 0..m.rows() {
+        let (_, vals) = m.row(i);
+        if vals.is_empty() {
+            continue;
+        }
+        let max = vals.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = vals.iter().map(|&v| (v - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        values.extend(exps.iter().map(|&e| e / sum));
+    }
+    m.with_values(values)
+}
+
+/// Fused bias + ReLU epilogue: `y = max(0, x + bias[row])`, the epilogue the
+/// paper fuses into its sparse 1x1 convolutions.
+pub fn bias_relu(x: &Matrix<f32>, bias: &[f32]) -> Matrix<f32> {
+    assert_eq!(bias.len(), x.rows());
+    Matrix::from_fn(x.rows(), x.cols(), |r, c| (x.get(r, c) + bias[r]).max(0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse::gen;
+
+    #[test]
+    fn spmm_matches_dense_matmul() {
+        let a = gen::uniform(32, 48, 0.7, 1);
+        let b = Matrix::<f32>::random(48, 24, 2);
+        let sparse_result = spmm(&a, &b);
+        let dense_result = a.to_dense().matmul(&b);
+        assert!(sparse_result.max_abs_diff(&dense_result) < 1e-4);
+    }
+
+    #[test]
+    fn spmm_empty_rows_produce_zeros() {
+        let a = CsrMatrix::<f32>::empty(4, 8);
+        let b = Matrix::<f32>::random(8, 4, 3);
+        let c = spmm(&a, &b);
+        assert_eq!(c, Matrix::zeros(4, 4));
+    }
+
+    #[test]
+    fn sddmm_matches_dense_computation() {
+        let lhs = Matrix::<f32>::random(16, 32, 4);
+        let rhs = Matrix::<f32>::random(20, 32, 5);
+        let mask = gen::uniform(16, 20, 0.6, 6);
+        let d = sddmm(&lhs, &rhs, &mask);
+        // Dense: (lhs * rhs^T) masked.
+        let full = lhs.matmul(&rhs.transpose());
+        for (i, j, v) in d.iter() {
+            assert!((v - full.get(i, j)).abs() < 1e-4, "({i},{j})");
+        }
+        assert!(d.same_pattern(&mask.convert::<f32>()));
+    }
+
+    #[test]
+    fn sddmm_scaled_multiplies_mask_values() {
+        let lhs = Matrix::<f32>::random(8, 16, 7);
+        let rhs = Matrix::<f32>::random(8, 16, 8);
+        let mask = gen::uniform(8, 8, 0.5, 9);
+        let plain = sddmm(&lhs, &rhs, &mask);
+        let scaled = sddmm_scaled(&lhs, &rhs, &mask);
+        for ((p, s), m) in plain.values().iter().zip(scaled.values()).zip(mask.values()) {
+            assert!((p * m - s).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let m = gen::uniform(32, 64, 0.8, 10);
+        let s = sparse_softmax(&m);
+        for i in 0..s.rows() {
+            let (_, vals) = s.row(i);
+            if vals.is_empty() {
+                continue;
+            }
+            let sum: f32 = vals.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5, "row {i} sums to {sum}");
+            assert!(vals.iter().all(|&v| v > 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let m = gen::uniform(8, 16, 0.5, 11);
+        let shifted = m.with_values(m.values().iter().map(|v| v + 100.0).collect());
+        let a = sparse_softmax(&m);
+        let b = sparse_softmax(&shifted);
+        for (x, y) in a.values().iter().zip(b.values()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn bias_relu_clamps() {
+        let x = Matrix::<f32>::from_vec(2, 2, vec![1.0, -2.0, 3.0, -4.0]);
+        let y = bias_relu(&x, &[0.5, -0.5]);
+        assert_eq!(y.as_slice(), &[1.5, 0.0, 2.5, 0.0]);
+    }
+
+    use sparse::CsrMatrix;
+}

@@ -1,0 +1,451 @@
+//! The Sputnik SDDMM kernel (Section VI of the paper).
+//!
+//! Computes `D = (A * B^T) ⊙ I[C]`: for every nonzero position (i, j) of the
+//! sparse mask `C`, the dot product of row i of dense `A` with row j of
+//! dense `B` (the transposed-RHS form that weight gradients and sparse
+//! attention need).
+//!
+//! Decomposition differences from SpMM (Section VI-A): thread blocks map to
+//! 1-D strips of *consecutive nonzeros* rather than output columns, the grid
+//! is sized for the worst-case row and surplus blocks return early, and each
+//! thread computes a slice of every dot product in its tile with a warp
+//! shuffle reduction at the end — avoiding both uncoalesced accesses to the
+//! transposed operand and a shared-memory transpose (which would steal L1
+//! capacity on Volta, where L1 and shared memory are the same storage).
+
+use crate::config::SddmmConfig;
+use gpu_sim::{
+    AccessPattern, BlockContext, BufferId, BufferSpec, Dim3, Gpu, Kernel, LaunchStats,
+    SyncUnsafeSlice,
+};
+use sparse::{CsrMatrix, Matrix, RowSwizzle, Scalar};
+
+pub const BUF_LHS: BufferId = BufferId(0);
+pub const BUF_RHS: BufferId = BufferId(1);
+pub const BUF_MASK_OFFSETS: BufferId = BufferId(2);
+pub const BUF_MASK_INDICES: BufferId = BufferId(3);
+pub const BUF_OUT: BufferId = BufferId(4);
+pub const BUF_SWIZZLE: BufferId = BufferId(5);
+
+/// The simulated SDDMM kernel. Construct functionally with
+/// [`SddmmKernel::new`] or cost-only with [`SddmmKernel::for_profile`].
+pub struct SddmmKernel<'a, T: Scalar> {
+    lhs: Option<&'a Matrix<T>>,
+    rhs: Option<&'a Matrix<T>>,
+    mask: &'a CsrMatrix<T>,
+    out_values: Option<SyncUnsafeSlice<'a, T>>,
+    swizzle: &'a RowSwizzle,
+    cfg: SddmmConfig,
+    /// Dot-product length (columns of both dense operands).
+    k: usize,
+    /// Strips per row in the over-provisioned grid.
+    max_strips: u32,
+}
+
+impl<'a, T: Scalar> SddmmKernel<'a, T> {
+    pub fn new(
+        lhs: &'a Matrix<T>,
+        rhs: &'a Matrix<T>,
+        mask: &'a CsrMatrix<T>,
+        out_values: &'a mut [T],
+        swizzle: &'a RowSwizzle,
+        cfg: SddmmConfig,
+    ) -> Self {
+        assert_eq!(lhs.cols(), rhs.cols(), "dot-product lengths must agree (RHS is transposed)");
+        assert_eq!(mask.rows(), lhs.rows(), "mask rows must match LHS rows");
+        assert_eq!(mask.cols(), rhs.rows(), "mask cols must match RHS rows");
+        assert_eq!(out_values.len(), mask.nnz(), "output holds one value per mask nonzero");
+        assert_eq!(swizzle.len(), mask.rows());
+        cfg.validate().expect("invalid SDDMM configuration");
+        let k = lhs.cols();
+        let max_strips = Self::strips_for(mask, &cfg);
+        Self {
+            lhs: Some(lhs),
+            rhs: Some(rhs),
+            mask,
+            out_values: Some(SyncUnsafeSlice::new(out_values)),
+            swizzle,
+            cfg,
+            k,
+            max_strips,
+        }
+    }
+
+    /// Cost-model-only kernel; dense operands are described by `k` alone.
+    pub fn for_profile(mask: &'a CsrMatrix<T>, k: usize, swizzle: &'a RowSwizzle, cfg: SddmmConfig) -> Self {
+        cfg.validate().expect("invalid SDDMM configuration");
+        assert_eq!(swizzle.len(), mask.rows());
+        let max_strips = Self::strips_for(mask, &cfg);
+        Self { lhs: None, rhs: None, mask, out_values: None, swizzle, cfg, k, max_strips }
+    }
+
+    /// "Because the number of nonzeros in each row cannot be inferred without
+    /// inspecting the sparse matrix, we launch the maximum number of thread
+    /// blocks that could be needed."
+    fn strips_for(mask: &CsrMatrix<T>, cfg: &SddmmConfig) -> u32 {
+        (mask.max_row_len() as u32).div_ceil(cfg.block_items_x).max(1)
+    }
+
+    /// Effective vector width for the dense operands: full width only when
+    /// the inner dimension is divisible by it (Section VI-B).
+    fn vw(&self) -> u32 {
+        let mut vw = self.cfg.vector_width;
+        while vw > 1 && self.k % vw as usize != 0 {
+            vw /= 2;
+        }
+        vw
+    }
+}
+
+impl<T: Scalar> Kernel for SddmmKernel<'_, T> {
+    fn name(&self) -> String {
+        format!("sputnik_sddmm_{}_{}", T::TAG, self.cfg.tag())
+    }
+
+    fn grid(&self) -> Dim3 {
+        Dim3::xy(self.max_strips, self.mask.rows() as u32)
+    }
+
+    fn block_dim(&self) -> Dim3 {
+        Dim3::x(32)
+    }
+
+    fn shared_mem_bytes(&self) -> u32 {
+        // Strip column indices staged in shared memory.
+        self.cfg.block_items_x * 4
+    }
+
+    fn regs_per_thread(&self) -> u32 {
+        // The LHS slice lives in registers across the whole tile — the
+        // design choice that trades registers for L1 capacity (Section VI-A).
+        28 + (self.k as u32 / 32).min(64)
+    }
+
+    fn buffers(&self) -> Vec<BufferSpec> {
+        let eb = T::BYTES as u64;
+        let mut bufs = vec![
+            BufferSpec {
+                id: BUF_LHS,
+                name: "lhs",
+                footprint_bytes: (self.mask.rows() * self.k) as u64 * eb,
+                pattern: AccessPattern::SharedReuse,
+            },
+            BufferSpec {
+                id: BUF_RHS,
+                name: "rhs",
+                footprint_bytes: (self.mask.cols() * self.k) as u64 * eb,
+                pattern: AccessPattern::SharedReuse,
+            },
+            BufferSpec {
+                id: BUF_MASK_OFFSETS,
+                name: "mask_row_offsets",
+                footprint_bytes: (self.mask.rows() as u64 + 1) * 4,
+                pattern: AccessPattern::SharedReuse,
+            },
+            BufferSpec {
+                id: BUF_MASK_INDICES,
+                name: "mask_col_indices",
+                footprint_bytes: self.mask.nnz() as u64 * 4,
+                pattern: AccessPattern::Streaming,
+            },
+            BufferSpec {
+                id: BUF_OUT,
+                name: "out_values",
+                footprint_bytes: self.mask.nnz() as u64 * eb,
+                pattern: AccessPattern::Streaming,
+            },
+        ];
+        if self.cfg.row_swizzle {
+            bufs.push(BufferSpec {
+                id: BUF_SWIZZLE,
+                name: "row_indices",
+                footprint_bytes: self.mask.rows() as u64 * 4,
+                pattern: AccessPattern::SharedReuse,
+            });
+        }
+        bufs
+    }
+
+    fn execute_block(&self, block: Dim3, ctx: &mut BlockContext) {
+        let cfg = &self.cfg;
+        let bix = cfg.block_items_x as usize;
+        let row = if cfg.row_swizzle {
+            if cfg.row_swizzle {
+                ctx.ld_global(BUF_SWIZZLE, block.y as u64 * 4, 1, 1, 4);
+            }
+            self.swizzle.row(block.y as usize)
+        } else {
+            block.y as usize
+        };
+        let strip = block.x as usize;
+
+        // Prelude: row extent lookup + early-exit check.
+        ctx.misc(5);
+        ctx.ld_global(BUF_MASK_OFFSETS, row as u64 * 4, 2, 1, 4);
+        let row_start = self.mask.row_offsets()[row] as usize;
+        let row_nnz = self.mask.row_len(row);
+        let strip_start = strip * bix;
+        if strip_start >= row_nnz {
+            // Over-provisioned block: "each thread block calculates if it has
+            // work to do and returns early if it is not needed."
+            return;
+        }
+        let s = bix.min(row_nnz - strip_start);
+        let k = self.k;
+        let eb = T::BYTES;
+        let vw = self.vw();
+        let tpo = cfg.threads_per_output_tile;
+
+        // ---- Cost trace ----------------------------------------------------
+        // Scalar loads of the strip's column indices (sparse-matrix accesses
+        // are scalar per Section VI-B).
+        let idx_addr = (row_start + strip_start) as u64 * 4;
+        ctx.ld_global(BUF_MASK_INDICES, idx_addr, s as u32, 1, 4);
+        ctx.st_shared(s as u32, 1, 4, 1);
+        ctx.misc(3);
+
+        // LHS row: loaded once per block, spread over all 32 lanes.
+        let lhs_instrs = gpu_sim::memory::vector_instr_count(k as u64, 32, vw);
+        ctx.cost.ld_global_instrs += lhs_instrs;
+        ctx.cost.gmem[BUF_LHS.0 as usize].ld_sectors +=
+            gpu_sim::memory::sectors_contiguous((row * k) as u64 * eb as u64, k as u64 * eb as u64);
+
+        // Output groups: 32/tpo outputs processed concurrently per group.
+        let outputs_per_group = (32 / tpo).max(1) as usize;
+        let groups = s.div_ceil(outputs_per_group) as u64;
+        // Each lane covers k / tpo elements of its output's dot product, so
+        // a group costs k/tpo serialized steps across the warp.
+        let per_group_loads = (k as u64).div_ceil(tpo as u64 * vw as u64).max(1);
+        let per_group_fmas = (k as u64).div_ceil(tpo as u64).max(1);
+        let reduce_steps = (tpo as f64).log2() as u64;
+        ctx.cost.ld_global_instrs += groups * per_group_loads;
+        ctx.cost.fma_instrs += groups * per_group_fmas;
+        ctx.shfl(groups * reduce_steps);
+        ctx.fp(groups * reduce_steps, 0);
+        ctx.misc(groups * 3);
+
+        // RHS rows: one contiguous K-element read per output.
+        let (cols, _) = self.mask.row(row);
+        let strip_cols = &cols[strip_start..strip_start + s];
+        for &j in strip_cols {
+            ctx.cost.gmem[BUF_RHS.0 as usize].ld_sectors += gpu_sim::memory::sectors_contiguous(
+                (j as usize * k) as u64 * eb as u64,
+                k as u64 * eb as u64,
+            );
+        }
+        ctx.cost.flops += 2 * (s * k) as u64;
+
+        // General SDDMM: scale each output by the mask's stored value —
+        // "1 load and 1 multiply instruction prior to storing the output".
+        if cfg.scale_by_mask {
+            let val_addr = (row_start + strip_start) as u64 * eb as u64;
+            ctx.ld_global(BUF_MASK_INDICES, val_addr, s as u32, 1, eb);
+            ctx.fp((s as u64).div_ceil(32), s as u64);
+            ctx.cost.flops += s as u64;
+        }
+
+        // Scalar stores of the strip's outputs.
+        let out_addr = (row_start + strip_start) as u64 * eb as u64;
+        ctx.st_global(BUF_OUT, out_addr, s as u32, 1, eb);
+
+        // ---- Functional ----------------------------------------------------
+        if ctx.functional() && self.lhs.is_some() {
+            let lhs = self.lhs.unwrap();
+            let rhs = self.rhs.unwrap();
+            let out = self.out_values.as_ref().unwrap();
+            let lrow = &lhs.as_slice()[row * k..(row + 1) * k];
+            let (_, mask_vals) = self.mask.row(row);
+            for (t, &j) in strip_cols.iter().enumerate() {
+                let rrow = &rhs.as_slice()[j as usize * k..(j as usize + 1) * k];
+                let mut acc = 0.0f32;
+                for l in 0..k {
+                    acc += lrow[l].to_f32() * rrow[l].to_f32();
+                }
+                if cfg.scale_by_mask {
+                    acc *= mask_vals[strip_start + t].to_f32();
+                }
+                // Disjoint: each nonzero belongs to exactly one strip.
+                unsafe { out.write(row_start + strip_start + t, T::from_f32(acc)) };
+            }
+        }
+    }
+}
+
+/// Run SDDMM on the simulated GPU: returns the sparse output (the mask's
+/// topology with computed values) and launch statistics.
+pub fn sddmm<T: Scalar>(
+    gpu: &Gpu,
+    lhs: &Matrix<T>,
+    rhs: &Matrix<T>,
+    mask: &CsrMatrix<T>,
+    cfg: SddmmConfig,
+) -> (CsrMatrix<T>, LaunchStats) {
+    let swizzle = if cfg.row_swizzle {
+        RowSwizzle::by_length_desc(mask)
+    } else {
+        RowSwizzle::identity(mask.rows())
+    };
+    let mut values = vec![T::zero(); mask.nnz()];
+    let stats = {
+        let kernel = SddmmKernel::new(lhs, rhs, mask, &mut values, &swizzle, cfg);
+        gpu.launch(&kernel)
+    };
+    (mask.with_values(values), stats)
+}
+
+/// Profile SDDMM (cost model only).
+pub fn sddmm_profile<T: Scalar>(
+    gpu: &Gpu,
+    mask: &CsrMatrix<T>,
+    k: usize,
+    cfg: SddmmConfig,
+) -> LaunchStats {
+    let swizzle = if cfg.row_swizzle {
+        RowSwizzle::by_length_desc(mask)
+    } else {
+        RowSwizzle::identity(mask.rows())
+    };
+    let kernel = SddmmKernel::<T>::for_profile(mask, k, &swizzle, cfg);
+    gpu.profile(&kernel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use sparse::gen;
+
+    fn check(mask: &CsrMatrix<f32>, k: usize, cfg: SddmmConfig) {
+        let lhs = Matrix::<f32>::random(mask.rows(), k, 31);
+        let rhs = Matrix::<f32>::random(mask.cols(), k, 32);
+        let gpu = Gpu::v100();
+        let (d, stats) = sddmm(&gpu, &lhs, &rhs, mask, cfg);
+        let expect = reference::sddmm(&lhs, &rhs, mask);
+        assert!(d.same_pattern(&expect));
+        for (got, want) in d.values().iter().zip(expect.values()) {
+            assert!((got - want).abs() < 1e-3, "{got} vs {want}");
+        }
+        assert!(stats.time_us > 0.0);
+    }
+
+    #[test]
+    fn matches_reference_default() {
+        let mask = gen::uniform(48, 40, 0.7, 33);
+        check(&mask, 64, SddmmConfig::default());
+    }
+
+    #[test]
+    fn matches_reference_config_sweep() {
+        let mask = gen::uniform(32, 32, 0.6, 34);
+        for cfg in [
+            SddmmConfig { vector_width: 1, ..SddmmConfig::default() },
+            SddmmConfig { vector_width: 2, ..SddmmConfig::default() },
+            SddmmConfig { threads_per_output_tile: 8, ..SddmmConfig::default() },
+            SddmmConfig { block_items_x: 16, ..SddmmConfig::default() },
+            SddmmConfig { row_swizzle: true, ..SddmmConfig::default() },
+        ] {
+            check(&mask, 48, cfg);
+        }
+    }
+
+    #[test]
+    fn odd_inner_dimension_narrows_vectors() {
+        // k = 37 is indivisible by any vector width: kernel must fall back
+        // to scalar loads and still be correct.
+        let mask = gen::uniform(16, 16, 0.5, 35);
+        check(&mask, 37, SddmmConfig::default());
+    }
+
+    #[test]
+    fn imbalanced_mask_rows() {
+        let mask = gen::with_cov(64, 64, 0.8, 1.2, 36);
+        check(&mask, 32, SddmmConfig::default());
+    }
+
+    #[test]
+    fn empty_mask_is_fine() {
+        let mask = CsrMatrix::<f32>::empty(8, 8);
+        let lhs = Matrix::<f32>::random(8, 16, 1);
+        let rhs = Matrix::<f32>::random(8, 16, 2);
+        let gpu = Gpu::v100();
+        let (d, _) = sddmm(&gpu, &lhs, &rhs, &mask, SddmmConfig::default());
+        assert_eq!(d.nnz(), 0);
+    }
+
+    #[test]
+    fn attention_shaped_mask() {
+        let mask = gen::attention_mask(128, 16, 0.95, 37);
+        check(&mask, 64, SddmmConfig::heuristic::<f32>(64));
+    }
+
+    #[test]
+    fn mixed_precision_sddmm() {
+        use sparse::Half;
+        // The SDDMM kernel is generic over the element type; fp16 storage
+        // with fp32 accumulation works the same way as the SpMM's mixed mode.
+        let mask = gen::uniform(24, 24, 0.6, 44).convert::<Half>();
+        let to_half = |m: &Matrix<f32>| {
+            let mut h = Matrix::<Half>::zeros(m.rows(), m.cols());
+            for r in 0..m.rows() {
+                for c in 0..m.cols() {
+                    h.set(r, c, Half::from_f32(m.get(r, c)));
+                }
+            }
+            h
+        };
+        let lhs32 = Matrix::<f32>::random(24, 32, 45);
+        let rhs32 = Matrix::<f32>::random(24, 32, 46);
+        let (lhs, rhs) = (to_half(&lhs32), to_half(&rhs32));
+        let gpu = Gpu::v100();
+        let (d, stats) = sddmm(&gpu, &lhs, &rhs, &mask, SddmmConfig::heuristic::<Half>(32));
+        let expect = crate::reference::sddmm(&lhs.to_f32(), &rhs.to_f32(), &mask.convert::<f32>());
+        for (got, want) in d.values().iter().zip(expect.values()) {
+            assert!((got.to_f32() - want).abs() <= want.abs() * 0.01 + 0.05);
+        }
+        // Halved element width must reduce DRAM traffic vs the f32 twin.
+        let f32_stats = sddmm_profile::<f32>(&gpu, &mask.convert::<f32>(), 32, SddmmConfig::heuristic::<f32>(32));
+        assert!(stats.dram_bytes < f32_stats.dram_bytes);
+    }
+
+    #[test]
+    fn profile_matches_launch() {
+        let mask = gen::uniform(64, 64, 0.75, 38);
+        let lhs = Matrix::<f32>::random(64, 64, 1);
+        let rhs = Matrix::<f32>::random(64, 64, 2);
+        let gpu = Gpu::v100();
+        let (_, launch) = sddmm(&gpu, &lhs, &rhs, &mask, SddmmConfig::default());
+        let profile = sddmm_profile(&gpu, &mask, 64, SddmmConfig::default());
+        assert_eq!(launch.instructions, profile.instructions);
+        assert!((launch.time_us - profile.time_us).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaled_sddmm_matches_general_reference() {
+        // The general form D = (A B^T) ⊙ C from Section IV-B's footnote.
+        let mask = gen::uniform(24, 24, 0.6, 40);
+        let lhs = Matrix::<f32>::random(24, 32, 41);
+        let rhs = Matrix::<f32>::random(24, 32, 42);
+        let gpu = Gpu::v100();
+        let cfg = SddmmConfig { scale_by_mask: true, ..SddmmConfig::default() };
+        let (d, _) = sddmm(&gpu, &lhs, &rhs, &mask, cfg);
+        let expect = crate::reference::sddmm_scaled(&lhs, &rhs, &mask);
+        for (got, want) in d.values().iter().zip(expect.values()) {
+            assert!((got - want).abs() < 1e-3, "{got} vs {want}");
+        }
+        // The scaling costs extra instructions.
+        let plain = sddmm_profile::<f32>(&gpu, &mask, 32, SddmmConfig::default());
+        let scaled = sddmm_profile::<f32>(&gpu, &mask, 32, cfg);
+        assert!(scaled.instructions > plain.instructions);
+    }
+
+    #[test]
+    fn equal_dot_lengths_mean_balance_is_inherent() {
+        // Section VI-C: "load balancing in SDDMM is less critical due to the
+        // fact that all dot-products to be computed are of equal length."
+        // Even a high-CoV mask keeps schedule balance reasonable.
+        let mask = gen::with_cov(2048, 2048, 0.9, 1.0, 39);
+        let gpu = Gpu::v100();
+        let stats = sddmm_profile(&gpu, &mask, 256, SddmmConfig::default());
+        assert!(stats.balance > 0.3, "balance {}", stats.balance);
+    }
+}

@@ -1,0 +1,695 @@
+//! The Sputnik SpMM kernel (Sections V-A through V-D of the paper).
+//!
+//! Computes `A (sparse, m x k) * B (dense row-major, k x n) => C (m x n)`
+//! with hierarchical 1-D tiling: each thread block owns `block_items_y` rows
+//! of a `block_items_x`-column strip of the output; each row is processed by
+//! an independent *subwarp* of `block_items_x / vector_width` threads. The
+//! main loop consumes `block_items_k` nonzeros per iteration, staging the
+//! sparse values and indices in shared memory (Figure 8's pseudo-code).
+//!
+//! The kernel executes *functionally* (producing real output values through
+//! the same ROMA-masked, residue-padded control flow the CUDA kernel uses)
+//! while recording a warp-level cost trace. Subwarps that share a warp
+//! execute in lockstep for as many strips as the *longest* row among them
+//! needs — the warp-divergence cost of unbalanced rows that the row swizzle's
+//! bundling removes.
+
+use crate::config::SpmmConfig;
+use crate::roma::{MemoryAligner, ROMA_MASK_INSTRS, ROMA_PRELUDE_INSTRS};
+use gpu_sim::{
+    AccessPattern, BlockContext, BufferId, BufferSpec, Dim3, Gpu, Kernel, LaunchStats,
+    SyncUnsafeSlice,
+};
+use sparse::{CsrMatrix, Matrix, RowSwizzle, Scalar};
+
+/// Buffer identities for the cache model.
+pub const BUF_A_VALUES: BufferId = BufferId(0);
+pub const BUF_A_INDICES: BufferId = BufferId(1);
+pub const BUF_A_OFFSETS: BufferId = BufferId(2);
+pub const BUF_B: BufferId = BufferId(3);
+pub const BUF_C: BufferId = BufferId(4);
+pub const BUF_SWIZZLE: BufferId = BufferId(5);
+pub const BUF_BIAS: BufferId = BufferId(6);
+
+/// The simulated SpMM kernel. Construct via [`SpmmKernel::new`] (functional)
+/// or [`SpmmKernel::for_profile`] (cost model only — no dense allocations),
+/// launch via [`gpu_sim::Gpu::launch`], or use the [`spmm`] wrapper.
+pub struct SpmmKernel<'a, T: Scalar> {
+    a: &'a CsrMatrix<T>,
+    /// Dense operand data; absent in profile-only kernels.
+    b: Option<&'a Matrix<T>>,
+    out: Option<SyncUnsafeSlice<'a, T>>,
+    swizzle: &'a RowSwizzle,
+    bias: Option<&'a [f32]>,
+    cfg: SpmmConfig,
+    n: usize,
+}
+
+/// Per-subwarp state computed in the prelude.
+#[derive(Clone, Copy)]
+struct SubwarpWork {
+    /// Output row this subwarp produces, or `usize::MAX` when out of range.
+    row: usize,
+    /// True row length.
+    nnz: usize,
+    /// ROMA-aligned start.
+    aligned_offset: usize,
+    /// Masked prefix length.
+    prefix: usize,
+    /// Values to process including the prefix.
+    total: usize,
+}
+
+impl<'a, T: Scalar> SpmmKernel<'a, T> {
+    pub fn new(
+        a: &'a CsrMatrix<T>,
+        b: &'a Matrix<T>,
+        out: &'a mut Matrix<T>,
+        swizzle: &'a RowSwizzle,
+        cfg: SpmmConfig,
+    ) -> Self {
+        assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+        assert_eq!(out.rows(), a.rows());
+        assert_eq!(out.cols(), b.cols());
+        assert_eq!(b.layout(), sparse::Layout::RowMajor, "Sputnik uses row-major dense operands");
+        assert_eq!(swizzle.len(), a.rows(), "swizzle must cover all rows");
+        cfg.validate(a.cols()).expect("invalid SpMM configuration");
+        assert!(cfg.threads_x() <= 32, "a subwarp cannot span more than one warp");
+        let n = b.cols();
+        let out = SyncUnsafeSlice::new(out.as_mut_slice());
+        Self { a, b: Some(b), out: Some(out), swizzle, bias: None, cfg, n }
+    }
+
+    /// A cost-model-only kernel: no dense operands are materialized, so it
+    /// can profile problems whose B/C matrices would not fit host memory
+    /// (the corpus sweeps). Launch it with [`gpu_sim::Gpu::profile`].
+    pub fn for_profile(a: &'a CsrMatrix<T>, n: usize, swizzle: &'a RowSwizzle, cfg: SpmmConfig) -> Self {
+        assert_eq!(swizzle.len(), a.rows(), "swizzle must cover all rows");
+        cfg.validate(a.cols()).expect("invalid SpMM configuration");
+        assert!(cfg.threads_x() <= 32, "a subwarp cannot span more than one warp");
+        Self { a, b: None, out: None, swizzle, bias: None, cfg, n }
+    }
+
+    /// Attach a fused bias + ReLU epilogue (`cfg.fused_bias_relu` must be set).
+    pub fn with_bias_relu(mut self, bias: &'a [f32]) -> Self {
+        assert!(self.cfg.fused_bias_relu, "config must enable fused_bias_relu");
+        assert_eq!(bias.len(), self.a.rows());
+        self.bias = Some(bias);
+        self
+    }
+
+    /// Effective vector width for loads from the sparse matrix: without ROMA
+    /// the row start has no alignment guarantee, so vector loads are illegal
+    /// and the kernel falls back to scalar accesses (the padding alternative
+    /// the paper rejects as "limiting the generality of the kernel").
+    fn vw_a(&self) -> u32 {
+        if self.cfg.roma || self.cfg.assume_aligned || self.cfg.vector_width == 1 {
+            self.cfg.vector_width
+        } else {
+            1
+        }
+    }
+
+    /// Sectors touched by one subwarp's load of a `tile_w`-element strip of a
+    /// B row at column offset `n_off`. When the row stride and tile offset
+    /// are sector-aligned this is the same for every row of B; otherwise the
+    /// strip straddles one extra sector (the representative misaligned case).
+    fn b_load_sectors(&self, n_off: usize, tile_w: usize) -> u64 {
+        let eb = T::BYTES as u64;
+        let row_bytes = self.n as u64 * eb;
+        let off_bytes = n_off as u64 * eb;
+        if row_bytes % 32 == 0 && off_bytes % 32 == 0 {
+            gpu_sim::memory::sectors_contiguous(0, tile_w as u64 * eb)
+        } else {
+            gpu_sim::memory::sectors_contiguous(eb, tile_w as u64 * eb)
+        }
+    }
+
+    /// Prepare one subwarp's work descriptor.
+    fn subwarp_work(&self, m_idx: usize) -> SubwarpWork {
+        if m_idx >= self.a.rows() {
+            return SubwarpWork { row: usize::MAX, nnz: 0, aligned_offset: 0, prefix: 0, total: 0 };
+        }
+        let row = if self.cfg.row_swizzle { self.swizzle.row(m_idx) } else { m_idx };
+        let offset = self.a.row_offsets()[row] as usize;
+        let nnz = self.a.row_len(row);
+        let (aligned_offset, prefix, total) = if self.cfg.assume_aligned {
+            debug_assert_eq!(
+                offset % self.cfg.vector_width as usize,
+                0,
+                "assume_aligned requires padded rows (CsrMatrix::padded_to_multiple)"
+            );
+            (offset, 0, nnz)
+        } else if self.cfg.roma && self.cfg.vector_width > 1 {
+            let al = MemoryAligner::new(offset, nnz, self.cfg.vector_width);
+            (al.aligned_offset(), al.prefix(), al.aligned_nonzeros())
+        } else {
+            (offset, 0, nnz)
+        };
+        SubwarpWork { row, nnz, aligned_offset, prefix, total }
+    }
+
+    /// Functional computation for one subwarp: the real numerics, walked
+    /// through the kernel's actual control flow (aligned start, masked
+    /// prefix, zero-padded residue).
+    fn compute_subwarp(&self, sub: &SubwarpWork, n_off: usize, tile_w: usize) {
+        let mut acc = vec![0.0f32; tile_w];
+        let values = self.a.values();
+        let indices = self.a.col_indices();
+        let b = self.b.expect("functional execution requires the dense operand").as_slice();
+        let out = self.out.as_ref().expect("functional execution requires an output buffer");
+        for j in 0..sub.total {
+            let pos = sub.aligned_offset + j;
+            // ROMA masking: the prefix belongs to the previous row.
+            let (val, col) = if j < sub.prefix {
+                (0.0f32, 0usize)
+            } else {
+                (values[pos].to_f32(), indices[pos] as usize)
+            };
+            if val == 0.0 {
+                continue;
+            }
+            let brow = &b[col * self.n + n_off..col * self.n + n_off + tile_w];
+            for (x, bv) in brow.iter().enumerate() {
+                acc[x] += val * bv.to_f32();
+            }
+        }
+        let bias = self.bias.map(|bias| bias[sub.row]).unwrap_or(0.0);
+        for (x, &v) in acc.iter().enumerate() {
+            let v = if self.cfg.fused_bias_relu { (v + bias).max(0.0) } else { v };
+            // Disjointness: each (row, column-tile) pair is owned by exactly
+            // one subwarp of one block.
+            unsafe { out.write(sub.row * self.n + n_off + x, T::from_f32(v)) };
+        }
+    }
+
+    /// Cost of one warp's execution over its subwarps.
+    #[allow(clippy::too_many_arguments)]
+    fn cost_warp(&self, ctx: &mut BlockContext, subs: &[SubwarpWork], n_off: usize, tile_w: usize) {
+        let cfg = &self.cfg;
+        let bik = cfg.block_items_k as usize;
+        let threads_x = cfg.threads_x();
+        let vw = cfg.vector_width;
+        let vw_a = self.vw_a();
+        let eb = T::BYTES;
+        let ib = cfg.index_width.bytes();
+        let lanes = (threads_x * subs.len() as u32).min(32);
+
+        // ---- Prelude (per warp) -------------------------------------------
+        // Tile index math: ~6 integer ops.
+        ctx.misc(6);
+        if cfg.row_swizzle {
+            // One gather of the swizzled row indices (consecutive m_idx, so
+            // the access is contiguous).
+            ctx.ld_global(BUF_SWIZZLE, 0, subs.len() as u32, 1, 4);
+        }
+        // Row offset + next offset per subwarp: scattered pair loads.
+        let offset_addrs: Vec<u64> = subs
+            .iter()
+            .filter(|s| s.row != usize::MAX)
+            .map(|s| s.row as u64 * 4)
+            .collect();
+        if !offset_addrs.is_empty() {
+            ctx.ld_global_gather(BUF_A_OFFSETS, &offset_addrs, 8);
+        }
+        ctx.misc(2); // nnz computation
+        if cfg.roma && vw > 1 {
+            ctx.misc(ROMA_PRELUDE_INSTRS);
+        }
+
+        // ---- Warp divergence stall ----------------------------------------
+        // Subwarps sharing a warp execute in lockstep for as many strips as
+        // the *longest* row among them needs; lanes of shorter rows sit idle.
+        // Beyond the issued-instruction waste (counted below via max-trips),
+        // the idle subwarps stop contributing memory-level parallelism, so a
+        // memory-bound kernel sees exposed latency proportional to the idle
+        // slots. Calibrated against Figure 7's anchor points (standard
+        // ordering degrades to ~50% of balanced throughput at the feasible
+        // CoV maximum; row swizzle retains >95%).
+        const DIVERGENCE_STALL_CYCLES_PER_SLOT: u64 = 14;
+        let max_total = subs.iter().map(|s| s.total).max().unwrap_or(0);
+        if subs.len() > 1 {
+            let wasted: u64 = subs
+                .iter()
+                .filter(|s| s.row != usize::MAX)
+                .map(|s| (max_total - s.total) as u64)
+                .sum();
+            ctx.cost.stall_cycles +=
+                wasted * DIVERGENCE_STALL_CYCLES_PER_SLOT / subs.len() as u64;
+        }
+
+        // ---- Main loop ----------------------------------------------------
+        if max_total > 0 {
+            let full_iters = (max_total / bik) as u64;
+            let residue = max_total % bik;
+
+            // Instruction cost of one full strip, per warp.
+            let a_load_instrs = gpu_sim::memory::vector_instr_count(bik as u64, threads_x, vw_a);
+            let smem_broadcast_loads = if cfg.residue_unroll {
+                // 128-bit shared loads: 4 values (+ their indices) per access.
+                2 * (bik as u64).div_ceil(4)
+            } else {
+                2 * (bik as u64).div_ceil(4)
+            };
+            let full_strip_instrs = |ctx: &mut BlockContext| {
+                // Stage A values + indices to shared memory.
+                for _ in 0..a_load_instrs {
+                    // Sector counts are added per-subwarp below; these calls
+                    // only count the instruction + a placeholder address.
+                    ctx.cost.ld_global_instrs += 2; // values + indices
+                    ctx.cost.st_shared_instrs += 2;
+                }
+                ctx.cost.shared_bytes += bik as u64 * (eb + ib) as u64;
+                if cfg.index_prescale {
+                    ctx.misc((bik as u64).div_ceil(threads_x as u64));
+                }
+                // Inner loop over the strip's nonzeros.
+                for _ in 0..1 {
+                    // Broadcast loads of values and indices from shared memory.
+                    for _ in 0..smem_broadcast_loads {
+                        ctx.ld_shared(1, 4, eb.max(ib), 1);
+                    }
+                    // One B-row strip load per nonzero (all subwarps issue in
+                    // the same warp instruction).
+                    ctx.cost.ld_global_instrs += bik as u64;
+                    if !cfg.index_prescale {
+                        ctx.misc(bik as u64); // scale index at every use
+                    }
+                    // vector_width FMAs per thread per nonzero.
+                    ctx.cost.fma_instrs += bik as u64 * vw as u64;
+                    ctx.misc(4); // loop bookkeeping
+                }
+            };
+
+            for it in 0..full_iters {
+                full_strip_instrs(ctx);
+                if it == 0 && cfg.roma && vw > 1 {
+                    // Mask the prefix: 1 setp + 2 st.shared.
+                    ctx.misc(1);
+                    ctx.cost.st_shared_instrs += 2;
+                    let _ = ROMA_MASK_INSTRS;
+                }
+            }
+
+            // ---- Residue strip -------------------------------------------
+            if residue > 0 {
+                if cfg.residue_unroll {
+                    // Zero the shared buffers, then run the unrolled path
+                    // without bounds checks (Section V-D2).
+                    ctx.cost.st_shared_instrs += 2;
+                    let rounded = residue.div_ceil(4) * 4;
+                    let a_instrs = gpu_sim::memory::vector_instr_count(residue as u64, threads_x, vw_a);
+                    ctx.cost.ld_global_instrs += 2 * a_instrs;
+                    ctx.cost.st_shared_instrs += 2 * a_instrs;
+                    ctx.cost.shared_bytes += residue as u64 * (eb + ib) as u64;
+                    for _ in 0..(2 * (rounded as u64).div_ceil(4)) {
+                        ctx.ld_shared(1, 4, eb.max(ib), 1);
+                    }
+                    ctx.cost.ld_global_instrs += rounded as u64; // B loads incl. padding
+                    ctx.cost.fma_instrs += rounded as u64 * vw as u64;
+                    if cfg.index_prescale {
+                        ctx.misc((residue as u64).div_ceil(threads_x as u64));
+                    } else {
+                        ctx.misc(rounded as u64);
+                    }
+                    ctx.misc(4);
+                } else {
+                    // Scalar loop with a bounds check per nonzero: a
+                    // predicated branch, scalar shared loads, and the
+                    // data-dependent trip count defeating unrolling (no
+                    // static offsets, no dual-issue) — the inefficiency
+                    // Section V-D2's loop splitting removes.
+                    let a_instrs = gpu_sim::memory::vector_instr_count(residue as u64, threads_x, 1);
+                    ctx.cost.ld_global_instrs += 2 * a_instrs;
+                    ctx.cost.st_shared_instrs += 2 * a_instrs;
+                    ctx.cost.shared_bytes += residue as u64 * (eb + ib) as u64;
+                    for _ in 0..(2 * residue as u64) {
+                        ctx.ld_shared(1, 1, eb.max(ib), 1);
+                    }
+                    ctx.cost.ld_global_instrs += residue as u64;
+                    ctx.cost.fma_instrs += residue as u64 * vw as u64;
+                    ctx.misc(5 * residue as u64);
+                    ctx.cost.stall_cycles += 4 * residue as u64;
+                }
+            }
+        }
+
+        // ---- Per-subwarp memory traffic ----------------------------------
+        let b_sectors_per_load = self.b_load_sectors(n_off, tile_w);
+        for sub in subs {
+            if sub.row == usize::MAX || sub.total == 0 {
+                continue;
+            }
+            // A values + indices: contiguous from the aligned offset.
+            let t = &mut ctx.cost.gmem[BUF_A_VALUES.0 as usize];
+            t.ld_sectors += gpu_sim::memory::sectors_contiguous(
+                sub.aligned_offset as u64 * eb as u64,
+                sub.total as u64 * eb as u64,
+            );
+            let t = &mut ctx.cost.gmem[BUF_A_INDICES.0 as usize];
+            t.ld_sectors += gpu_sim::memory::sectors_contiguous(
+                sub.aligned_offset as u64 * ib as u64,
+                sub.total as u64 * ib as u64,
+            );
+            // B strips: one per processed value (residue padding loads row 0,
+            // which is still a real memory access).
+            // The unrolled residue path issues padded loads of B row 0, but
+            // every padding access hits the same cached row; only true
+            // nonzeros generate memory traffic either way.
+            let loads = sub.total as u64;
+            ctx.cost.gmem[BUF_B.0 as usize].ld_sectors += loads * b_sectors_per_load;
+            // Useful FLOPs: true nonzeros only.
+            ctx.cost.flops += 2 * sub.nnz as u64 * tile_w as u64;
+        }
+
+        // ---- Output store -------------------------------------------------
+        let store_vw = if self.n % vw as usize == 0 && n_off % vw as usize == 0 && tile_w % vw as usize == 0 {
+            vw
+        } else {
+            1
+        };
+        let store_instrs = gpu_sim::memory::vector_instr_count(tile_w as u64, threads_x, store_vw);
+        ctx.cost.st_global_instrs += store_instrs;
+        if cfg.fused_bias_relu {
+            let bias_addrs: Vec<u64> = subs
+                .iter()
+                .filter(|s| s.row != usize::MAX)
+                .map(|s| s.row as u64 * 4)
+                .collect();
+            if !bias_addrs.is_empty() {
+                ctx.ld_global_gather(BUF_BIAS, &bias_addrs, 4);
+            }
+            ctx.fp(2 * store_instrs, 0);
+        }
+        for sub in subs {
+            if sub.row == usize::MAX {
+                continue;
+            }
+            let addr = (sub.row * self.n + n_off) as u64 * eb as u64;
+            ctx.cost.gmem[BUF_C.0 as usize].st_sectors +=
+                gpu_sim::memory::sectors_contiguous(addr, tile_w as u64 * eb as u64);
+        }
+        let _ = lanes;
+    }
+}
+
+impl<T: Scalar> Kernel for SpmmKernel<'_, T> {
+    fn name(&self) -> String {
+        format!("sputnik_spmm_{}_{}", T::TAG, self.cfg.tag())
+    }
+
+    fn grid(&self) -> Dim3 {
+        Dim3::xy(
+            (self.n as u32).div_ceil(self.cfg.block_items_x),
+            (self.a.rows() as u32).div_ceil(self.cfg.block_items_y),
+        )
+    }
+
+    fn block_dim(&self) -> Dim3 {
+        Dim3::xy(self.cfg.threads_x(), self.cfg.block_items_y)
+    }
+
+    fn shared_mem_bytes(&self) -> u32 {
+        self.cfg.smem_bytes::<T>()
+    }
+
+    fn regs_per_thread(&self) -> u32 {
+        self.cfg.regs_per_thread()
+    }
+
+    fn buffers(&self) -> Vec<BufferSpec> {
+        let nnz = self.a.nnz() as u64;
+        let mut bufs = vec![
+            BufferSpec {
+                id: BUF_A_VALUES,
+                name: "a_values",
+                footprint_bytes: nnz * T::BYTES as u64,
+                pattern: AccessPattern::Streaming,
+            },
+            BufferSpec {
+                id: BUF_A_INDICES,
+                name: "a_indices",
+                footprint_bytes: nnz * self.cfg.index_width.bytes() as u64,
+                pattern: AccessPattern::Streaming,
+            },
+            BufferSpec {
+                id: BUF_A_OFFSETS,
+                name: "a_row_offsets",
+                footprint_bytes: (self.a.rows() as u64 + 1) * 4,
+                pattern: AccessPattern::SharedReuse,
+            },
+            BufferSpec {
+                id: BUF_B,
+                name: "b",
+                footprint_bytes: (self.a.cols() * self.n) as u64 * T::BYTES as u64,
+                pattern: AccessPattern::SharedReuse,
+            },
+            BufferSpec {
+                id: BUF_C,
+                name: "c",
+                footprint_bytes: (self.a.rows() * self.n) as u64 * T::BYTES as u64,
+                pattern: AccessPattern::Streaming,
+            },
+        ];
+        if self.cfg.row_swizzle {
+            bufs.push(BufferSpec {
+                id: BUF_SWIZZLE,
+                name: "row_indices",
+                footprint_bytes: self.a.rows() as u64 * 4,
+                pattern: AccessPattern::SharedReuse,
+            });
+        }
+        if self.cfg.fused_bias_relu {
+            bufs.push(BufferSpec {
+                id: BUF_BIAS,
+                name: "bias",
+                footprint_bytes: self.a.rows() as u64 * 4,
+                pattern: AccessPattern::SharedReuse,
+            });
+        }
+        bufs
+    }
+
+    fn execute_block(&self, block: Dim3, ctx: &mut BlockContext) {
+        let cfg = &self.cfg;
+        let n_off = block.x as usize * cfg.block_items_x as usize;
+        let tile_w = cfg.block_items_x.min((self.n - n_off) as u32) as usize;
+        if tile_w == 0 {
+            return;
+        }
+
+        // Prelude: resolve every subwarp's row and alignment.
+        let biy = cfg.block_items_y as usize;
+        let base_m = block.y as usize * biy;
+        let subs: Vec<SubwarpWork> = (0..biy).map(|s| self.subwarp_work(base_m + s)).collect();
+
+        // Cost: warps execute their subwarps in lockstep.
+        let spw = cfg.subwarps_per_warp() as usize;
+        for chunk in subs.chunks(spw) {
+            self.cost_warp(ctx, chunk, n_off, tile_w);
+        }
+
+        // Functional output.
+        if ctx.functional() && self.b.is_some() {
+            for sub in &subs {
+                if sub.row != usize::MAX {
+                    self.compute_subwarp(sub, n_off, tile_w);
+                }
+            }
+        }
+    }
+}
+
+/// Run SpMM on the simulated GPU: allocates the output, builds the swizzle
+/// (when enabled), launches functionally, and returns `(C, stats)`.
+pub fn spmm<T: Scalar>(
+    gpu: &Gpu,
+    a: &CsrMatrix<T>,
+    b: &Matrix<T>,
+    cfg: SpmmConfig,
+) -> (Matrix<T>, LaunchStats) {
+    let swizzle = if cfg.row_swizzle {
+        RowSwizzle::by_length_desc(a)
+    } else {
+        RowSwizzle::identity(a.rows())
+    };
+    let mut out = Matrix::<T>::zeros(a.rows(), b.cols());
+    let stats = {
+        let kernel = SpmmKernel::new(a, b, &mut out, &swizzle, cfg);
+        gpu.launch(&kernel)
+    };
+    (out, stats)
+}
+
+/// Profile SpMM (cost model only): no dense matrices are allocated, so this
+/// scales to the corpus's largest problems.
+pub fn spmm_profile<T: Scalar>(
+    gpu: &Gpu,
+    a: &CsrMatrix<T>,
+    b_rows: usize,
+    n: usize,
+    cfg: SpmmConfig,
+) -> LaunchStats {
+    assert_eq!(a.cols(), b_rows, "inner dimensions must agree");
+    let swizzle = if cfg.row_swizzle {
+        RowSwizzle::by_length_desc(a)
+    } else {
+        RowSwizzle::identity(a.rows())
+    };
+    let kernel = SpmmKernel::<T>::for_profile(a, n, &swizzle, cfg);
+    gpu.profile(&kernel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use sparse::gen;
+
+    fn check_against_reference(a: &CsrMatrix<f32>, n: usize, cfg: SpmmConfig) {
+        let b = Matrix::<f32>::random(a.cols(), n, 77);
+        let gpu = Gpu::v100();
+        let (c, stats) = spmm(&gpu, a, &b, cfg);
+        let expect = reference::spmm(a, &b);
+        let diff = c.max_abs_diff(&expect);
+        assert!(diff < 1e-3, "cfg {cfg:?}: max diff {diff}");
+        assert!(stats.time_us > 0.0);
+        assert_eq!(stats.flops > 0, a.nnz() > 0, "flops iff nonzeros exist");
+    }
+
+    #[test]
+    fn matches_reference_default_config() {
+        let a = gen::uniform(64, 128, 0.8, 1);
+        check_against_reference(&a, 64, SpmmConfig::default());
+    }
+
+    #[test]
+    fn matches_reference_all_ablations() {
+        let a = gen::uniform(48, 96, 0.7, 2);
+        let base = SpmmConfig::default();
+        let variants = [
+            SpmmConfig { row_swizzle: false, ..base },
+            SpmmConfig { vector_width: 1, roma: false, ..base },
+            SpmmConfig { residue_unroll: false, ..base },
+            SpmmConfig { index_prescale: false, ..base },
+            SpmmConfig { vector_width: 2, ..base },
+            SpmmConfig { block_items_y: 1, ..base },
+            SpmmConfig { block_items_y: 8, ..base },
+            SpmmConfig { block_items_x: 64, block_items_y: 2, ..base },
+        ];
+        for cfg in variants {
+            check_against_reference(&a, 32, cfg);
+        }
+    }
+
+    #[test]
+    fn matches_reference_ragged_shapes() {
+        // N not divisible by the tile, rows not divisible by block_items_y.
+        let a = gen::uniform(37, 53, 0.6, 3);
+        check_against_reference(&a, 19, SpmmConfig::heuristic::<f32>(19));
+        check_against_reference(&a, 100, SpmmConfig::heuristic::<f32>(100));
+    }
+
+    #[test]
+    fn matches_reference_extreme_sparsity() {
+        check_against_reference(&gen::uniform(32, 64, 0.99, 4), 32, SpmmConfig::default());
+        check_against_reference(&gen::uniform(32, 64, 0.05, 5), 32, SpmmConfig::default());
+        check_against_reference(&CsrMatrix::<f32>::empty(16, 16), 16, SpmmConfig::default());
+    }
+
+    #[test]
+    fn matches_reference_high_cov() {
+        let a = gen::with_cov(128, 256, 0.85, 1.5, 6);
+        check_against_reference(&a, 64, SpmmConfig::default());
+    }
+
+    #[test]
+    fn mixed_precision_matches_reference_loosely() {
+        use sparse::Half;
+        let a32 = gen::uniform(32, 64, 0.8, 7);
+        let a = a32.convert::<Half>();
+        let mut b32 = Matrix::<f32>::random(64, 32, 8);
+        // Quantize B to half precision for an apples-to-apples reference.
+        let b = {
+            let mut b16 = Matrix::<Half>::zeros(64, 32);
+            for r in 0..64 {
+                for c in 0..32 {
+                    b16.set(r, c, Half::from_f32(b32.get(r, c)));
+                }
+            }
+            b16
+        };
+        b32 = b.to_f32();
+        let gpu = Gpu::v100();
+        let cfg = SpmmConfig::heuristic::<Half>(32);
+        let (c, _) = spmm(&gpu, &a, &b, cfg);
+        let expect = reference::spmm(&a.convert::<f32>(), &b32);
+        // FP32 accumulate, FP16 store: error bounded by half rounding.
+        for r in 0..32 {
+            for col in 0..32 {
+                let got = c.get(r, col).to_f32();
+                let want = expect.get(r, col);
+                assert!((got - want).abs() <= want.abs() * 0.01 + 0.05, "({r},{col}): {got} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_bias_relu_epilogue() {
+        let a = gen::uniform(32, 64, 0.7, 9);
+        let b = Matrix::<f32>::random(64, 32, 10);
+        let bias: Vec<f32> = (0..32).map(|i| (i as f32 - 16.0) / 8.0).collect();
+        let gpu = Gpu::v100();
+        let cfg = SpmmConfig { fused_bias_relu: true, ..SpmmConfig::default() };
+        let swizzle = RowSwizzle::by_length_desc(&a);
+        let mut out = Matrix::<f32>::zeros(32, 32);
+        let stats = {
+            let kernel = SpmmKernel::new(&a, &b, &mut out, &swizzle, cfg).with_bias_relu(&bias);
+            gpu.launch(&kernel)
+        };
+        assert!(stats.time_us > 0.0);
+        let expect = reference::bias_relu(&reference::spmm(&a, &b), &bias);
+        assert!(out.max_abs_diff(&expect) < 1e-3);
+    }
+
+    #[test]
+    fn vector_loads_reduce_instructions() {
+        let a = gen::uniform(512, 1024, 0.8, 11);
+        let gpu = Gpu::v100();
+        let scalar = spmm_profile(&gpu, &a, 1024, 256, SpmmConfig { vector_width: 1, roma: false, ..SpmmConfig::default() });
+        let vec4 = spmm_profile(&gpu, &a, 1024, 256, SpmmConfig::default());
+        assert!(
+            vec4.instructions < scalar.instructions,
+            "vec4 {} vs scalar {}",
+            vec4.instructions,
+            scalar.instructions
+        );
+    }
+
+    #[test]
+    fn swizzle_helps_imbalanced_matrices() {
+        let a = gen::with_cov(4096, 2048, 0.75, 1.2, 12);
+        let gpu = Gpu::v100();
+        let base = SpmmConfig::heuristic::<f32>(128);
+        let with = spmm_profile(&gpu, &a, 2048, 128, base);
+        let without = spmm_profile(&gpu, &a, 2048, 128, SpmmConfig { row_swizzle: false, ..base });
+        assert!(
+            with.time_us < without.time_us,
+            "swizzle {} should beat no-swizzle {}",
+            with.time_us,
+            without.time_us
+        );
+    }
+
+    #[test]
+    fn profile_matches_launch_timing() {
+        // Cost traces must be identical between functional and profile mode.
+        let a = gen::uniform(64, 128, 0.8, 13);
+        let b = Matrix::<f32>::random(128, 64, 14);
+        let gpu = Gpu::v100();
+        let (_, launch) = spmm(&gpu, &a, &b, SpmmConfig::default());
+        let profile = spmm_profile(&gpu, &a, 128, 64, SpmmConfig::default());
+        assert_eq!(launch.instructions, profile.instructions);
+        assert!((launch.time_us - profile.time_us).abs() < 1e-9);
+    }
+}

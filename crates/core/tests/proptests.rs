@@ -1,0 +1,113 @@
+//! Property-based tests: the SpMM/SDDMM kernels agree with the CPU
+//! references under arbitrary shapes, sparsities, and configurations, and
+//! the ROMA aligner's algebra holds for all inputs.
+
+use gpu_sim::Gpu;
+use proptest::prelude::*;
+use sparse::{gen, Matrix};
+use sputnik::{reference, MemoryAligner, SddmmConfig, SpmmConfig};
+
+fn spmm_config() -> impl Strategy<Value = SpmmConfig> {
+    (
+        prop_oneof![Just(1u32), Just(2), Just(4), Just(8)],
+        prop_oneof![Just(32u32), Just(64)],
+        prop_oneof![Just(1u32), Just(2), Just(4)],
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_filter_map("subwarp must fit a warp", |(y, x, v, swz, roma, pre, res)| {
+            let cfg = SpmmConfig {
+                block_items_y: y,
+                block_items_x: x,
+                vector_width: v,
+                row_swizzle: swz,
+                roma,
+                index_prescale: pre,
+                residue_unroll: res,
+                ..SpmmConfig::default()
+            };
+            (cfg.threads_x() <= 32).then_some(cfg)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any valid configuration computes the same SpMM as the reference.
+    #[test]
+    fn spmm_matches_reference_under_any_config(
+        cfg in spmm_config(),
+        m in 1usize..48,
+        k in 1usize..48,
+        n in 1usize..48,
+        sparsity in 0.0f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let a = gen::uniform(m, k, sparsity, seed);
+        let b = Matrix::<f32>::random(k, n, seed ^ 0xb);
+        let gpu = Gpu::v100();
+        let (c, stats) = sputnik::spmm(&gpu, &a, &b, cfg);
+        let expect = reference::spmm(&a, &b);
+        prop_assert!(c.max_abs_diff(&expect) < 1e-3, "cfg {:?}", cfg);
+        prop_assert!(stats.time_us.is_finite() && stats.time_us > 0.0);
+    }
+
+    /// SDDMM agrees with the reference for arbitrary shapes and widths.
+    #[test]
+    fn sddmm_matches_reference(
+        m in 1usize..40,
+        cols in 1usize..40,
+        k in 1usize..64,
+        sparsity in 0.0f64..1.0,
+        vw in prop_oneof![Just(1u32), Just(2), Just(4)],
+        tpo in prop_oneof![Just(8u32), Just(16), Just(32)],
+        seed in 0u64..1000,
+    ) {
+        let mask = gen::uniform(m, cols, sparsity, seed);
+        let lhs = Matrix::<f32>::random(m, k, seed ^ 0x1);
+        let rhs = Matrix::<f32>::random(cols, k, seed ^ 0x2);
+        let gpu = Gpu::v100();
+        let cfg = SddmmConfig { vector_width: vw, threads_per_output_tile: tpo, ..SddmmConfig::default() };
+        let (d, _) = sputnik::sddmm(&gpu, &lhs, &rhs, &mask, cfg);
+        let expect = reference::sddmm(&lhs, &rhs, &mask);
+        for (got, want) in d.values().iter().zip(expect.values()) {
+            prop_assert!((got - want).abs() < 1e-3 * (1.0 + want.abs()));
+        }
+    }
+
+    /// ROMA algebra: the aligned offset is aligned, never past the row
+    /// start, and masking exactly covers the backed-up prefix.
+    #[test]
+    fn roma_aligner_algebra(offset in 0usize..10_000, nnz in 0usize..512,
+                            vw in prop_oneof![Just(1u32), Just(2), Just(4), Just(8)]) {
+        let a = MemoryAligner::new(offset, nnz, vw);
+        prop_assert_eq!(a.aligned_offset() % vw as usize, 0);
+        prop_assert!(a.aligned_offset() <= offset);
+        prop_assert!(offset - a.aligned_offset() < vw as usize);
+        prop_assert_eq!(a.prefix(), offset - a.aligned_offset());
+        prop_assert_eq!(a.aligned_nonzeros(), nnz + a.prefix());
+        for i in 0..a.prefix() {
+            prop_assert!(a.is_masked(i));
+        }
+        prop_assert!(!a.is_masked(a.prefix()));
+    }
+
+    /// Sparse softmax always yields stochastic rows (sum 1, all positive)
+    /// regardless of the value scale.
+    #[test]
+    fn softmax_stochastic(m in 1usize..32, cols in 1usize..32, scale in 0.01f32..100.0, seed in 0u64..500) {
+        let base = gen::uniform(m, cols, 0.5, seed);
+        let scaled = base.with_values(base.values().iter().map(|v| v * scale).collect());
+        let gpu = Gpu::v100();
+        let (s, _) = sputnik::sparse_softmax(&gpu, &scaled);
+        for r in 0..m {
+            let (_, vals) = s.row(r);
+            if vals.is_empty() { continue; }
+            let sum: f32 = vals.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(vals.iter().all(|&v| v >= 0.0));
+        }
+    }
+}

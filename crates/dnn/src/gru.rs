@@ -1,0 +1,284 @@
+//! A weight-sparse GRU cell (Cho et al.), companion to [`crate::lstm`].
+//!
+//! The Figure 10 suite benchmarks GRU-shaped matmuls (M = 3H); this module
+//! runs the full cell functionally:
+//!
+//! ```text
+//! [r z n] = W_x x + b_x       (input path, one SpMM, M = 3H)
+//! [r z n]_h = W_h h + b_h     (recurrent path, one SpMM)
+//! r = sigmoid(r_x + r_h)      z = sigmoid(z_x + z_h)
+//! n = tanh(n_x + r * n_h)
+//! h' = (1 - z) * n + z * h
+//! ```
+
+use gpu_sim::{
+    AccessPattern, BlockContext, BufferId, BufferSpec, Dim3, Gpu, Kernel, SyncUnsafeSlice,
+};
+use sparse::{CsrMatrix, Matrix, RowSwizzle};
+use sputnik::{SpmmConfig, SpmmKernel};
+
+/// A sparse GRU cell.
+pub struct SparseGruCell {
+    w_x: CsrMatrix<f32>,
+    w_h: CsrMatrix<f32>,
+    bias_x: Vec<f32>,
+    bias_h: Vec<f32>,
+    swizzle_x: RowSwizzle,
+    swizzle_h: RowSwizzle,
+    hidden: usize,
+}
+
+/// One step's output and kernel times.
+pub struct GruStep {
+    pub h: Matrix<f32>,
+    pub input_matmul_us: f64,
+    pub recurrent_matmul_us: f64,
+    pub elementwise_us: f64,
+}
+
+impl GruStep {
+    pub fn total_us(&self) -> f64 {
+        self.input_matmul_us + self.recurrent_matmul_us + self.elementwise_us
+    }
+}
+
+impl SparseGruCell {
+    pub fn new(w_x: CsrMatrix<f32>, w_h: CsrMatrix<f32>, bias_x: Vec<f32>, bias_h: Vec<f32>) -> Self {
+        assert_eq!(w_x.rows(), w_h.rows());
+        assert_eq!(w_x.rows() % 3, 0, "GRU needs 3 gates");
+        let hidden = w_x.rows() / 3;
+        assert_eq!(w_h.cols(), hidden);
+        assert_eq!(bias_x.len(), 3 * hidden);
+        assert_eq!(bias_h.len(), 3 * hidden);
+        let swizzle_x = RowSwizzle::by_length_desc(&w_x);
+        let swizzle_h = RowSwizzle::by_length_desc(&w_h);
+        Self { w_x, w_h, bias_x, bias_h, swizzle_x, swizzle_h, hidden }
+    }
+
+    pub fn random(input: usize, hidden: usize, sparsity: f64, seed: u64) -> Self {
+        let w_x = sparse::gen::uniform(3 * hidden, input, sparsity, seed);
+        let w_h = sparse::gen::uniform(3 * hidden, hidden, sparsity, seed ^ 0x6e);
+        Self::new(w_x, w_h, vec![0.0; 3 * hidden], vec![0.0; 3 * hidden])
+    }
+
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// One timestep: `x` is `I x batch`, `h` is `H x batch`.
+    pub fn step(&self, gpu: &Gpu, x: &Matrix<f32>, h: &Matrix<f32>) -> GruStep {
+        let batch = x.cols();
+        assert_eq!(h.cols(), batch);
+        assert_eq!(h.rows(), self.hidden);
+        let cfg = SpmmConfig::heuristic::<f32>(batch);
+
+        let mut gx = Matrix::<f32>::zeros(3 * self.hidden, batch);
+        let s1 = {
+            let kernel = SpmmKernel::new(&self.w_x, x, &mut gx, &self.swizzle_x, cfg);
+            gpu.launch(&kernel)
+        };
+        let mut gh = Matrix::<f32>::zeros(3 * self.hidden, batch);
+        let s2 = {
+            let kernel = SpmmKernel::new(&self.w_h, h, &mut gh, &self.swizzle_h, cfg);
+            gpu.launch(&kernel)
+        };
+
+        let mut h_out = Matrix::<f32>::zeros(self.hidden, batch);
+        let s3 = {
+            let kernel =
+                GruElementwiseKernel::new(&gx, &gh, &self.bias_x, &self.bias_h, h, &mut h_out);
+            gpu.launch(&kernel)
+        };
+        GruStep {
+            h: h_out,
+            input_matmul_us: s1.time_us,
+            recurrent_matmul_us: s2.time_us,
+            elementwise_us: s3.time_us,
+        }
+    }
+}
+
+pub const BUF_GX: BufferId = BufferId(0);
+pub const BUF_GH: BufferId = BufferId(1);
+pub const BUF_BIAS: BufferId = BufferId(2);
+pub const BUF_H_IN: BufferId = BufferId(3);
+pub const BUF_H_OUT: BufferId = BufferId(4);
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// The fused GRU pointwise kernel. Note the GRU subtlety: the reset gate
+/// multiplies the *recurrent* candidate pre-activation, so the two matmul
+/// outputs must stay separate until this kernel (unlike the LSTM, where they
+/// can be summed eagerly).
+pub struct GruElementwiseKernel<'a> {
+    gx: &'a Matrix<f32>,
+    gh: &'a Matrix<f32>,
+    bias_x: &'a [f32],
+    bias_h: &'a [f32],
+    h_in: &'a Matrix<f32>,
+    h_out: SyncUnsafeSlice<'a, f32>,
+    hidden: usize,
+    batch: usize,
+}
+
+impl<'a> GruElementwiseKernel<'a> {
+    pub fn new(
+        gx: &'a Matrix<f32>,
+        gh: &'a Matrix<f32>,
+        bias_x: &'a [f32],
+        bias_h: &'a [f32],
+        h_in: &'a Matrix<f32>,
+        h_out: &'a mut Matrix<f32>,
+    ) -> Self {
+        let hidden = h_in.rows();
+        let batch = h_in.cols();
+        assert_eq!(gx.rows(), 3 * hidden);
+        assert_eq!(gh.rows(), 3 * hidden);
+        assert_eq!((gx.cols(), gh.cols()), (batch, batch));
+        assert_eq!((h_out.rows(), h_out.cols()), (hidden, batch));
+        Self {
+            gx,
+            gh,
+            bias_x,
+            bias_h,
+            h_in,
+            h_out: SyncUnsafeSlice::new(h_out.as_mut_slice()),
+            hidden,
+            batch,
+        }
+    }
+}
+
+impl Kernel for GruElementwiseKernel<'_> {
+    fn name(&self) -> String {
+        "gru_elementwise".to_string()
+    }
+
+    fn grid(&self) -> Dim3 {
+        Dim3::x(((self.hidden * self.batch) as u32).div_ceil(256))
+    }
+
+    fn block_dim(&self) -> Dim3 {
+        Dim3::x(256)
+    }
+
+    fn buffers(&self) -> Vec<BufferSpec> {
+        let hb = (self.hidden * self.batch * 4) as u64;
+        vec![
+            BufferSpec { id: BUF_GX, name: "gates_x", footprint_bytes: 3 * hb, pattern: AccessPattern::Streaming },
+            BufferSpec { id: BUF_GH, name: "gates_h", footprint_bytes: 3 * hb, pattern: AccessPattern::Streaming },
+            BufferSpec { id: BUF_BIAS, name: "biases", footprint_bytes: (6 * self.hidden * 4) as u64, pattern: AccessPattern::SharedReuse },
+            BufferSpec { id: BUF_H_IN, name: "h_in", footprint_bytes: hb, pattern: AccessPattern::Streaming },
+            BufferSpec { id: BUF_H_OUT, name: "h_out", footprint_bytes: hb, pattern: AccessPattern::Streaming },
+        ]
+    }
+
+    fn execute_block(&self, block: Dim3, ctx: &mut BlockContext) {
+        let start = block.x as usize * 256;
+        let total = self.hidden * self.batch;
+        let count = 256.min(total - start);
+        if count == 0 {
+            return;
+        }
+        let warps = (count as u64).div_ceil(32);
+        for gate in 0..3u64 {
+            for buf in [BUF_GX, BUF_GH] {
+                ctx.cost.ld_global_instrs += warps;
+                ctx.cost.gmem[buf.0 as usize].ld_sectors += gpu_sim::memory::sectors_contiguous(
+                    (gate * total as u64 + start as u64) * 4,
+                    count as u64 * 4,
+                );
+            }
+        }
+        ctx.ld_global(BUF_BIAS, 0, warps as u32, 1, 4);
+        ctx.cost.ld_global_instrs += warps;
+        ctx.cost.gmem[BUF_H_IN.0 as usize].ld_sectors +=
+            gpu_sim::memory::sectors_contiguous(start as u64 * 4, count as u64 * 4);
+        ctx.fp(20 * warps, 20 * count as u64);
+        ctx.misc(8 * warps);
+        ctx.cost.st_global_instrs += warps;
+        ctx.cost.gmem[BUF_H_OUT.0 as usize].st_sectors +=
+            gpu_sim::memory::sectors_contiguous(start as u64 * 4, count as u64 * 4);
+        ctx.cost.flops += 20 * count as u64;
+
+        if ctx.functional() {
+            let b = self.batch;
+            for idx in start..start + count {
+                let (row, col) = (idx / b, idx % b);
+                let gx = |k: usize| self.gx.get(k * self.hidden + row, col) + self.bias_x[k * self.hidden + row];
+                let gh = |k: usize| self.gh.get(k * self.hidden + row, col) + self.bias_h[k * self.hidden + row];
+                let r = sigmoid(gx(0) + gh(0));
+                let z = sigmoid(gx(1) + gh(1));
+                let n = (gx(2) + r * gh(2)).tanh();
+                let h_prev = self.h_in.get(row, col);
+                unsafe { self.h_out.write(idx, (1.0 - z) * n + z * h_prev) };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference_step(cell: &SparseGruCell, x: &Matrix<f32>, h: &Matrix<f32>) -> Matrix<f32> {
+        let gx = sputnik::reference::spmm(&cell.w_x, x);
+        let gh = sputnik::reference::spmm(&cell.w_h, h);
+        let hidden = cell.hidden;
+        let mut out = Matrix::zeros(hidden, h.cols());
+        for row in 0..hidden {
+            for col in 0..h.cols() {
+                let gxi = |k: usize| gx.get(k * hidden + row, col) + cell.bias_x[k * hidden + row];
+                let ghi = |k: usize| gh.get(k * hidden + row, col) + cell.bias_h[k * hidden + row];
+                let r = sigmoid(gxi(0) + ghi(0));
+                let z = sigmoid(gxi(1) + ghi(1));
+                let n = (gxi(2) + r * ghi(2)).tanh();
+                out.set(row, col, (1.0 - z) * n + z * h.get(row, col));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn step_matches_reference() {
+        let cell = SparseGruCell::random(20, 12, 0.7, 611);
+        let gpu = Gpu::v100();
+        let x = Matrix::<f32>::random(20, 6, 612);
+        let h = Matrix::<f32>::random(12, 6, 613);
+        let step = cell.step(&gpu, &x, &h);
+        let expect = reference_step(&cell, &x, &h);
+        assert!(step.h.max_abs_diff(&expect) < 1e-3);
+        assert!(step.total_us() > 0.0);
+    }
+
+    #[test]
+    fn interpolation_gate_bounds_state() {
+        // h' interpolates between h and tanh(...) in [-1,1]: once |h| <= 1 it
+        // stays there.
+        let cell = SparseGruCell::random(8, 8, 0.5, 614);
+        let gpu = Gpu::v100();
+        let x = Matrix::<f32>::random(8, 3, 615);
+        let mut h = Matrix::<f32>::zeros(8, 3);
+        for _ in 0..6 {
+            h = cell.step(&gpu, &x, &h).h;
+            assert!(h.as_slice().iter().all(|v| v.abs() <= 1.0 + 1e-6));
+        }
+    }
+
+    #[test]
+    fn gru_matmul_is_three_quarters_of_lstm() {
+        // M = 3H vs 4H: the recurrent matmul cost ratio tracks the gates.
+        let gpu = Gpu::v100();
+        let gru = SparseGruCell::random(256, 512, 0.9, 616);
+        let lstm = crate::lstm::SparseLstmCell::random(256, 512, 0.9, 616);
+        let x = Matrix::<f32>::random(256, 32, 617);
+        let h = Matrix::<f32>::zeros(512, 32);
+        let c = Matrix::<f32>::zeros(512, 32);
+        let g = gru.step(&gpu, &x, &h);
+        let l = lstm.step(&gpu, &x, &h, &c);
+        let ratio = g.recurrent_matmul_us / l.recurrent_matmul_us;
+        assert!((0.55..0.95).contains(&ratio), "expected ~0.75, got {ratio:.2}");
+    }
+}

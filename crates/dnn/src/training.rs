@@ -1,0 +1,432 @@
+//! Training on compressed representations, end to end.
+//!
+//! The paper's introduction sets the bar: "to make training large sparse
+//! models feasible, all computation during training needs to operate
+//! directly on the compressed sparse representation of the model's
+//! weights." This module assembles that computation from the kernels this
+//! repository provides — nothing ever densifies:
+//!
+//! * **Sparse linear layer step**: forward SpMM; weight gradient by SDDMM
+//!   (topology-preserving); input gradient by the cached-transpose SpMM;
+//!   SGD update on the value array; cached-transpose refresh by the permute
+//!   kernel.
+//! * **Sparse attention backward**: dV via transposed SpMM of the
+//!   probabilities, dP via SDDMM against the mask, the softmax backward as
+//!   a row-wise sparse elementwise pass, then dQ/dK via SpMM and transposed
+//!   SpMM of the score gradients.
+
+use crate::attention::AttentionTime;
+use gpu_sim::Gpu;
+use sparse::{CsrMatrix, Matrix, RowSwizzle};
+use sputnik::{CachedTranspose, SddmmConfig, SpmmConfig};
+
+/// A sparse linear layer with everything amortizable precomputed.
+pub struct SparseLinearTrainer {
+    weights: CsrMatrix<f32>,
+    swizzle: RowSwizzle,
+    wt_cache: CachedTranspose<f32>,
+}
+
+/// Timing of one training step's kernels.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StepTiming {
+    pub forward_us: f64,
+    pub weight_grad_us: f64,
+    pub input_grad_us: f64,
+    pub update_us: f64,
+}
+
+impl StepTiming {
+    pub fn total_us(&self) -> f64 {
+        self.forward_us + self.weight_grad_us + self.input_grad_us + self.update_us
+    }
+}
+
+impl SparseLinearTrainer {
+    pub fn new(weights: CsrMatrix<f32>) -> Self {
+        let swizzle = RowSwizzle::by_length_desc(&weights);
+        let wt_cache = CachedTranspose::new(&weights);
+        Self { weights, swizzle, wt_cache }
+    }
+
+    pub fn weights(&self) -> &CsrMatrix<f32> {
+        &self.weights
+    }
+
+    /// Forward pass: `Y = W X`.
+    pub fn forward(&self, gpu: &Gpu, x: &Matrix<f32>) -> (Matrix<f32>, f64) {
+        let cfg = SpmmConfig::heuristic::<f32>(x.cols());
+        let mut out = Matrix::<f32>::zeros(self.weights.rows(), x.cols());
+        let stats = {
+            let kernel = sputnik::SpmmKernel::new(&self.weights, x, &mut out, &self.swizzle, cfg);
+            gpu.launch(&kernel)
+        };
+        (out, stats.time_us)
+    }
+
+    /// One SGD step given the layer input and the output gradient: computes
+    /// `dW = dY X^T ⊙ I[W]` and `dX = W^T dY`, updates the weight values,
+    /// refreshes the cached transpose, and returns `dX` with timings.
+    pub fn step(&mut self, gpu: &Gpu, x: &Matrix<f32>, dy: &Matrix<f32>, lr: f32) -> (Matrix<f32>, StepTiming) {
+        let n = x.cols();
+        assert_eq!(dy.cols(), n);
+        assert_eq!(dy.rows(), self.weights.rows());
+        let mut timing = StepTiming::default();
+
+        // Weight gradient (keeps W's topology exactly).
+        let (dw, s) = sputnik::sddmm(gpu, dy, x, &self.weights, SddmmConfig::heuristic::<f32>(n));
+        timing.weight_grad_us = s.time_us;
+
+        // Input gradient through the cached transpose.
+        let (dx, s) = self.wt_cache.spmm(gpu, dy, SpmmConfig::heuristic::<f32>(n));
+        timing.input_grad_us = s.time_us;
+
+        // SGD on the value array only.
+        let new_values: Vec<f32> = self
+            .weights
+            .values()
+            .iter()
+            .zip(dw.values())
+            .map(|(w, g)| w - lr * g)
+            .collect();
+        self.weights = self.weights.with_values(new_values);
+        let s = self.wt_cache.update_values(gpu, self.weights.values());
+        timing.update_us = s.time_us;
+
+        (dx, timing)
+    }
+}
+
+/// Gradients of sparse attention.
+pub struct AttentionGrads {
+    pub dq: Matrix<f32>,
+    pub dk: Matrix<f32>,
+    pub dv: Matrix<f32>,
+    pub time: AttentionTime,
+}
+
+/// Backward pass of `Z = softmax((Q K^T ⊙ mask) / sqrt(d)) V` given `dZ`.
+///
+/// `probs` is the forward pass's post-softmax sparse matrix (callers keep it
+/// for the backward, as frameworks do). Every step operates on the
+/// compressed representation:
+///
+/// ```text
+/// dV = P^T dZ                      transposed SpMM
+/// dP = (dZ V^T) ⊙ I[mask]          SDDMM
+/// dS = P ⊙ (dP - rowsum(P ⊙ dP))   sparse row-wise elementwise (host-assisted)
+/// dQ = (dS / sqrt(d)) K            SpMM
+/// dK = (dS / sqrt(d))^T Q          transposed SpMM
+/// ```
+pub fn sparse_attention_backward(
+    gpu: &Gpu,
+    q: &Matrix<f32>,
+    k: &Matrix<f32>,
+    v: &Matrix<f32>,
+    probs: &CsrMatrix<f32>,
+    dz: &Matrix<f32>,
+) -> AttentionGrads {
+    let d = q.cols();
+    assert_eq!(k.cols(), d);
+    let scale = 1.0 / (d as f32).sqrt();
+    let mut time = AttentionTime::default();
+
+    // dV = P^T dZ.
+    let pt = CachedTranspose::new(probs);
+    let (dv, s) = pt.spmm(gpu, dz, SpmmConfig::heuristic::<f32>(dz.cols()));
+    time.context_us += s.time_us;
+
+    // dP at the mask's positions.
+    let (dp, s) = sputnik::sddmm(gpu, dz, v, probs, SddmmConfig::heuristic::<f32>(v.cols()));
+    time.scores_us += s.time_us;
+
+    // Softmax backward, row-wise over the sparse values. (The elementwise
+    // arithmetic runs on the host here; its device cost is the same
+    // bandwidth-bound shape as the forward sparse softmax, so we charge one
+    // extra softmax pass.)
+    let softmax_cost = sputnik::sparse_softmax_profile::<f32>(gpu, probs);
+    time.softmax_us += softmax_cost.time_us;
+    let mut ds_values = Vec::with_capacity(probs.nnz());
+    for r in 0..probs.rows() {
+        let (_, pvals) = probs.row(r);
+        let start = probs.row_offsets()[r] as usize;
+        let dpvals = &dp.values()[start..start + pvals.len()];
+        let dot: f32 = pvals.iter().zip(dpvals).map(|(p, g)| p * g).sum();
+        for (p, g) in pvals.iter().zip(dpvals) {
+            ds_values.push(p * (g - dot) * scale);
+        }
+    }
+    let ds = probs.with_values(ds_values);
+
+    // dQ = dS K.
+    let (dq, s) = sputnik::spmm(gpu, &ds, k, SpmmConfig::heuristic::<f32>(d));
+    time.context_us += s.time_us;
+
+    // dK = dS^T Q.
+    let dst = CachedTranspose::new(&ds);
+    let (dk, s) = dst.spmm(gpu, q, SpmmConfig::heuristic::<f32>(d));
+    time.context_us += s.time_us;
+
+    AttentionGrads { dq, dk, dv, time }
+}
+
+// ---------------------------------------------------------------------------
+// Optimizers on compressed value arrays
+// ---------------------------------------------------------------------------
+
+/// Adam state over a sparse matrix's value array. The moments share the
+/// weight topology, so the optimizer never materializes anything dense —
+/// its device cost is one elementwise kernel over `nnz` elements per step,
+/// modeled with the same bandwidth shape as the LSTM/GRU pointwise kernels.
+pub struct SparseAdam {
+    m: Vec<f32>,
+    v: Vec<f32>,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    step: u32,
+}
+
+impl SparseAdam {
+    pub fn new(nnz: usize) -> Self {
+        Self { m: vec![0.0; nnz], v: vec![0.0; nnz], beta1: 0.9, beta2: 0.999, eps: 1e-8, step: 0 }
+    }
+
+    /// Apply one Adam update to `weights` given a same-topology gradient.
+    /// Returns the updated matrix and the simulated device time of the
+    /// elementwise pass (reads w, g, m, v; writes w, m, v => 7 nnz-sized
+    /// streams).
+    pub fn step(
+        &mut self,
+        gpu: &Gpu,
+        weights: &CsrMatrix<f32>,
+        grads: &CsrMatrix<f32>,
+        lr: f32,
+    ) -> (CsrMatrix<f32>, f64) {
+        assert!(weights.same_pattern(grads), "Adam requires matching topology");
+        assert_eq!(self.m.len(), weights.nnz());
+        self.step += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.step as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.step as i32);
+
+        let mut new_values = Vec::with_capacity(weights.nnz());
+        for (i, (&w, &g)) in weights.values().iter().zip(grads.values()).enumerate() {
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * g;
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * g * g;
+            let m_hat = self.m[i] / bc1;
+            let v_hat = self.v[i] / bc2;
+            new_values.push(w - lr * m_hat / (v_hat.sqrt() + self.eps));
+        }
+
+        // Device cost: a 7-stream elementwise pass over nnz values —
+        // bandwidth-bound, identical in shape to the fused cell kernels.
+        let bytes = 7.0 * weights.nnz() as f64 * 4.0;
+        let dev = gpu.device();
+        let time_us = bytes / (dev.dram_bw_gbps * 1e3) + dev.launch_overhead_us;
+
+        (weights.with_values(new_values), time_us)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse::gen;
+
+    #[test]
+    fn linear_trainer_gradients_match_host() {
+        let gpu = Gpu::v100();
+        let w = gen::uniform(24, 16, 0.6, 701);
+        let mut trainer = SparseLinearTrainer::new(w.clone());
+        let x = Matrix::<f32>::random(16, 8, 702);
+        let dy = Matrix::<f32>::random(24, 8, 703);
+
+        let w_before = trainer.weights().clone();
+        let (dx, timing) = trainer.step(&gpu, &x, &dy, 0.1);
+
+        // dX = W^T dY.
+        let dx_expect = sputnik::reference::spmm(&w_before.transpose(), &dy);
+        assert!(dx.max_abs_diff(&dx_expect) < 1e-3);
+
+        // Updated values: w - lr * (dY X^T at W's positions).
+        let dw_expect = sputnik::reference::sddmm(&dy, &x, &w_before);
+        for ((new, old), g) in trainer
+            .weights()
+            .values()
+            .iter()
+            .zip(w_before.values())
+            .zip(dw_expect.values())
+        {
+            assert!((new - (old - 0.1 * g)).abs() < 1e-3);
+        }
+        assert!(trainer.weights().same_pattern(&w_before), "topology must not change");
+        assert!(timing.total_us() > 0.0);
+    }
+
+    #[test]
+    fn trainer_descends_on_a_fixed_batch() {
+        let gpu = Gpu::v100();
+        let w = gen::uniform(16, 12, 0.5, 704);
+        let target = w.with_values(w.values().iter().map(|v| v * -1.5).collect());
+        let mut trainer = SparseLinearTrainer::new(w);
+        let x = Matrix::<f32>::random(12, 8, 705);
+        let y_star = sputnik::reference::spmm(&target, &x);
+
+        let loss = |trainer: &SparseLinearTrainer| -> f32 {
+            let y = sputnik::reference::spmm(trainer.weights(), &x);
+            y.as_slice()
+                .iter()
+                .zip(y_star.as_slice())
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f32>()
+        };
+        let l0 = loss(&trainer);
+        for _ in 0..20 {
+            let y = sputnik::reference::spmm(trainer.weights(), &x);
+            let dy = Matrix::from_vec(
+                16,
+                8,
+                y.as_slice().iter().zip(y_star.as_slice()).map(|(a, b)| (a - b) / 8.0).collect(),
+            );
+            trainer.step(&gpu, &x, &dy, 0.2);
+        }
+        let l1 = loss(&trainer);
+        assert!(l1 < l0 * 0.2, "loss {l0} -> {l1} should collapse on a realizable target");
+    }
+
+    /// Analytic check of the attention backward against a dense host
+    /// implementation restricted to the mask.
+    #[test]
+    fn attention_backward_matches_host() {
+        let gpu = Gpu::v100();
+        let (seq, d) = (24usize, 8usize);
+        let q = Matrix::<f32>::random(seq, d, 706);
+        let k = Matrix::<f32>::random(seq, d, 707);
+        let v = Matrix::<f32>::random(seq, d, 708);
+        let mask = gen::attention_mask(seq, 4, 0.7, 709);
+        let scale = 1.0 / (d as f32).sqrt();
+
+        // Forward on the host.
+        let (probs, _) = {
+            let (mut scores, _) = sputnik::sddmm(&gpu, &q, &k, &mask, SddmmConfig::default());
+            for val in scores.values_mut() {
+                *val *= scale;
+            }
+            sputnik::sparse_softmax(&gpu, &scores)
+        };
+        let dz = Matrix::<f32>::random(seq, d, 710);
+
+        let grads = sparse_attention_backward(&gpu, &q, &k, &v, &probs, &dz);
+
+        // Host reference, fully explicit.
+        let p_dense = probs.to_dense();
+        // dV = P^T dZ.
+        let dv_ref = p_dense.transpose().matmul(&dz);
+        assert!(grads.dv.max_abs_diff(&dv_ref) < 1e-3, "dV");
+
+        // dP = dZ V^T on the mask; dS = P*(dP - rowsum(P*dP))*scale.
+        let dp_dense = dz.matmul(&v.transpose());
+        let mut ds_dense = Matrix::<f32>::zeros(seq, seq);
+        for r in 0..seq {
+            let (cols, pvals) = probs.row(r);
+            let dot: f32 = cols
+                .iter()
+                .zip(pvals)
+                .map(|(&c, &p)| p * dp_dense.get(r, c as usize))
+                .sum();
+            for (&c, &p) in cols.iter().zip(pvals) {
+                ds_dense.set(r, c as usize, p * (dp_dense.get(r, c as usize) - dot) * scale);
+            }
+        }
+        // dQ = dS K; dK = dS^T Q.
+        let dq_ref = ds_dense.matmul(&k);
+        let dk_ref = ds_dense.transpose().matmul(&q);
+        assert!(grads.dq.max_abs_diff(&dq_ref) < 1e-3, "dQ");
+        assert!(grads.dk.max_abs_diff(&dk_ref) < 1e-3, "dK");
+        assert!(grads.time.total_us() > 0.0);
+    }
+
+    #[test]
+    fn adam_matches_scalar_reference() {
+        let gpu = Gpu::v100();
+        let w = gen::uniform(8, 8, 0.5, 715);
+        let g = w.with_values(w.values().iter().map(|v| v * 0.3 + 0.1).collect());
+        let mut opt = SparseAdam::new(w.nnz());
+        let (w1, t) = opt.step(&gpu, &w, &g, 0.01);
+        assert!(t > 0.0);
+        // First step: m=(1-b1)g, v=(1-b2)g^2; hat-corrected update is
+        // lr * g/(|g| + eps) = lr * sign(g) to first order.
+        for ((old, new), grad) in w.values().iter().zip(w1.values()).zip(g.values()) {
+            let expect = old - 0.01 * grad.signum() * (grad.abs() / (grad.abs() + 1e-8));
+            assert!((new - expect).abs() < 1e-4, "{new} vs {expect}");
+        }
+        // Second step moves further in the same direction for a constant grad.
+        let (w2, _) = opt.step(&gpu, &w1, &g, 0.01);
+        for ((v0, v1), v2) in w.values().iter().zip(w1.values()).zip(w2.values()) {
+            assert!((v1 - v0).signum() == (v2 - v1).signum() || (v2 - v1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn adam_keeps_topology_and_rejects_mismatch() {
+        let gpu = Gpu::v100();
+        let w = gen::uniform(16, 16, 0.7, 716);
+        let g = w.with_values(vec![0.5; w.nnz()]);
+        let mut opt = SparseAdam::new(w.nnz());
+        let (w1, _) = opt.step(&gpu, &w, &g, 0.1);
+        assert!(w1.same_pattern(&w));
+        let other = gen::uniform(16, 16, 0.7, 717);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut opt2 = SparseAdam::new(w.nnz());
+            opt2.step(&gpu, &w, &other, 0.1)
+        }));
+        assert!(result.is_err(), "mismatched topology must panic");
+    }
+
+    /// Finite-difference spot check: the analytic dQ moves the loss as
+    /// predicted for a few random coordinates.
+    #[test]
+    fn attention_backward_finite_difference() {
+        let gpu = Gpu::v100();
+        let (seq, d) = (12usize, 4usize);
+        let q0 = Matrix::<f32>::random(seq, d, 711);
+        let k = Matrix::<f32>::random(seq, d, 712);
+        let v = Matrix::<f32>::random(seq, d, 713);
+        let mask = gen::attention_mask(seq, 3, 0.5, 714);
+        let dz = Matrix::<f32>::from_fn(seq, d, |_, _| 1.0); // loss = sum(Z)
+        let scale = 1.0 / (d as f32).sqrt();
+
+        let forward_loss = |q: &Matrix<f32>| -> f32 {
+            let (mut scores, _) = sputnik::sddmm(&gpu, q, &k, &mask, SddmmConfig::default());
+            for val in scores.values_mut() {
+                *val *= scale;
+            }
+            let (probs, _) = sputnik::sparse_softmax(&gpu, &scores);
+            let (z, _) = sputnik::spmm(&gpu, &probs, &v, SpmmConfig::heuristic::<f32>(d));
+            z.as_slice().iter().sum()
+        };
+
+        let (probs, _) = {
+            let (mut scores, _) = sputnik::sddmm(&gpu, &q0, &k, &mask, SddmmConfig::default());
+            for val in scores.values_mut() {
+                *val *= scale;
+            }
+            sputnik::sparse_softmax(&gpu, &scores)
+        };
+        let grads = sparse_attention_backward(&gpu, &q0, &k, &v, &probs, &dz);
+
+        let eps = 1e-2f32;
+        for &(r, c) in &[(0usize, 0usize), (5, 2), (11, 3)] {
+            let mut qp = q0.clone();
+            qp.set(r, c, q0.get(r, c) + eps);
+            let mut qm = q0.clone();
+            qm.set(r, c, q0.get(r, c) - eps);
+            let numeric = (forward_loss(&qp) - forward_loss(&qm)) / (2.0 * eps);
+            let analytic = grads.dq.get(r, c);
+            assert!(
+                (numeric - analytic).abs() < 0.05 * (1.0 + analytic.abs()),
+                "dQ[{r}][{c}]: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+}

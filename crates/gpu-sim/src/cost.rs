@@ -1,0 +1,285 @@
+//! Per-thread-block cost traces.
+//!
+//! Kernels execute their block body functionally (computing real outputs)
+//! while recording, through [`BlockContext`], how many warp-level
+//! instructions of each class they issued and how many global-memory sectors
+//! each access touched. The launcher turns these traces into simulated time.
+
+use crate::memory;
+use serde::{Deserialize, Serialize};
+
+/// Identifies one logical device buffer (e.g. the sparse matrix values, the
+/// dense operand, the output). Buffer identities let the cache model reason
+/// about cross-block reuse per buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BufferId(pub u8);
+
+/// Maximum number of distinct buffers a single kernel may declare.
+pub const MAX_BUFFERS: usize = 8;
+
+/// Global-memory traffic against a single buffer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Traffic {
+    /// 32-byte sectors requested by loads (after intra-warp coalescing).
+    pub ld_sectors: u64,
+    /// 32-byte sectors written by stores.
+    pub st_sectors: u64,
+}
+
+impl Traffic {
+    pub fn ld_bytes(&self) -> u64 {
+        self.ld_sectors * memory::SECTOR_BYTES
+    }
+    pub fn st_bytes(&self) -> u64 {
+        self.st_sectors * memory::SECTOR_BYTES
+    }
+}
+
+/// Warp-level instruction and memory-traffic counts for one thread block.
+///
+/// "Warp-level" means one FFMA entry covers up to 32 lanes; this matches how
+/// the hardware issues and how the paper counts the 6-PTX-instruction cost of
+/// ROMA or the instruction savings of vector loads.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct BlockCost {
+    /// FP32 FMA warp instructions issued.
+    pub fma_instrs: u64,
+    /// Other floating-point warp instructions (adds, mults, exp for softmax).
+    pub fp_instrs: u64,
+    /// Useful scalar FLOPs performed (2 per scalar FMA) — for throughput
+    /// reporting, not timing.
+    pub flops: u64,
+    /// Global load warp instructions.
+    pub ld_global_instrs: u64,
+    /// Global store warp instructions.
+    pub st_global_instrs: u64,
+    /// Shared-memory load warp instructions.
+    pub ld_shared_instrs: u64,
+    /// Shared-memory store warp instructions.
+    pub st_shared_instrs: u64,
+    /// Bytes moved through shared memory (reads + writes).
+    pub shared_bytes: u64,
+    /// Extra shared-memory passes caused by bank conflicts, in units of
+    /// warp-accesses (an N-way conflict adds N-1 here).
+    pub bank_conflict_passes: u64,
+    /// Warp shuffle instructions (used by the SDDMM reduction).
+    pub shfl_instrs: u64,
+    /// Integer / address / predicate / control warp instructions.
+    pub misc_instrs: u64,
+    /// `__syncthreads()` barriers executed.
+    pub barriers: u64,
+    /// Exposed-latency stall cycles the block cannot hide (e.g. warp
+    /// divergence reducing memory-level parallelism). Added directly to the
+    /// block's modeled time.
+    pub stall_cycles: u64,
+    /// Per-buffer global-memory traffic.
+    pub gmem: [Traffic; MAX_BUFFERS],
+}
+
+impl BlockCost {
+    /// Total warp instructions issued (all classes).
+    pub fn total_instrs(&self) -> u64 {
+        self.fma_instrs
+            + self.fp_instrs
+            + self.ld_global_instrs
+            + self.st_global_instrs
+            + self.ld_shared_instrs
+            + self.st_shared_instrs
+            + self.shfl_instrs
+            + self.misc_instrs
+    }
+
+    /// Total global-memory sectors requested (loads + stores).
+    pub fn total_sectors(&self) -> u64 {
+        self.gmem.iter().map(|t| t.ld_sectors + t.st_sectors).sum()
+    }
+
+    /// Accumulate another block's cost into this one (for aggregation).
+    pub fn merge(&mut self, other: &BlockCost) {
+        self.fma_instrs += other.fma_instrs;
+        self.fp_instrs += other.fp_instrs;
+        self.flops += other.flops;
+        self.ld_global_instrs += other.ld_global_instrs;
+        self.st_global_instrs += other.st_global_instrs;
+        self.ld_shared_instrs += other.ld_shared_instrs;
+        self.st_shared_instrs += other.st_shared_instrs;
+        self.shared_bytes += other.shared_bytes;
+        self.bank_conflict_passes += other.bank_conflict_passes;
+        self.shfl_instrs += other.shfl_instrs;
+        self.misc_instrs += other.misc_instrs;
+        self.barriers += other.barriers;
+        self.stall_cycles += other.stall_cycles;
+        for (a, b) in self.gmem.iter_mut().zip(other.gmem.iter()) {
+            a.ld_sectors += b.ld_sectors;
+            a.st_sectors += b.st_sectors;
+        }
+    }
+}
+
+/// Recording context handed to a kernel's `execute_block`.
+///
+/// Provides the memory/arithmetic primitives a CUDA kernel would use; each
+/// call updates the block's [`BlockCost`]. The `functional` flag tells the
+/// kernel whether it must also compute real output values (launch mode) or
+/// may skip the arithmetic (profile mode, used for large parameter sweeps).
+#[derive(Debug)]
+pub struct BlockContext {
+    pub cost: BlockCost,
+    functional: bool,
+}
+
+impl BlockContext {
+    pub fn new(functional: bool) -> Self {
+        Self { cost: BlockCost::default(), functional }
+    }
+
+    /// Whether the kernel must produce real numerical outputs.
+    #[inline]
+    pub fn functional(&self) -> bool {
+        self.functional
+    }
+
+    /// A contiguous warp-wide global load: `lanes` active lanes, lane `i`
+    /// reading `vec_width` consecutive elements of `elem_bytes` starting at
+    /// `byte_addr + i * vec_width * elem_bytes`. One warp instruction.
+    #[inline]
+    pub fn ld_global(&mut self, buf: BufferId, byte_addr: u64, lanes: u32, vec_width: u32, elem_bytes: u32) {
+        let bytes = lanes as u64 * vec_width as u64 * elem_bytes as u64;
+        let sectors = memory::sectors_contiguous(byte_addr, bytes);
+        self.cost.ld_global_instrs += 1;
+        self.cost.gmem[buf.0 as usize].ld_sectors += sectors;
+    }
+
+    /// A contiguous warp-wide global store; mirror of [`Self::ld_global`].
+    #[inline]
+    pub fn st_global(&mut self, buf: BufferId, byte_addr: u64, lanes: u32, vec_width: u32, elem_bytes: u32) {
+        let bytes = lanes as u64 * vec_width as u64 * elem_bytes as u64;
+        let sectors = memory::sectors_contiguous(byte_addr, bytes);
+        self.cost.st_global_instrs += 1;
+        self.cost.gmem[buf.0 as usize].st_sectors += sectors;
+    }
+
+    /// A strided warp load (e.g. walking a column of a row-major matrix).
+    #[inline]
+    pub fn ld_global_strided(&mut self, buf: BufferId, base: u64, lanes: u32, stride_bytes: u64, elem_bytes: u32) {
+        let sectors = memory::sectors_strided(base, lanes, stride_bytes, elem_bytes as u64);
+        self.cost.ld_global_instrs += 1;
+        self.cost.gmem[buf.0 as usize].ld_sectors += sectors;
+    }
+
+    /// A strided warp store.
+    #[inline]
+    pub fn st_global_strided(&mut self, buf: BufferId, base: u64, lanes: u32, stride_bytes: u64, elem_bytes: u32) {
+        let sectors = memory::sectors_strided(base, lanes, stride_bytes, elem_bytes as u64);
+        self.cost.st_global_instrs += 1;
+        self.cost.gmem[buf.0 as usize].st_sectors += sectors;
+    }
+
+    /// A gather load with arbitrary per-lane byte addresses.
+    #[inline]
+    pub fn ld_global_gather(&mut self, buf: BufferId, addrs: &[u64], elem_bytes: u32) {
+        let sectors = memory::sectors_gather(addrs, elem_bytes as u64);
+        self.cost.ld_global_instrs += 1;
+        self.cost.gmem[buf.0 as usize].ld_sectors += sectors;
+    }
+
+    /// A shared-memory load: one warp instruction moving
+    /// `lanes * vec_width * elem_bytes` bytes, with an N-way bank conflict
+    /// adding N-1 extra passes.
+    #[inline]
+    pub fn ld_shared(&mut self, lanes: u32, vec_width: u32, elem_bytes: u32, conflict_ways: u32) {
+        self.cost.ld_shared_instrs += 1;
+        self.cost.shared_bytes += lanes as u64 * vec_width as u64 * elem_bytes as u64;
+        self.cost.bank_conflict_passes += conflict_ways.saturating_sub(1) as u64;
+    }
+
+    /// A shared-memory store; mirror of [`Self::ld_shared`].
+    #[inline]
+    pub fn st_shared(&mut self, lanes: u32, vec_width: u32, elem_bytes: u32, conflict_ways: u32) {
+        self.cost.st_shared_instrs += 1;
+        self.cost.shared_bytes += lanes as u64 * vec_width as u64 * elem_bytes as u64;
+        self.cost.bank_conflict_passes += conflict_ways.saturating_sub(1) as u64;
+    }
+
+    /// `warp_instrs` FMA warp instructions performing `scalar_fmas` useful
+    /// scalar fused multiply-adds (2 FLOPs each).
+    #[inline]
+    pub fn fma(&mut self, warp_instrs: u64, scalar_fmas: u64) {
+        self.cost.fma_instrs += warp_instrs;
+        self.cost.flops += 2 * scalar_fmas;
+    }
+
+    /// Non-FMA floating-point warp instructions performing `scalar_ops` FLOPs
+    /// (e.g. the exp/add/div of the sparse softmax).
+    #[inline]
+    pub fn fp(&mut self, warp_instrs: u64, scalar_ops: u64) {
+        self.cost.fp_instrs += warp_instrs;
+        self.cost.flops += scalar_ops;
+    }
+
+    /// Warp shuffle instructions (SDDMM's cross-lane reduction).
+    #[inline]
+    pub fn shfl(&mut self, n: u64) {
+        self.cost.shfl_instrs += n;
+    }
+
+    /// Integer / address / predicate / control instructions.
+    #[inline]
+    pub fn misc(&mut self, n: u64) {
+        self.cost.misc_instrs += n;
+    }
+
+    /// A `__syncthreads()` barrier.
+    #[inline]
+    pub fn bar_sync(&mut self) {
+        self.cost.barriers += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ld_global_counts_instruction_and_sectors() {
+        let mut ctx = BlockContext::new(true);
+        let b = BufferId(0);
+        // Full warp, vec4, f32: 512 bytes aligned -> 16 sectors, 1 instruction.
+        ctx.ld_global(b, 0, 32, 4, 4);
+        assert_eq!(ctx.cost.ld_global_instrs, 1);
+        assert_eq!(ctx.cost.gmem[0].ld_sectors, 16);
+    }
+
+    #[test]
+    fn misaligned_load_costs_extra_sector() {
+        let mut a = BlockContext::new(true);
+        let mut m = BlockContext::new(true);
+        a.ld_global(BufferId(0), 0, 32, 1, 4); // 128B aligned: 4 sectors
+        m.ld_global(BufferId(0), 20, 32, 1, 4); // 128B at offset 20: 5 sectors
+        assert_eq!(a.cost.gmem[0].ld_sectors, 4);
+        assert_eq!(m.cost.gmem[0].ld_sectors, 5);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = BlockContext::new(true);
+        a.fma(10, 320);
+        a.ld_global(BufferId(1), 0, 32, 1, 4);
+        let mut total = BlockCost::default();
+        total.merge(&a.cost);
+        total.merge(&a.cost);
+        assert_eq!(total.fma_instrs, 20);
+        assert_eq!(total.flops, 2 * 320 * 2);
+        assert_eq!(total.gmem[1].ld_sectors, 8);
+    }
+
+    #[test]
+    fn total_instrs_sums_all_classes() {
+        let mut ctx = BlockContext::new(false);
+        ctx.fma(1, 32);
+        ctx.misc(2);
+        ctx.shfl(3);
+        ctx.ld_shared(32, 1, 4, 1);
+        assert_eq!(ctx.cost.total_instrs(), 7);
+    }
+}

@@ -1,0 +1,227 @@
+//! Device configurations describing the simulated GPU.
+//!
+//! The numbers for the V100 preset come from the Volta whitepaper and the
+//! values the paper relies on (80 SMs, 15.7 TFLOP/s FP32 peak, 900 GB/s HBM2,
+//! 6 MiB L2, 128 KiB unified L1/shared per SM). The GTX 1080 preset is used
+//! for the sparse-Transformer experiment in Table III, where the dense model
+//! runs out of the 1080's 8 GiB of device memory.
+
+use serde::{Deserialize, Serialize};
+
+/// Static description of a simulated GPU.
+///
+/// All throughputs are per-SM per-cycle unless otherwise noted. The timing
+/// model in [`crate::timing`] combines these with per-block cost traces to
+/// produce simulated runtimes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeviceConfig {
+    /// Marketing name, e.g. `"V100-SXM2-16GB"`.
+    pub name: String,
+    /// Number of streaming multiprocessors.
+    pub num_sms: u32,
+    /// Sustained SM clock in GHz.
+    pub clock_ghz: f64,
+    /// Threads per warp (32 on all Nvidia hardware).
+    pub warp_size: u32,
+    /// FP32 FMA lanes per SM (64 on Volta => 2 warp-FMA instructions/cycle).
+    pub fp32_lanes_per_sm: u32,
+    /// Warp instructions issuable per SM per cycle (4 schedulers on Volta).
+    pub issue_slots_per_sm: u32,
+    /// Load/store unit lanes per SM per cycle. Volta services roughly half a
+    /// warp of global accesses per cycle per SM in the steady state.
+    pub lsu_lanes_per_sm: u32,
+    /// Shared-memory bandwidth in bytes per SM per cycle (128 on Volta).
+    pub smem_bytes_per_cycle: u32,
+    /// Hardware limit on resident threads per SM.
+    pub max_threads_per_sm: u32,
+    /// Hardware limit on resident thread blocks per SM.
+    pub max_blocks_per_sm: u32,
+    /// Hardware limit on resident warps per SM.
+    pub max_warps_per_sm: u32,
+    /// 32-bit registers per SM.
+    pub regs_per_sm: u32,
+    /// Register allocation granularity (registers are allocated per warp in
+    /// chunks of this many).
+    pub reg_alloc_granularity: u32,
+    /// Shared memory available per SM for thread blocks, in bytes.
+    pub smem_per_sm: u32,
+    /// Maximum shared memory a single block may request, in bytes.
+    pub smem_per_block_max: u32,
+    /// L2 cache capacity in bytes (shared by all SMs).
+    pub l2_bytes: u64,
+    /// L1 cache capacity per SM in bytes (the portion not claimed as shared
+    /// memory; Volta unifies the two, which is why the paper's SDDMM avoids
+    /// an explicit shared-memory transpose).
+    pub l1_bytes_per_sm: u32,
+    /// DRAM bandwidth in GB/s.
+    pub dram_bw_gbps: f64,
+    /// DRAM capacity in bytes. Models that do not fit report out-of-memory
+    /// (Table III, dense Transformer on GTX 1080).
+    pub dram_capacity_bytes: u64,
+    /// Fixed host-side kernel launch overhead in microseconds.
+    pub launch_overhead_us: f64,
+    /// Typical DRAM access latency in cycles; used by the latency-hiding
+    /// model: low-occupancy kernels cannot cover this latency and slow down.
+    pub dram_latency_cycles: f64,
+    /// Number of resident warps per SM needed to fully hide memory latency.
+    /// The latency-hiding efficiency saturates as occupancy approaches this.
+    pub latency_hiding_warps: f64,
+    /// Fixed per-block scheduling/drain overhead in cycles.
+    pub block_overhead_cycles: f64,
+}
+
+impl DeviceConfig {
+    /// Nvidia Tesla V100 (SXM2, 16 GB) — the paper's primary platform.
+    pub fn v100() -> Self {
+        Self {
+            name: "V100-SXM2-16GB".to_string(),
+            num_sms: 80,
+            clock_ghz: 1.53,
+            warp_size: 32,
+            fp32_lanes_per_sm: 64,
+            issue_slots_per_sm: 4,
+            lsu_lanes_per_sm: 8,
+            smem_bytes_per_cycle: 128,
+            max_threads_per_sm: 2048,
+            max_blocks_per_sm: 32,
+            max_warps_per_sm: 64,
+            regs_per_sm: 65_536,
+            reg_alloc_granularity: 256,
+            smem_per_sm: 96 * 1024,
+            smem_per_block_max: 96 * 1024,
+            l2_bytes: 6 * 1024 * 1024,
+            l1_bytes_per_sm: 128 * 1024,
+            dram_bw_gbps: 900.0,
+            dram_capacity_bytes: 16 * 1024 * 1024 * 1024,
+            launch_overhead_us: 3.0,
+            dram_latency_cycles: 450.0,
+            latency_hiding_warps: 12.0,
+            block_overhead_cycles: 600.0,
+        }
+    }
+
+    /// Nvidia GeForce GTX 1080 (Pascal, 8 GB) — used for Table III to show
+    /// the sparse Transformer fitting where the dense one cannot.
+    pub fn gtx1080() -> Self {
+        Self {
+            name: "GTX-1080-8GB".to_string(),
+            num_sms: 20,
+            clock_ghz: 1.73,
+            warp_size: 32,
+            fp32_lanes_per_sm: 128,
+            issue_slots_per_sm: 4,
+            lsu_lanes_per_sm: 8,
+            smem_bytes_per_cycle: 128,
+            max_threads_per_sm: 2048,
+            max_blocks_per_sm: 32,
+            max_warps_per_sm: 64,
+            regs_per_sm: 65_536,
+            reg_alloc_granularity: 256,
+            smem_per_sm: 96 * 1024,
+            smem_per_block_max: 48 * 1024,
+            l2_bytes: 2 * 1024 * 1024,
+            l1_bytes_per_sm: 48 * 1024,
+            dram_bw_gbps: 320.0,
+            dram_capacity_bytes: 8 * 1024 * 1024 * 1024,
+            launch_overhead_us: 3.0,
+            dram_latency_cycles: 400.0,
+            latency_hiding_warps: 12.0,
+            block_overhead_cycles: 600.0,
+        }
+    }
+
+    /// Nvidia A100 (Ampere, 40 GB) — the "new advances in hardware" the
+    /// paper's Section IX anticipates: 2.4x the L2, 1.7x the bandwidth, and
+    /// more SMs than the V100, which shifts sparse kernels' balance points.
+    pub fn a100() -> Self {
+        Self {
+            name: "A100-SXM4-40GB".to_string(),
+            num_sms: 108,
+            clock_ghz: 1.41,
+            warp_size: 32,
+            fp32_lanes_per_sm: 64,
+            issue_slots_per_sm: 4,
+            lsu_lanes_per_sm: 8,
+            smem_bytes_per_cycle: 128,
+            max_threads_per_sm: 2048,
+            max_blocks_per_sm: 32,
+            max_warps_per_sm: 64,
+            regs_per_sm: 65_536,
+            reg_alloc_granularity: 256,
+            smem_per_sm: 164 * 1024,
+            smem_per_block_max: 164 * 1024,
+            l2_bytes: 40 * 1024 * 1024,
+            l1_bytes_per_sm: 192 * 1024,
+            dram_bw_gbps: 1555.0,
+            dram_capacity_bytes: 40 * 1024 * 1024 * 1024,
+            launch_overhead_us: 3.0,
+            dram_latency_cycles: 400.0,
+            latency_hiding_warps: 12.0,
+            block_overhead_cycles: 600.0,
+        }
+    }
+
+    /// Peak single-precision throughput in TFLOP/s
+    /// (`SMs * lanes * 2 flops/FMA * clock`). For the V100 preset this is
+    /// 15.67 TFLOP/s, matching the 15.7 the paper's "27% of peak" refers to.
+    pub fn fp32_peak_tflops(&self) -> f64 {
+        self.num_sms as f64 * self.fp32_lanes_per_sm as f64 * 2.0 * self.clock_ghz / 1000.0
+    }
+
+    /// DRAM bandwidth expressed in bytes per SM clock cycle, device-wide.
+    pub fn dram_bytes_per_cycle(&self) -> f64 {
+        self.dram_bw_gbps / self.clock_ghz
+    }
+
+    /// Convert a cycle count to microseconds at the SM clock.
+    pub fn cycles_to_us(&self, cycles: f64) -> f64 {
+        cycles / (self.clock_ghz * 1000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v100_peak_matches_datasheet() {
+        let dev = DeviceConfig::v100();
+        let peak = dev.fp32_peak_tflops();
+        assert!(
+            (peak - 15.67).abs() < 0.1,
+            "V100 FP32 peak should be ~15.7 TFLOP/s, got {peak}"
+        );
+    }
+
+    #[test]
+    fn gtx1080_peak_matches_datasheet() {
+        let dev = DeviceConfig::gtx1080();
+        let peak = dev.fp32_peak_tflops();
+        assert!(
+            (peak - 8.9).abs() < 0.3,
+            "GTX 1080 FP32 peak should be ~8.9 TFLOP/s, got {peak}"
+        );
+    }
+
+    #[test]
+    fn cycle_conversion() {
+        let dev = DeviceConfig::v100();
+        let us = dev.cycles_to_us(1530.0);
+        assert!((us - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn a100_peak_matches_datasheet() {
+        let dev = DeviceConfig::a100();
+        let peak = dev.fp32_peak_tflops();
+        assert!((peak - 19.5).abs() < 0.3, "A100 FP32 peak should be ~19.5 TFLOP/s, got {peak}");
+        assert!(dev.l2_bytes > DeviceConfig::v100().l2_bytes);
+    }
+
+    #[test]
+    fn v100_has_more_memory_than_1080() {
+        assert!(
+            DeviceConfig::v100().dram_capacity_bytes > DeviceConfig::gtx1080().dram_capacity_bytes
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! The kernel abstraction: what a "CUDA kernel" looks like to the simulator.
+
+use crate::cache::BufferSpec;
+use crate::cost::BlockContext;
+use crate::dim::Dim3;
+use crate::occupancy::BlockRequirements;
+
+/// A simulated GPU kernel.
+///
+/// Implementors provide the launch configuration (grid/block dims, shared
+/// memory, register pressure) and a per-thread-block body. The body is
+/// executed once per block in the grid — functionally computing the block's
+/// outputs (when the launch is functional) and recording the block's
+/// instruction/memory cost trace through the [`BlockContext`].
+///
+/// Blocks must be independent: the launcher may execute them in any order
+/// and in parallel, exactly as the hardware would.
+pub trait Kernel: Sync {
+    /// Kernel name for reports (e.g. `"sputnik_spmm_f32_n32_v4"`).
+    fn name(&self) -> String;
+
+    /// Grid dimensions (thread blocks along x/y/z).
+    fn grid(&self) -> Dim3;
+
+    /// Block dimensions (threads along x/y/z).
+    fn block_dim(&self) -> Dim3;
+
+    /// Dynamic + static shared memory per block, in bytes.
+    fn shared_mem_bytes(&self) -> u32 {
+        0
+    }
+
+    /// Registers per thread (determines occupancy alongside shared memory).
+    fn regs_per_thread(&self) -> u32 {
+        32
+    }
+
+    /// The device buffers this kernel touches, with footprints for the cache
+    /// model.
+    fn buffers(&self) -> Vec<BufferSpec>;
+
+    /// Execute one thread block. `block` is the block index within the grid.
+    fn execute_block(&self, block: Dim3, ctx: &mut BlockContext);
+
+    /// Derived per-block resource requirements.
+    fn block_requirements(&self) -> BlockRequirements {
+        BlockRequirements {
+            threads: self.block_dim().size() as u32,
+            smem_bytes: self.shared_mem_bytes(),
+            regs_per_thread: self.regs_per_thread(),
+        }
+    }
+}

@@ -1,0 +1,433 @@
+//! The launcher: executes a kernel's blocks, aggregates cost traces, applies
+//! the cache / scheduling / timing models, and reports simulated statistics.
+
+use crate::cache;
+use crate::cost::{BlockContext, BlockCost, Traffic, MAX_BUFFERS};
+use crate::device::DeviceConfig;
+use crate::kernel::Kernel;
+use crate::occupancy::{self, Occupancy};
+use crate::scheduler;
+use crate::timing;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Device-wide roofline times (cycles) per pipeline — the denominator view
+/// of where a kernel's time goes.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct PipelineBreakdown {
+    pub fma_cycles: f64,
+    pub issue_cycles: f64,
+    pub lsu_cycles: f64,
+    pub smem_cycles: f64,
+    pub dram_cycles: f64,
+    pub schedule_cycles: f64,
+}
+
+impl PipelineBreakdown {
+    /// Each pipeline's share of the binding time, for reports.
+    pub fn utilizations(&self, total_cycles: f64) -> [(&'static str, f64); 6] {
+        let f = |c: f64| if total_cycles > 0.0 { c / total_cycles } else { 0.0 };
+        [
+            ("fma", f(self.fma_cycles)),
+            ("issue", f(self.issue_cycles)),
+            ("lsu", f(self.lsu_cycles)),
+            ("smem", f(self.smem_cycles)),
+            ("dram", f(self.dram_cycles)),
+            ("schedule", f(self.schedule_cycles)),
+        ]
+    }
+}
+
+/// Simulated statistics for one kernel launch.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LaunchStats {
+    /// Kernel name.
+    pub kernel: String,
+    /// Simulated wall time in microseconds (including launch overhead).
+    pub time_us: f64,
+    /// Makespan of the block schedule in cycles.
+    pub makespan_cycles: f64,
+    /// Thread blocks launched.
+    pub blocks: u64,
+    /// Waves of blocks (grid size / device residency).
+    pub waves: f64,
+    /// Schedule balance (mean SM busy / makespan); 1.0 = perfectly balanced.
+    pub balance: f64,
+    /// Theoretical occupancy of the kernel.
+    pub occupancy: Occupancy,
+    /// Total warp instructions issued.
+    pub instructions: u64,
+    /// Useful scalar FLOPs performed.
+    pub flops: u64,
+    /// DRAM bytes moved (after cache filtering).
+    pub dram_bytes: u64,
+    /// Achieved arithmetic throughput in TFLOP/s.
+    pub tflops: f64,
+    /// Fraction of the device's FP32 peak achieved.
+    pub frac_peak: f64,
+    /// Achieved DRAM bandwidth in GB/s.
+    pub dram_gbps: f64,
+    /// Which pipeline bound the runtime ("fma", "lsu", "smem", "dram",
+    /// "issue", "schedule", or "overhead").
+    pub bound_by: String,
+    /// Device-wide per-pipeline roofline times.
+    pub pipelines: PipelineBreakdown,
+}
+
+impl LaunchStats {
+    /// Convenience: simulated time in milliseconds.
+    pub fn time_ms(&self) -> f64 {
+        self.time_us / 1000.0
+    }
+}
+
+impl std::fmt::Display for LaunchStats {
+    /// One-line human summary, e.g. for examples and logs:
+    /// `sputnik_spmm_f32: 37.0 us, 3.15 TFLOP/s (20.1% peak), 35 MB DRAM, bound by dram`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {:.1} us, {:.2} TFLOP/s ({:.1}% peak), {:.1} MB DRAM, {} blocks ({:.1} waves), bound by {}",
+            self.kernel,
+            self.time_us,
+            self.tflops,
+            self.frac_peak * 100.0,
+            self.dram_bytes as f64 / 1e6,
+            self.blocks,
+            self.waves,
+            self.bound_by
+        )
+    }
+}
+
+/// A simulated GPU: a device configuration plus launch machinery.
+pub struct Gpu {
+    dev: DeviceConfig,
+}
+
+impl Gpu {
+    pub fn new(dev: DeviceConfig) -> Self {
+        Self { dev }
+    }
+
+    pub fn v100() -> Self {
+        Self::new(DeviceConfig::v100())
+    }
+
+    pub fn gtx1080() -> Self {
+        Self::new(DeviceConfig::gtx1080())
+    }
+
+    pub fn a100() -> Self {
+        Self::new(DeviceConfig::a100())
+    }
+
+    pub fn device(&self) -> &DeviceConfig {
+        &self.dev
+    }
+
+    /// Launch a kernel functionally: blocks compute real outputs *and* the
+    /// launch is timed.
+    pub fn launch(&self, kernel: &dyn Kernel) -> LaunchStats {
+        self.run(kernel, true)
+    }
+
+    /// Profile a kernel: cost traces only, no functional output. Used by the
+    /// large benchmark sweeps where only timing is needed.
+    pub fn profile(&self, kernel: &dyn Kernel) -> LaunchStats {
+        self.run(kernel, false)
+    }
+
+    fn run(&self, kernel: &dyn Kernel, functional: bool) -> LaunchStats {
+        let dev = &self.dev;
+        let grid = kernel.grid();
+        let n_blocks = grid.size();
+        let req = kernel.block_requirements();
+        let occ = occupancy::occupancy(dev, &req);
+        assert!(
+            req.smem_bytes <= dev.smem_per_block_max,
+            "kernel {} requests {} B shared memory; device max is {}",
+            kernel.name(),
+            req.smem_bytes,
+            dev.smem_per_block_max
+        );
+
+        // 1. Execute all blocks, collecting per-block cost traces.
+        let costs: Vec<BlockCost> = (0..n_blocks)
+            .into_par_iter()
+            .map(|lin| {
+                let idx = grid.delinearize(lin);
+                let mut ctx = BlockContext::new(functional);
+                kernel.execute_block(idx, &mut ctx);
+                ctx.cost
+            })
+            .collect();
+
+        // 2. Aggregate traffic, apply the cache model.
+        let mut total = BlockCost::default();
+        for c in &costs {
+            total.merge(c);
+        }
+        let buffers = kernel.buffers();
+        let dram = cache::dram_traffic(dev, &buffers, &total.gmem);
+        let dram_bytes = dram.total_bytes();
+
+        // 3. Per-block cycles. Each block's DRAM share uses the per-buffer
+        // miss rates from the aggregate cache model.
+        let warps_per_block = req.threads.div_ceil(dev.warp_size);
+        let eff_warps = occupancy::effective_warps_per_sm(dev, &occ, n_blocks, warps_per_block);
+        // Bandwidth share per SM: when fewer blocks than SMs are active, the
+        // active SMs share the full device bandwidth.
+        let active_sms = (n_blocks.min(dev.num_sms as u64)).max(1) as f64;
+        let bw_per_sm = dev.dram_bytes_per_cycle() / active_sms;
+        let concurrency = n_blocks
+            .div_ceil(dev.num_sms as u64)
+            .min(occ.blocks_per_sm as u64)
+            .max(1) as f64;
+
+        let block_cycles: Vec<f64> = costs
+            .par_iter()
+            .map(|c| {
+                let mut bytes = 0.0f64;
+                for (slot, t) in c.gmem.iter().enumerate() {
+                    bytes += t.ld_bytes() as f64 * dram.ld_miss_rate[slot] + t.st_bytes() as f64;
+                }
+                timing::block_cycles(dev, c, warps_per_block, eff_warps, bytes, bw_per_sm, concurrency)
+                    .total_cycles
+            })
+            .collect();
+
+        // 4. Schedule blocks onto SMs.
+        let sched = scheduler::simulate_schedule(dev, occ.blocks_per_sm, &block_cycles);
+
+        // 5. Device-wide rooflines (lower bounds the makespan cannot beat).
+        let fma_tp = dev.fp32_lanes_per_sm as f64 / dev.warp_size as f64;
+        let t_fma = (total.fma_instrs + total.fp_instrs) as f64 / (fma_tp * dev.num_sms as f64);
+        let t_issue = total.total_instrs() as f64 / (dev.issue_slots_per_sm as f64 * dev.num_sms as f64);
+        let lsu_tp = (dev.lsu_lanes_per_sm as f64 / dev.warp_size as f64).max(0.125);
+        let t_lsu = ((total.ld_global_instrs + total.st_global_instrs) as f64 / lsu_tp
+            + (total.ld_shared_instrs + total.st_shared_instrs) as f64)
+            / dev.num_sms as f64;
+        let t_smem = (total.shared_bytes as f64 / dev.smem_bytes_per_cycle as f64
+            + total.bank_conflict_passes as f64)
+            / dev.num_sms as f64;
+        let t_dram = dram_bytes as f64 / dev.dram_bytes_per_cycle();
+
+        let cycles = sched
+            .makespan_cycles
+            .max(t_fma)
+            .max(t_issue)
+            .max(t_lsu)
+            .max(t_smem)
+            .max(t_dram);
+
+        // The makespan subsumes every per-block effect, so it is almost
+        // always the numeric max; report "schedule" only when it clearly
+        // exceeds the binding device-wide roofline (load imbalance or
+        // launch-overhead dominated), otherwise name that roofline.
+        let bound_by = {
+            let rooflines = [
+                ("fma", t_fma),
+                ("issue", t_issue),
+                ("lsu", t_lsu),
+                ("smem", t_smem),
+                ("dram", t_dram),
+            ];
+            let (name, top) = rooflines
+                .iter()
+                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                .copied()
+                .unwrap();
+            if sched.makespan_cycles > 1.3 * top {
+                "schedule".to_string()
+            } else {
+                name.to_string()
+            }
+        };
+
+        let pipelines = PipelineBreakdown {
+            fma_cycles: t_fma,
+            issue_cycles: t_issue,
+            lsu_cycles: t_lsu,
+            smem_cycles: t_smem,
+            dram_cycles: t_dram,
+            schedule_cycles: sched.makespan_cycles,
+        };
+        let time_us = dev.cycles_to_us(cycles) + dev.launch_overhead_us;
+        let time_s = time_us * 1e-6;
+        let tflops = total.flops as f64 / time_s / 1e12;
+        let frac_peak = tflops / dev.fp32_peak_tflops();
+        let dram_gbps = dram_bytes as f64 / time_s / 1e9;
+
+        LaunchStats {
+            kernel: kernel.name(),
+            time_us,
+            makespan_cycles: sched.makespan_cycles,
+            blocks: n_blocks,
+            waves: sched.waves,
+            balance: sched.balance,
+            occupancy: occ,
+            instructions: total.total_instrs(),
+            flops: total.flops,
+            dram_bytes,
+            tflops,
+            frac_peak,
+            dram_gbps,
+            bound_by,
+            pipelines,
+        }
+    }
+}
+
+/// A sequence of dependent kernel launches (a CUDA stream): kernels run
+/// back to back, but consecutive launches overlap the host-side launch
+/// overhead with the previous kernel's execution — the reason back-to-back
+/// small kernels cost less than `n * (overhead + time)`.
+pub struct Stream<'g> {
+    gpu: &'g Gpu,
+    launches: Vec<LaunchStats>,
+}
+
+impl<'g> Stream<'g> {
+    pub fn new(gpu: &'g Gpu) -> Self {
+        Self { gpu, launches: Vec::new() }
+    }
+
+    /// Launch functionally on the stream; returns this kernel's stats.
+    pub fn launch(&mut self, kernel: &dyn Kernel) -> LaunchStats {
+        let stats = self.gpu.launch(kernel);
+        self.launches.push(stats.clone());
+        stats
+    }
+
+    /// Profile on the stream (cost only).
+    pub fn profile(&mut self, kernel: &dyn Kernel) -> LaunchStats {
+        let stats = self.gpu.profile(kernel);
+        self.launches.push(stats.clone());
+        stats
+    }
+
+    pub fn launches(&self) -> &[LaunchStats] {
+        &self.launches
+    }
+
+    /// Total simulated stream time: per-kernel execution plus ONE launch
+    /// overhead (subsequent launches are pipelined behind execution, except
+    /// when a kernel is shorter than the overhead itself).
+    pub fn total_us(&self) -> f64 {
+        if self.launches.is_empty() {
+            return 0.0;
+        }
+        let overhead = self.gpu.device().launch_overhead_us;
+        let mut total = overhead;
+        for s in &self.launches {
+            let exec = s.time_us - overhead;
+            // A kernel shorter than the launch overhead leaves a gap the
+            // next launch cannot fully hide.
+            total += exec.max(overhead * 0.3);
+        }
+        total
+    }
+}
+
+/// Aggregate of several launches (e.g. the layers of a network forward pass).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LaunchSummary {
+    pub launches: u64,
+    pub time_us: f64,
+    pub flops: u64,
+    pub dram_bytes: u64,
+}
+
+impl LaunchSummary {
+    pub fn add(&mut self, stats: &LaunchStats) {
+        self.launches += 1;
+        self.time_us += stats.time_us;
+        self.flops += stats.flops;
+        self.dram_bytes += stats.dram_bytes;
+    }
+
+    pub fn tflops(&self) -> f64 {
+        if self.time_us <= 0.0 {
+            return 0.0;
+        }
+        self.flops as f64 / (self.time_us * 1e-6) / 1e12
+    }
+}
+
+#[allow(unused)]
+fn assert_traffic_slots(_: [Traffic; MAX_BUFFERS]) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::{AccessPattern, BufferSpec};
+    use crate::cost::BufferId;
+    use crate::dim::Dim3;
+
+    /// A trivial kernel for launcher-level tests.
+    struct Noop {
+        blocks: u32,
+        cycles_of_fma: u64,
+    }
+
+    impl Kernel for Noop {
+        fn name(&self) -> String {
+            "noop".into()
+        }
+        fn grid(&self) -> Dim3 {
+            Dim3::x(self.blocks)
+        }
+        fn block_dim(&self) -> Dim3 {
+            Dim3::x(128)
+        }
+        fn buffers(&self) -> Vec<BufferSpec> {
+            vec![BufferSpec {
+                id: BufferId(0),
+                name: "x",
+                footprint_bytes: 1024,
+                pattern: AccessPattern::Streaming,
+            }]
+        }
+        fn execute_block(&self, _block: Dim3, ctx: &mut BlockContext) {
+            ctx.fma(self.cycles_of_fma, 32 * self.cycles_of_fma);
+            ctx.ld_global(BufferId(0), 0, 32, 1, 4);
+        }
+    }
+
+    #[test]
+    fn breakdown_is_populated_and_consistent() {
+        let gpu = Gpu::v100();
+        let stats = gpu.profile(&Noop { blocks: 800, cycles_of_fma: 10_000 });
+        let p = stats.pipelines;
+        assert!(p.fma_cycles > 0.0);
+        assert!(p.schedule_cycles >= p.fma_cycles * 0.99, "makespan bounds the rooflines");
+        let binding = p
+            .utilizations(stats.makespan_cycles.max(1.0))
+            .iter()
+            .map(|&(_, u)| u)
+            .fold(0.0f64, f64::max);
+        assert!(binding > 0.9, "some pipeline must be near-binding, got {binding}");
+    }
+
+    #[test]
+    fn stream_overlaps_launch_overhead() {
+        let gpu = Gpu::v100();
+        let k = Noop { blocks: 800, cycles_of_fma: 50_000 };
+        let solo = gpu.profile(&k).time_us;
+        let mut stream = Stream::new(&gpu);
+        for _ in 0..4 {
+            stream.profile(&k);
+        }
+        let total = stream.total_us();
+        assert!(total < 4.0 * solo, "stream {} must beat 4x solo {}", total, 4.0 * solo);
+        assert!(total > 4.0 * (solo - gpu.device().launch_overhead_us));
+        assert_eq!(stream.launches().len(), 4);
+    }
+
+    #[test]
+    fn empty_stream_costs_nothing() {
+        let gpu = Gpu::v100();
+        assert_eq!(Stream::new(&gpu).total_us(), 0.0);
+    }
+}

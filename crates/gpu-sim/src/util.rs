@@ -1,0 +1,89 @@
+//! Shared-output utilities for parallel functional execution.
+
+use std::cell::UnsafeCell;
+use std::marker::PhantomData;
+
+/// A slice that multiple thread-block executors may write concurrently, on
+/// the caller's guarantee that blocks write **disjoint** index sets — the
+/// same guarantee a CUDA kernel gives when thread blocks own disjoint output
+/// tiles.
+///
+/// This mirrors how GPU kernels share a device buffer: no synchronization,
+/// correctness by construction of the tiling.
+pub struct SyncUnsafeSlice<'a, T> {
+    ptr: *const UnsafeCell<T>,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+unsafe impl<T: Send + Sync> Send for SyncUnsafeSlice<'_, T> {}
+unsafe impl<T: Send + Sync> Sync for SyncUnsafeSlice<'_, T> {}
+
+impl<'a, T> SyncUnsafeSlice<'a, T> {
+    pub fn new(slice: &'a mut [T]) -> Self {
+        let len = slice.len();
+        let ptr = slice.as_mut_ptr() as *const UnsafeCell<T>;
+        Self { ptr, len, _marker: PhantomData }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Write `value` at `index`.
+    ///
+    /// # Safety
+    /// The caller must guarantee no other executor reads or writes `index`
+    /// concurrently (disjoint output tiles), and `index < len`.
+    #[inline]
+    pub unsafe fn write(&self, index: usize, value: T) {
+        debug_assert!(index < self.len);
+        unsafe { *(*self.ptr.add(index)).get() = value };
+    }
+
+    /// Read the value at `index`.
+    ///
+    /// # Safety
+    /// Same disjointness requirement as [`Self::write`].
+    #[inline]
+    pub unsafe fn read(&self, index: usize) -> T
+    where
+        T: Copy,
+    {
+        debug_assert!(index < self.len);
+        unsafe { *(*self.ptr.add(index)).get() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjoint_parallel_writes() {
+        use rayon::prelude::*;
+        let mut data = vec![0u32; 1024];
+        {
+            let s = SyncUnsafeSlice::new(&mut data);
+            (0..1024usize).into_par_iter().for_each(|i| unsafe { s.write(i, i as u32 * 2) });
+        }
+        assert!(data.iter().enumerate().all(|(i, &v)| v == i as u32 * 2));
+    }
+
+    #[test]
+    fn read_back() {
+        let mut data = vec![1.5f32; 8];
+        let s = SyncUnsafeSlice::new(&mut data);
+        unsafe {
+            s.write(3, 7.25);
+            assert_eq!(s.read(3), 7.25);
+            assert_eq!(s.read(0), 1.5);
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! SMTX-style text serialization for sparse matrix topologies.
+//!
+//! The Sputnik release distributes its deep-learning matrix dataset in a
+//! simple text format: a header line `rows, cols, nnz`, a line of row
+//! offsets, and a line of column indices (values are regenerated — only the
+//! topology matters for benchmarking). This module reads and writes that
+//! format so corpora can be persisted and inspected.
+
+use crate::csr::{CsrError, CsrMatrix};
+use std::fmt::Write as _;
+use std::io::{self, BufRead, Write};
+
+/// Errors from SMTX parsing.
+#[derive(Debug)]
+pub enum SmtxError {
+    Io(io::Error),
+    Parse(String),
+    Invalid(CsrError),
+}
+
+impl std::fmt::Display for SmtxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SmtxError::Io(e) => write!(f, "io error: {e}"),
+            SmtxError::Parse(msg) => write!(f, "parse error: {msg}"),
+            SmtxError::Invalid(e) => write!(f, "invalid CSR: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SmtxError {}
+
+impl From<io::Error> for SmtxError {
+    fn from(e: io::Error) -> Self {
+        SmtxError::Io(e)
+    }
+}
+
+/// Serialize a matrix topology to SMTX text.
+pub fn write_smtx<W: Write>(m: &CsrMatrix<f32>, mut w: W) -> Result<(), SmtxError> {
+    let mut out = String::new();
+    writeln!(out, "{}, {}, {}", m.rows(), m.cols(), m.nnz()).unwrap();
+    let offsets: Vec<String> = m.row_offsets().iter().map(|v| v.to_string()).collect();
+    writeln!(out, "{}", offsets.join(" ")).unwrap();
+    let indices: Vec<String> = m.col_indices().iter().map(|v| v.to_string()).collect();
+    writeln!(out, "{}", indices.join(" ")).unwrap();
+    w.write_all(out.as_bytes())?;
+    Ok(())
+}
+
+/// Parse SMTX text into a matrix. Values are set to 1.0 (the format stores
+/// topology only).
+pub fn read_smtx<R: BufRead>(r: R) -> Result<CsrMatrix<f32>, SmtxError> {
+    let mut lines = r.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| SmtxError::Parse("missing header".into()))??;
+    let parts: Vec<&str> = header.split(',').map(|s| s.trim()).collect();
+    if parts.len() != 3 {
+        return Err(SmtxError::Parse(format!("header must be 'rows, cols, nnz', got '{header}'")));
+    }
+    let rows: usize = parts[0].parse().map_err(|e| SmtxError::Parse(format!("rows: {e}")))?;
+    let cols: usize = parts[1].parse().map_err(|e| SmtxError::Parse(format!("cols: {e}")))?;
+    let nnz: usize = parts[2].parse().map_err(|e| SmtxError::Parse(format!("nnz: {e}")))?;
+
+    let offsets_line = lines
+        .next()
+        .ok_or_else(|| SmtxError::Parse("missing row offsets".into()))??;
+    let row_offsets: Vec<u32> = offsets_line
+        .split_whitespace()
+        .map(|t| t.parse().map_err(|e| SmtxError::Parse(format!("offset: {e}"))))
+        .collect::<Result<_, _>>()?;
+
+    let indices_line = if nnz > 0 {
+        lines
+            .next()
+            .ok_or_else(|| SmtxError::Parse("missing column indices".into()))??
+    } else {
+        lines.next().transpose()?.unwrap_or_default()
+    };
+    let col_indices: Vec<u32> = indices_line
+        .split_whitespace()
+        .map(|t| t.parse().map_err(|e| SmtxError::Parse(format!("index: {e}"))))
+        .collect::<Result<_, _>>()?;
+
+    if col_indices.len() != nnz {
+        return Err(SmtxError::Parse(format!(
+            "header claims {nnz} nonzeros, found {}",
+            col_indices.len()
+        )));
+    }
+    let values = vec![1.0f32; nnz];
+    CsrMatrix::from_parts(rows, cols, row_offsets, col_indices, values).map_err(SmtxError::Invalid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn roundtrip() {
+        let m = gen::uniform(32, 64, 0.8, 5);
+        let mut buf = Vec::new();
+        write_smtx(&m, &mut buf).unwrap();
+        let back = read_smtx(io::BufReader::new(&buf[..])).unwrap();
+        assert!(m.same_pattern(&back));
+    }
+
+    #[test]
+    fn rejects_garbage_header() {
+        let text = b"not a header\n0 1\n0\n";
+        assert!(read_smtx(io::BufReader::new(&text[..])).is_err());
+    }
+
+    #[test]
+    fn rejects_nnz_mismatch() {
+        let text = b"1, 4, 3\n0 2\n0 1\n";
+        let e = read_smtx(io::BufReader::new(&text[..]));
+        assert!(matches!(e, Err(SmtxError::Parse(_))));
+    }
+
+    #[test]
+    fn empty_matrix_roundtrip() {
+        let m = CsrMatrix::<f32>::empty(4, 4);
+        let mut buf = Vec::new();
+        write_smtx(&m, &mut buf).unwrap();
+        let back = read_smtx(io::BufReader::new(&buf[..])).unwrap();
+        assert!(m.same_pattern(&back));
+        assert_eq!(back.nnz(), 0);
+    }
+}

@@ -1,0 +1,198 @@
+//! Matrix Market (.mtx) I/O — the interchange format the SuiteSparse
+//! collection (the paper's scientific-computing corpus) is distributed in.
+//!
+//! Supports the `matrix coordinate real/integer/pattern general|symmetric`
+//! subset, which covers the overwhelming majority of SuiteSparse files:
+//! a header line, optional `%` comments, a `rows cols nnz` size line, and
+//! one `row col [value]` triplet per line (1-indexed).
+
+use crate::coo::{CooMatrix, DuplicatePolicy};
+use crate::csr::CsrMatrix;
+use std::io::{self, BufRead, Write};
+
+/// Errors from Matrix Market parsing.
+#[derive(Debug)]
+pub enum MtxError {
+    Io(io::Error),
+    Parse(String),
+    Unsupported(String),
+}
+
+impl std::fmt::Display for MtxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MtxError::Io(e) => write!(f, "io error: {e}"),
+            MtxError::Parse(m) => write!(f, "parse error: {m}"),
+            MtxError::Unsupported(m) => write!(f, "unsupported matrix market variant: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MtxError {}
+
+impl From<io::Error> for MtxError {
+    fn from(e: io::Error) -> Self {
+        MtxError::Io(e)
+    }
+}
+
+/// Read a Matrix Market file into CSR. Symmetric matrices are expanded
+/// (mirror entries added); pattern matrices get unit values.
+pub fn read_mtx<R: BufRead>(r: R) -> Result<CsrMatrix<f32>, MtxError> {
+    let mut lines = r.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| MtxError::Parse("empty file".into()))??;
+    let tokens: Vec<String> = header.split_whitespace().map(|t| t.to_lowercase()).collect();
+    if tokens.len() < 4 || tokens[0] != "%%matrixmarket" || tokens[1] != "matrix" {
+        return Err(MtxError::Parse(format!("bad header: '{header}'")));
+    }
+    if tokens[2] != "coordinate" {
+        return Err(MtxError::Unsupported(format!("format '{}' (only coordinate)", tokens[2])));
+    }
+    let field = tokens[3].as_str();
+    let pattern = match field {
+        "real" | "integer" => false,
+        "pattern" => true,
+        other => return Err(MtxError::Unsupported(format!("field '{other}'"))),
+    };
+    let symmetry = tokens.get(4).map(|s| s.as_str()).unwrap_or("general").to_string();
+    let symmetric = match symmetry.as_str() {
+        "general" => false,
+        "symmetric" => true,
+        other => return Err(MtxError::Unsupported(format!("symmetry '{other}'"))),
+    };
+
+    // Skip comments, read the size line.
+    let size_line = loop {
+        let line = lines
+            .next()
+            .ok_or_else(|| MtxError::Parse("missing size line".into()))??;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        break line;
+    };
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| t.parse().map_err(|e| MtxError::Parse(format!("size: {e}"))))
+        .collect::<Result<_, _>>()?;
+    if dims.len() != 3 {
+        return Err(MtxError::Parse(format!("size line needs 'rows cols nnz', got '{size_line}'")));
+    }
+    let (rows, cols, nnz) = (dims[0], dims[1], dims[2]);
+
+    let mut coo = CooMatrix::with_capacity(rows, cols, if symmetric { 2 * nnz } else { nnz });
+    let mut seen = 0usize;
+    for line in lines {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut parts = t.split_whitespace();
+        let r: usize = parts
+            .next()
+            .ok_or_else(|| MtxError::Parse(format!("short entry line: '{t}'")))?
+            .parse()
+            .map_err(|e| MtxError::Parse(format!("row: {e}")))?;
+        let c: usize = parts
+            .next()
+            .ok_or_else(|| MtxError::Parse(format!("short entry line: '{t}'")))?
+            .parse()
+            .map_err(|e| MtxError::Parse(format!("col: {e}")))?;
+        let v: f32 = if pattern {
+            1.0
+        } else {
+            parts
+                .next()
+                .ok_or_else(|| MtxError::Parse(format!("missing value: '{t}'")))?
+                .parse()
+                .map_err(|e| MtxError::Parse(format!("value: {e}")))?
+        };
+        if r == 0 || c == 0 || r > rows || c > cols {
+            return Err(MtxError::Parse(format!("entry ({r},{c}) out of 1-indexed bounds")));
+        }
+        coo.push(r - 1, c - 1, v)
+            .map_err(|e| MtxError::Parse(e.to_string()))?;
+        if symmetric && r != c {
+            coo.push(c - 1, r - 1, v)
+                .map_err(|e| MtxError::Parse(e.to_string()))?;
+        }
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(MtxError::Parse(format!("header claims {nnz} entries, found {seen}")));
+    }
+    coo.to_csr(DuplicatePolicy::Sum).map_err(|e| MtxError::Parse(e.to_string()))
+}
+
+/// Write a CSR matrix as `matrix coordinate real general`.
+pub fn write_mtx<W: Write>(m: &CsrMatrix<f32>, mut w: W) -> Result<(), MtxError> {
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(w, "% written by sputnik-rs")?;
+    writeln!(w, "{} {} {}", m.rows(), m.cols(), m.nnz())?;
+    for (r, c, v) in m.iter() {
+        writeln!(w, "{} {} {}", r + 1, c + 1, v)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn roundtrip() {
+        let m = gen::uniform(24, 32, 0.8, 951);
+        let mut buf = Vec::new();
+        write_mtx(&m, &mut buf).unwrap();
+        let back = read_mtx(io::BufReader::new(&buf[..])).unwrap();
+        assert!(m.same_pattern(&back));
+        for (a, b) in m.values().iter().zip(back.values()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn parses_pattern_and_comments() {
+        let text = b"%%MatrixMarket matrix coordinate pattern general\n% comment\n\n2 3 2\n1 1\n2 3\n";
+        let m = read_mtx(io::BufReader::new(&text[..])).unwrap();
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.values(), &[1.0, 1.0]);
+        assert_eq!(m.to_dense().get(1, 2), 1.0);
+    }
+
+    #[test]
+    fn expands_symmetric() {
+        let text = b"%%MatrixMarket matrix coordinate real symmetric\n3 3 3\n1 1 5.0\n2 1 2.0\n3 2 4.0\n";
+        let m = read_mtx(io::BufReader::new(&text[..])).unwrap();
+        assert_eq!(m.nnz(), 5, "off-diagonal entries mirrored, diagonal not");
+        let d = m.to_dense();
+        assert_eq!(d.get(0, 1), 2.0);
+        assert_eq!(d.get(1, 0), 2.0);
+        assert_eq!(d.get(1, 2), 4.0);
+        assert_eq!(d.get(0, 0), 5.0);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(read_mtx(io::BufReader::new(&b"not a header\n"[..])).is_err());
+        assert!(read_mtx(io::BufReader::new(
+            &b"%%MatrixMarket matrix array real general\n2 2\n"[..]
+        ))
+        .is_err());
+        // nnz mismatch.
+        assert!(read_mtx(io::BufReader::new(
+            &b"%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n"[..]
+        ))
+        .is_err());
+        // out-of-bounds (1-indexed).
+        assert!(read_mtx(io::BufReader::new(
+            &b"%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n"[..]
+        ))
+        .is_err());
+    }
+}

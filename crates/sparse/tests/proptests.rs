@@ -1,0 +1,119 @@
+//! Property-based tests for the tensor library's core invariants.
+
+use proptest::prelude::*;
+use sparse::{gen, stats, CsrMatrix, Half, Matrix, RowSwizzle};
+
+/// Strategy: a small dense matrix with ~half the entries zeroed.
+fn dense_matrix() -> impl Strategy<Value = Matrix<f32>> {
+    (1usize..24, 1usize..24).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(
+            prop_oneof![3 => Just(0.0f32), 2 => -100.0f32..100.0],
+            r * c,
+        )
+        .prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// CSR <-> dense is a lossless roundtrip for any matrix.
+    #[test]
+    fn csr_dense_roundtrip(m in dense_matrix()) {
+        let csr = CsrMatrix::from_dense(&m);
+        prop_assert_eq!(csr.to_dense(), m.clone());
+        // Invariants of the extracted structure.
+        prop_assert_eq!(csr.row_offsets().len(), m.rows() + 1);
+        prop_assert!(csr.nnz() <= m.rows() * m.cols());
+    }
+
+    /// Transposing twice is the identity, and the cached permutation maps
+    /// values exactly as a fresh transpose would.
+    #[test]
+    fn transpose_involution(m in dense_matrix()) {
+        let csr = CsrMatrix::from_dense(&m);
+        let t = csr.transpose();
+        prop_assert_eq!(t.transpose(), csr.clone());
+        let perm = csr.transpose_permutation();
+        let permuted: Vec<f32> = perm.iter().map(|&p| csr.values()[p as usize]).collect();
+        prop_assert_eq!(permuted, t.values().to_vec());
+    }
+
+    /// Sparsity + nnz are consistent; stats stay in their domains.
+    #[test]
+    fn stats_domains(m in dense_matrix()) {
+        let csr = CsrMatrix::from_dense(&m);
+        let s = stats::matrix_stats(&csr);
+        prop_assert!((0.0..=1.0).contains(&s.sparsity));
+        prop_assert!(s.avg_row_length >= 0.0);
+        prop_assert!(s.row_cov >= 0.0);
+        prop_assert_eq!(s.nnz, csr.nnz());
+    }
+
+    /// f16 conversion: converting any f32 to half and back to f32 is a
+    /// fixed point of the conversion (idempotence), and ordering of
+    /// representable values is preserved.
+    #[test]
+    fn half_conversion_idempotent(x in -70000.0f32..70000.0) {
+        let h = Half::from_f32(x);
+        let back = h.to_f32();
+        prop_assert_eq!(Half::from_f32(back).0, h.0);
+        // |half(x)| never exceeds |x| by more than half rounding ULP scale.
+        if back.is_finite() && x != 0.0 {
+            prop_assert!((back - x).abs() <= x.abs() * (1.0 / 1024.0) + 6e-8);
+        }
+    }
+
+    /// Monotonicity: from_f32 preserves <= on finite values.
+    #[test]
+    fn half_monotone(a in -60000.0f32..60000.0, b in -60000.0f32..60000.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(Half::from_f32(lo).to_f32() <= Half::from_f32(hi).to_f32());
+    }
+
+    /// Generators produce valid CSR at roughly the requested sparsity.
+    #[test]
+    fn uniform_generator_contract(rows in 1usize..128, cols in 1usize..128,
+                                  sparsity in 0.0f64..1.0, seed in 0u64..1000) {
+        let m = gen::uniform(rows, cols, sparsity, seed);
+        prop_assert_eq!(m.rows(), rows);
+        prop_assert_eq!(m.cols(), cols);
+        prop_assert!(m.nnz() <= rows * cols);
+        // Re-validation through from_parts.
+        let rebuilt = CsrMatrix::<f32>::from_parts(
+            rows, cols,
+            m.row_offsets().to_vec(), m.col_indices().to_vec(), m.values().to_vec());
+        prop_assert!(rebuilt.is_ok());
+    }
+
+    /// The row swizzle is always a permutation sorted by descending length.
+    #[test]
+    fn swizzle_is_sorted_permutation(rows in 1usize..96, seed in 0u64..500) {
+        let m = gen::with_cov(rows, 64, 0.7, 0.8, seed);
+        let s = RowSwizzle::by_length_desc(&m);
+        prop_assert!(s.is_permutation());
+        for w in s.as_slice().windows(2) {
+            prop_assert!(m.row_len(w[0] as usize) >= m.row_len(w[1] as usize));
+        }
+    }
+
+    /// Attention masks are causal and include the diagonal.
+    #[test]
+    fn attention_mask_causal(seq in 2usize..200, band in 1usize..32, seed in 0u64..100) {
+        let m = gen::attention_mask(seq, band, 0.9, seed);
+        for r in 0..seq {
+            let (cols, _) = m.row(r);
+            prop_assert!(cols.contains(&(r as u32)), "diagonal present in row {}", r);
+            prop_assert!(cols.iter().all(|&c| c as usize <= r), "causality in row {}", r);
+        }
+    }
+
+    /// geometric mean lies between min and max of positive inputs.
+    #[test]
+    fn geo_mean_bounds(xs in proptest::collection::vec(0.01f64..100.0, 1..20)) {
+        let g = stats::geometric_mean(&xs);
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(0.0f64, f64::max);
+        prop_assert!(g >= min * 0.999 && g <= max * 1.001);
+    }
+}

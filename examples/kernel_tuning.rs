@@ -1,0 +1,80 @@
+//! Kernel-variant exploration: how the SpMM template parameters (tile
+//! shape, vector width, optimization toggles) interact with a problem's
+//! shape — the design space behind the paper's kernel-selection heuristic
+//! and the oracle selector of Section VII-D.
+//!
+//! ```bash
+//! cargo run --release --example kernel_tuning
+//! ```
+
+use gpu_sim::Gpu;
+use sparse::gen;
+use sputnik::SpmmConfig;
+
+fn main() {
+    let gpu = Gpu::v100();
+
+    // A mid-sized weight-sparse problem: 2048x2048 at 85%, batch 256.
+    let (m, k, n) = (2048usize, 2048usize, 256usize);
+    let a = gen::uniform(m, k, 0.85, 21);
+    println!("problem: {m}x{k} @ 85% sparse, N = {n}\n");
+
+    println!(
+        "{:>4} {:>4} {:>4} {:>4}  {:>9} {:>8} {:>9} {:>10}",
+        "tY", "tK", "tX", "vec", "time (us)", "TFLOP/s", "occupancy", "bound by"
+    );
+    let mut best: Option<(f64, SpmmConfig)> = None;
+    for block_items_y in [1u32, 2, 4, 8] {
+        for block_items_x in [32u32, 64] {
+            for vector_width in [1u32, 2, 4] {
+                let cfg = SpmmConfig {
+                    block_items_y,
+                    block_items_x,
+                    vector_width,
+                    roma: vector_width > 1,
+                    ..SpmmConfig::default()
+                };
+                if cfg.validate(k).is_err() || cfg.threads_x() > 32 {
+                    continue;
+                }
+                let stats = sputnik::spmm_profile::<f32>(&gpu, &a, k, n, cfg);
+                println!(
+                    "{:>4} {:>4} {:>4} {:>4}  {:>9.1} {:>8.2} {:>8}w {:>10}",
+                    block_items_y,
+                    cfg.block_items_k,
+                    block_items_x,
+                    vector_width,
+                    stats.time_us,
+                    stats.tflops,
+                    stats.occupancy.warps_per_sm,
+                    stats.bound_by
+                );
+                if best.is_none() || stats.time_us < best.as_ref().unwrap().0 {
+                    best = Some((stats.time_us, cfg));
+                }
+            }
+        }
+    }
+
+    let (best_us, best_cfg) = best.unwrap();
+    let heuristic = SpmmConfig::heuristic::<f32>(n);
+    let heuristic_us = sputnik::spmm_profile::<f32>(&gpu, &a, k, n, heuristic).time_us;
+    println!("\nbest variant: {} at {best_us:.1} us", best_cfg.tag());
+    println!(
+        "heuristic pick: {} at {heuristic_us:.1} us ({:.1}% of oracle)",
+        heuristic.tag(),
+        100.0 * best_us / heuristic_us
+    );
+
+    // Ablations on the best config, the Table II story for this problem.
+    println!("\nablations on the heuristic config:");
+    for (name, cfg) in [
+        ("-row swizzle", SpmmConfig { row_swizzle: false, ..heuristic }),
+        ("-ROMA (scalar A loads)", SpmmConfig { roma: false, ..heuristic }),
+        ("-residue unroll", SpmmConfig { residue_unroll: false, ..heuristic }),
+        ("-index pre-scale", SpmmConfig { index_prescale: false, ..heuristic }),
+    ] {
+        let t = sputnik::spmm_profile::<f32>(&gpu, &a, k, n, cfg).time_us;
+        println!("  {name:<24} {:.1} us ({:.1}% of full)", t, 100.0 * heuristic_us / t);
+    }
+}

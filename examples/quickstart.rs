@@ -1,0 +1,76 @@
+//! Quickstart: run the Sputnik SpMM and SDDMM kernels on the simulated V100
+//! and check them against CPU references.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use gpu_sim::Gpu;
+use sparse::{gen, Matrix};
+use sputnik::{reference, SddmmConfig, SpmmConfig};
+
+fn main() {
+    // A simulated V100 — the paper's benchmark platform.
+    let gpu = Gpu::v100();
+    println!(
+        "device: {} ({} SMs, {:.1} TFLOP/s FP32 peak, {:.0} GB/s)",
+        gpu.device().name,
+        gpu.device().num_sms,
+        gpu.device().fp32_peak_tflops(),
+        gpu.device().dram_bw_gbps
+    );
+
+    // An 80%-sparse weight matrix, like a pruned DNN layer.
+    let (m, k, n) = (1024, 1024, 128);
+    let a = gen::uniform(m, k, 0.8, 42);
+    let b = Matrix::<f32>::random(k, n, 43);
+    println!("\nA: {m}x{k} with {} nonzeros ({:.0}% sparse)", a.nnz(), a.sparsity() * 100.0);
+
+    // --- SpMM: A (sparse) x B (dense) => C (dense) --------------------------
+    let cfg = SpmmConfig::heuristic::<f32>(n);
+    println!("SpMM config: tile {}x{}, vector width {}", cfg.block_items_y, cfg.block_items_x, cfg.vector_width);
+    let (c, stats) = sputnik::spmm(&gpu, &a, &b, cfg);
+    let expect = reference::spmm(&a, &b);
+    println!(
+        "SpMM: {:.1} us simulated, {:.2} TFLOP/s ({:.1}% of peak), bound by {}",
+        stats.time_us,
+        stats.tflops,
+        stats.frac_peak * 100.0,
+        stats.bound_by
+    );
+    println!("      max |err| vs reference: {:.2e}", c.max_abs_diff(&expect));
+
+    // Compare against the cuSPARSE-style baseline.
+    let cusp = baselines::cusparse_spmm_profile::<f32>(&gpu, &a, n);
+    println!("      speedup over cuSPARSE baseline: {:.2}x", cusp.time_us / stats.time_us);
+
+    // --- SDDMM: (Q x K^T) sampled at a mask's nonzeros ----------------------
+    let q = Matrix::<f32>::random(256, 64, 44);
+    let kk = Matrix::<f32>::random(256, 64, 45);
+    let mask = gen::attention_mask(256, 32, 0.9, 46);
+    let (d, sddmm_stats) = sputnik::sddmm(&gpu, &q, &kk, &mask, SddmmConfig::heuristic::<f32>(64));
+    let d_expect = reference::sddmm(&q, &kk, &mask);
+    let worst = d
+        .values()
+        .iter()
+        .zip(d_expect.values())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    println!(
+        "\nSDDMM on a {}-token attention mask ({} nonzeros): {:.1} us, max |err| {:.2e}",
+        mask.rows(),
+        mask.nnz(),
+        sddmm_stats.time_us,
+        worst
+    );
+
+    // --- Sparse softmax (the third kernel of sparse attention) --------------
+    let (probs, sm_stats) = sputnik::sparse_softmax(&gpu, &d);
+    let (cols0, vals0) = probs.row(128);
+    println!(
+        "sparse softmax: {:.1} us; row 128 has {} attention weights summing to {:.4}",
+        sm_stats.time_us,
+        cols0.len(),
+        vals0.iter().sum::<f32>()
+    );
+}

@@ -1,0 +1,75 @@
+//! Sparse attention end-to-end: build the paper's attention mask (dense
+//! diagonal band + distance-decaying random off-diagonal connections),
+//! compare dense attention against the SDDMM -> sparse-softmax -> SpMM
+//! pipeline for correctness and simulated speed, and sweep the sequence
+//! length to find where sparse attention starts winning.
+//!
+//! ```bash
+//! cargo run --release --example sparse_attention
+//! ```
+
+use dnn::attention;
+use gpu_sim::Gpu;
+use sparse::{gen, Matrix};
+
+fn main() {
+    let gpu = Gpu::v100();
+    let d = 64;
+
+    // --- Correctness on a small instance ------------------------------------
+    let seq = 256;
+    let q = Matrix::<f32>::random(seq, d, 1);
+    let k = Matrix::<f32>::random(seq, d, 2);
+    let v = Matrix::<f32>::random(seq, d, 3);
+    let mask = gen::attention_mask(seq, 32, 0.9, 4);
+    println!(
+        "mask: {seq} tokens, band 32, {} nonzeros ({:.1}% sparse overall)",
+        mask.nnz(),
+        mask.sparsity() * 100.0
+    );
+
+    let (sparse_out, sparse_t) = attention::sparse_attention(&gpu, &q, &k, &v, &mask);
+    let (dense_out, dense_t) = attention::dense_attention(&gpu, &q, &k, &v);
+    println!(
+        "seq {seq}: dense {:.0} us (scores {:.0} + softmax {:.0} + context {:.0})",
+        dense_t.total_us(),
+        dense_t.scores_us,
+        dense_t.softmax_us,
+        dense_t.context_us
+    );
+    println!(
+        "seq {seq}: sparse {:.0} us (sddmm {:.0} + softmax {:.0} + spmm {:.0})",
+        sparse_t.total_us(),
+        sparse_t.scores_us,
+        sparse_t.softmax_us,
+        sparse_t.context_us
+    );
+    // The outputs differ because sparse attention only attends through the
+    // mask — but each output row is still a convex combination of V rows, so
+    // values stay bounded by V's range.
+    let bound = v.as_slice().iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+    let max_out = sparse_out
+        .as_slice()
+        .iter()
+        .fold(0.0f32, |m, &x| m.max(x.abs()));
+    assert!(max_out <= bound + 1e-4, "sparse attention must stay within V's hull");
+    let _ = dense_out;
+
+    // --- Crossover sweep -----------------------------------------------------
+    println!("\nseq sweep (band 64, 95% off-diagonal sparsity):");
+    println!("{:>6}  {:>12}  {:>12}  {:>8}", "seq", "dense (us)", "sparse (us)", "speedup");
+    for seq in [512usize, 1024, 2048, 4096, 8192] {
+        let mask = gen::attention_mask(seq, 64, 0.95, 7);
+        let dense = attention::dense_attention_profile(&gpu, seq, d);
+        let sparse = attention::sparse_attention_profile(&gpu, &mask, d);
+        println!(
+            "{:>6}  {:>12.0}  {:>12.0}  {:>7.2}x",
+            seq,
+            dense.total_us(),
+            sparse.total_us(),
+            dense.total_us() / sparse.total_us()
+        );
+    }
+    println!("\nDense attention is quadratic in sequence length; the sparse pipeline");
+    println!("scales with the mask's nonzeros — the Section VII-C mechanism.");
+}

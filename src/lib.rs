@@ -1,0 +1,6 @@
+//! Umbrella crate re-exporting the workspace's public API.
+pub use baselines;
+pub use dnn;
+pub use gpu_sim;
+pub use sparse;
+pub use sputnik;

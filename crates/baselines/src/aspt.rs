@@ -308,9 +308,8 @@ impl<T: Scalar> Kernel for AsptSpmmKernel<'_, T> {
 
         // ---- Functional: reordering is performance-only; results are the
         // plain SpMM of the panel's rows.
-        if ctx.functional() && self.b.is_some() {
-            let b = self.b.unwrap().as_slice();
-            let out = self.out.as_ref().unwrap();
+        if let (true, Some(b), Some(out)) = (ctx.functional(), self.b, self.out.as_ref()) {
+            let b = b.as_slice();
             for r in panel.row_start..panel.row_end {
                 let (cols, vals) = self.a.row(r);
                 let mut acc = [0.0f32; 32];

@@ -153,9 +153,8 @@ impl Kernel for BlockSpmmKernel<'_> {
             );
         }
 
-        if ctx.functional() && self.b.is_some() {
-            let b = self.b.unwrap().as_slice();
-            let out = self.out.as_ref().unwrap();
+        if let (true, Some(b), Some(out)) = (ctx.functional(), self.b, self.out.as_ref()) {
+            let b = b.as_slice();
             let mut acc = vec![0.0f32; bs * tile_n];
             for (bc, payload) in self.a.block_row(br) {
                 for r in 0..bs {

@@ -76,7 +76,7 @@ impl<'a> GemmKernel<'a> {
                 return (tm, tn, th);
             }
         }
-        *TILE_VARIANTS.last().unwrap()
+        TILE_VARIANTS[TILE_VARIANTS.len() - 1]
     }
 }
 
@@ -173,10 +173,11 @@ impl Kernel for GemmKernel<'_> {
         }
 
         // ---- Functional ----------------------------------------------------
-        if ctx.functional() && self.a.is_some() {
-            let a = self.a.unwrap().as_slice();
-            let b = self.b.unwrap().as_slice();
-            let out = self.out.as_ref().unwrap();
+        if let (true, Some(a), Some(b), Some(out)) =
+            (ctx.functional(), self.a, self.b, self.out.as_ref())
+        {
+            let a = a.as_slice();
+            let b = b.as_slice();
             for r in row0..row0 + tile_m {
                 for c in col0..col0 + tile_n {
                     let mut acc = 0.0f32;
@@ -296,9 +297,8 @@ impl Kernel for TransposeKernel<'_> {
         }
         ctx.misc(12);
 
-        if ctx.functional() && self.src.is_some() {
-            let src = self.src.unwrap().as_slice();
-            let out = self.out.as_ref().unwrap();
+        if let (true, Some(src), Some(out)) = (ctx.functional(), self.src, self.out.as_ref()) {
+            let src = src.as_slice();
             for r in r0..r0 + h {
                 for c in c0..c0 + w {
                     unsafe { out.write(c * self.rows + r, src[r * self.cols + c]) };

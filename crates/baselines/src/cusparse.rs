@@ -131,8 +131,7 @@ impl<T: Scalar> Kernel for CusparseSpmmKernel<'_, T> {
             if nnz == 0 {
                 // Still must zero the output tile.
                 ctx.st_global_strided(BUF_C, (n0 * self.a.rows() + row) as u64 * eb, tile_n as u32, self.a.rows() as u64 * eb, T::BYTES);
-                if ctx.functional() && self.out.is_some() {
-                    let out = self.out.as_ref().unwrap();
+                if let (true, Some(out)) = (ctx.functional(), self.out.as_ref()) {
                     for c in n0..n0 + tile_n {
                         unsafe { out.write(c * self.a.rows() + row, T::zero()) };
                     }
@@ -167,9 +166,7 @@ impl<T: Scalar> Kernel for CusparseSpmmKernel<'_, T> {
             ctx.cost.gmem[BUF_C.0 as usize].st_sectors +=
                 gpu_sim::memory::sectors_strided(0, tile_n as u32, self.a.rows() as u64 * eb, eb);
 
-            if ctx.functional() && self.b.is_some() {
-                let b = self.b.unwrap();
-                let out = self.out.as_ref().unwrap();
+            if let (true, Some(b), Some(out)) = (ctx.functional(), self.b, self.out.as_ref()) {
                 let m_rows = self.a.rows();
                 for lane in 0..tile_n {
                     let c = n0 + lane;
@@ -432,10 +429,9 @@ impl<T: Scalar> Kernel for ConstrainedGemmKernel<'_, T> {
         ctx.cost.gmem[BUF_C.0 as usize].st_sectors += masked.div_ceil(8).max(1);
         ctx.misc(6 * warps);
 
-        if ctx.functional() && self.lhs.is_some() {
-            let lhs = self.lhs.unwrap();
-            let rhs_t = self.rhs_t.unwrap();
-            let out = self.out_values.as_ref().unwrap();
+        if let (true, Some(lhs), Some(rhs_t), Some(out)) =
+            (ctx.functional(), self.lhs, self.rhs_t, self.out_values.as_ref())
+        {
             for r in row0..row0 + tile_m {
                 let row_start = self.mask.row_offsets()[r] as usize;
                 let (cols, _) = self.mask.row(r);

@@ -125,9 +125,8 @@ impl Kernel for EllSpmmKernel<'_> {
             );
         }
 
-        if ctx.functional() && self.b.is_some() {
-            let b = self.b.unwrap().as_slice();
-            let out = self.out.as_ref().unwrap();
+        if let (true, Some(b), Some(out)) = (ctx.functional(), self.b, self.out.as_ref()) {
+            let b = b.as_slice();
             for r in r0..r0 + count {
                 let mut acc = vec![0.0f32; tile_n];
                 for j in 0..self.a.row_length(r) {

@@ -162,9 +162,8 @@ impl<T: Scalar> Kernel for MergeSpmmKernel<'_, T> {
                 32 * eb,
             );
 
-            if ctx.functional() && self.b.is_some() {
-                let b = self.b.unwrap().as_slice();
-                let out = self.out.as_ref().unwrap();
+            if let (true, Some(b), Some(out)) = (ctx.functional(), self.b, self.out.as_ref()) {
+                let b = b.as_slice();
                 let mut acc = [0.0f32; 32];
                 for (&col, &val) in cols.iter().zip(vals) {
                     let v = val.to_f32();

@@ -167,9 +167,8 @@ impl<T: Scalar> Kernel for NnzSplitSpmmKernel<'_, T> {
         ctx.cost.flops += 2 * (count * tile_n) as u64;
 
         // ---- Functional -----------------------------------------------------
-        if ctx.functional() && self.b.is_some() {
-            let b = self.b.unwrap().as_slice();
-            let out = self.out.unwrap();
+        if let (true, Some(b), Some(out)) = (ctx.functional(), self.b, self.out) {
+            let b = b.as_slice();
             let values = self.a.values();
             let indices = self.a.col_indices();
             let mut row = first_row;

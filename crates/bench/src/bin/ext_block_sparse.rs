@@ -92,14 +92,15 @@ fn main() {
     // Headline: at 90% sparsity, where do block kernels overtake Sputnik on
     // raw speed, and what does it cost in retention?
     let at90: Vec<&Point> = points.iter().filter(|p| (p.sparsity - 0.9).abs() < 1e-9).collect();
-    let unstr = at90.iter().find(|p| p.block_size == 1).unwrap();
-    for p in at90.iter().filter(|p| p.block_size > 1) {
-        println!(
-            "{0}x{0} blocks @90%: {1:.2}x the speed of unstructured, {2:.1}% magnitude retention",
-            p.block_size,
-            unstr.time_us / p.time_us,
-            p.magnitude_retention * 100.0
-        );
+    if let Some(unstr) = at90.iter().find(|p| p.block_size == 1) {
+        for p in at90.iter().filter(|p| p.block_size > 1) {
+            println!(
+                "{0}x{0} blocks @90%: {1:.2}x the speed of unstructured, {2:.1}% magnitude retention",
+                p.block_size,
+                unstr.time_us / p.time_us,
+                p.magnitude_retention * 100.0
+            );
+        }
     }
     println!("\nThe paper's tradeoff, quantified: structure buys speed and sells model quality.");
     write_json("ext_block_sparse", &points);

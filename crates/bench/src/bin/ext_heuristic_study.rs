@@ -89,7 +89,7 @@ fn main() {
         }
     }
 
-    entries.sort_by(|a, b| b.gap.partial_cmp(&a.gap).unwrap());
+    entries.sort_by(|a, b| b.gap.total_cmp(&a.gap));
     let mut table = Table::new(
         "Extension — heuristic vs oracle kernel selection (worst 10 problems)",
         &["problem", "MxKxN", "sparsity", "heuristic", "oracle", "gap", "oracle variant"],

@@ -66,8 +66,7 @@ fn main() {
     }
     table.print();
 
-    let first = &points[0];
-    let last = points.last().unwrap();
+    let (Some(first), Some(last)) = (points.first(), points.last()) else { return };
     println!(
         "balanced matrices (CoV 0): swizzle {:.1} us vs nnz-splitting {:.1} us — the \
          irregular scheme pays {:.0}% overhead where there is nothing to balance",

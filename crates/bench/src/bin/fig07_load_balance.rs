@@ -64,10 +64,11 @@ fn main() {
     }
     table.print();
     println!("(100% = throughput on a perfectly balanced matrix; DNN average CoV ~0.3)");
-    let last = points.last().unwrap();
-    println!(
-        "At the highest imbalance: swizzle retains {:.1}% (paper: 96.5%), standard {:.1}% (paper: 47.5%)",
-        last.swizzle_pct, last.standard_pct
-    );
+    if let Some(last) = points.last() {
+        println!(
+            "At the highest imbalance: swizzle retains {:.1}% (paper: 96.5%), standard {:.1}% (paper: 47.5%)",
+            last.swizzle_pct, last.standard_pct
+        );
+    }
     write_json("fig07_load_balance", &points);
 }

@@ -51,10 +51,10 @@ fn main() {
 
         let sputnik_us = sputnik::spmm_profile::<f32>(&gpu, &a, k, n, cfg).time_us;
         let merge_us = baselines::merge_spmm_profile::<f32>(&gpu, &a, n)
-            .expect("RNN batches are divisible by 32")
+            .unwrap_or_else(|e| panic!("RNN batches are divisible by 32: {e}"))
             .time_us;
         let aspt_us = baselines::aspt_spmm_profile::<f32>(&gpu, &a, n)
-            .expect("RNN shapes satisfy ASpT's constraints")
+            .unwrap_or_else(|e| panic!("RNN shapes satisfy ASpT's constraints: {e}"))
             .time_us;
         let cusparse_us = baselines::cusparse_spmm_profile::<f32>(&gpu, &a, n).time_us;
         let scalar_us = sputnik::spmm_profile::<f32>(
@@ -71,7 +71,7 @@ fn main() {
         let sddmm_sputnik_us =
             sputnik::sddmm_profile::<f32>(&gpu, &a, n, SddmmConfig::heuristic::<f32>(n)).time_us;
         let sddmm_aspt_us = baselines::aspt_sddmm_profile::<f32>(&gpu, &a, n)
-            .expect("RNN shapes satisfy ASpT's constraints")
+            .unwrap_or_else(|e| panic!("RNN shapes satisfy ASpT's constraints: {e}"))
             .time_us;
         let sddmm_cusparse_us = baselines::cusparse_sddmm_profile::<f32>(&gpu, &a, n).time_us;
 

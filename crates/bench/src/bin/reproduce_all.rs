@@ -36,10 +36,9 @@ fn main() {
     ];
 
     let exe_dir = std::env::current_exe()
-        .expect("current exe path")
-        .parent()
-        .expect("exe dir")
-        .to_path_buf();
+        .ok()
+        .and_then(|p| p.parent().map(|d| d.to_path_buf()))
+        .unwrap_or_else(|| panic!("cannot resolve the benchmark executable directory"));
 
     let mut failures = Vec::new();
     for (bin, title) in experiments {

@@ -56,7 +56,7 @@ fn main() {
             let col = col_keys
                 .iter()
                 .position(|&(fam, tr)| fam == spec.model && tr == is_training)
-                .unwrap();
+                .unwrap_or_else(|| panic!("no column for {:?}/training={is_training}", spec.model));
             let n = spec.n(batch);
             let full_cfg = SpmmConfig::heuristic::<f32>(n);
             let full = sputnik::spmm_profile::<f32>(&gpu, &a, spec.cols, n, full_cfg).time_us;

@@ -1,0 +1,564 @@
+//! Fault-tolerant SpMM dispatch: detection guards plus a
+//! retry-with-degradation ladder.
+//!
+//! Production serving cannot crash because one kernel launch hit a transient
+//! device fault. This module wraps the Sputnik SpMM in a dispatcher that
+//!
+//! 1. validates inputs once (shapes, finiteness) — violations here are
+//!    *deterministic* and returned immediately, no rung can fix them;
+//! 2. launches the requested Sputnik configuration and checks the output
+//!    with two guards: a NaN/Inf scan and an ABFT-style checksum
+//!    (`sum(C) == sum_nz(a_val * rowsum(B)[a_col])`, accumulated in f64);
+//! 3. on failure, descends a degradation ladder with bounded retries:
+//!    [`Rung::Sputnik`] (retry the same config) → [`Rung::Heuristic`]
+//!    (the paper's [`SpmmConfig::heuristic`] selection) → [`Rung::Fallback`]
+//!    (an internal row-per-block kernel whose name contains no `"sputnik"`,
+//!    so name-matched fault plans spare it) → [`Rung::CpuReference`]
+//!    (host execution, always available);
+//! 4. records which rung served the call, every failed attempt, and the
+//!    simulated backoff spent, in a [`DispatchReport`].
+//!
+//! The guards run on the host against the functional output and never touch
+//! the simulated [`LaunchStats`]: with an empty
+//! [`FaultPlan`](gpu_sim::FaultPlan), dispatch returns statistics identical
+//! to a direct [`crate::spmm`] call.
+
+use crate::config::SpmmConfig;
+use crate::error::{is_transient, SputnikError};
+use crate::reference;
+use crate::spmm::{require_finite, SpmmKernel, BUF_A_INDICES, BUF_A_OFFSETS, BUF_A_VALUES, BUF_B, BUF_C};
+use gpu_sim::{
+    AccessPattern, BlockContext, BufferSpec, Dim3, Gpu, Kernel, LaunchStats, SyncUnsafeSlice,
+};
+use sparse::{CsrMatrix, Matrix, RowSwizzle, Scalar};
+
+/// One rung of the degradation ladder, from fastest to most conservative.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rung {
+    /// The requested Sputnik configuration.
+    Sputnik,
+    /// The paper's heuristic configuration for this problem shape.
+    Heuristic,
+    /// The internal row-per-block fallback kernel (cusparse-style).
+    Fallback,
+    /// Host execution of the golden reference.
+    CpuReference,
+}
+
+impl std::fmt::Display for Rung {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Rung::Sputnik => write!(f, "sputnik"),
+            Rung::Heuristic => write!(f, "heuristic"),
+            Rung::Fallback => write!(f, "fallback"),
+            Rung::CpuReference => write!(f, "cpu-reference"),
+        }
+    }
+}
+
+/// Tuning knobs for the dispatcher.
+#[derive(Debug, Clone)]
+pub struct DispatchPolicy {
+    /// Attempts per GPU rung (first try + retries). Retries are only spent
+    /// on transient errors; deterministic failures skip straight to the
+    /// next rung.
+    pub attempts_per_rung: u32,
+    /// Simulated backoff before the r-th retry of a rung, in microseconds:
+    /// `backoff_base_us << r`, accumulated into the report (no host sleep).
+    pub backoff_base_us: f64,
+    /// Scan functional outputs for NaN/Inf.
+    pub check_finite: bool,
+    /// Verify the ABFT row-sum checksum on functional outputs.
+    pub check_checksum: bool,
+    /// Relative tolerance for the checksum guard. The guard compares an
+    /// f64 shadow sum against f32 kernel arithmetic, so this must absorb
+    /// rounding differences — it targets gross corruption, not ULPs.
+    pub checksum_rel_tol: f64,
+}
+
+impl Default for DispatchPolicy {
+    fn default() -> Self {
+        Self {
+            attempts_per_rung: 2,
+            backoff_base_us: 50.0,
+            check_finite: true,
+            check_checksum: true,
+            checksum_rel_tol: 1e-3,
+        }
+    }
+}
+
+/// A failed attempt, kept for post-mortems.
+#[derive(Debug, Clone)]
+pub struct Attempt {
+    pub rung: Rung,
+    pub error: SputnikError,
+}
+
+/// What happened during one dispatched call.
+#[derive(Debug, Clone)]
+pub struct DispatchReport {
+    /// The rung that produced the returned result.
+    pub served_by: Rung,
+    /// Launch statistics of the serving launch (`None` when the CPU served).
+    pub stats: Option<LaunchStats>,
+    /// Every failed attempt, in order.
+    pub attempts: Vec<Attempt>,
+    /// Total simulated retry backoff, microseconds.
+    pub backoff_us: f64,
+}
+
+impl DispatchReport {
+    /// True when the requested configuration served without degradation.
+    pub fn clean(&self) -> bool {
+        self.served_by == Rung::Sputnik && self.attempts.is_empty()
+    }
+}
+
+/// Aggregate rung usage across many dispatched calls.
+#[derive(Debug, Clone, Default)]
+pub struct DegradationStats {
+    pub calls: u64,
+    pub served: [u64; 4],
+    pub failed_attempts: u64,
+    pub backoff_us: f64,
+}
+
+impl DegradationStats {
+    pub fn record(&mut self, report: &DispatchReport) {
+        self.calls += 1;
+        self.served[report.served_by as usize] += 1;
+        self.failed_attempts += report.attempts.len() as u64;
+        self.backoff_us += report.backoff_us;
+    }
+
+    /// Fraction of calls served by the requested Sputnik configuration.
+    pub fn clean_fraction(&self) -> f64 {
+        if self.calls == 0 {
+            return 1.0;
+        }
+        self.served[Rung::Sputnik as usize] as f64 / self.calls as f64
+    }
+}
+
+/// Fault-tolerant SpMM: `A (sparse) * B (dense)` through the degradation
+/// ladder. Returns the output and a report of which rung served.
+///
+/// Errors are returned only for deterministic input violations (shape
+/// mismatch, non-finite operands): anything transient degrades to a slower
+/// rung, and the CPU reference rung cannot fail.
+pub fn spmm<T: Scalar>(
+    gpu: &Gpu,
+    a: &CsrMatrix<T>,
+    b: &Matrix<T>,
+    cfg: SpmmConfig,
+    policy: &DispatchPolicy,
+) -> Result<(Matrix<T>, DispatchReport), SputnikError> {
+    if a.cols() != b.rows() {
+        return Err(SputnikError::ShapeMismatch {
+            expected: format!("B with {} rows", a.cols()),
+            found: format!("{}x{}", b.rows(), b.cols()),
+            context: "dispatch spmm inner dimension",
+        });
+    }
+    if b.layout() != sparse::Layout::RowMajor {
+        return Err(SputnikError::IllegalConfig {
+            reason: "Sputnik uses row-major dense operands".into(),
+        });
+    }
+    require_finite("a", a.values())?;
+    require_finite("b", b.as_slice())?;
+
+    // Shared by every checksum evaluation: per-row sums of B, in f64.
+    let b_rowsums = checksum_b_rowsums(b);
+    let mut attempts = Vec::new();
+    let mut backoff_us = 0.0f64;
+
+    // GPU rungs: requested config, heuristic config, internal fallback.
+    let heuristic = SpmmConfig::heuristic::<T>(b.cols());
+    let gpu_rungs: Vec<(Rung, Option<SpmmConfig>)> = {
+        let mut r = vec![(Rung::Sputnik, Some(cfg))];
+        if heuristic != cfg {
+            r.push((Rung::Heuristic, Some(heuristic)));
+        }
+        r.push((Rung::Fallback, None));
+        r
+    };
+
+    for (rung, rung_cfg) in gpu_rungs {
+        for attempt in 0..policy.attempts_per_rung {
+            if attempt > 0 {
+                backoff_us += policy.backoff_base_us * f64::from(1u32 << (attempt - 1));
+            }
+            let result = match rung_cfg {
+                Some(c) => launch_sputnik(gpu, a, b, c),
+                None => launch_fallback(gpu, a, b),
+            };
+            match result.and_then(|(out, stats)| {
+                check_output(&out, a, &b_rowsums, rung_cfg, policy, &stats.kernel)?;
+                Ok((out, stats))
+            }) {
+                Ok((out, stats)) => {
+                    let report = DispatchReport {
+                        served_by: rung,
+                        stats: Some(stats),
+                        attempts: std::mem::take(&mut attempts),
+                        backoff_us,
+                    };
+                    return Ok((out, report));
+                }
+                Err(err) => {
+                    let transient = is_transient(&err);
+                    attempts.push(Attempt { rung, error: err });
+                    if !transient {
+                        // Deterministic failure: retrying the same rung
+                        // cannot help.
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    // Last rung: host execution. Identical accumulation order to the
+    // fallback kernel, so results remain bit-stable across rungs for f32.
+    let out = reference_as_t::<T>(a, b);
+    let report =
+        DispatchReport { served_by: Rung::CpuReference, stats: None, attempts, backoff_us };
+    Ok((out, report))
+}
+
+fn launch_sputnik<T: Scalar>(
+    gpu: &Gpu,
+    a: &CsrMatrix<T>,
+    b: &Matrix<T>,
+    cfg: SpmmConfig,
+) -> Result<(Matrix<T>, LaunchStats), SputnikError> {
+    let swizzle = if cfg.row_swizzle {
+        RowSwizzle::by_length_desc(a)
+    } else {
+        RowSwizzle::identity(a.rows())
+    };
+    let mut out = Matrix::<T>::zeros(a.rows(), b.cols());
+    let stats = {
+        let kernel = SpmmKernel::try_new(a, b, &mut out, &swizzle, cfg)?;
+        gpu.try_launch(&kernel)?
+    };
+    Ok((out, stats))
+}
+
+fn launch_fallback<T: Scalar>(
+    gpu: &Gpu,
+    a: &CsrMatrix<T>,
+    b: &Matrix<T>,
+) -> Result<(Matrix<T>, LaunchStats), SputnikError> {
+    let mut out = Matrix::<T>::zeros(a.rows(), b.cols());
+    let stats = {
+        let kernel = FallbackSpmmKernel::new(a, b, &mut out);
+        gpu.try_launch(&kernel)?
+    };
+    Ok((out, stats))
+}
+
+/// CPU rung: the golden reference, converted to the storage type.
+fn reference_as_t<T: Scalar>(a: &CsrMatrix<T>, b: &Matrix<T>) -> Matrix<T> {
+    let c32 = reference::spmm(a, &b.to_f32());
+    let mut out = Matrix::<T>::zeros(a.rows(), b.cols());
+    for (o, &v) in out.as_mut_slice().iter_mut().zip(c32.as_slice()) {
+        *o = T::from_f32(v);
+    }
+    out
+}
+
+/// Per-row sums of B in f64, the checksum's precomputed ingredient.
+fn checksum_b_rowsums<T: Scalar>(b: &Matrix<T>) -> Vec<f64> {
+    let n = b.cols();
+    let data = b.as_slice();
+    (0..b.rows())
+        .map(|r| data[r * n..(r + 1) * n].iter().map(|v| f64::from(v.to_f32())).sum())
+        .collect()
+}
+
+/// Detection guards: NaN/Inf scan plus the ABFT row-sum checksum
+/// `sum(C) == sum over nonzeros of a_val * rowsum(B)[a_col]`.
+fn check_output<T: Scalar>(
+    out: &Matrix<T>,
+    a: &CsrMatrix<T>,
+    b_rowsums: &[f64],
+    cfg: Option<SpmmConfig>,
+    policy: &DispatchPolicy,
+    kernel: &str,
+) -> Result<(), SputnikError> {
+    if policy.check_finite {
+        for v in out.as_slice() {
+            if !v.to_f32().is_finite() {
+                return Err(SputnikError::CorruptOutput {
+                    kernel: kernel.to_string(),
+                    reason: "non-finite value in output".into(),
+                });
+            }
+        }
+    }
+    // The checksum is a linear identity: a fused ReLU epilogue breaks it.
+    let nonlinear = cfg.is_some_and(|c| c.fused_bias_relu);
+    if policy.check_checksum && !nonlinear {
+        let expected: f64 = a
+            .col_indices()
+            .iter()
+            .zip(a.values())
+            .map(|(&col, v)| f64::from(v.to_f32()) * b_rowsums[col as usize])
+            .sum();
+        let actual: f64 = out.as_slice().iter().map(|v| f64::from(v.to_f32())).sum();
+        // Scale-aware tolerance: rounding grows with the mass being summed.
+        let scale: f64 = a
+            .col_indices()
+            .iter()
+            .zip(a.values())
+            .map(|(&col, v)| (f64::from(v.to_f32()) * b_rowsums[col as usize]).abs())
+            .sum::<f64>()
+            .max(1.0);
+        // Negated `<=` so a NaN sum (which fails every comparison) is
+        // flagged as corrupt rather than slipping through.
+        if !((actual - expected).abs() <= policy.checksum_rel_tol * scale) {
+            return Err(SputnikError::CorruptOutput {
+                kernel: kernel.to_string(),
+                reason: format!(
+                    "checksum mismatch: expected {expected:.6e}, found {actual:.6e}"
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// The internal fallback kernel: one thread block per output row, 32 lanes
+/// streaming the row's nonzeros in order — the simple cusparse-style
+/// decomposition. No tuning parameters, no shared-memory staging, minimal
+/// resource footprint: if this cannot launch, nothing can. Its name contains
+/// no `"sputnik"`, so fault plans filtered to Sputnik kernels spare it, and
+/// it does not implement `poison_output`, modeling a conservatively
+/// ECC-checked path.
+///
+/// Accumulation is f32 in nonzero order per row — the same order as
+/// [`reference::spmm`] — so f32 results are bit-identical to the CPU rung.
+pub struct FallbackSpmmKernel<'a, T: Scalar> {
+    a: &'a CsrMatrix<T>,
+    b: &'a Matrix<T>,
+    out: SyncUnsafeSlice<'a, T>,
+    n: usize,
+}
+
+impl<'a, T: Scalar> FallbackSpmmKernel<'a, T> {
+    pub fn new(a: &'a CsrMatrix<T>, b: &'a Matrix<T>, out: &'a mut Matrix<T>) -> Self {
+        assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+        assert_eq!(out.rows(), a.rows());
+        assert_eq!(out.cols(), b.cols());
+        let n = b.cols();
+        Self { a, b, out: SyncUnsafeSlice::new(out.as_mut_slice()), n }
+    }
+}
+
+impl<T: Scalar> Kernel for FallbackSpmmKernel<'_, T> {
+    fn name(&self) -> String {
+        format!("fallback_spmm_{}", T::TAG)
+    }
+
+    fn grid(&self) -> Dim3 {
+        Dim3::x((self.a.rows() as u32).max(1))
+    }
+
+    fn block_dim(&self) -> Dim3 {
+        Dim3::x(32)
+    }
+
+    fn regs_per_thread(&self) -> u32 {
+        24
+    }
+
+    fn buffers(&self) -> Vec<BufferSpec> {
+        let nnz = self.a.nnz() as u64;
+        let eb = T::BYTES as u64;
+        vec![
+            BufferSpec {
+                id: BUF_A_VALUES,
+                name: "a_values",
+                footprint_bytes: nnz * eb,
+                pattern: AccessPattern::Streaming,
+            },
+            BufferSpec {
+                id: BUF_A_INDICES,
+                name: "a_indices",
+                footprint_bytes: nnz * 4,
+                pattern: AccessPattern::Streaming,
+            },
+            BufferSpec {
+                id: BUF_A_OFFSETS,
+                name: "a_row_offsets",
+                footprint_bytes: (self.a.rows() as u64 + 1) * 4,
+                pattern: AccessPattern::SharedReuse,
+            },
+            BufferSpec {
+                id: BUF_B,
+                name: "b",
+                footprint_bytes: (self.a.cols() * self.n) as u64 * eb,
+                pattern: AccessPattern::SharedReuse,
+            },
+            BufferSpec {
+                id: BUF_C,
+                name: "c",
+                footprint_bytes: (self.a.rows() * self.n) as u64 * eb,
+                pattern: AccessPattern::Streaming,
+            },
+        ]
+    }
+
+    fn execute_block(&self, block: Dim3, ctx: &mut BlockContext) {
+        let row = block.x as usize;
+        if row >= self.a.rows() {
+            return;
+        }
+        let eb = T::BYTES;
+        let n = self.n;
+        let offset = self.a.row_offsets()[row] as usize;
+        let nnz = self.a.row_len(row);
+
+        // ---- Cost trace: scalar row walk, no staging, no vectorization.
+        ctx.misc(4);
+        ctx.ld_global(BUF_A_OFFSETS, row as u64 * 4, 2, 1, 4);
+        if nnz > 0 {
+            let loads = (nnz as u64).div_ceil(32);
+            for chunk in 0..loads {
+                let addr = (offset as u64 + chunk * 32) * eb as u64;
+                let lanes = 32.min(nnz as u32 - (chunk * 32) as u32);
+                ctx.ld_global(BUF_A_VALUES, addr, lanes, 1, eb);
+                ctx.ld_global(BUF_A_INDICES, (offset as u64 + chunk * 32) * 4, lanes, 1, 4);
+            }
+            // One full B-row sweep per nonzero, strip-mined over 32 lanes.
+            let strips_per_row = (n as u64).div_ceil(32);
+            for &col in &self.a.col_indices()[offset..offset + nnz] {
+                for s in 0..strips_per_row {
+                    let addr = (col as u64 * n as u64 + s * 32) * eb as u64;
+                    let lanes = 32.min(n as u32 - (s * 32) as u32);
+                    ctx.ld_global(BUF_B, addr, lanes, 1, eb);
+                }
+                ctx.cost.fma_instrs += strips_per_row;
+                ctx.misc(2);
+            }
+            ctx.cost.flops += 2 * (nnz * n) as u64;
+        }
+        let strips_per_row = (n as u64).div_ceil(32);
+        for s in 0..strips_per_row {
+            let addr = (row as u64 * n as u64 + s * 32) * eb as u64;
+            let lanes = 32.min(n as u32 - (s * 32) as u32);
+            ctx.st_global(BUF_C, addr, lanes, 1, eb);
+        }
+
+        // ---- Functional: in-order accumulation matching reference::spmm.
+        if ctx.functional() {
+            let values = self.a.values();
+            let indices = self.a.col_indices();
+            let bdata = self.b.as_slice();
+            let mut acc = vec![0.0f32; n];
+            for pos in offset..offset + nnz {
+                let v = values[pos].to_f32();
+                let col = indices[pos] as usize;
+                let brow = &bdata[col * n..col * n + n];
+                for (x, bv) in brow.iter().enumerate() {
+                    acc[x] += v * bv.to_f32();
+                }
+            }
+            for (x, &v) in acc.iter().enumerate() {
+                unsafe { self.out.write(row * n + x, T::from_f32(v)) };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse::gen;
+
+    #[test]
+    fn fallback_kernel_matches_reference_bitwise() {
+        let a = gen::uniform(40, 64, 0.7, 21);
+        let b = Matrix::<f32>::random(64, 48, 22);
+        let gpu = Gpu::v100();
+        let mut out = Matrix::<f32>::zeros(40, 48);
+        let kernel = FallbackSpmmKernel::new(&a, &b, &mut out);
+        let stats = gpu.try_launch(&kernel).expect("fallback launches");
+        assert!(stats.time_us > 0.0);
+        assert!(!stats.kernel.contains("sputnik"), "name must not match sputnik filters");
+        let expect = reference::spmm(&a, &b);
+        assert_eq!(out.as_slice(), expect.as_slice(), "bit-identical to the reference");
+    }
+
+    #[test]
+    fn clean_dispatch_serves_from_sputnik_rung() {
+        let a = gen::uniform(32, 64, 0.8, 23);
+        let b = Matrix::<f32>::random(64, 32, 24);
+        let gpu = Gpu::v100();
+        let (out, report) =
+            spmm(&gpu, &a, &b, SpmmConfig::default(), &DispatchPolicy::default()).unwrap();
+        assert!(report.clean());
+        assert_eq!(report.served_by, Rung::Sputnik);
+        assert!(report.stats.is_some());
+        assert_eq!(report.backoff_us, 0.0);
+        let expect = reference::spmm(&a, &b);
+        assert!(out.max_abs_diff(&expect) < 1e-3);
+    }
+
+    #[test]
+    fn shape_mismatch_is_not_recoverable() {
+        let a = gen::uniform(8, 16, 0.5, 25);
+        let b = Matrix::<f32>::random(24, 8, 26);
+        let gpu = Gpu::v100();
+        let err = spmm(&gpu, &a, &b, SpmmConfig::default(), &DispatchPolicy::default())
+            .expect_err("shapes disagree");
+        assert!(matches!(err, SputnikError::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn non_finite_operand_is_rejected_up_front() {
+        let a = gen::uniform(8, 16, 0.5, 27);
+        let mut b = Matrix::<f32>::random(16, 8, 28);
+        b.set(3, 3, f32::NAN);
+        let gpu = Gpu::v100();
+        let err = spmm(&gpu, &a, &b, SpmmConfig::default(), &DispatchPolicy::default())
+            .expect_err("NaN operand");
+        assert!(matches!(err, SputnikError::NonFiniteOperand { operand: "b", .. }));
+    }
+
+    #[test]
+    fn illegal_config_degrades_to_heuristic() {
+        let a = gen::uniform(16, 32, 0.6, 29);
+        let b = Matrix::<f32>::random(32, 16, 30);
+        let gpu = Gpu::v100();
+        // vector_width 3 is illegal; dispatch must fall through to the
+        // heuristic rung rather than erroring.
+        let bad = SpmmConfig { vector_width: 3, ..SpmmConfig::default() };
+        let (out, report) = spmm(&gpu, &a, &b, bad, &DispatchPolicy::default()).unwrap();
+        assert_eq!(report.served_by, Rung::Heuristic);
+        // Deterministic failure: exactly one attempt burned on the bad rung.
+        assert_eq!(report.attempts.len(), 1);
+        assert!(matches!(report.attempts[0].error, SputnikError::IllegalConfig { .. }));
+        let expect = reference::spmm(&a, &b);
+        assert!(out.max_abs_diff(&expect) < 1e-3);
+    }
+
+    #[test]
+    fn degradation_stats_aggregate() {
+        let mut stats = DegradationStats::default();
+        let a = gen::uniform(16, 32, 0.6, 31);
+        let b = Matrix::<f32>::random(32, 16, 32);
+        let gpu = Gpu::v100();
+        for _ in 0..3 {
+            let (_, report) =
+                spmm(&gpu, &a, &b, SpmmConfig::default(), &DispatchPolicy::default()).unwrap();
+            stats.record(&report);
+        }
+        assert_eq!(stats.calls, 3);
+        assert_eq!(stats.served[Rung::Sputnik as usize], 3);
+        assert_eq!(stats.clean_fraction(), 1.0);
+    }
+}

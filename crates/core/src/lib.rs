@@ -8,6 +8,8 @@
 //! simulated V100.
 pub mod batched;
 pub mod config;
+pub mod dispatch;
+pub mod error;
 pub mod reference;
 pub mod roma;
 pub mod sddmm;
@@ -18,9 +20,11 @@ pub mod tune;
 
 pub use batched::{sddmm_batched, spmm_batched, BatchedResult};
 pub use config::{SddmmConfig, SpmmConfig};
+pub use dispatch::{DegradationStats, DispatchPolicy, DispatchReport, FallbackSpmmKernel, Rung};
+pub use error::SputnikError;
 pub use roma::MemoryAligner;
-pub use sddmm::{sddmm, sddmm_profile, SddmmKernel};
+pub use sddmm::{sddmm, sddmm_profile, try_sddmm, SddmmKernel};
 pub use softmax::{sparse_softmax, sparse_softmax_profile, SparseSoftmaxKernel};
-pub use spmm::{spmm, spmm_profile, SpmmKernel};
+pub use spmm::{spmm, spmm_profile, try_spmm, SpmmKernel};
 pub use transpose::{CachedTranspose, PermuteKernel};
 pub use tune::{AutoTuner, ProblemClass, TuneResult};

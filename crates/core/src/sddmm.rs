@@ -14,6 +14,8 @@
 //! capacity on Volta, where L1 and shared memory are the same storage).
 
 use crate::config::SddmmConfig;
+use crate::error::SputnikError;
+use crate::spmm::require_finite;
 use gpu_sim::{
     AccessPattern, BlockContext, BufferId, BufferSpec, Dim3, Gpu, Kernel, LaunchStats,
     SyncUnsafeSlice,
@@ -51,15 +53,51 @@ impl<'a, T: Scalar> SddmmKernel<'a, T> {
         swizzle: &'a RowSwizzle,
         cfg: SddmmConfig,
     ) -> Self {
-        assert_eq!(lhs.cols(), rhs.cols(), "dot-product lengths must agree (RHS is transposed)");
-        assert_eq!(mask.rows(), lhs.rows(), "mask rows must match LHS rows");
-        assert_eq!(mask.cols(), rhs.rows(), "mask cols must match RHS rows");
-        assert_eq!(out_values.len(), mask.nnz(), "output holds one value per mask nonzero");
-        assert_eq!(swizzle.len(), mask.rows());
-        cfg.validate().expect("invalid SDDMM configuration");
+        Self::try_new(lhs, rhs, mask, out_values, swizzle, cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible constructor: every shape/config violation becomes a
+    /// [`SputnikError`] instead of a panic.
+    pub fn try_new(
+        lhs: &'a Matrix<T>,
+        rhs: &'a Matrix<T>,
+        mask: &'a CsrMatrix<T>,
+        out_values: &'a mut [T],
+        swizzle: &'a RowSwizzle,
+        cfg: SddmmConfig,
+    ) -> Result<Self, SputnikError> {
+        if lhs.cols() != rhs.cols() {
+            return Err(SputnikError::ShapeMismatch {
+                expected: format!("RHS with {} columns (RHS is transposed)", lhs.cols()),
+                found: format!("{}x{}", rhs.rows(), rhs.cols()),
+                context: "sddmm dot-product length",
+            });
+        }
+        if mask.rows() != lhs.rows() || mask.cols() != rhs.rows() {
+            return Err(SputnikError::ShapeMismatch {
+                expected: format!("{}x{} mask", lhs.rows(), rhs.rows()),
+                found: format!("{}x{}", mask.rows(), mask.cols()),
+                context: "sddmm mask",
+            });
+        }
+        if out_values.len() != mask.nnz() {
+            return Err(SputnikError::ShapeMismatch {
+                expected: format!("{} output values (one per mask nonzero)", mask.nnz()),
+                found: format!("{}", out_values.len()),
+                context: "sddmm output",
+            });
+        }
+        if swizzle.len() != mask.rows() {
+            return Err(SputnikError::ShapeMismatch {
+                expected: format!("swizzle over {} rows", mask.rows()),
+                found: format!("{} entries", swizzle.len()),
+                context: "sddmm row swizzle",
+            });
+        }
+        cfg.validate().map_err(|reason| SputnikError::IllegalConfig { reason })?;
         let k = lhs.cols();
         let max_strips = Self::strips_for(mask, &cfg);
-        Self {
+        Ok(Self {
             lhs: Some(lhs),
             rhs: Some(rhs),
             mask,
@@ -68,12 +106,12 @@ impl<'a, T: Scalar> SddmmKernel<'a, T> {
             cfg,
             k,
             max_strips,
-        }
+        })
     }
 
     /// Cost-model-only kernel; dense operands are described by `k` alone.
     pub fn for_profile(mask: &'a CsrMatrix<T>, k: usize, swizzle: &'a RowSwizzle, cfg: SddmmConfig) -> Self {
-        cfg.validate().expect("invalid SDDMM configuration");
+        cfg.validate().unwrap_or_else(|e| panic!("invalid SDDMM configuration: {e}"));
         assert_eq!(swizzle.len(), mask.rows());
         let max_strips = Self::strips_for(mask, &cfg);
         Self { lhs: None, rhs: None, mask, out_values: None, swizzle, cfg, k, max_strips }
@@ -249,10 +287,9 @@ impl<T: Scalar> Kernel for SddmmKernel<'_, T> {
         ctx.st_global(BUF_OUT, out_addr, s as u32, 1, eb);
 
         // ---- Functional ----------------------------------------------------
-        if ctx.functional() && self.lhs.is_some() {
-            let lhs = self.lhs.unwrap();
-            let rhs = self.rhs.unwrap();
-            let out = self.out_values.as_ref().unwrap();
+        if let (true, Some(lhs), Some(rhs), Some(out)) =
+            (ctx.functional(), self.lhs, self.rhs, self.out_values.as_ref())
+        {
             let lrow = &lhs.as_slice()[row * k..(row + 1) * k];
             let (_, mask_vals) = self.mask.row(row);
             for (t, &j) in strip_cols.iter().enumerate() {
@@ -269,10 +306,27 @@ impl<T: Scalar> Kernel for SddmmKernel<'_, T> {
             }
         }
     }
+
+    fn poison_output(&self, seed: u64) {
+        // Simulated silent data corruption (see SpmmKernel::poison_output).
+        if let Some(out) = self.out_values.as_ref() {
+            let len = out.len();
+            if len == 0 {
+                return;
+            }
+            for i in 0..3u64 {
+                let mut z = seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z ^= z >> 31;
+                unsafe { out.write(z as usize % len, T::from_f32(f32::NAN)) };
+            }
+        }
+    }
 }
 
 /// Run SDDMM on the simulated GPU: returns the sparse output (the mask's
-/// topology with computed values) and launch statistics.
+/// topology with computed values) and launch statistics. Panics on invalid
+/// inputs or device faults; [`try_sddmm`] is the recoverable equivalent.
 pub fn sddmm<T: Scalar>(
     gpu: &Gpu,
     lhs: &Matrix<T>,
@@ -280,6 +334,22 @@ pub fn sddmm<T: Scalar>(
     mask: &CsrMatrix<T>,
     cfg: SddmmConfig,
 ) -> (CsrMatrix<T>, LaunchStats) {
+    try_sddmm(gpu, lhs, rhs, mask, cfg).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible SDDMM: validates shapes, configuration legality, operand
+/// finiteness, and device resource limits, then launches through
+/// [`Gpu::try_launch`] so injected faults surface as errors.
+pub fn try_sddmm<T: Scalar>(
+    gpu: &Gpu,
+    lhs: &Matrix<T>,
+    rhs: &Matrix<T>,
+    mask: &CsrMatrix<T>,
+    cfg: SddmmConfig,
+) -> Result<(CsrMatrix<T>, LaunchStats), SputnikError> {
+    require_finite("lhs", lhs.as_slice())?;
+    require_finite("rhs", rhs.as_slice())?;
+    require_finite("mask", mask.values())?;
     let swizzle = if cfg.row_swizzle {
         RowSwizzle::by_length_desc(mask)
     } else {
@@ -287,10 +357,10 @@ pub fn sddmm<T: Scalar>(
     };
     let mut values = vec![T::zero(); mask.nnz()];
     let stats = {
-        let kernel = SddmmKernel::new(lhs, rhs, mask, &mut values, &swizzle, cfg);
-        gpu.launch(&kernel)
+        let kernel = SddmmKernel::try_new(lhs, rhs, mask, &mut values, &swizzle, cfg)?;
+        gpu.try_launch(&kernel)?
     };
-    (mask.with_values(values), stats)
+    Ok((mask.with_values(values), stats))
 }
 
 /// Profile SDDMM (cost model only).

@@ -112,8 +112,7 @@ impl<T: Scalar> Kernel for SparseSoftmaxKernel<'_, T> {
             ctx.cost.gmem[BUF_OUT.0 as usize].st_sectors += sectors;
             ctx.cost.flops += 3 * len as u64;
 
-            if ctx.functional() && self.out_values.is_some() {
-                let out = self.out_values.as_ref().unwrap();
+            if let (true, Some(out)) = (ctx.functional(), self.out_values.as_ref()) {
                 let vals = &self.m.values()[start..start + len];
                 let max = vals.iter().map(|v| v.to_f32()).fold(f32::NEG_INFINITY, f32::max);
                 let exps: Vec<f32> = vals.iter().map(|v| (v.to_f32() - max).exp()).collect();

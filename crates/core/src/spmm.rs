@@ -15,12 +15,55 @@
 //! bundling removes.
 
 use crate::config::SpmmConfig;
+use crate::error::SputnikError;
 use crate::roma::{MemoryAligner, ROMA_MASK_INSTRS, ROMA_PRELUDE_INSTRS};
 use gpu_sim::{
     AccessPattern, BlockContext, BufferId, BufferSpec, Dim3, Gpu, Kernel, LaunchStats,
     SyncUnsafeSlice,
 };
 use sparse::{CsrMatrix, Matrix, RowSwizzle, Scalar};
+
+/// Validate shapes/config shared by the functional and profile constructors.
+fn validate_spmm<T: Scalar>(
+    a: &CsrMatrix<T>,
+    swizzle: &RowSwizzle,
+    cfg: &SpmmConfig,
+) -> Result<(), SputnikError> {
+    cfg.validate(a.cols()).map_err(|reason| SputnikError::IllegalConfig { reason })?;
+    if cfg.threads_x() > 32 {
+        return Err(SputnikError::IllegalConfig {
+            reason: format!(
+                "a subwarp cannot span more than one warp: block_items_x {} / vector_width {} = {} threads",
+                cfg.block_items_x,
+                cfg.vector_width,
+                cfg.threads_x()
+            ),
+        });
+    }
+    if swizzle.len() != a.rows() {
+        return Err(SputnikError::ShapeMismatch {
+            expected: format!("swizzle over {} rows", a.rows()),
+            found: format!("{} entries", swizzle.len()),
+            context: "spmm row swizzle",
+        });
+    }
+    Ok(())
+}
+
+/// Reject operands containing NaN/Inf: results would be meaningless and the
+/// dispatch layer's output-corruption guards could not distinguish poisoned
+/// outputs from honest ones.
+pub(crate) fn require_finite<T: Scalar>(
+    operand: &'static str,
+    values: &[T],
+) -> Result<(), SputnikError> {
+    for (index, v) in values.iter().enumerate() {
+        if !v.to_f32().is_finite() {
+            return Err(SputnikError::NonFiniteOperand { operand, index });
+        }
+    }
+    Ok(())
+}
 
 /// Buffer identities for the cache model.
 pub const BUF_A_VALUES: BufferId = BufferId(0);
@@ -68,25 +111,48 @@ impl<'a, T: Scalar> SpmmKernel<'a, T> {
         swizzle: &'a RowSwizzle,
         cfg: SpmmConfig,
     ) -> Self {
-        assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
-        assert_eq!(out.rows(), a.rows());
-        assert_eq!(out.cols(), b.cols());
-        assert_eq!(b.layout(), sparse::Layout::RowMajor, "Sputnik uses row-major dense operands");
-        assert_eq!(swizzle.len(), a.rows(), "swizzle must cover all rows");
-        cfg.validate(a.cols()).expect("invalid SpMM configuration");
-        assert!(cfg.threads_x() <= 32, "a subwarp cannot span more than one warp");
+        Self::try_new(a, b, out, swizzle, cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible constructor: every shape/config violation becomes a
+    /// [`SputnikError`] instead of a panic.
+    pub fn try_new(
+        a: &'a CsrMatrix<T>,
+        b: &'a Matrix<T>,
+        out: &'a mut Matrix<T>,
+        swizzle: &'a RowSwizzle,
+        cfg: SpmmConfig,
+    ) -> Result<Self, SputnikError> {
+        if a.cols() != b.rows() {
+            return Err(SputnikError::ShapeMismatch {
+                expected: format!("B with {} rows", a.cols()),
+                found: format!("{}x{}", b.rows(), b.cols()),
+                context: "spmm inner dimension",
+            });
+        }
+        if out.rows() != a.rows() || out.cols() != b.cols() {
+            return Err(SputnikError::ShapeMismatch {
+                expected: format!("{}x{}", a.rows(), b.cols()),
+                found: format!("{}x{}", out.rows(), out.cols()),
+                context: "spmm output",
+            });
+        }
+        if b.layout() != sparse::Layout::RowMajor {
+            return Err(SputnikError::IllegalConfig {
+                reason: "Sputnik uses row-major dense operands".into(),
+            });
+        }
+        validate_spmm(a, swizzle, &cfg)?;
         let n = b.cols();
         let out = SyncUnsafeSlice::new(out.as_mut_slice());
-        Self { a, b: Some(b), out: Some(out), swizzle, bias: None, cfg, n }
+        Ok(Self { a, b: Some(b), out: Some(out), swizzle, bias: None, cfg, n })
     }
 
     /// A cost-model-only kernel: no dense operands are materialized, so it
     /// can profile problems whose B/C matrices would not fit host memory
     /// (the corpus sweeps). Launch it with [`gpu_sim::Gpu::profile`].
     pub fn for_profile(a: &'a CsrMatrix<T>, n: usize, swizzle: &'a RowSwizzle, cfg: SpmmConfig) -> Self {
-        assert_eq!(swizzle.len(), a.rows(), "swizzle must cover all rows");
-        cfg.validate(a.cols()).expect("invalid SpMM configuration");
-        assert!(cfg.threads_x() <= 32, "a subwarp cannot span more than one warp");
+        validate_spmm(a, swizzle, &cfg).unwrap_or_else(|e| panic!("{e}"));
         Self { a, b: None, out: None, swizzle, bias: None, cfg, n }
     }
 
@@ -156,8 +222,10 @@ impl<'a, T: Scalar> SpmmKernel<'a, T> {
         let mut acc = vec![0.0f32; tile_w];
         let values = self.a.values();
         let indices = self.a.col_indices();
-        let b = self.b.expect("functional execution requires the dense operand").as_slice();
-        let out = self.out.as_ref().expect("functional execution requires an output buffer");
+        // Both operands are always present on the functional path (the only
+        // caller); a cost-model-only kernel never reaches this method.
+        let (Some(b), Some(out)) = (self.b, self.out.as_ref()) else { return };
+        let b = b.as_slice();
         for j in 0..sub.total {
             let pos = sub.aligned_offset + j;
             // ROMA masking: the prefix belongs to the previous row.
@@ -498,16 +566,51 @@ impl<T: Scalar> Kernel for SpmmKernel<'_, T> {
             }
         }
     }
+
+    fn poison_output(&self, seed: u64) {
+        // Simulated silent data corruption: scatter a few NaNs across the
+        // output at seed-derived positions. Disjoint from block execution —
+        // the launcher calls this only after all blocks complete.
+        if let Some(out) = self.out.as_ref() {
+            let len = out.len();
+            if len == 0 {
+                return;
+            }
+            for i in 0..3u64 {
+                let mut z = seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z ^= z >> 31;
+                unsafe { out.write(z as usize % len, T::from_f32(f32::NAN)) };
+            }
+        }
+    }
 }
 
 /// Run SpMM on the simulated GPU: allocates the output, builds the swizzle
 /// (when enabled), launches functionally, and returns `(C, stats)`.
+/// Panics on invalid inputs or device faults; [`try_spmm`] is the
+/// recoverable equivalent.
 pub fn spmm<T: Scalar>(
     gpu: &Gpu,
     a: &CsrMatrix<T>,
     b: &Matrix<T>,
     cfg: SpmmConfig,
 ) -> (Matrix<T>, LaunchStats) {
+    try_spmm(gpu, a, b, cfg).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible SpMM: validates shapes, configuration legality, operand
+/// finiteness, and device resource limits up front, then launches through
+/// [`Gpu::try_launch`] so injected device faults surface as errors instead
+/// of panics. Returns `(C, stats)` on success.
+pub fn try_spmm<T: Scalar>(
+    gpu: &Gpu,
+    a: &CsrMatrix<T>,
+    b: &Matrix<T>,
+    cfg: SpmmConfig,
+) -> Result<(Matrix<T>, LaunchStats), SputnikError> {
+    require_finite("a", a.values())?;
+    require_finite("b", b.as_slice())?;
     let swizzle = if cfg.row_swizzle {
         RowSwizzle::by_length_desc(a)
     } else {
@@ -515,10 +618,10 @@ pub fn spmm<T: Scalar>(
     };
     let mut out = Matrix::<T>::zeros(a.rows(), b.cols());
     let stats = {
-        let kernel = SpmmKernel::new(a, b, &mut out, &swizzle, cfg);
-        gpu.launch(&kernel)
+        let kernel = SpmmKernel::try_new(a, b, &mut out, &swizzle, cfg)?;
+        gpu.try_launch(&kernel)?
     };
-    (out, stats)
+    Ok((out, stats))
 }
 
 /// Profile SpMM (cost model only): no dense matrices are allocated, so this

@@ -211,10 +211,11 @@ impl Kernel for BiasReluKernel<'_> {
         ctx.misc(6);
         ctx.cost.flops += 2 * w as u64;
 
-        if ctx.functional() && self.x.is_some() {
-            let x = self.x.unwrap().as_slice();
-            let b = self.bias.unwrap()[row];
-            let out = self.out.as_ref().unwrap();
+        if let (true, Some(x), Some(bias), Some(out)) =
+            (ctx.functional(), self.x, self.bias, self.out.as_ref())
+        {
+            let x = x.as_slice();
+            let b = bias[row];
             for c in c0..c0 + w {
                 let mut v = x[row * self.n + c] + b;
                 if self.relu {
@@ -414,11 +415,10 @@ impl Kernel for DepthwiseConvKernel<'_> {
         );
         ctx.cost.flops += (9 * 2 + 2) * count as u64;
 
-        if ctx.functional() && self.input.is_some() {
-            let input = self.input.unwrap();
-            let filters = self.filters.unwrap();
-            let bias = self.bias.unwrap()[c];
-            let out = self.out.as_ref().unwrap();
+        if let (true, Some(input), Some(filters), Some(bias), Some(out)) =
+            (ctx.functional(), self.input, self.filters, self.bias, self.out.as_ref())
+        {
+            let bias = bias[c];
             for p in p0..p0 + count {
                 let oy = (p / ow) as i64;
                 let ox = (p % ow) as i64;
@@ -534,9 +534,8 @@ impl Kernel for DenseSoftmaxKernel<'_> {
             ctx.misc(8);
             ctx.cost.flops += 3 * n;
 
-            if ctx.functional() && self.x.is_some() {
-                let x = self.x.unwrap().as_slice();
-                let out = self.out.as_ref().unwrap();
+            if let (true, Some(x), Some(out)) = (ctx.functional(), self.x, self.out.as_ref()) {
+                let x = x.as_slice();
                 let rowv = &x[row * self.n..(row + 1) * self.n];
                 let max = rowv.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
                 let sum: f32 = rowv.iter().map(|&v| (v - max).exp()).sum();

@@ -17,7 +17,7 @@ pub fn magnitude_prune(weights: &Matrix<f32>, sparsity: f64) -> CsrMatrix<f32> {
     // Threshold = keep-th largest magnitude via select_nth.
     let mut mags: Vec<f32> = weights.as_slice().iter().map(|v| v.abs()).collect();
     let idx = total - keep;
-    mags.select_nth_unstable_by(idx, |a, b| a.partial_cmp(b).unwrap());
+    mags.select_nth_unstable_by(idx, f32::total_cmp);
     let threshold = mags[idx];
 
     // Keep strictly-above first, then fill ties deterministically (row-major

@@ -42,6 +42,14 @@ pub trait Kernel: Sync {
     /// Execute one thread block. `block` is the block index within the grid.
     fn execute_block(&self, block: Dim3, ctx: &mut BlockContext);
 
+    /// Corrupt this kernel's functional output with non-finite values, as a
+    /// silent data-corruption fault would. Called by the launcher when a
+    /// [`FaultPlan`](crate::fault::FaultPlan) injects
+    /// [`FaultKind::PoisonOutput`](crate::fault::FaultKind) on a functional
+    /// launch; `seed` makes the corruption pattern deterministic. The default
+    /// is a no-op: kernels that do not opt in simply cannot be poisoned.
+    fn poison_output(&self, _seed: u64) {}
+
     /// Derived per-block resource requirements.
     fn block_requirements(&self) -> BlockRequirements {
         BlockRequirements {

@@ -4,12 +4,49 @@
 use crate::cache;
 use crate::cost::{BlockContext, BlockCost, Traffic, MAX_BUFFERS};
 use crate::device::DeviceConfig;
+use crate::fault::{DeviceFault, FaultKind, FaultPlan};
 use crate::kernel::Kernel;
 use crate::occupancy::{self, Occupancy};
 use crate::scheduler;
 use crate::timing;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+
+/// Why a launch could not run (or did not complete).
+#[derive(Debug, Clone, PartialEq)]
+pub enum LaunchError {
+    /// The kernel requests more shared memory per block than the device
+    /// allows for any single block.
+    SmemOverBudget { kernel: String, requested: u32, budget: u32 },
+    /// No block of this kernel can be resident on an SM (shared memory or
+    /// register pressure exceed per-SM capacity): the launch cannot execute.
+    OccupancyZero { kernel: String },
+    /// An injected device fault aborted the launch.
+    DeviceFault(DeviceFault),
+}
+
+impl std::fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LaunchError::SmemOverBudget { kernel, requested, budget } => write!(
+                f,
+                "kernel {kernel} requests {requested} B shared memory; device max is {budget}"
+            ),
+            LaunchError::OccupancyZero { kernel } => {
+                write!(f, "kernel {kernel} achieves zero occupancy: no block fits on an SM")
+            }
+            LaunchError::DeviceFault(fault) => write!(f, "device fault: {fault}"),
+        }
+    }
+}
+
+impl std::error::Error for LaunchError {}
+
+impl From<DeviceFault> for LaunchError {
+    fn from(fault: DeviceFault) -> Self {
+        LaunchError::DeviceFault(fault)
+    }
+}
 
 /// Device-wide roofline times (cycles) per pipeline — the denominator view
 /// of where a kernel's time goes.
@@ -103,11 +140,13 @@ impl std::fmt::Display for LaunchStats {
 /// A simulated GPU: a device configuration plus launch machinery.
 pub struct Gpu {
     dev: DeviceConfig,
+    /// Optional injected-fault schedule consulted on every launch.
+    fault: Option<FaultPlan>,
 }
 
 impl Gpu {
     pub fn new(dev: DeviceConfig) -> Self {
-        Self { dev }
+        Self { dev, fault: None }
     }
 
     pub fn v100() -> Self {
@@ -126,31 +165,87 @@ impl Gpu {
         &self.dev
     }
 
+    /// Attach a fault-injection schedule; every subsequent launch consults it.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+
+    /// The attached fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref()
+    }
+
     /// Launch a kernel functionally: blocks compute real outputs *and* the
-    /// launch is timed.
+    /// launch is timed. Panics on invalid launches or injected faults; use
+    /// [`Gpu::try_launch`] for a recoverable error instead.
     pub fn launch(&self, kernel: &dyn Kernel) -> LaunchStats {
-        self.run(kernel, true)
+        self.try_launch(kernel).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Profile a kernel: cost traces only, no functional output. Used by the
     /// large benchmark sweeps where only timing is needed.
     pub fn profile(&self, kernel: &dyn Kernel) -> LaunchStats {
-        self.run(kernel, false)
+        self.try_profile(kernel).unwrap_or_else(|e| panic!("{e}"))
     }
 
-    fn run(&self, kernel: &dyn Kernel, functional: bool) -> LaunchStats {
+    /// Fallible functional launch: validates resources, consults the fault
+    /// plan, executes, and reports faults as errors instead of panicking.
+    pub fn try_launch(&self, kernel: &dyn Kernel) -> Result<LaunchStats, LaunchError> {
+        self.try_run(kernel, true)
+    }
+
+    /// Fallible profile launch (cost only).
+    pub fn try_profile(&self, kernel: &dyn Kernel) -> Result<LaunchStats, LaunchError> {
+        self.try_run(kernel, false)
+    }
+
+    fn try_run(&self, kernel: &dyn Kernel, functional: bool) -> Result<LaunchStats, LaunchError> {
+        let dev = &self.dev;
+        let req = kernel.block_requirements();
+        let occ = occupancy::occupancy(dev, &req);
+        if req.smem_bytes > dev.smem_per_block_max {
+            return Err(LaunchError::SmemOverBudget {
+                kernel: kernel.name(),
+                requested: req.smem_bytes,
+                budget: dev.smem_per_block_max,
+            });
+        }
+        if occ.blocks_per_sm == 0 {
+            return Err(LaunchError::OccupancyZero { kernel: kernel.name() });
+        }
+
+        // The fault decision comes *after* resource validation: an invalid
+        // launch never reaches the device, so it must not consume an index
+        // in the fault schedule.
+        let poison = match self.fault.as_ref() {
+            Some(plan) => match plan.decide(&kernel.name()) {
+                Some(fault) if fault.kind == FaultKind::PoisonOutput => {
+                    Some(plan.poison_seed(&fault))
+                }
+                Some(fault) => return Err(LaunchError::DeviceFault(fault)),
+                None => None,
+            },
+            None => None,
+        };
+
+        let stats = self.run(kernel, functional, occ);
+
+        // A poison fault corrupts the output *after* a successful-looking
+        // launch: callers only notice by inspecting the results.
+        if functional {
+            if let Some(seed) = poison {
+                kernel.poison_output(seed);
+            }
+        }
+        Ok(stats)
+    }
+
+    fn run(&self, kernel: &dyn Kernel, functional: bool, occ: Occupancy) -> LaunchStats {
         let dev = &self.dev;
         let grid = kernel.grid();
         let n_blocks = grid.size();
         let req = kernel.block_requirements();
-        let occ = occupancy::occupancy(dev, &req);
-        assert!(
-            req.smem_bytes <= dev.smem_per_block_max,
-            "kernel {} requests {} B shared memory; device max is {}",
-            kernel.name(),
-            req.smem_bytes,
-            dev.smem_per_block_max
-        );
 
         // 1. Execute all blocks, collecting per-block cost traces.
         let costs: Vec<BlockCost> = (0..n_blocks)
@@ -235,9 +330,9 @@ impl Gpu {
             ];
             let (name, top) = rooflines
                 .iter()
-                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
                 .copied()
-                .unwrap();
+                .reduce(|a, b| if b.1 >= a.1 { b } else { a })
+                .unwrap_or(("fma", t_fma));
             if sched.makespan_cycles > 1.3 * top {
                 "schedule".to_string()
             } else {

@@ -59,6 +59,7 @@ pub mod cache_sim;
 pub mod cost;
 pub mod device;
 pub mod dim;
+pub mod fault;
 pub mod kernel;
 pub mod launch;
 pub mod memory;
@@ -73,8 +74,9 @@ pub use cache_sim::{CacheConfig, CacheSim, CacheStats};
 pub use cost::{BlockContext, BlockCost, BufferId, Traffic, MAX_BUFFERS};
 pub use device::DeviceConfig;
 pub use dim::Dim3;
+pub use fault::{DeviceFault, FaultKind, FaultPlan};
 pub use kernel::Kernel;
-pub use launch::{Gpu, LaunchStats, LaunchSummary, PipelineBreakdown, Stream};
+pub use launch::{Gpu, LaunchError, LaunchStats, LaunchSummary, PipelineBreakdown, Stream};
 pub use microbench::{validate, Validation};
 pub use occupancy::{occupancy, BlockRequirements, Occupancy, OccupancyLimit};
 pub use scheduler::{simulate_schedule, volta_first_wave_sm, ScheduleResult};

@@ -166,7 +166,7 @@ pub fn block_prune(dense: &Matrix<f32>, block_size: usize, sparsity: f64) -> Bsr
             (norm, i)
         })
         .collect();
-    norms.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+    norms.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
     let mut kept = vec![false; total_blocks];
     for &(_, i) in norms.iter().take(keep_blocks) {
         kept[i] = true;
@@ -227,7 +227,7 @@ pub fn block_magnitude_retention(dense: &Matrix<f32>, block_size: usize, sparsit
     // Unstructured: top-k |w| at the same kept-parameter count.
     let kept_params = blocked.stored_elements();
     let mut mags: Vec<f32> = dense.as_slice().iter().map(|v| v.abs()).collect();
-    mags.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    mags.sort_by(|a, b| b.total_cmp(a));
     let kept_unstructured: f64 = mags.iter().take(kept_params).map(|&v| v as f64).sum();
     if kept_unstructured == 0.0 {
         return 1.0;

@@ -130,8 +130,12 @@ impl<T: Scalar> CooMatrix<T> {
             current_row += 1;
         }
 
-        Ok(CsrMatrix::from_parts(self.rows, self.cols, row_offsets, col_indices, values)
-            .expect("COO conversion produces valid CSR"))
+        // Invariant, not input validation: the sorted sweep above emits
+        // offsets/indices that satisfy every CSR precondition.
+        #[allow(clippy::expect_used)]
+        let csr = CsrMatrix::from_parts(self.rows, self.cols, row_offsets, col_indices, values)
+            .expect("COO conversion produces valid CSR");
+        Ok(csr)
     }
 }
 
@@ -139,6 +143,8 @@ impl<T: Scalar> From<&CsrMatrix<T>> for CooMatrix<T> {
     fn from(csr: &CsrMatrix<T>) -> Self {
         let mut coo = CooMatrix::with_capacity(csr.rows(), csr.cols(), csr.nnz());
         for (r, c, v) in csr.iter() {
+            // Invariant: a constructed CsrMatrix has in-bounds entries.
+            #[allow(clippy::expect_used)]
             coo.push(r, c, v).expect("CSR entries are in bounds");
         }
         coo

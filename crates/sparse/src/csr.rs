@@ -361,10 +361,11 @@ impl<T: Scalar> CsrMatrix<T> {
             }
             row_offsets.push(col_indices.len() as u32);
         }
-        Some(
-            CsrMatrix::from_parts(self.rows, self.cols, row_offsets, col_indices, values)
-                .expect("padding preserves CSR validity"),
-        )
+        // Invariant: padding only inserts sorted in-bounds zero entries.
+        #[allow(clippy::expect_used)]
+        let csr = CsrMatrix::from_parts(self.rows, self.cols, row_offsets, col_indices, values)
+            .expect("padding preserves CSR validity");
+        Some(csr)
     }
 }
 

@@ -107,8 +107,11 @@ impl<T: Scalar> EllMatrix<T> {
             }
             row_offsets.push(col_indices.len() as u32);
         }
-        CsrMatrix::from_parts(self.rows, self.cols, row_offsets, col_indices, values)
-            .expect("ELL conversion preserves CSR validity")
+        // Invariant: ELL slots are sorted and in bounds by construction.
+        #[allow(clippy::expect_used)]
+        let csr = CsrMatrix::from_parts(self.rows, self.cols, row_offsets, col_indices, values)
+            .expect("ELL conversion preserves CSR validity");
+        csr
     }
 }
 

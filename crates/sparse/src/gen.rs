@@ -69,8 +69,11 @@ fn from_row_lengths(rows: usize, cols: usize, lens: &[usize], rng: &mut StdRng) 
         row_offsets.push(col_indices.len() as u32);
     }
     let values = random_values(col_indices.len(), rng);
-    CsrMatrix::from_parts(rows, cols, row_offsets, col_indices, values)
-        .expect("generator produces valid CSR")
+    // Invariant: sampled columns are sorted, deduplicated, and in bounds.
+    #[allow(clippy::expect_used)]
+    let csr = CsrMatrix::from_parts(rows, cols, row_offsets, col_indices, values)
+        .expect("generator produces valid CSR");
+    csr
 }
 
 /// Uniform random sparsity: each entry is nonzero independently with
@@ -202,8 +205,11 @@ pub fn attention_mask(seq: usize, band: usize, off_diag_sparsity: f64, seed: u64
     }
     let nnz = col_indices.len();
     let values = vec![1.0f32; nnz];
-    CsrMatrix::from_parts(seq, seq, row_offsets, col_indices, values)
-        .expect("attention mask is valid CSR")
+    // Invariant: the causal band emits sorted, in-bounds indices.
+    #[allow(clippy::expect_used)]
+    let csr = CsrMatrix::from_parts(seq, seq, row_offsets, col_indices, values)
+        .expect("attention mask is valid CSR");
+    csr
 }
 
 /// A deterministic banded matrix (useful for exact-value tests).
@@ -220,7 +226,10 @@ pub fn banded(rows: usize, cols: usize, bandwidth: usize) -> CsrMatrix<f32> {
         }
         row_offsets.push(col_indices.len() as u32);
     }
-    CsrMatrix::from_parts(rows, cols, row_offsets, col_indices, values).unwrap()
+    // Invariant: the band construction emits sorted, in-bounds indices.
+    #[allow(clippy::unwrap_used)]
+    let csr = CsrMatrix::from_parts(rows, cols, row_offsets, col_indices, values).unwrap();
+    csr
 }
 
 #[cfg(test)]

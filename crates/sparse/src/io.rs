@@ -7,7 +7,6 @@
 //! format so corpora can be persisted and inspected.
 
 use crate::csr::{CsrError, CsrMatrix};
-use std::fmt::Write as _;
 use std::io::{self, BufRead, Write};
 
 /// Errors from SMTX parsing.
@@ -36,15 +35,14 @@ impl From<io::Error> for SmtxError {
     }
 }
 
-/// Serialize a matrix topology to SMTX text.
+/// Serialize a matrix topology to SMTX text. Writer errors propagate as
+/// [`SmtxError::Io`] — a full disk or closed pipe must not be swallowed.
 pub fn write_smtx<W: Write>(m: &CsrMatrix<f32>, mut w: W) -> Result<(), SmtxError> {
-    let mut out = String::new();
-    writeln!(out, "{}, {}, {}", m.rows(), m.cols(), m.nnz()).unwrap();
+    writeln!(w, "{}, {}, {}", m.rows(), m.cols(), m.nnz())?;
     let offsets: Vec<String> = m.row_offsets().iter().map(|v| v.to_string()).collect();
-    writeln!(out, "{}", offsets.join(" ")).unwrap();
+    writeln!(w, "{}", offsets.join(" "))?;
     let indices: Vec<String> = m.col_indices().iter().map(|v| v.to_string()).collect();
-    writeln!(out, "{}", indices.join(" ")).unwrap();
-    w.write_all(out.as_bytes())?;
+    writeln!(w, "{}", indices.join(" "))?;
     Ok(())
 }
 
@@ -71,13 +69,11 @@ pub fn read_smtx<R: BufRead>(r: R) -> Result<CsrMatrix<f32>, SmtxError> {
         .map(|t| t.parse().map_err(|e| SmtxError::Parse(format!("offset: {e}"))))
         .collect::<Result<_, _>>()?;
 
-    let indices_line = if nnz > 0 {
-        lines
-            .next()
-            .ok_or_else(|| SmtxError::Parse("missing column indices".into()))??
-    } else {
-        lines.next().transpose()?.unwrap_or_default()
-    };
+    // The format always has three lines; a missing indices line is a
+    // truncated file even when nnz == 0, not an empty index list.
+    let indices_line = lines
+        .next()
+        .ok_or_else(|| SmtxError::Parse("truncated file: missing column indices line".into()))??;
     let col_indices: Vec<u32> = indices_line
         .split_whitespace()
         .map(|t| t.parse().map_err(|e| SmtxError::Parse(format!("index: {e}"))))
@@ -118,6 +114,30 @@ mod tests {
         let text = b"1, 4, 3\n0 2\n0 1\n";
         let e = read_smtx(io::BufReader::new(&text[..]));
         assert!(matches!(e, Err(SmtxError::Parse(_))));
+    }
+
+    #[test]
+    fn rejects_truncated_file_even_with_zero_nnz() {
+        // Header + offsets but no indices line: truncation, not "no indices".
+        let text = b"2, 4, 0\n0 0 0\n";
+        let e = read_smtx(io::BufReader::new(&text[..]));
+        assert!(matches!(e, Err(SmtxError::Parse(msg)) if msg.contains("truncated")));
+    }
+
+    #[test]
+    fn writer_errors_propagate() {
+        struct FullDisk;
+        impl Write for FullDisk {
+            fn write(&mut self, _: &[u8]) -> io::Result<usize> {
+                Err(io::Error::new(io::ErrorKind::StorageFull, "disk full"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let m = gen::uniform(8, 8, 0.5, 6);
+        let e = write_smtx(&m, FullDisk);
+        assert!(matches!(e, Err(SmtxError::Io(_))));
     }
 
     #[test]

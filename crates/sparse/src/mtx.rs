@@ -56,7 +56,12 @@ pub fn read_mtx<R: BufRead>(r: R) -> Result<CsrMatrix<f32>, MtxError> {
         "pattern" => true,
         other => return Err(MtxError::Unsupported(format!("field '{other}'"))),
     };
-    let symmetry = tokens.get(4).map(|s| s.as_str()).unwrap_or("general").to_string();
+    // The banner requires all five tokens; a missing symmetry token is a
+    // malformed header, not implicitly `general` — guessing here silently
+    // mis-reads symmetric matrices written by sloppy producers.
+    let symmetry = tokens.get(4).ok_or_else(|| {
+        MtxError::Parse(format!("header missing symmetry token (general|symmetric): '{header}'"))
+    })?;
     let symmetric = match symmetry.as_str() {
         "general" => false,
         "symmetric" => true,
@@ -175,6 +180,14 @@ mod tests {
         assert_eq!(d.get(1, 0), 2.0);
         assert_eq!(d.get(1, 2), 4.0);
         assert_eq!(d.get(0, 0), 5.0);
+    }
+
+    #[test]
+    fn rejects_missing_symmetry_token() {
+        // A four-token banner is malformed, not implicitly `general`.
+        let text = b"%%MatrixMarket matrix coordinate real\n1 1 1\n1 1 2.0\n";
+        let e = read_mtx(io::BufReader::new(&text[..]));
+        assert!(matches!(e, Err(MtxError::Parse(msg)) if msg.contains("symmetry")));
     }
 
     #[test]

@@ -1,0 +1,143 @@
+//! Corpus of malformed `.smtx` / `.mtx` fixtures: every one must come back
+//! as the *right* typed error — and none may panic. The fixtures live in
+//! `tests/fixtures/` so they are real files exercising the same read path
+//! as production corpus loading.
+
+// Test-only code: unwrap on fixture-file opens is the assertion we want.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use sparse::csr::CsrError;
+use sparse::io::{read_smtx, SmtxError};
+use sparse::mtx::{read_mtx, MtxError};
+use std::fs::File;
+use std::io::BufReader;
+use std::path::{Path, PathBuf};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name)
+}
+
+fn smtx(name: &str) -> Result<sparse::CsrMatrix<f32>, SmtxError> {
+    read_smtx(BufReader::new(File::open(fixture(name)).unwrap()))
+}
+
+fn mtx(name: &str) -> Result<sparse::CsrMatrix<f32>, MtxError> {
+    read_mtx(BufReader::new(File::open(fixture(name)).unwrap()))
+}
+
+#[test]
+fn smtx_truncated_offsets_line() {
+    assert!(matches!(smtx("truncated_offsets.smtx"), Err(SmtxError::Parse(_))));
+}
+
+#[test]
+fn smtx_truncated_indices_line() {
+    let e = smtx("truncated_indices.smtx");
+    assert!(matches!(e, Err(SmtxError::Parse(msg)) if msg.contains("truncated")));
+}
+
+#[test]
+fn smtx_non_monotone_offsets() {
+    assert!(matches!(
+        smtx("nonmonotone_offsets.smtx"),
+        Err(SmtxError::Invalid(CsrError::NonMonotoneOffsets { .. }))
+    ));
+}
+
+#[test]
+fn smtx_column_out_of_bounds() {
+    assert!(matches!(
+        smtx("column_out_of_bounds.smtx"),
+        Err(SmtxError::Invalid(CsrError::ColumnOutOfBounds { col: 5, cols: 2, .. }))
+    ));
+}
+
+#[test]
+fn smtx_duplicate_entries_in_row() {
+    // Duplicate columns violate the strictly-increasing invariant.
+    assert!(matches!(
+        smtx("duplicate_entries.smtx"),
+        Err(SmtxError::Invalid(CsrError::UnsortedRow { row: 0 }))
+    ));
+}
+
+#[test]
+fn smtx_nnz_mismatch() {
+    assert!(matches!(smtx("nnz_mismatch.smtx"), Err(SmtxError::Parse(_))));
+}
+
+#[test]
+fn smtx_bad_offset_length() {
+    assert!(matches!(
+        smtx("bad_offset_len.smtx"),
+        Err(SmtxError::Invalid(CsrError::BadOffsetLen { expected: 3, got: 2 }))
+    ));
+}
+
+#[test]
+fn smtx_garbage_nnz_token() {
+    assert!(matches!(smtx("garbage_nnz.smtx"), Err(SmtxError::Parse(_))));
+}
+
+#[test]
+fn mtx_missing_symmetry_token() {
+    let e = mtx("missing_symmetry.mtx");
+    assert!(matches!(e, Err(MtxError::Parse(msg)) if msg.contains("symmetry")));
+}
+
+#[test]
+fn mtx_out_of_bounds_entry() {
+    let e = mtx("out_of_bounds_entry.mtx");
+    assert!(matches!(e, Err(MtxError::Parse(msg)) if msg.contains("bounds")));
+}
+
+#[test]
+fn mtx_nnz_mismatch() {
+    assert!(matches!(mtx("nnz_mismatch.mtx"), Err(MtxError::Parse(_))));
+}
+
+#[test]
+fn mtx_short_entry_line() {
+    let e = mtx("short_entry.mtx");
+    assert!(matches!(e, Err(MtxError::Parse(msg)) if msg.contains("short entry")));
+}
+
+#[test]
+fn mtx_unsupported_field() {
+    assert!(matches!(mtx("unsupported_field.mtx"), Err(MtxError::Unsupported(_))));
+}
+
+#[test]
+fn mtx_zero_indexed_entry() {
+    let e = mtx("zero_indexed_entry.mtx");
+    assert!(matches!(e, Err(MtxError::Parse(msg)) if msg.contains("1-indexed")));
+}
+
+#[test]
+fn mtx_unsupported_format() {
+    assert!(matches!(mtx("unsupported_format.mtx"), Err(MtxError::Unsupported(_))));
+}
+
+/// Sweep: every fixture in the corpus directory must parse to `Err`, never
+/// panic, never silently succeed.
+#[test]
+fn every_fixture_errors_without_panicking() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let mut checked = 0;
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let path = entry.unwrap().path();
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        match path.extension().and_then(|e| e.to_str()) {
+            Some("smtx") => {
+                assert!(smtx(&name).is_err(), "{name} must be rejected");
+                checked += 1;
+            }
+            Some("mtx") => {
+                assert!(mtx(&name).is_err(), "{name} must be rejected");
+                checked += 1;
+            }
+            _ => {}
+        }
+    }
+    assert!(checked >= 15, "fixture corpus went missing: only {checked} files checked");
+}

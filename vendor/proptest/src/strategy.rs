@@ -1,0 +1,343 @@
+//! Strategies: deterministic samplers over value spaces.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
+
+/// How many resamples a filtering combinator attempts before giving up.
+const MAX_FILTER_ATTEMPTS: u32 = 10_000;
+
+/// A sampler over `Value`s. The stub has no shrinking: `sample` is the whole
+/// interface, and combinators compose samplers directly.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { base: self, f }
+    }
+
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { base: self, f }
+    }
+
+    fn prop_filter<F>(self, reason: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { base: self, reason, f }
+    }
+
+    fn prop_filter_map<O, F>(self, reason: &'static str, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> Option<O>,
+    {
+        FilterMap { base: self, reason, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+}
+
+/// Type-erased strategy (cloneable, as `prop_oneof!` duplicates arms).
+pub struct BoxedStrategy<T>(Arc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        Self(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.0.sample(rng)
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical whole-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The canonical strategy for `T: Arbitrary`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+#[derive(Debug, Clone)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let u = rng.next_f64();
+                let v = self.start as f64 + (self.end as f64 - self.start as f64) * u;
+                if v as $t >= self.end { self.start } else { v as $t }
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let u = rng.next_f64();
+                (lo as f64 + (hi as f64 - lo as f64) * u) as $t
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.base.sample(rng))
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, F, S2> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn sample(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.base.sample(rng)).sample(rng)
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    base: S,
+    reason: &'static str,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..MAX_FILTER_ATTEMPTS {
+            let v = self.base.sample(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter exhausted retries: {}", self.reason);
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct FilterMap<S, F> {
+    base: S,
+    reason: &'static str,
+    f: F,
+}
+
+impl<S, F, O> Strategy for FilterMap<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Option<O>,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        for _ in 0..MAX_FILTER_ATTEMPTS {
+            if let Some(v) = (self.f)(self.base.sample(rng)) {
+                return v;
+            }
+        }
+        panic!("prop_filter_map exhausted retries: {}", self.reason);
+    }
+}
+
+/// Weighted choice among boxed strategies (`prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<(u32, BoxedStrategy<T>)>,
+    total_weight: u64,
+}
+
+impl<T> Union<T> {
+    pub fn new(options: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        let total_weight = options.iter().map(|&(w, _)| w as u64).sum();
+        assert!(total_weight > 0, "prop_oneof! weights must not all be zero");
+        Self { options, total_weight }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Self { options: self.options.clone(), total_weight: self.total_weight }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total_weight);
+        for (w, s) in &self.options {
+            if pick < *w as u64 {
+                return s.sample(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weight bookkeeping");
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($S:ident . $idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A.0);
+tuple_strategy!(A.0, B.1);
+tuple_strategy!(A.0, B.1, C.2);
+tuple_strategy!(A.0, B.1, C.2, D.3);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_and_combinators_sample_in_domain() {
+        let mut rng = TestRng::seed_from_u64(3);
+        let s = (1usize..10, 0.0f64..1.0).prop_map(|(a, b)| (a * 2, b));
+        for _ in 0..1000 {
+            let (a, b) = s.sample(&mut rng);
+            assert!((2..20).contains(&a) && a % 2 == 0);
+            assert!((0.0..1.0).contains(&b));
+        }
+    }
+
+    #[test]
+    fn union_respects_weights_roughly() {
+        let mut rng = TestRng::seed_from_u64(4);
+        let s = crate::prop_oneof![3 => Just(0u8), 1 => Just(1u8)];
+        let ones: u32 = (0..4000).map(|_| s.sample(&mut rng) as u32).sum();
+        assert!((700..1300).contains(&ones), "expected ~1000 ones, got {ones}");
+    }
+
+    #[test]
+    fn filter_map_retries() {
+        let mut rng = TestRng::seed_from_u64(5);
+        let s = (0u32..100).prop_filter_map("even", |v| (v % 2 == 0).then_some(v));
+        for _ in 0..100 {
+            assert_eq!(s.sample(&mut rng) % 2, 0);
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Offline stand-in for `rayon` that executes sequentially.
+//!
+//! `par_iter()` / `into_par_iter()` simply yield the corresponding standard
+//! iterators, so every downstream combinator (`map`, `for_each`, `collect`,
+//! ...) is the `std::iter::Iterator` implementation. Semantics are identical
+//! to rayon for the data-parallel, order-independent workloads in this
+//! repository; only host-side parallel speedup is lost.
+
+pub mod prelude {
+    /// Sequential stand-in for `rayon::iter::IntoParallelIterator`.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+    /// Sequential stand-in for `rayon::iter::IntoParallelRefIterator`.
+    pub trait IntoParallelRefIterator<'a> {
+        type Iter: Iterator;
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, C: ?Sized + 'a> IntoParallelRefIterator<'a> for C
+    where
+        &'a C: IntoIterator,
+    {
+        type Iter = <&'a C as IntoIterator>::IntoIter;
+        fn par_iter(&'a self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}
+
+/// Sequential stand-in for `rayon::join`.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_sequential() {
+        let v = vec![1u64, 2, 3, 4];
+        let doubled: Vec<u64> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let sum: u64 = (0u64..100).into_par_iter().sum();
+        assert_eq!(sum, 4950);
+    }
+}

@@ -1,0 +1,30 @@
+//! Offline stand-in for `serde`: marker traits plus no-op derives.
+//!
+//! This build environment has no network access and no cargo registry cache,
+//! so the real `serde` cannot be fetched. The workspace only relies on
+//! `#[derive(Serialize, Deserialize)]` annotations and `T: Serialize` bounds
+//! (JSON persistence is best-effort in the bench harness), so a pair of
+//! blanket-implemented marker traits preserves every API surface the
+//! workspace uses without pulling in the real implementation.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T {}
+
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+pub mod ser {
+    pub use crate::Serialize;
+}

@@ -1,0 +1,16 @@
+//! No-op derive macros standing in for `serde_derive` in the offline build.
+//!
+//! The sibling `serde` stub blanket-implements its marker traits, so these
+//! derives only need to accept the attribute positions and emit nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -16,7 +16,7 @@
 //!   sizes of 32 or 128.
 
 use gpu_sim::{
-    AccessPattern, BlockContext, BufferId, BufferSpec, Dim3, Gpu, Kernel, LaunchStats,
+    AccessPattern, BlockContext, BufferId, BufferSpec, Dim3, Gpu, Kernel, LaunchStats, SmemScope,
     SyncUnsafeSlice,
 };
 use sparse::{CsrMatrix, IndexWidth, Matrix, Scalar};
@@ -115,7 +115,12 @@ impl AsptPlan {
                 })
                 .collect();
             light_nnz_total += light_nnz.iter().sum::<usize>();
-            panels.push(Panel { row_start, row_end, heavy_tiles, light_nnz });
+            panels.push(Panel {
+                row_start,
+                row_end,
+                heavy_tiles,
+                light_nnz,
+            });
             row_start = row_end;
         }
 
@@ -161,23 +166,40 @@ impl<'a, T: Scalar> AsptSpmmKernel<'a, T> {
         assert_eq!(out.rows(), a.rows());
         assert_eq!(out.cols(), b.cols());
         let n = b.cols();
-        Ok(Self { a, plan, b: Some(b), out: Some(SyncUnsafeSlice::new(out.as_mut_slice())), n })
+        Ok(Self {
+            a,
+            plan,
+            b: Some(b),
+            out: Some(SyncUnsafeSlice::new(out.as_mut_slice())),
+            n,
+        })
     }
 
     pub fn for_profile(a: &'a CsrMatrix<T>, plan: &'a AsptPlan, n: usize) -> Result<Self, String> {
         Self::check(a, plan, n)?;
-        Ok(Self { a, plan, b: None, out: None, n })
+        Ok(Self {
+            a,
+            plan,
+            b: None,
+            out: None,
+            n,
+        })
     }
 
     fn check(a: &CsrMatrix<T>, plan: &AsptPlan, n: usize) -> Result<(), String> {
         if plan.direction != AsptDirection::Spmm {
             return Err("plan was built for SDDMM; ASpT needs per-kernel reorderings".into());
         }
-        if a.rows() % 256 != 0 {
-            return Err(format!("ASpT requires rows divisible by 256, got {}", a.rows()));
+        if !a.rows().is_multiple_of(256) {
+            return Err(format!(
+                "ASpT requires rows divisible by 256, got {}",
+                a.rows()
+            ));
         }
         if n != 32 && n != 128 {
-            return Err(format!("ASpT kernels support batch sizes 32 and 128, got {n}"));
+            return Err(format!(
+                "ASpT kernels support batch sizes 32 and 128, got {n}"
+            ));
         }
         Ok(())
     }
@@ -257,13 +279,9 @@ impl<T: Scalar> Kernel for AsptSpmmKernel<'_, T> {
             let stage_elems = (tile_cols.len() * 32) as u64;
             let stage_instrs = stage_elems.div_ceil(128);
             ctx.cost.ld_global_instrs += stage_instrs;
-            ctx.cost.st_shared_instrs += stage_instrs;
-            ctx.cost.shared_bytes += stage_elems * 4;
+            ctx.smem_store(stage_instrs, stage_elems * 4, SmemScope::Block);
             for &c in tile_cols {
-                ctx.cost.gmem[BUF_B.0 as usize].ld_sectors += gpu_sim::memory::sectors_contiguous(
-                    (c as usize * self.n + n0) as u64 * eb,
-                    32 * eb,
-                );
+                ctx.ld_global_trace(BUF_B, (c as usize * self.n + n0) as u64 * eb, 32 * eb);
             }
             ctx.bar_sync();
             // Each nonzero in the tile: value+index from global (coalesced),
@@ -273,8 +291,7 @@ impl<T: Scalar> Kernel for AsptSpmmKernel<'_, T> {
             ctx.cost.gmem[BUF_A_VALUES.0 as usize].ld_sectors += t * eb / 32 + 1;
             ctx.cost.gmem[BUF_A_INDICES.0 as usize].ld_sectors += t / 8 + 1;
             // 128-bit shared reads: one access covers four nonzeros' operands.
-            ctx.cost.ld_shared_instrs += t.div_ceil(4);
-            ctx.cost.shared_bytes += t * 32 * 4 / 8; // broadcast-amortized
+            ctx.smem_load(t.div_ceil(4), t * 32 * 4 / 8, SmemScope::Block); // broadcast-amortized
             ctx.cost.fma_instrs += t;
             ctx.misc(2 * t);
             ctx.cost.flops += 2 * t * 32;
@@ -300,10 +317,7 @@ impl<T: Scalar> Kernel for AsptSpmmKernel<'_, T> {
         // Store the panel's output strip.
         ctx.cost.st_global_instrs += rows as u64;
         for r in panel.row_start..panel.row_end {
-            ctx.cost.gmem[BUF_C.0 as usize].st_sectors += gpu_sim::memory::sectors_contiguous(
-                (r * self.n + n0) as u64 * eb,
-                32 * eb,
-            );
+            ctx.st_global_trace(BUF_C, (r * self.n + n0) as u64 * eb, 32 * eb);
         }
 
         // ---- Functional: reordering is performance-only; results are the
@@ -345,7 +359,11 @@ pub fn aspt_spmm<T: Scalar>(
 }
 
 /// Profile ASpT SpMM.
-pub fn aspt_spmm_profile<T: Scalar>(gpu: &Gpu, a: &CsrMatrix<T>, n: usize) -> Result<LaunchStats, String> {
+pub fn aspt_spmm_profile<T: Scalar>(
+    gpu: &Gpu,
+    a: &CsrMatrix<T>,
+    n: usize,
+) -> Result<LaunchStats, String> {
     let plan = AsptPlan::build(a, AsptDirection::Spmm);
     let kernel = AsptSpmmKernel::<T>::for_profile(a, &plan, n)?;
     Ok(gpu.profile(&kernel))
@@ -357,19 +375,28 @@ pub fn aspt_spmm_profile<T: Scalar>(gpu: &Gpu, a: &CsrMatrix<T>, n: usize) -> Re
 /// outputs getting shared-memory operand reuse — the paper measures ASpT
 /// SDDMM slightly *ahead* of Sputnik (Sputnik achieves 92% of its
 /// throughput) at the price of 3x memory and kernel-specific reorderings.
-pub fn aspt_sddmm_profile<T: Scalar>(gpu: &Gpu, mask: &CsrMatrix<T>, k: usize) -> Result<LaunchStats, String> {
-    if mask.rows() % 256 != 0 {
-        return Err(format!("ASpT requires rows divisible by 256, got {}", mask.rows()));
+pub fn aspt_sddmm_profile<T: Scalar>(
+    gpu: &Gpu,
+    mask: &CsrMatrix<T>,
+    k: usize,
+) -> Result<LaunchStats, String> {
+    if !mask.rows().is_multiple_of(256) {
+        return Err(format!(
+            "ASpT requires rows divisible by 256, got {}",
+            mask.rows()
+        ));
     }
     let plan = AsptPlan::build(mask, AsptDirection::Sddmm);
-    let mut stats = sputnik::sddmm_profile::<T>(gpu, mask, k, sputnik::SddmmConfig::heuristic::<T>(k));
+    let mut stats =
+        sputnik::sddmm_profile::<T>(gpu, mask, k, sputnik::SddmmConfig::heuristic::<T>(k));
     // Heavy-fraction reuse: RHS traffic for heavy nonzeros is served from
     // shared memory staged once per (panel, tile) instead of per nonzero.
     let total = (plan.heavy_nnz + plan.light_nnz).max(1) as f64;
     let heavy_frac = plan.heavy_nnz as f64 / total;
     // Each heavy tile stages TILE_COLS rows once and reuses them across the
     // panel: effective RHS traffic scales by ~1/(panel nnz per tile / cols).
-    let reuse = (plan.heavy_nnz as f64 / (plan.panels.len().max(1) as f64 * TILE_COLS as f64)).max(1.0);
+    let reuse =
+        (plan.heavy_nnz as f64 / (plan.panels.len().max(1) as f64 * TILE_COLS as f64)).max(1.0);
     let saved = heavy_frac * (1.0 - 1.0 / reuse) * 0.15;
     stats.time_us *= 1.0 - saved.clamp(0.0, 0.12);
     stats.kernel = format!("aspt_sddmm_{}", T::TAG);
@@ -425,9 +452,15 @@ mod tests {
     fn rejects_unsupported_shapes() {
         let a = gen::uniform(100, 64, 0.5, 76);
         let gpu = Gpu::v100();
-        assert!(aspt_spmm_profile::<f32>(&gpu, &a, 32).is_err(), "rows not divisible by 256");
+        assert!(
+            aspt_spmm_profile::<f32>(&gpu, &a, 32).is_err(),
+            "rows not divisible by 256"
+        );
         let a = gen::uniform(256, 64, 0.5, 77);
-        assert!(aspt_spmm_profile::<f32>(&gpu, &a, 64).is_err(), "batch must be 32 or 128");
+        assert!(
+            aspt_spmm_profile::<f32>(&gpu, &a, 64).is_err(),
+            "batch must be 32 or 128"
+        );
         assert!(aspt_spmm_profile::<f32>(&gpu, &a, 32).is_ok());
     }
 

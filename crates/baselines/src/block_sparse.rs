@@ -11,7 +11,7 @@
 //! retained model quality.
 
 use gpu_sim::{
-    AccessPattern, BlockContext, BufferId, BufferSpec, Dim3, Gpu, Kernel, LaunchStats,
+    AccessPattern, BlockContext, BufferId, BufferSpec, Dim3, Gpu, Kernel, LaunchStats, SmemScope,
     SyncUnsafeSlice,
 };
 use sparse::block::BsrMatrix;
@@ -43,11 +43,21 @@ impl<'a> BlockSpmmKernel<'a> {
         assert_eq!(out.rows(), a.rows());
         assert_eq!(out.cols(), b.cols());
         let n = b.cols();
-        Self { a, b: Some(b), out: Some(SyncUnsafeSlice::new(out.as_mut_slice())), n }
+        Self {
+            a,
+            b: Some(b),
+            out: Some(SyncUnsafeSlice::new(out.as_mut_slice())),
+            n,
+        }
     }
 
     pub fn for_profile(a: &'a BsrMatrix<f32>, n: usize) -> Self {
-        Self { a, b: None, out: None, n }
+        Self {
+            a,
+            b: None,
+            out: None,
+            n,
+        }
     }
 }
 
@@ -120,22 +130,25 @@ impl Kernel for BlockSpmmKernel<'_> {
             let b_elems = (bs * TILE_N) as u64;
             let stage_instrs = (a_elems + b_elems).div_ceil(THREADS as u64 * 4);
             ctx.cost.ld_global_instrs += stage_instrs * warps + 1;
-            ctx.cost.st_shared_instrs += stage_instrs * warps;
+            ctx.smem_store(
+                stage_instrs * warps,
+                (a_elems + b_elems) * 4,
+                SmemScope::Block,
+            );
             ctx.cost.gmem[BUF_BLOCKS.0 as usize].ld_sectors += a_elems * 4 / 32 + 1;
             for r in 0..bs {
-                ctx.cost.gmem[BUF_B.0 as usize].ld_sectors += gpu_sim::memory::sectors_contiguous(
+                ctx.ld_global_trace(
+                    BUF_B,
                     ((bc * bs + r) * self.n + n0) as u64 * 4,
                     tile_n as u64 * 4,
                 );
             }
-            ctx.cost.shared_bytes += (a_elems + b_elems) * 4;
             ctx.bar_sync();
 
             // Dense math: bs x TILE_N x bs FMAs, cuBLAS-grade inner loop.
             let fmas = (bs * TILE_N * bs) as u64;
             ctx.cost.fma_instrs += fmas / 32;
-            ctx.cost.ld_shared_instrs += fmas / 32 / 8;
-            ctx.cost.shared_bytes += fmas / 8;
+            ctx.smem_load(fmas / 32 / 8, fmas / 8, SmemScope::Block);
             ctx.misc(4 * warps);
             ctx.cost.flops += 2 * (bs * tile_n * bs) as u64;
         }
@@ -147,7 +160,8 @@ impl Kernel for BlockSpmmKernel<'_> {
         let store_instrs = ((bs * tile_n) as u64).div_ceil(THREADS as u64 * 4).max(1);
         ctx.cost.st_global_instrs += store_instrs * warps;
         for r in 0..bs {
-            ctx.cost.gmem[BUF_C.0 as usize].st_sectors += gpu_sim::memory::sectors_contiguous(
+            ctx.st_global_trace(
+                BUF_C,
                 ((br * bs + r) * self.n + n0) as u64 * 4,
                 tile_n as u64 * 4,
             );
@@ -163,7 +177,8 @@ impl Kernel for BlockSpmmKernel<'_> {
                         if a_val == 0.0 {
                             continue;
                         }
-                        let brow = &b[(bc * bs + kk) * self.n + n0..(bc * bs + kk) * self.n + n0 + tile_n];
+                        let brow =
+                            &b[(bc * bs + kk) * self.n + n0..(bc * bs + kk) * self.n + n0 + tile_n];
                         for (x, bv) in brow.iter().enumerate() {
                             acc[r * tile_n + x] += a_val * bv;
                         }
@@ -255,6 +270,9 @@ mod tests {
         // ...which is the paper's argument for unstructured kernels.
         let d = Matrix::<f32>::random(512, 512, 506);
         let retention = block::block_magnitude_retention(&d, 32, 0.8);
-        assert!(retention < 0.9, "32x32 blocks lose weight magnitude, got {retention}");
+        assert!(
+            retention < 0.9,
+            "32x32 blocks lose weight magnitude, got {retention}"
+        );
     }
 }

@@ -9,7 +9,7 @@
 //! stair-step performance on ragged shapes.
 
 use gpu_sim::{
-    AccessPattern, BlockContext, BufferId, BufferSpec, Dim3, Gpu, Kernel, LaunchStats,
+    AccessPattern, BlockContext, BufferId, BufferSpec, Dim3, Gpu, Kernel, LaunchStats, SmemScope,
     SyncUnsafeSlice,
 };
 use sparse::Matrix;
@@ -24,8 +24,13 @@ const TILE_K: usize = 32;
 /// cuBLAS ships many tile variants and picks by shape; these are the ones we
 /// model: (tile_m, tile_n, threads). Large tiles maximize reuse; small tiles
 /// keep little problems parallel enough to fill the device.
-const TILE_VARIANTS: [(usize, usize, u32); 5] =
-    [(128, 64, 256), (64, 64, 256), (64, 32, 128), (32, 32, 128), (16, 32, 64)];
+const TILE_VARIANTS: [(usize, usize, u32); 5] = [
+    (128, 64, 256),
+    (64, 64, 256),
+    (64, 32, 128),
+    (32, 32, 128),
+    (16, 32, 64),
+];
 
 /// A cuBLAS-style dense GEMM: `A (m x k, row-major) * B (k x n, row-major)
 /// => C (m x n)`.
@@ -64,7 +69,17 @@ impl<'a> GemmKernel<'a> {
     /// Cost-only kernel for timing sweeps.
     pub fn for_profile(m: usize, k: usize, n: usize) -> Self {
         let (tile_m, tile_n, threads) = Self::select_tile(m, n);
-        Self { a: None, b: None, out: None, m, k, n, tile_m, tile_n, threads }
+        Self {
+            a: None,
+            b: None,
+            out: None,
+            m,
+            k,
+            n,
+            tile_m,
+            tile_n,
+            threads,
+        }
     }
 
     /// Pick the largest tile that still yields enough blocks to fill the
@@ -86,7 +101,10 @@ impl Kernel for GemmKernel<'_> {
     }
 
     fn grid(&self) -> Dim3 {
-        Dim3::xy(self.n.div_ceil(self.tile_n) as u32, self.m.div_ceil(self.tile_m) as u32)
+        Dim3::xy(
+            self.n.div_ceil(self.tile_n) as u32,
+            self.m.div_ceil(self.tile_m) as u32,
+        )
     }
 
     fn block_dim(&self) -> Dim3 {
@@ -144,10 +162,9 @@ impl Kernel for GemmKernel<'_> {
             // Per warp bookkeeping: instruction counts are per-warp issued;
             // multiply by warps since all warps participate.
             ctx.cost.ld_global_instrs += stage_instrs * warps;
-            ctx.cost.st_shared_instrs += stage_instrs * warps;
+            ctx.smem_store(stage_instrs * warps, stage_elems * 4, SmemScope::Block);
             ctx.cost.gmem[BUF_A.0 as usize].ld_sectors += (tm * TILE_K * 4) as u64 / 32;
             ctx.cost.gmem[BUF_B.0 as usize].ld_sectors += (TILE_K * tn * 4) as u64 / 32;
-            ctx.cost.shared_bytes += stage_elems * 4;
             ctx.bar_sync();
 
             // Math: tm*tn*TILE_K scalar FMAs per strip; each warp
@@ -155,8 +172,7 @@ impl Kernel for GemmKernel<'_> {
             let fmas = (tm * tn * TILE_K) as u64;
             ctx.cost.fma_instrs += fmas / 32;
             // Shared->register fragment loads, 128-bit, heavily reused.
-            ctx.cost.ld_shared_instrs += fmas / 32 / 8;
-            ctx.cost.shared_bytes += fmas / 8;
+            ctx.smem_load(fmas / 32 / 8, fmas / 8, SmemScope::Block);
             ctx.misc(8 * warps);
         }
         // Useful FLOPs only count the live region.
@@ -166,7 +182,8 @@ impl Kernel for GemmKernel<'_> {
         let store_instrs = ((tm * tn) as u64).div_ceil(threads as u64 * 4);
         ctx.cost.st_global_instrs += store_instrs * warps;
         for r in 0..tile_m {
-            ctx.cost.gmem[BUF_C.0 as usize].st_sectors += gpu_sim::memory::sectors_contiguous(
+            ctx.st_global_trace(
+                BUF_C,
                 ((row0 + r) * self.n + col0) as u64 * 4,
                 tile_n as u64 * 4,
             );
@@ -225,11 +242,21 @@ impl<'a> TransposeKernel<'a> {
         assert_eq!(out.rows(), src.cols());
         assert_eq!(out.cols(), src.rows());
         let (rows, cols) = (src.rows(), src.cols());
-        Self { src: Some(src), out: Some(SyncUnsafeSlice::new(out.as_mut_slice())), rows, cols }
+        Self {
+            src: Some(src),
+            out: Some(SyncUnsafeSlice::new(out.as_mut_slice())),
+            rows,
+            cols,
+        }
     }
 
     pub fn for_profile(rows: usize, cols: usize) -> Self {
-        Self { src: None, out: None, rows, cols }
+        Self {
+            src: None,
+            out: None,
+            rows,
+            cols,
+        }
     }
 }
 
@@ -239,7 +266,10 @@ impl Kernel for TransposeKernel<'_> {
     }
 
     fn grid(&self) -> Dim3 {
-        Dim3::xy(self.cols.div_ceil(T_TILE) as u32, self.rows.div_ceil(T_TILE) as u32)
+        Dim3::xy(
+            self.cols.div_ceil(T_TILE) as u32,
+            self.rows.div_ceil(T_TILE) as u32,
+        )
     }
 
     fn block_dim(&self) -> Dim3 {
@@ -278,22 +308,17 @@ impl Kernel for TransposeKernel<'_> {
         // coalesced writes, conflict-free via padding.
         let rounds = (T_TILE as u64 * T_TILE as u64).div_ceil(32 * 8);
         ctx.cost.ld_global_instrs += rounds * 8;
-        ctx.cost.st_shared_instrs += rounds * 8;
-        ctx.cost.ld_shared_instrs += rounds * 8;
-        ctx.cost.st_global_instrs += rounds * 8;
-        ctx.cost.shared_bytes += 2 * (T_TILE * T_TILE * 4) as u64;
-        ctx.bar_sync();
+        ctx.smem_store(rounds * 8, (T_TILE * T_TILE * 4) as u64, SmemScope::Block);
         for r in 0..h {
-            ctx.cost.gmem[BUF_A.0 as usize].ld_sectors += gpu_sim::memory::sectors_contiguous(
-                ((r0 + r) * self.cols + c0) as u64 * 4,
-                w as u64 * 4,
-            );
+            ctx.ld_global_trace(BUF_A, ((r0 + r) * self.cols + c0) as u64 * 4, w as u64 * 4);
         }
+        // The transposed readback crosses warps (each warp reads columns the
+        // other warps staged), so the tile must be fully written first.
+        ctx.bar_sync();
+        ctx.smem_load(rounds * 8, (T_TILE * T_TILE * 4) as u64, SmemScope::Block);
+        ctx.cost.st_global_instrs += rounds * 8;
         for c in 0..w {
-            ctx.cost.gmem[BUF_C.0 as usize].st_sectors += gpu_sim::memory::sectors_contiguous(
-                ((c0 + c) * self.rows + r0) as u64 * 4,
-                h as u64 * 4,
-            );
+            ctx.st_global_trace(BUF_C, ((c0 + c) * self.rows + r0) as u64 * 4, h as u64 * 4);
         }
         ctx.misc(12);
 
@@ -354,7 +379,10 @@ mod tests {
         let gpu = Gpu::v100();
         let big = gemm_profile(&gpu, 4096, 4096, 4096);
         let skinny = gemm_profile(&gpu, 8192, 2048, 128);
-        assert!(skinny.frac_peak < big.frac_peak, "skinny N=128 cannot match square shapes");
+        assert!(
+            skinny.frac_peak < big.frac_peak,
+            "skinny N=128 cannot match square shapes"
+        );
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //!   (see [`crate::cublas::TransposeKernel`]); the harness includes it.
 
 use gpu_sim::{
-    AccessPattern, BlockContext, BufferId, BufferSpec, Dim3, Gpu, Kernel, LaunchStats,
+    AccessPattern, BlockContext, BufferId, BufferSpec, Dim3, Gpu, Kernel, LaunchStats, SmemScope,
     SyncUnsafeSlice,
 };
 use sparse::{CsrMatrix, Matrix, Scalar};
@@ -41,16 +41,30 @@ pub struct CusparseSpmmKernel<'a, T: Scalar> {
 impl<'a, T: Scalar> CusparseSpmmKernel<'a, T> {
     pub fn new(a: &'a CsrMatrix<T>, b: &'a Matrix<T>, out: &'a mut Matrix<T>) -> Self {
         assert_eq!(a.cols(), b.rows());
-        assert_eq!(b.layout(), sparse::Layout::ColMajor, "cuSPARSE dense operands are column-major");
+        assert_eq!(
+            b.layout(),
+            sparse::Layout::ColMajor,
+            "cuSPARSE dense operands are column-major"
+        );
         assert_eq!(out.layout(), sparse::Layout::ColMajor);
         assert_eq!(out.rows(), a.rows());
         assert_eq!(out.cols(), b.cols());
         let n = b.cols();
-        Self { a, b: Some(b), out: Some(SyncUnsafeSlice::new(out.as_mut_slice())), n }
+        Self {
+            a,
+            b: Some(b),
+            out: Some(SyncUnsafeSlice::new(out.as_mut_slice())),
+            n,
+        }
     }
 
     pub fn for_profile(a: &'a CsrMatrix<T>, n: usize) -> Self {
-        Self { a, b: None, out: None, n }
+        Self {
+            a,
+            b: None,
+            out: None,
+            n,
+        }
     }
 }
 
@@ -61,7 +75,10 @@ impl<T: Scalar> Kernel for CusparseSpmmKernel<'_, T> {
 
     fn grid(&self) -> Dim3 {
         // Warp per row, 4 warps per block, column tiles of 32.
-        Dim3::xy((self.n.div_ceil(32)) as u32, (self.a.rows() as u32).div_ceil(4))
+        Dim3::xy(
+            (self.n.div_ceil(32)) as u32,
+            (self.a.rows() as u32).div_ceil(4),
+        )
     }
 
     fn block_dim(&self) -> Dim3 {
@@ -130,7 +147,13 @@ impl<T: Scalar> Kernel for CusparseSpmmKernel<'_, T> {
             let nnz = cols.len();
             if nnz == 0 {
                 // Still must zero the output tile.
-                ctx.st_global_strided(BUF_C, (n0 * self.a.rows() + row) as u64 * eb, tile_n as u32, self.a.rows() as u64 * eb, T::BYTES);
+                ctx.st_global_strided(
+                    BUF_C,
+                    (n0 * self.a.rows() + row) as u64 * eb,
+                    tile_n as u32,
+                    self.a.rows() as u64 * eb,
+                    T::BYTES,
+                );
                 if let (true, Some(out)) = (ctx.functional(), self.out.as_ref()) {
                     for c in n0..n0 + tile_n {
                         unsafe { out.write(c * self.a.rows() + row, T::zero()) };
@@ -145,18 +168,20 @@ impl<T: Scalar> Kernel for CusparseSpmmKernel<'_, T> {
             // `k_rows` elements apart: one sector per lane.
             let nnz_u = nnz as u64;
             ctx.cost.ld_global_instrs += 2 * nnz_u.div_ceil(32); // values + indices, coalesced across lanes
-            ctx.cost.gmem[BUF_A_VALUES.0 as usize].ld_sectors += gpu_sim::memory::sectors_contiguous(
+            ctx.ld_global_trace(
+                BUF_A_VALUES,
                 self.a.row_offsets()[row] as u64 * eb,
                 nnz_u * eb,
             );
-            ctx.cost.gmem[BUF_A_INDICES.0 as usize].ld_sectors += gpu_sim::memory::sectors_contiguous(
+            ctx.ld_global_trace(
+                BUF_A_INDICES,
                 self.a.row_offsets()[row] as u64 * 4,
                 nnz_u * 4,
             );
             // B loads: one warp instruction per nonzero, strided by K.
             ctx.cost.ld_global_instrs += nnz_u;
-            ctx.cost.gmem[BUF_B.0 as usize].ld_sectors += nnz_u
-                * gpu_sim::memory::sectors_strided(0, tile_n as u32, k_rows as u64 * eb, eb);
+            ctx.cost.gmem[BUF_B.0 as usize].ld_sectors +=
+                nnz_u * gpu_sim::memory::sectors_strided(0, tile_n as u32, k_rows as u64 * eb, eb);
             ctx.cost.fma_instrs += nnz_u;
             ctx.misc(2 * nnz_u); // index scale + loop bookkeeping
             ctx.cost.flops += 2 * nnz_u * tile_n as u64;
@@ -183,7 +208,11 @@ impl<T: Scalar> Kernel for CusparseSpmmKernel<'_, T> {
 
 /// Functional cuSPARSE-style SpMM. Accepts/returns **column-major** dense
 /// matrices, per the library's convention.
-pub fn cusparse_spmm<T: Scalar>(gpu: &Gpu, a: &CsrMatrix<T>, b: &Matrix<T>) -> (Matrix<T>, LaunchStats) {
+pub fn cusparse_spmm<T: Scalar>(
+    gpu: &Gpu,
+    a: &CsrMatrix<T>,
+    b: &Matrix<T>,
+) -> (Matrix<T>, LaunchStats) {
     let mut out = Matrix::zeros_with_layout(a.rows(), b.cols(), sparse::Layout::ColMajor);
     let stats = {
         let kernel = CusparseSpmmKernel::new(a, b, &mut out);
@@ -264,7 +293,7 @@ pub fn cusparse_spmm_half_profile<T: Scalar>(gpu: &Gpu, a: &CsrMatrix<T>, n: usi
     // The inconsistency is shape-triggered and rare: most problems take the
     // normal path; N values that are not 8-aligned (or are tiny) fall off
     // the fast path entirely.
-    if n % 8 == 0 && n >= 32 {
+    if n.is_multiple_of(8) && n >= 32 {
         cusparse_spmm_profile::<T>(gpu, a, n)
     } else {
         gpu.profile(&CusparseSpmmHalfFallbackKernel::new(a, n))
@@ -307,7 +336,13 @@ impl<'a, T: Scalar> ConstrainedGemmKernel<'a, T> {
     }
 
     pub fn for_profile(mask: &'a CsrMatrix<T>, k: usize) -> Self {
-        Self { lhs: None, rhs_t: None, mask, out_values: None, k }
+        Self {
+            lhs: None,
+            rhs_t: None,
+            mask,
+            out_values: None,
+            k,
+        }
     }
 }
 
@@ -328,7 +363,7 @@ impl<T: Scalar> Kernel for ConstrainedGemmKernel<'_, T> {
     }
 
     fn shared_mem_bytes(&self) -> u32 {
-        (2 * (64 + 64) * 32 * T::BYTES) as u32
+        2 * (64 + 64) * 32 * T::BYTES
     }
 
     fn regs_per_thread(&self) -> u32 {
@@ -393,22 +428,19 @@ impl<T: Scalar> Kernel for ConstrainedGemmKernel<'_, T> {
             let stage_elems = ((TILE_M + TILE_N) * TILE_K) as u64;
             let stage_instrs = stage_elems.div_ceil(256 * 4);
             ctx.cost.ld_global_instrs += stage_instrs * warps;
-            ctx.cost.st_shared_instrs += stage_instrs * warps;
-            ctx.cost.gmem[BUF_A_VALUES.0 as usize].ld_sectors +=
-                (TILE_M * TILE_K) as u64 * eb / 32;
+            ctx.smem_store(stage_instrs * warps, stage_elems * eb, SmemScope::Block);
+            ctx.cost.gmem[BUF_A_VALUES.0 as usize].ld_sectors += (TILE_M * TILE_K) as u64 * eb / 32;
             ctx.cost.gmem[BUF_B.0 as usize].ld_sectors += (TILE_K * TILE_N) as u64 * eb / 32;
-            ctx.cost.shared_bytes += stage_elems * eb;
             ctx.bar_sync();
             ctx.bar_sync(); // no double buffering: a second barrier per strip
-            // The inner product is compiler-generated C++, not hand-tuned
-            // assembly: every FMA drags ~3 integer/address/predicate
-            // instructions with it (cuBLAS amortizes these to near zero with
-            // register blocking), plus scalar shared-memory fragment reads.
+                            // The inner product is compiler-generated C++, not hand-tuned
+                            // assembly: every FMA drags ~3 integer/address/predicate
+                            // instructions with it (cuBLAS amortizes these to near zero with
+                            // register blocking), plus scalar shared-memory fragment reads.
             let fmas = (TILE_M * TILE_N * TILE_K) as u64;
             ctx.cost.fma_instrs += fmas / 32;
             ctx.misc(3 * (fmas / 32));
-            ctx.cost.ld_shared_instrs += fmas / 32 / 2;
-            ctx.cost.shared_bytes += fmas / 2;
+            ctx.smem_load(fmas / 32 / 2, fmas / 2, SmemScope::Block);
             ctx.misc(8 * warps);
         }
         // Only the masked outputs are useful work.
@@ -429,9 +461,12 @@ impl<T: Scalar> Kernel for ConstrainedGemmKernel<'_, T> {
         ctx.cost.gmem[BUF_C.0 as usize].st_sectors += masked.div_ceil(8).max(1);
         ctx.misc(6 * warps);
 
-        if let (true, Some(lhs), Some(rhs_t), Some(out)) =
-            (ctx.functional(), self.lhs, self.rhs_t, self.out_values.as_ref())
-        {
+        if let (true, Some(lhs), Some(rhs_t), Some(out)) = (
+            ctx.functional(),
+            self.lhs,
+            self.rhs_t,
+            self.out_values.as_ref(),
+        ) {
             for r in row0..row0 + tile_m {
                 let row_start = self.mask.row_offsets()[r] as usize;
                 let (cols, _) = self.mask.row(r);
@@ -498,7 +533,10 @@ mod tests {
         let expect = sputnik::reference::spmm(&a, &b_rm);
         for r in 0..48 {
             for col in 0..40 {
-                assert!((c.get(r, col) - expect.get(r, col)).abs() < 1e-3, "({r},{col})");
+                assert!(
+                    (c.get(r, col) - expect.get(r, col)).abs() < 1e-3,
+                    "({r},{col})"
+                );
             }
         }
         assert!(stats.time_us > 0.0);
@@ -508,7 +546,13 @@ mod tests {
     fn spmm_is_slower_than_sputnik_on_dl_problems() {
         let a = gen::uniform(2048, 2048, 0.8, 53);
         let gpu = Gpu::v100();
-        let ours = sputnik::spmm_profile::<f32>(&gpu, &a, 2048, 128, sputnik::SpmmConfig::heuristic::<f32>(128));
+        let ours = sputnik::spmm_profile::<f32>(
+            &gpu,
+            &a,
+            2048,
+            128,
+            sputnik::SpmmConfig::heuristic::<f32>(128),
+        );
         let theirs = cusparse_spmm_profile::<f32>(&gpu, &a, 128);
         let speedup = theirs.time_us / ours.time_us;
         assert!(

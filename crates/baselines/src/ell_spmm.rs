@@ -36,11 +36,21 @@ impl<'a> EllSpmmKernel<'a> {
         assert_eq!(out.rows(), a.rows());
         assert_eq!(out.cols(), b.cols());
         let n = b.cols();
-        Self { a, b: Some(b), out: Some(SyncUnsafeSlice::new(out.as_mut_slice())), n }
+        Self {
+            a,
+            b: Some(b),
+            out: Some(SyncUnsafeSlice::new(out.as_mut_slice())),
+            n,
+        }
     }
 
     pub fn for_profile(a: &'a EllMatrix<f32>, n: usize) -> Self {
-        Self { a, b: None, out: None, n }
+        Self {
+            a,
+            b: None,
+            out: None,
+            n,
+        }
     }
 }
 
@@ -50,7 +60,10 @@ impl Kernel for EllSpmmKernel<'_> {
     }
 
     fn grid(&self) -> Dim3 {
-        Dim3::xy(self.n.div_ceil(32) as u32, (self.a.rows() as u32).div_ceil(128))
+        Dim3::xy(
+            self.n.div_ceil(32) as u32,
+            (self.a.rows() as u32).div_ceil(128),
+        )
     }
 
     fn block_dim(&self) -> Dim3 {
@@ -60,9 +73,24 @@ impl Kernel for EllSpmmKernel<'_> {
     fn buffers(&self) -> Vec<BufferSpec> {
         let padded = (self.a.rows() * self.a.width()) as u64;
         vec![
-            BufferSpec { id: BUF_VALUES, name: "ell_values", footprint_bytes: padded * 4, pattern: AccessPattern::Streaming },
-            BufferSpec { id: BUF_INDICES, name: "ell_indices", footprint_bytes: padded * 4, pattern: AccessPattern::Streaming },
-            BufferSpec { id: BUF_LENGTHS, name: "row_lengths", footprint_bytes: self.a.rows() as u64 * 4, pattern: AccessPattern::SharedReuse },
+            BufferSpec {
+                id: BUF_VALUES,
+                name: "ell_values",
+                footprint_bytes: padded * 4,
+                pattern: AccessPattern::Streaming,
+            },
+            BufferSpec {
+                id: BUF_INDICES,
+                name: "ell_indices",
+                footprint_bytes: padded * 4,
+                pattern: AccessPattern::Streaming,
+            },
+            BufferSpec {
+                id: BUF_LENGTHS,
+                name: "row_lengths",
+                footprint_bytes: self.a.rows() as u64 * 4,
+                pattern: AccessPattern::SharedReuse,
+            },
             BufferSpec {
                 id: BUF_B,
                 name: "b",
@@ -95,16 +123,31 @@ impl Kernel for EllSpmmKernel<'_> {
         // per-row early exit limits the waste to the warp's max length).
         for w0 in (0..count).step_by(32) {
             let lanes = 32.min(count - w0);
-            let max_len = (w0..w0 + lanes).map(|i| self.a.row_length(r0 + i)).max().unwrap_or(0);
+            let max_len = (w0..w0 + lanes)
+                .map(|i| self.a.row_length(r0 + i))
+                .max()
+                .unwrap_or(0);
             for j in 0..max_len {
                 // Values + indices at slot j: coalesced across the 32 rows.
-                ctx.ld_global(BUF_VALUES, ((j * rows + r0 + w0) * 4) as u64, lanes as u32, 1, 4);
-                ctx.ld_global(BUF_INDICES, ((j * rows + r0 + w0) * 4) as u64, lanes as u32, 1, 4);
+                ctx.ld_global(
+                    BUF_VALUES,
+                    ((j * rows + r0 + w0) * 4) as u64,
+                    lanes as u32,
+                    1,
+                    4,
+                );
+                ctx.ld_global(
+                    BUF_INDICES,
+                    ((j * rows + r0 + w0) * 4) as u64,
+                    lanes as u32,
+                    1,
+                    4,
+                );
                 // Each lane then reads ITS row's B entries for the column
                 // tile — 32 different B rows: a gather of row strips.
                 ctx.cost.ld_global_instrs += tile_n as u64; // one pass per output column
-                // Sector accounting: each active lane touches `tile_n`
-                // contiguous elements of its own B row.
+                                                            // Sector accounting: each active lane touches `tile_n`
+                                                            // contiguous elements of its own B row.
                 let active = (w0..w0 + lanes)
                     .filter(|&i| j < self.a.row_length(r0 + i))
                     .count() as u64;
@@ -119,10 +162,7 @@ impl Kernel for EllSpmmKernel<'_> {
         // Coalesced stores of the tile.
         ctx.cost.st_global_instrs += (count as u64).div_ceil(32) * tile_n as u64 / 8;
         for r in r0..r0 + count {
-            ctx.cost.gmem[BUF_C.0 as usize].st_sectors += gpu_sim::memory::sectors_contiguous(
-                (r * self.n + n0) as u64 * 4,
-                tile_n as u64 * 4,
-            );
+            ctx.st_global_trace(BUF_C, (r * self.n + n0) as u64 * 4, tile_n as u64 * 4);
         }
 
         if let (true, Some(b), Some(out)) = (ctx.functional(), self.b, self.out.as_ref()) {
@@ -195,7 +235,10 @@ mod tests {
             sputnik::SpmmConfig::heuristic::<f32>(128),
         );
         let ratio = t_ell.time_us / t_csr.time_us;
-        assert!(ratio < 8.0, "ELL should be same-order on balanced matrices, got {ratio:.2}x");
+        assert!(
+            ratio < 8.0,
+            "ELL should be same-order on balanced matrices, got {ratio:.2}x"
+        );
     }
 
     #[test]
@@ -204,7 +247,11 @@ mod tests {
         let gpu = Gpu::v100();
         let csr = gen::power_law(2048, 2048, 100.0, 1.15, 914);
         let ell = EllMatrix::from_csr(&csr);
-        assert!(ell.padding_overhead() > 2.0, "overhead {}", ell.padding_overhead());
+        assert!(
+            ell.padding_overhead() > 2.0,
+            "overhead {}",
+            ell.padding_overhead()
+        );
         let t_ell = ell_spmm_profile(&gpu, &ell, 128);
         let t_csr = sputnik::spmm_profile::<f32>(
             &gpu,

@@ -37,23 +37,40 @@ pub struct MergeSpmmKernel<'a, T: Scalar> {
 impl<'a, T: Scalar> MergeSpmmKernel<'a, T> {
     /// Returns `Err` when the problem violates the kernel's published
     /// constraint (N divisible by 32).
-    pub fn new(a: &'a CsrMatrix<T>, b: &'a Matrix<T>, out: &'a mut Matrix<T>) -> Result<Self, String> {
-        if b.cols() % 32 != 0 {
-            return Err(format!("MergeSpmm requires N divisible by 32, got {}", b.cols()));
+    pub fn new(
+        a: &'a CsrMatrix<T>,
+        b: &'a Matrix<T>,
+        out: &'a mut Matrix<T>,
+    ) -> Result<Self, String> {
+        if !b.cols().is_multiple_of(32) {
+            return Err(format!(
+                "MergeSpmm requires N divisible by 32, got {}",
+                b.cols()
+            ));
         }
         assert_eq!(a.cols(), b.rows());
         assert_eq!(b.layout(), sparse::Layout::RowMajor);
         assert_eq!(out.rows(), a.rows());
         assert_eq!(out.cols(), b.cols());
         let n = b.cols();
-        Ok(Self { a, b: Some(b), out: Some(SyncUnsafeSlice::new(out.as_mut_slice())), n })
+        Ok(Self {
+            a,
+            b: Some(b),
+            out: Some(SyncUnsafeSlice::new(out.as_mut_slice())),
+            n,
+        })
     }
 
     pub fn for_profile(a: &'a CsrMatrix<T>, n: usize) -> Result<Self, String> {
-        if n % 32 != 0 {
+        if !n.is_multiple_of(32) {
             return Err(format!("MergeSpmm requires N divisible by 32, got {n}"));
         }
-        Ok(Self { a, b: None, out: None, n })
+        Ok(Self {
+            a,
+            b: None,
+            out: None,
+            n,
+        })
     }
 }
 
@@ -140,8 +157,20 @@ impl<T: Scalar> Kernel for MergeSpmmKernel<'_, T> {
                 // Coalesced scalar loads of the strip's values + indices;
                 // per-nonzero broadcast via warp shuffle (no shared-memory
                 // staging in the row-splitting kernel).
-                ctx.ld_global(BUF_A_VALUES, (row_off + s * 32) * eb, strip_len as u32, 1, T::BYTES);
-                ctx.ld_global(BUF_A_INDICES, (row_off + s * 32) * 4, strip_len as u32, 1, 4);
+                ctx.ld_global(
+                    BUF_A_VALUES,
+                    (row_off + s * 32) * eb,
+                    strip_len as u32,
+                    1,
+                    T::BYTES,
+                );
+                ctx.ld_global(
+                    BUF_A_INDICES,
+                    (row_off + s * 32) * 4,
+                    strip_len as u32,
+                    1,
+                    4,
+                );
                 for _ in 0..strip_len {
                     ctx.shfl(2);
                     ctx.cost.ld_global_instrs += 1;
@@ -157,10 +186,7 @@ impl<T: Scalar> Kernel for MergeSpmmKernel<'_, T> {
 
             // Coalesced scalar store of the 32 outputs.
             ctx.cost.st_global_instrs += 1;
-            ctx.cost.gmem[BUF_C.0 as usize].st_sectors += gpu_sim::memory::sectors_contiguous(
-                (row * self.n + n0) as u64 * eb,
-                32 * eb,
-            );
+            ctx.st_global_trace(BUF_C, (row * self.n + n0) as u64 * eb, 32 * eb);
 
             if let (true, Some(b), Some(out)) = (ctx.functional(), self.b, self.out.as_ref()) {
                 let b = b.as_slice();
@@ -195,7 +221,11 @@ pub fn merge_spmm<T: Scalar>(
 }
 
 /// Profile MergeSpmm.
-pub fn merge_spmm_profile<T: Scalar>(gpu: &Gpu, a: &CsrMatrix<T>, n: usize) -> Result<LaunchStats, String> {
+pub fn merge_spmm_profile<T: Scalar>(
+    gpu: &Gpu,
+    a: &CsrMatrix<T>,
+    n: usize,
+) -> Result<LaunchStats, String> {
     Ok(gpu.profile(&MergeSpmmKernel::<T>::for_profile(a, n)?))
 }
 
@@ -236,7 +266,10 @@ mod tests {
         );
         let theirs = merge_spmm_profile::<f32>(&gpu, &a, 128).unwrap();
         let speedup = theirs.time_us / ours.time_us;
-        assert!(speedup > 1.0, "expected Sputnik ahead of MergeSpmm, got {speedup:.2}x");
+        assert!(
+            speedup > 1.0,
+            "expected Sputnik ahead of MergeSpmm, got {speedup:.2}x"
+        );
         assert!(speedup < 4.0, "gap should be moderate, got {speedup:.2}x");
     }
 

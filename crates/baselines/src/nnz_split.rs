@@ -11,9 +11,7 @@
 //! implementation exists to make that comparison concrete
 //! (`ext_load_balancing`).
 
-use gpu_sim::{
-    AccessPattern, BlockContext, BufferId, BufferSpec, Dim3, Gpu, Kernel, LaunchStats,
-};
+use gpu_sim::{AccessPattern, BlockContext, BufferId, BufferSpec, Dim3, Gpu, Kernel, LaunchStats};
 use sparse::{CsrMatrix, Matrix, Scalar};
 use std::sync::atomic::{AtomicU32, Ordering};
 
@@ -48,12 +46,24 @@ impl<'a, T: Scalar> NnzSplitSpmmKernel<'a, T> {
         assert_eq!(out.len(), a.rows() * b.cols());
         let n = b.cols();
         let strips = a.nnz().div_ceil(STRIP).max(1);
-        Self { a, b: Some(b), out: Some(out), n, strips }
+        Self {
+            a,
+            b: Some(b),
+            out: Some(out),
+            n,
+            strips,
+        }
     }
 
     pub fn for_profile(a: &'a CsrMatrix<T>, n: usize) -> Self {
         let strips = a.nnz().div_ceil(STRIP).max(1);
-        Self { a, b: None, out: None, n, strips }
+        Self {
+            a,
+            b: None,
+            out: None,
+            n,
+            strips,
+        }
     }
 
     /// Row containing value position `pos` (the device does this with a
@@ -91,12 +101,28 @@ impl<T: Scalar> Kernel for NnzSplitSpmmKernel<'_, T> {
         (STRIP * 8) as u32
     }
 
+    fn atomic_output(&self) -> bool {
+        // Boundary rows are accumulated with atomic CAS: neighbouring strips
+        // legitimately touch the same output elements.
+        true
+    }
+
     fn buffers(&self) -> Vec<BufferSpec> {
         let nnz = self.a.nnz() as u64;
         let eb = T::BYTES as u64;
         vec![
-            BufferSpec { id: BUF_A_VALUES, name: "a_values", footprint_bytes: nnz * eb, pattern: AccessPattern::Streaming },
-            BufferSpec { id: BUF_A_INDICES, name: "a_indices", footprint_bytes: nnz * 4, pattern: AccessPattern::Streaming },
+            BufferSpec {
+                id: BUF_A_VALUES,
+                name: "a_values",
+                footprint_bytes: nnz * eb,
+                pattern: AccessPattern::Streaming,
+            },
+            BufferSpec {
+                id: BUF_A_INDICES,
+                name: "a_indices",
+                footprint_bytes: nnz * 4,
+                pattern: AccessPattern::Streaming,
+            },
             BufferSpec {
                 id: BUF_A_OFFSETS,
                 name: "a_row_offsets",
@@ -136,13 +162,21 @@ impl<T: Scalar> Kernel for NnzSplitSpmmKernel<'_, T> {
         ctx.cost.ld_global_instrs += bs_steps;
         ctx.cost.gmem[BUF_A_OFFSETS.0 as usize].ld_sectors += bs_steps;
 
-        // Strip loads: values + indices, coalesced.
-        ctx.ld_global(BUF_A_VALUES, start as u64 * eb, count.min(32) as u32, (count as u32).div_ceil(32).min(4), T::BYTES);
+        // Strip loads: values + indices, coalesced. The head load is a
+        // full-warp vector load clamped to the strip: the final strip of the
+        // matrix may hold fewer than lanes*vec_width nonzeros, and reading
+        // past them would run off the values footprint.
+        let head_lanes = count.min(32) as u64;
+        let head_vec = (count as u64).div_ceil(32).min(4);
+        ctx.cost.ld_global_instrs += 1;
+        ctx.ld_global_trace(
+            BUF_A_VALUES,
+            start as u64 * eb,
+            (head_lanes * head_vec).min(count as u64) * eb,
+        );
         ctx.cost.ld_global_instrs += 2 * (count as u64).div_ceil(32 * 4);
-        ctx.cost.gmem[BUF_A_VALUES.0 as usize].ld_sectors +=
-            gpu_sim::memory::sectors_contiguous(start as u64 * eb, count as u64 * eb);
-        ctx.cost.gmem[BUF_A_INDICES.0 as usize].ld_sectors +=
-            gpu_sim::memory::sectors_contiguous(start as u64 * 4, count as u64 * 4);
+        ctx.ld_global_trace(BUF_A_VALUES, start as u64 * eb, count as u64 * eb);
+        ctx.ld_global_trace(BUF_A_INDICES, start as u64 * 4, count as u64 * 4);
 
         // Per nonzero: one B strip load + FMA + row-boundary bookkeeping.
         ctx.cost.ld_global_instrs += count as u64;
@@ -161,7 +195,8 @@ impl<T: Scalar> Kernel for NnzSplitSpmmKernel<'_, T> {
         let atomic_elems = 2 * tile_n as u64;
         ctx.cost.st_global_instrs += atomic_elems.div_ceil(32);
         ctx.cost.gmem[BUF_C.0 as usize].st_sectors += atomic_elems.div_ceil(8)
-            + (interior_rows as u64 + 2) * gpu_sim::memory::sectors_contiguous(0, tile_n as u64 * eb);
+            + (interior_rows as u64 + 2)
+                * gpu_sim::memory::sectors_contiguous(0, tile_n as u64 * eb);
         ctx.misc(6 * tile_n as u64 / 8); // atomic retry slack
         ctx.cost.stall_cycles += 8; // serialization at hot boundary rows
         ctx.cost.flops += 2 * (count * tile_n) as u64;
@@ -214,14 +249,22 @@ impl<T: Scalar> Kernel for NnzSplitSpmmKernel<'_, T> {
 }
 
 /// Functional nonzero-splitting SpMM (f32; atomics operate on f32 bits).
-pub fn nnz_split_spmm(gpu: &Gpu, a: &CsrMatrix<f32>, b: &Matrix<f32>) -> (Matrix<f32>, LaunchStats) {
-    let atomic_out: Vec<AtomicU32> =
-        (0..a.rows() * b.cols()).map(|_| AtomicU32::new(0f32.to_bits())).collect();
+pub fn nnz_split_spmm(
+    gpu: &Gpu,
+    a: &CsrMatrix<f32>,
+    b: &Matrix<f32>,
+) -> (Matrix<f32>, LaunchStats) {
+    let atomic_out: Vec<AtomicU32> = (0..a.rows() * b.cols())
+        .map(|_| AtomicU32::new(0f32.to_bits()))
+        .collect();
     let stats = {
         let kernel = NnzSplitSpmmKernel::new(a, b, &atomic_out);
         gpu.launch(&kernel)
     };
-    let data: Vec<f32> = atomic_out.iter().map(|a| f32::from_bits(a.load(Ordering::Relaxed))).collect();
+    let data: Vec<f32> = atomic_out
+        .iter()
+        .map(|a| f32::from_bits(a.load(Ordering::Relaxed)))
+        .collect();
     (Matrix::from_vec(a.rows(), b.cols(), data), stats)
 }
 

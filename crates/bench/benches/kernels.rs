@@ -4,6 +4,9 @@
 //! *simulated device* times are produced by the `src/bin` experiment
 //! harnesses.
 
+// Benchmarks, like tests, crash loudly; the unwrap denial is for library code.
+#![allow(clippy::unwrap_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gpu_sim::Gpu;
 use sparse::{gen, Half, Matrix};
@@ -72,7 +75,10 @@ fn bench_load_balance(c: &mut Criterion) {
                 &a,
                 2048,
                 128,
-                SpmmConfig { row_swizzle: false, ..cfg },
+                SpmmConfig {
+                    row_swizzle: false,
+                    ..cfg
+                },
             ))
         })
     });

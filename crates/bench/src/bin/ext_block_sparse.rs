@@ -15,6 +15,8 @@ use sparse::{block, Matrix};
 use sputnik::SpmmConfig;
 use sputnik_bench::{has_flag, write_json, Table};
 
+// Fields are written to JSON; the vendored serde stub doesn't read them.
+#[allow(dead_code)]
 #[derive(Serialize)]
 struct Point {
     block_size: usize,
@@ -28,7 +30,11 @@ struct Point {
 
 fn main() {
     let gpu = Gpu::v100();
-    let (m, k, n) = if has_flag("--quick") { (1024, 1024, 128) } else { (4096, 2048, 128) };
+    let (m, k, n) = if has_flag("--quick") {
+        (1024, 1024, 128)
+    } else {
+        (4096, 2048, 128)
+    };
     let weights = Matrix::<f32>::random(m, k, 0xb10c);
 
     let sparsities: &[f64] = &[0.7, 0.8, 0.9];
@@ -39,14 +45,27 @@ fn main() {
 
     let mut table = Table::new(
         "Extension — structured vs unstructured sparsity",
-        &["sparsity", "variant", "time (us)", "TFLOP/s", "retention", "quality-weighted TF/s"],
+        &[
+            "sparsity",
+            "variant",
+            "time (us)",
+            "TFLOP/s",
+            "retention",
+            "quality-weighted TF/s",
+        ],
     );
     let mut points = Vec::new();
 
     for &s in sparsities {
         // Unstructured: Sputnik on magnitude-pruned weights.
         let unstructured = dnn::magnitude_prune(&weights, s);
-        let stats = sputnik::spmm_profile::<f32>(&gpu, &unstructured, k, n, SpmmConfig::heuristic::<f32>(n));
+        let stats = sputnik::spmm_profile::<f32>(
+            &gpu,
+            &unstructured,
+            k,
+            n,
+            SpmmConfig::heuristic::<f32>(n),
+        );
         table.row(&[
             format!("{s:.1}"),
             "unstructured (Sputnik)".into(),
@@ -91,7 +110,10 @@ fn main() {
 
     // Headline: at 90% sparsity, where do block kernels overtake Sputnik on
     // raw speed, and what does it cost in retention?
-    let at90: Vec<&Point> = points.iter().filter(|p| (p.sparsity - 0.9).abs() < 1e-9).collect();
+    let at90: Vec<&Point> = points
+        .iter()
+        .filter(|p| (p.sparsity - 0.9).abs() < 1e-9)
+        .collect();
     if let Some(unstr) = at90.iter().find(|p| p.block_size == 1) {
         for p in at90.iter().filter(|p| p.block_size > 1) {
             println!(

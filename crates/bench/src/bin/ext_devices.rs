@@ -12,6 +12,8 @@ use sparse::{dataset, gen};
 use sputnik::SpmmConfig;
 use sputnik_bench::{geo_mean, has_flag, write_json, Table};
 
+// Fields are written to JSON; the vendored serde stub doesn't read them.
+#[allow(dead_code)]
 #[derive(Serialize)]
 struct DeviceRow {
     device: String,
@@ -27,7 +29,13 @@ fn main() {
 
     let mut table = Table::new(
         "Extension — device transport (Figure 1 problem + corpus geo-mean)",
-        &["device", "dense (us)", "sparse@90% (us)", "crossover", "geo speedup vs cuSPARSE"],
+        &[
+            "device",
+            "dense (us)",
+            "sparse@90% (us)",
+            "crossover",
+            "geo speedup vs cuSPARSE",
+        ],
     );
     let mut rows = Vec::new();
 
@@ -37,7 +45,8 @@ fn main() {
         let mut spmm_90 = 0.0;
         for s in [0.5, 0.6, 0.65, 0.7, 0.75, 0.8, 0.85, 0.9] {
             let a = gen::uniform(m, k, s, 0xde5 + (s * 100.0) as u64);
-            let t = sputnik::spmm_profile::<f32>(&gpu, &a, k, n, SpmmConfig::heuristic::<f32>(n)).time_us;
+            let t = sputnik::spmm_profile::<f32>(&gpu, &a, k, n, SpmmConfig::heuristic::<f32>(n))
+                .time_us;
             if t < dense_us && crossover.is_none() {
                 crossover = Some(s);
             }
@@ -50,7 +59,13 @@ fn main() {
             .map(|spec| {
                 let a = spec.generate();
                 let nn = spec.n(spec.batch_sizes().1);
-                let ours = sputnik::spmm_profile::<f32>(&gpu, &a, spec.cols, nn, SpmmConfig::heuristic::<f32>(nn));
+                let ours = sputnik::spmm_profile::<f32>(
+                    &gpu,
+                    &a,
+                    spec.cols,
+                    nn,
+                    SpmmConfig::heuristic::<f32>(nn),
+                );
                 let cusp = baselines::cusparse_spmm_profile::<f32>(&gpu, &a, nn);
                 cusp.time_us / ours.time_us
             })

@@ -42,7 +42,7 @@ fn variants(k: usize, n: usize) -> Vec<SpmmConfig> {
                 if cfg.validate(k).is_err() || cfg.threads_x() > 32 {
                     continue;
                 }
-                if vector_width as usize > 1 && n % vector_width as usize != 0 {
+                if vector_width as usize > 1 && !n.is_multiple_of(vector_width as usize) {
                     continue;
                 }
                 out.push(cfg);
@@ -92,7 +92,15 @@ fn main() {
     entries.sort_by(|a, b| b.gap.total_cmp(&a.gap));
     let mut table = Table::new(
         "Extension — heuristic vs oracle kernel selection (worst 10 problems)",
-        &["problem", "MxKxN", "sparsity", "heuristic", "oracle", "gap", "oracle variant"],
+        &[
+            "problem",
+            "MxKxN",
+            "sparsity",
+            "heuristic",
+            "oracle",
+            "gap",
+            "oracle variant",
+        ],
     );
     for e in entries.iter().take(10) {
         table.row(&[

@@ -17,6 +17,8 @@ use sparse::{gen, stats};
 use sputnik::SpmmConfig;
 use sputnik_bench::{has_flag, write_json, Table};
 
+// Fields are written to JSON; the vendored serde stub doesn't read them.
+#[allow(dead_code)]
 #[derive(Serialize)]
 struct Point {
     achieved_cov: f64,
@@ -37,15 +39,29 @@ fn main() {
 
     let mut table = Table::new(
         "Extension — load balancing approaches (SpMM 8192x2048x128, 75% sparse, us)",
-        &["CoV", "natural order", "row swizzle", "nnz splitting", "ASpT"],
+        &[
+            "CoV",
+            "natural order",
+            "row swizzle",
+            "nnz splitting",
+            "ASpT",
+        ],
     );
     let mut points = Vec::new();
     let cfg = SpmmConfig::heuristic::<f32>(n);
     for &cov in &covs {
         let a = gen::with_cov(m, k, 0.75, cov, 0x1b + (cov * 10.0) as u64);
         let achieved = stats::matrix_stats(&a).row_cov;
-        let natural =
-            sputnik::spmm_profile::<f32>(&gpu, &a, k, n, SpmmConfig { row_swizzle: false, ..cfg });
+        let natural = sputnik::spmm_profile::<f32>(
+            &gpu,
+            &a,
+            k,
+            n,
+            SpmmConfig {
+                row_swizzle: false,
+                ..cfg
+            },
+        );
         let swizzle = sputnik::spmm_profile::<f32>(&gpu, &a, k, n, cfg);
         let nnz_split = baselines::nnz_split_spmm_profile::<f32>(&gpu, &a, n);
         let aspt = baselines::aspt_spmm_profile::<f32>(&gpu, &a, n).ok();
@@ -54,7 +70,8 @@ fn main() {
             format!("{:.1}", natural.time_us),
             format!("{:.1}", swizzle.time_us),
             format!("{:.1}", nnz_split.time_us),
-            aspt.as_ref().map_or("-".into(), |s| format!("{:.1}", s.time_us)),
+            aspt.as_ref()
+                .map_or("-".into(), |s| format!("{:.1}", s.time_us)),
         ]);
         points.push(Point {
             achieved_cov: achieved,
@@ -66,7 +83,9 @@ fn main() {
     }
     table.print();
 
-    let (Some(first), Some(last)) = (points.first(), points.last()) else { return };
+    let (Some(first), Some(last)) = (points.first(), points.last()) else {
+        return;
+    };
     println!(
         "balanced matrices (CoV 0): swizzle {:.1} us vs nnz-splitting {:.1} us — the \
          irregular scheme pays {:.0}% overhead where there is nothing to balance",

@@ -13,7 +13,14 @@ fn main() {
     let gpu = Gpu::v100();
     let mut table = Table::new(
         "Extension — sparse ResNet-50 inference (batch 1, V100)",
-        &["variant", "frames/s", "inference (us)", "sparse convs (us)", "dense layers (us)", "weights (MB)"],
+        &[
+            "variant",
+            "frames/s",
+            "inference (us)",
+            "sparse convs (us)",
+            "dense layers (us)",
+            "weights (MB)",
+        ],
     );
     let mut results = Vec::new();
 

@@ -16,6 +16,8 @@ use sparse::{gen, IndexWidth};
 use sputnik::SpmmConfig;
 use sputnik_bench::{has_flag, write_json, Table};
 
+// Fields are written to JSON; the vendored serde stub doesn't read them.
+#[allow(dead_code)]
 #[derive(Serialize)]
 struct Entry {
     label: String,
@@ -32,12 +34,25 @@ fn main() {
     let shapes: &[(usize, usize, usize)] = if has_flag("--quick") {
         &[(2048, 2048, 128)]
     } else {
-        &[(2048, 2048, 128), (8192, 2048, 128), (1024, 4096, 256), (4096, 1024, 64)]
+        &[
+            (2048, 2048, 128),
+            (8192, 2048, 128),
+            (1024, 4096, 256),
+            (4096, 1024, 64),
+        ]
     };
 
     let mut table = Table::new(
         "Extension — ROMA vs explicit padding (SpMM, us)",
-        &["problem", "sparsity", "scalar", "ROMA", "padded", "pad nnz overhead", "pad extra bytes"],
+        &[
+            "problem",
+            "sparsity",
+            "scalar",
+            "ROMA",
+            "padded",
+            "pad nnz overhead",
+            "pad extra bytes",
+        ],
     );
     let mut entries = Vec::new();
 
@@ -51,19 +66,27 @@ fn main() {
                 &a,
                 k,
                 n,
-                SpmmConfig { vector_width: 1, roma: false, block_items_x: 32, ..cfg },
+                SpmmConfig {
+                    vector_width: 1,
+                    roma: false,
+                    block_items_x: 32,
+                    ..cfg
+                },
             );
             let roma = sputnik::spmm_profile::<f32>(&gpu, &a, k, n, cfg);
 
             let Some(padded) = a.padded_to_multiple(cfg.vector_width as usize) else {
                 continue; // rows too dense to pad — skip this point
             };
-            let pad_cfg = SpmmConfig { roma: false, assume_aligned: true, ..cfg };
+            let pad_cfg = SpmmConfig {
+                roma: false,
+                assume_aligned: true,
+                ..cfg
+            };
             let padded_stats = sputnik::spmm_profile::<f32>(&gpu, &padded, k, n, pad_cfg);
 
             let overhead = 100.0 * (padded.nnz() as f64 / a.nnz() as f64 - 1.0);
-            let extra =
-                padded.bytes(IndexWidth::U32) as i64 - a.bytes(IndexWidth::U32) as i64;
+            let extra = padded.bytes(IndexWidth::U32) as i64 - a.bytes(IndexWidth::U32) as i64;
             let label = format!("{m}x{k}x{n}");
             table.row(&[
                 label.clone(),
@@ -87,9 +110,15 @@ fn main() {
     }
     table.print();
 
-    let roma_vs_scalar: f64 = entries.iter().map(|e| e.scalar_us / e.roma_us).product::<f64>()
+    let roma_vs_scalar: f64 = entries
+        .iter()
+        .map(|e| e.scalar_us / e.roma_us)
+        .product::<f64>()
         .powf(1.0 / entries.len() as f64);
-    let roma_vs_padded: f64 = entries.iter().map(|e| e.padded_us / e.roma_us).product::<f64>()
+    let roma_vs_padded: f64 = entries
+        .iter()
+        .map(|e| e.padded_us / e.roma_us)
+        .product::<f64>()
         .powf(1.0 / entries.len() as f64);
     println!("ROMA vs scalar: {roma_vs_scalar:.2}x geo-mean (the vector-load win)");
     println!(

@@ -13,6 +13,8 @@ use sparse::gen;
 use sputnik::{CachedTranspose, SddmmConfig, SpmmConfig};
 use sputnik_bench::{has_flag, write_json, Table};
 
+// Fields are written to JSON; the vendored serde stub doesn't read them.
+#[allow(dead_code)]
 #[derive(Serialize)]
 struct Point {
     sparsity: f64,
@@ -27,7 +29,11 @@ struct Point {
 
 fn main() {
     let gpu = Gpu::v100();
-    let (m, k, n) = if has_flag("--quick") { (2048, 1024, 128) } else { (4096, 2048, 256) };
+    let (m, k, n) = if has_flag("--quick") {
+        (2048, 1024, 128)
+    } else {
+        (4096, 2048, 256)
+    };
 
     // Dense training step: Y = WX (fwd), dW = dY X^T, dX = W^T dY, update.
     let dense_total_us = baselines::gemm_profile(&gpu, m, k, n).time_us
@@ -37,15 +43,28 @@ fn main() {
 
     let mut table = Table::new(
         "Extension — training step on the compressed representation (us)",
-        &["sparsity", "fwd SpMM", "dW SDDMM", "dX W^T-SpMM", "update", "sparse total", "dense total", "speedup"],
+        &[
+            "sparsity",
+            "fwd SpMM",
+            "dW SDDMM",
+            "dX W^T-SpMM",
+            "update",
+            "sparse total",
+            "dense total",
+            "speedup",
+        ],
     );
     let mut points = Vec::new();
     for &s in &[0.5, 0.7, 0.8, 0.9, 0.95, 0.98] {
         let w = gen::uniform(m, k, s, 0x7a11 + (s * 100.0) as u64);
-        let fwd = sputnik::spmm_profile::<f32>(&gpu, &w, k, n, SpmmConfig::heuristic::<f32>(n)).time_us;
-        let dw = sputnik::sddmm_profile::<f32>(&gpu, &w, n, SddmmConfig::heuristic::<f32>(n)).time_us;
+        let fwd =
+            sputnik::spmm_profile::<f32>(&gpu, &w, k, n, SpmmConfig::heuristic::<f32>(n)).time_us;
+        let dw =
+            sputnik::sddmm_profile::<f32>(&gpu, &w, n, SddmmConfig::heuristic::<f32>(n)).time_us;
         let mut cache = CachedTranspose::new(&w);
-        let dx = cache.spmm_profile(&gpu, n, SpmmConfig::heuristic::<f32>(n)).time_us;
+        let dx = cache
+            .spmm_profile(&gpu, n, SpmmConfig::heuristic::<f32>(n))
+            .time_us;
         let update = cache.update_values(&gpu, w.values()).time_us;
         let sparse_total = fwd + dw + dx + update;
         let speedup = dense_total_us / sparse_total;

@@ -11,6 +11,8 @@ use serde::Serialize;
 use sparse::gen;
 use sputnik_bench::{has_flag, write_json, Table};
 
+// Fields are written to JSON; the vendored serde stub doesn't read them.
+#[allow(dead_code)]
 #[derive(Serialize)]
 struct Point {
     sparsity: f64,
@@ -28,12 +30,20 @@ fn main() {
     let sparsities: Vec<f64> = if has_flag("--quick") {
         vec![0.5, 0.7, 0.8, 0.9, 0.95, 0.98]
     } else {
-        vec![0.5, 0.6, 0.65, 0.7, 0.71, 0.75, 0.8, 0.85, 0.9, 0.95, 0.98, 0.99]
+        vec![
+            0.5, 0.6, 0.65, 0.7, 0.71, 0.75, 0.8, 0.85, 0.9, 0.95, 0.98, 0.99,
+        ]
     };
 
     let mut table = Table::new(
         "Figure 1 — SpMM runtime vs sparsity (LSTM 8192/2048/128, FP32, V100)",
-        &["sparsity", "sputnik_us", "cusparse_us", "dense_us", "sputnik_vs_dense"],
+        &[
+            "sparsity",
+            "sputnik_us",
+            "cusparse_us",
+            "dense_us",
+            "sputnik_vs_dense",
+        ],
     );
     let mut points = Vec::new();
     let mut sputnik_crossover: Option<f64> = None;
@@ -57,7 +67,12 @@ fn main() {
             format!("{:.1}", dense_us),
             format!("{:.2}x", dense_us / ours),
         ]);
-        points.push(Point { sparsity: s, sputnik_us: ours, cusparse_us: cusp, dense_us });
+        points.push(Point {
+            sparsity: s,
+            sputnik_us: ours,
+            cusparse_us: cusp,
+            dense_us,
+        });
     }
 
     table.print();

@@ -34,20 +34,36 @@ fn summarize(name: &str, stats: &[sparse::MatrixStats]) -> CorpusSummary {
 fn main() {
     // Full corpora are 3,012 + 2,833 matrices; the default run samples both
     // (statistics converge quickly), --full generates everything.
-    let (dl_count, sci_count) = if has_flag("--full") { (3012, 2833) } else { (150, 120) };
+    let (dl_count, sci_count) = if has_flag("--full") {
+        (3012, 2833)
+    } else {
+        (150, 120)
+    };
 
     let dl_specs = dataset::dl_corpus_sample(dl_count, 2);
-    let dl_stats: Vec<_> = dl_specs.iter().map(|s| matrix_stats(&s.generate())).collect();
+    let dl_stats: Vec<_> = dl_specs
+        .iter()
+        .map(|s| matrix_stats(&s.generate()))
+        .collect();
 
     let sci_specs = dataset::scientific_corpus(sci_count, 3);
-    let sci_stats: Vec<_> = sci_specs.iter().map(|s| matrix_stats(&s.generate())).collect();
+    let sci_stats: Vec<_> = sci_specs
+        .iter()
+        .map(|s| matrix_stats(&s.generate()))
+        .collect();
 
     let dl = summarize("deep-learning", &dl_stats);
     let sci = summarize("scientific (SuiteSparse-like)", &sci_stats);
 
     let mut table = Table::new(
         "Figure 2 — corpus statistics",
-        &["corpus", "matrices", "mean sparsity", "mean avg row len", "mean row CoV"],
+        &[
+            "corpus",
+            "matrices",
+            "mean sparsity",
+            "mean avg row len",
+            "mean row CoV",
+        ],
     );
     for c in [&dl, &sci] {
         table.row(&[

@@ -13,6 +13,8 @@ use sparse::{gen, stats};
 use sputnik::SpmmConfig;
 use sputnik_bench::{has_flag, write_json, Table};
 
+// Fields are written to JSON; the vendored serde stub doesn't read them.
+#[allow(dead_code)]
 #[derive(Serialize)]
 struct Point {
     target_cov: f64,
@@ -43,15 +45,28 @@ fn main() {
 
     let mut table = Table::new(
         "Figure 7 — throughput vs row-length CoV (8192/2048/128, 75% sparse)",
-        &["target CoV", "achieved CoV", "row swizzle", "standard order"],
+        &[
+            "target CoV",
+            "achieved CoV",
+            "row swizzle",
+            "standard order",
+        ],
     );
     let mut points = Vec::new();
     for &cov in &covs {
         let a = gen::with_cov(m, k, sparsity, cov, 0x7fb1 + (cov * 100.0) as u64);
         let achieved = stats::matrix_stats(&a).row_cov;
         let with = sputnik::spmm_profile::<f32>(&gpu, &a, k, n, cfg);
-        let without =
-            sputnik::spmm_profile::<f32>(&gpu, &a, k, n, SpmmConfig { row_swizzle: false, ..cfg });
+        let without = sputnik::spmm_profile::<f32>(
+            &gpu,
+            &a,
+            k,
+            n,
+            SpmmConfig {
+                row_swizzle: false,
+                ..cfg
+            },
+        );
         let swizzle_pct = 100.0 * (with.flops as f64 / with.time_us) / base_eff;
         let standard_pct = 100.0 * (without.flops as f64 / without.time_us) / base_eff;
         table.row(&[
@@ -60,7 +75,12 @@ fn main() {
             format!("{swizzle_pct:.1}%"),
             format!("{standard_pct:.1}%"),
         ]);
-        points.push(Point { target_cov: cov, achieved_cov: achieved, swizzle_pct, standard_pct });
+        points.push(Point {
+            target_cov: cov,
+            achieved_cov: achieved,
+            swizzle_pct,
+            standard_pct,
+        });
     }
     table.print();
     println!("(100% = throughput on a perfectly balanced matrix; DNN average CoV ~0.3)");

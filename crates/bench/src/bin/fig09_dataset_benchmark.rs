@@ -17,6 +17,8 @@ use sparse::Half;
 use sputnik::{SddmmConfig, SpmmConfig};
 use sputnik_bench::{geo_mean, has_flag, write_json, Table};
 
+// Fields are written to JSON; the vendored serde stub doesn't read them.
+#[allow(dead_code)]
 #[derive(Serialize)]
 struct ProblemResult {
     layer: String,
@@ -58,16 +60,28 @@ fn main() {
         for batch in [inference, training] {
             let n = spec.n(batch);
             // SpMM FP32.
-            let ours = sputnik::spmm_profile::<f32>(&gpu, &a, spec.cols, n, SpmmConfig::heuristic::<f32>(n));
+            let ours = sputnik::spmm_profile::<f32>(
+                &gpu,
+                &a,
+                spec.cols,
+                n,
+                SpmmConfig::heuristic::<f32>(n),
+            );
             let cusp = baselines::cusparse_spmm_profile::<f32>(&gpu, &a, n);
             // SDDMM FP32: the weight-gradient problem dY X^T ⊙ I[W] — mask is
             // the weight topology, dot length is the same N.
-            let sddmm_ours = sputnik::sddmm_profile::<f32>(&gpu, &a, n, SddmmConfig::heuristic::<f32>(n));
+            let sddmm_ours =
+                sputnik::sddmm_profile::<f32>(&gpu, &a, n, SddmmConfig::heuristic::<f32>(n));
             let sddmm_cusp = baselines::cusparse_sddmm_profile::<f32>(&gpu, &a, n);
             // SpMM mixed precision (half data, 16-bit indices).
             let a16 = a.convert::<Half>();
-            let ours16 =
-                sputnik::spmm_profile::<Half>(&gpu, &a16, spec.cols, n, SpmmConfig::heuristic::<Half>(n));
+            let ours16 = sputnik::spmm_profile::<Half>(
+                &gpu,
+                &a16,
+                spec.cols,
+                n,
+                SpmmConfig::heuristic::<Half>(n),
+            );
             let cusp16 = baselines::cusparse_spmm_half_profile::<Half>(&gpu, &a16, n);
 
             results.push(ProblemResult {
@@ -97,7 +111,14 @@ fn main() {
     // full data goes to JSON).
     let mut series = Table::new(
         "Figure 9 — sample of per-problem results (runtime us | ours vs cuSPARSE)",
-        &["problem", "MxKxN", "sparsity", "spmm f32", "sddmm f32", "spmm f16"],
+        &[
+            "problem",
+            "MxKxN",
+            "sparsity",
+            "spmm f32",
+            "sddmm f32",
+            "spmm f16",
+        ],
     );
     for r in results.iter().take(10) {
         series.row(&[
@@ -112,17 +133,32 @@ fn main() {
     series.print();
 
     // Table I summary.
-    let spmm_speedups: Vec<f64> =
-        results.iter().map(|r| r.spmm_f32_cusparse_us / r.spmm_f32_us).collect();
-    let sddmm_speedups: Vec<f64> =
-        results.iter().map(|r| r.sddmm_f32_cusparse_us / r.sddmm_f32_us).collect();
-    let f16_speedups: Vec<f64> =
-        results.iter().map(|r| r.spmm_f16_cusparse_us / r.spmm_f16_us).collect();
+    let spmm_speedups: Vec<f64> = results
+        .iter()
+        .map(|r| r.spmm_f32_cusparse_us / r.spmm_f32_us)
+        .collect();
+    let sddmm_speedups: Vec<f64> = results
+        .iter()
+        .map(|r| r.sddmm_f32_cusparse_us / r.sddmm_f32_us)
+        .collect();
+    let f16_speedups: Vec<f64> = results
+        .iter()
+        .map(|r| r.spmm_f16_cusparse_us / r.spmm_f16_us)
+        .collect();
     let max = |xs: &[f64]| xs.iter().cloned().fold(0.0f64, f64::max);
 
-    let peak_spmm = max(&results.iter().map(|r| r.spmm_f32_tflops).collect::<Vec<_>>());
-    let peak_sddmm = max(&results.iter().map(|r| r.sddmm_f32_tflops).collect::<Vec<_>>());
-    let peak_f16 = max(&results.iter().map(|r| r.spmm_f16_tflops).collect::<Vec<_>>());
+    let peak_spmm = max(&results
+        .iter()
+        .map(|r| r.spmm_f32_tflops)
+        .collect::<Vec<_>>());
+    let peak_sddmm = max(&results
+        .iter()
+        .map(|r| r.sddmm_f32_tflops)
+        .collect::<Vec<_>>());
+    let peak_f16 = max(&results
+        .iter()
+        .map(|r| r.spmm_f16_tflops)
+        .collect::<Vec<_>>());
 
     let mut t1 = Table::new(
         "Table I — sparse matrix dataset benchmark results (vs cuSPARSE)",
@@ -158,8 +194,14 @@ fn main() {
     ]);
     t1.row(&[
         "best % of fp32 peak".into(),
-        format!("{:.1}%", 100.0 * peak_spmm / gpu.device().fp32_peak_tflops()),
-        format!("{:.1}%", 100.0 * peak_sddmm / gpu.device().fp32_peak_tflops()),
+        format!(
+            "{:.1}%",
+            100.0 * peak_spmm / gpu.device().fp32_peak_tflops()
+        ),
+        format!(
+            "{:.1}%",
+            100.0 * peak_sddmm / gpu.device().fp32_peak_tflops()
+        ),
         "-".into(),
         "27.3% / 26.2% / -".into(),
     ]);

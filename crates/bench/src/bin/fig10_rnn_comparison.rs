@@ -45,7 +45,7 @@ fn main() {
 
     let mut results = Vec::new();
     for (i, p) in problems.iter().enumerate() {
-        let a = p.weights(0xf1_0 + i as u64);
+        let a = p.weights(0xf10 + i as u64);
         let (m, k, n) = (p.m(), p.k(), p.n());
         let cfg = SpmmConfig::heuristic::<f32>(n);
 
@@ -62,7 +62,12 @@ fn main() {
             &a,
             k,
             n,
-            SpmmConfig { vector_width: 1, roma: false, block_items_x: 32, ..cfg },
+            SpmmConfig {
+                vector_width: 1,
+                roma: false,
+                block_items_x: 32,
+                ..cfg
+            },
         )
         .time_us;
 
@@ -124,7 +129,10 @@ fn main() {
     sddmm_table.print();
 
     let gm = |f: fn(&RnnResult) -> f64| geo_mean(&results.iter().map(f).collect::<Vec<_>>());
-    let mut summary = Table::new("Figure 10 — geometric-mean summary", &["comparison", "measured", "paper"]);
+    let mut summary = Table::new(
+        "Figure 10 — geometric-mean summary",
+        &["comparison", "measured", "paper"],
+    );
     summary.row(&[
         "SpMM vs MergeSpmm".into(),
         format!("{:.2}x", gm(|r| r.merge_us / r.sputnik_us)),
@@ -152,12 +160,18 @@ fn main() {
     ]);
     summary.row(&[
         "SDDMM throughput vs ASpT".into(),
-        format!("{:.0}%", 100.0 * gm(|r| r.sddmm_aspt_us / r.sddmm_sputnik_us)),
+        format!(
+            "{:.0}%",
+            100.0 * gm(|r| r.sddmm_aspt_us / r.sddmm_sputnik_us)
+        ),
         "92%".into(),
     ]);
     summary.row(&[
         "ASpT memory vs Sputnik".into(),
-        format!("{:.1}x", gm(|r| r.aspt_memory_bytes as f64 / r.sputnik_memory_bytes as f64)),
+        format!(
+            "{:.1}x",
+            gm(|r| r.aspt_memory_bytes as f64 / r.sputnik_memory_bytes as f64)
+        ),
         "3x".into(),
     ]);
     summary.print();

@@ -8,6 +8,8 @@ use serde::Serialize;
 use sparse::gen;
 use sputnik_bench::{has_flag, write_json, Table};
 
+// Fields are written to JSON; the vendored serde stub doesn't read them.
+#[allow(dead_code)]
 #[derive(Serialize)]
 struct MaskSummary {
     seq: usize,
@@ -20,7 +22,11 @@ struct MaskSummary {
 }
 
 fn main() {
-    let (seq, band) = if has_flag("--full") { (12288, 256) } else { (2048, 64) };
+    let (seq, band) = if has_flag("--full") {
+        (12288, 256)
+    } else {
+        (2048, 64)
+    };
     let off = 0.95;
     let mask = gen::attention_mask(seq, band, off, 0x5eed);
 
@@ -62,8 +68,14 @@ fn main() {
     let mut t = Table::new("mask statistics", &["metric", "value"]);
     t.row(&["tokens".into(), summary.seq.to_string()]);
     t.row(&["nonzeros".into(), summary.nnz.to_string()]);
-    t.row(&["overall sparsity".into(), format!("{:.4}", summary.overall_sparsity)]);
-    t.row(&["avg row length".into(), format!("{:.1}", summary.avg_row_len)]);
+    t.row(&[
+        "overall sparsity".into(),
+        format!("{:.4}", summary.overall_sparsity),
+    ]);
+    t.row(&[
+        "avg row length".into(),
+        format!("{:.1}", summary.avg_row_len),
+    ]);
     t.row(&["max row length".into(), summary.max_row_len.to_string()]);
     t.print();
     write_json("fig11_attention_mask", &summary);

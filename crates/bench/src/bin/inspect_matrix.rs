@@ -28,13 +28,20 @@ fn main() {
             };
             (path, m)
         }
-        _ => ("demo (2048x2048 @ 85%, CoV 0.3)".into(), gen::with_cov(2048, 2048, 0.85, 0.3, 42)),
+        _ => (
+            "demo (2048x2048 @ 85%, CoV 0.3)".into(),
+            gen::with_cov(2048, 2048, 0.85, 0.3, 42),
+        ),
     };
 
     println!("matrix: {name}");
     let s = stats::matrix_stats(&m);
     println!("  shape        : {} x {}", s.rows, s.cols);
-    println!("  nonzeros     : {} ({:.2}% dense)", s.nnz, (1.0 - s.sparsity) * 100.0);
+    println!(
+        "  nonzeros     : {} ({:.2}% dense)",
+        s.nnz,
+        (1.0 - s.sparsity) * 100.0
+    );
     println!("  avg row len  : {:.1}", s.avg_row_length);
     println!("  max row len  : {}", m.max_row_len());
     println!("  row CoV      : {:.3}", s.row_cov);
@@ -50,10 +57,7 @@ fn main() {
     // Format suitability.
     let ell = EllMatrix::from_csr(&m);
     println!("\nformat analysis:");
-    println!(
-        "  CSR bytes    : {}",
-        m.bytes(sparse::IndexWidth::U32)
-    );
+    println!("  CSR bytes    : {}", m.bytes(sparse::IndexWidth::U32));
     println!(
         "  ELL bytes    : {} (padding overhead {:.1}%)",
         ell.bytes(),
@@ -62,7 +66,11 @@ fn main() {
     let u16_ok = sparse::IndexWidth::U16.can_index(m.cols());
     println!(
         "  16-bit index : {}",
-        if u16_ok { "supported (mixed precision saves index bandwidth)" } else { "needs 32-bit (too many columns)" }
+        if u16_ok {
+            "supported (mixed precision saves index bandwidth)"
+        } else {
+            "needs 32-bit (too many columns)"
+        }
     );
 
     // Kernel recommendations at a few batch sizes.
@@ -89,13 +97,17 @@ fn main() {
     }
 
     // Load-balance outlook.
-    let with = sputnik::spmm_profile::<f32>(&gpu, &m, m.cols(), 128, SpmmConfig::heuristic::<f32>(128));
+    let with =
+        sputnik::spmm_profile::<f32>(&gpu, &m, m.cols(), 128, SpmmConfig::heuristic::<f32>(128));
     let without = sputnik::spmm_profile::<f32>(
         &gpu,
         &m,
         m.cols(),
         128,
-        SpmmConfig { row_swizzle: false, ..SpmmConfig::heuristic::<f32>(128) },
+        SpmmConfig {
+            row_swizzle: false,
+            ..SpmmConfig::heuristic::<f32>(128)
+        },
     );
     println!(
         "\nrow swizzle at N=128: {:.1}% faster than the natural order (CoV {:.2})",

@@ -17,22 +17,55 @@ fn main() {
         .filter(|a| a == "--quick" || a == "--full")
         .collect();
     let experiments = [
-        ("fig01_lstm_crossover", "Figure 1: LSTM sparse/dense crossover"),
-        ("fig02_matrix_stats", "Figure 2: DL vs scientific matrix statistics"),
+        (
+            "fig01_lstm_crossover",
+            "Figure 1: LSTM sparse/dense crossover",
+        ),
+        (
+            "fig02_matrix_stats",
+            "Figure 2: DL vs scientific matrix statistics",
+        ),
         ("fig07_load_balance", "Figure 7: row-swizzle load balancing"),
-        ("fig09_dataset_benchmark", "Figure 9 + Table I: corpus benchmark"),
-        ("fig10_rnn_comparison", "Figure 10: RNN suite vs MergeSpmm/ASpT/cuSPARSE"),
+        (
+            "fig09_dataset_benchmark",
+            "Figure 9 + Table I: corpus benchmark",
+        ),
+        (
+            "fig10_rnn_comparison",
+            "Figure 10: RNN suite vs MergeSpmm/ASpT/cuSPARSE",
+        ),
         ("table02_ablation", "Table II: optimization ablations"),
-        ("fig11_attention_mask", "Figure 11: sparse attention connectivity"),
+        (
+            "fig11_attention_mask",
+            "Figure 11: sparse attention connectivity",
+        ),
         ("table03_transformer", "Table III: sparse Transformer"),
-        ("table04_mobilenet", "Table IV + Figure 12: sparse MobileNetV1"),
-        ("ext_block_sparse", "Extension: structured vs unstructured sparsity"),
-        ("ext_heuristic_study", "Extension: kernel-selection heuristic quality"),
+        (
+            "table04_mobilenet",
+            "Table IV + Figure 12: sparse MobileNetV1",
+        ),
+        (
+            "ext_block_sparse",
+            "Extension: structured vs unstructured sparsity",
+        ),
+        (
+            "ext_heuristic_study",
+            "Extension: kernel-selection heuristic quality",
+        ),
         ("ext_roma_study", "Extension: ROMA vs explicit padding"),
         ("ext_resnet", "Extension: end-to-end sparse ResNet-50"),
-        ("ext_devices", "Extension: device transport (1080/V100/A100)"),
-        ("ext_load_balancing", "Extension: load-balancing approaches head to head"),
-        ("ext_training", "Extension: training-step cost on compressed weights"),
+        (
+            "ext_devices",
+            "Extension: device transport (1080/V100/A100)",
+        ),
+        (
+            "ext_load_balancing",
+            "Extension: load-balancing approaches head to head",
+        ),
+        (
+            "ext_training",
+            "Extension: training-step cost on compressed weights",
+        ),
     ];
 
     let exe_dir = std::env::current_exe()
@@ -57,7 +90,10 @@ fn main() {
 
     println!("\n############################################################");
     if failures.is_empty() {
-        println!("## All {} experiments completed; JSON in results/", experiments.len());
+        println!(
+            "## All {} experiments completed; JSON in results/",
+            experiments.len()
+        );
     } else {
         println!("## FAILED: {failures:?}");
         std::process::exit(1);

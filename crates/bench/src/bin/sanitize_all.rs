@@ -1,0 +1,234 @@
+//! Run every simulated kernel under the sanitizer (`Gpu::sanitize`) across a
+//! grid of shapes and fail if any kernel reports a violation.
+//!
+//! This is the repo's analogue of running the whole kernel suite under
+//! `compute-sanitizer`: racecheck, memcheck, aligncheck, and the coalescing /
+//! bank-conflict lints all execute against real launches of every Sputnik
+//! kernel and every baseline. Lint warnings are reported but do not fail the
+//! run; violations do (`exit(1)`), which is what the CI gate keys on.
+
+use baselines::aspt::AsptSpmmKernel;
+use baselines::cusparse::{
+    ConstrainedGemmKernel, CusparseSpmmHalfFallbackKernel, CusparseSpmmKernel,
+};
+use baselines::{
+    AsptDirection, AsptPlan, BlockSpmmKernel, EllSpmmKernel, GemmKernel, MergeSpmmKernel,
+    NnzSplitSpmmKernel, TransposeKernel,
+};
+use gpu_sim::{Gpu, Kernel, LaunchSummary, SanitizerReport};
+use sparse::ell::EllMatrix;
+use sparse::{block, gen, Layout, Matrix, RowSwizzle};
+use sputnik::{
+    FallbackSpmmKernel, PermuteKernel, SddmmConfig, SddmmKernel, SparseSoftmaxKernel, SpmmConfig,
+};
+use std::sync::atomic::AtomicU32;
+
+fn note(report: &SanitizerReport, failures: &mut u64) {
+    if report.violation_count > 0 {
+        *failures += report.violation_count;
+        println!("FAIL {report}");
+    } else if report.warning_count > 0 {
+        println!(
+            "  ok {:40} {} blocks, {} warnings",
+            report.kernel, report.blocks, report.warning_count
+        );
+    } else {
+        println!("  ok {:40} {} blocks", report.kernel, report.blocks);
+    }
+}
+
+fn check(gpu: &Gpu, kernel: &dyn Kernel, summary: &mut LaunchSummary, failures: &mut u64) {
+    match gpu.sanitize(kernel) {
+        Ok((stats, report)) => {
+            summary.add_sanitized(&stats, &report);
+            note(&report, failures);
+        }
+        Err(e) => {
+            *failures += 1;
+            println!("FAIL {}: launch error: {e}", kernel.name());
+        }
+    }
+}
+
+fn main() {
+    let gpu = Gpu::v100();
+    let mut summary = LaunchSummary::default();
+    let mut failures = 0u64;
+
+    // (m, k, n, sparsity): one square power-of-two shape, one ragged shape
+    // exercising partial tiles, and one high-sparsity shape with empty rows.
+    let shapes: &[(usize, usize, usize, f64)] =
+        &[(64, 96, 32, 0.7), (128, 128, 128, 0.9), (100, 76, 40, 0.8)];
+
+    for (i, &(m, k, n, sparsity)) in shapes.iter().enumerate() {
+        let seed = 0x5A17 + i as u64 * 101;
+        println!("-- shape {m}x{k}x{n} sparsity {sparsity} --");
+        let a = gen::uniform(m, k, sparsity, seed);
+        let b = Matrix::<f32>::random(k, n, seed + 1);
+
+        // Sputnik SpMM through the dispatch-level sanitize entry point, under
+        // the default config, the heuristic config, and with row swizzling.
+        for cfg in [
+            SpmmConfig::default(),
+            SpmmConfig::heuristic::<f32>(n),
+            SpmmConfig {
+                row_swizzle: true,
+                ..SpmmConfig::heuristic::<f32>(n)
+            },
+        ] {
+            match sputnik::sanitize(&gpu, &a, &b, cfg) {
+                Ok((_, stats, report)) => {
+                    summary.add_sanitized(&stats, &report);
+                    note(&report, &mut failures);
+                }
+                Err(e) => {
+                    failures += 1;
+                    println!("FAIL sputnik::sanitize: {e}");
+                }
+            }
+        }
+
+        // Scalar fallback SpMM.
+        {
+            let mut out = Matrix::<f32>::zeros(m, n);
+            let kernel = FallbackSpmmKernel::new(&a, &b, &mut out);
+            check(&gpu, &kernel, &mut summary, &mut failures);
+        }
+
+        // SDDMM: lhs (m x k) . rhs^T (n x k), sampled by an m x n mask.
+        {
+            let mask = gen::uniform(m, n, sparsity, seed + 2);
+            let lhs = Matrix::<f32>::random(m, k, seed + 3);
+            let rhs = Matrix::<f32>::random(n, k, seed + 4);
+            let swizzle = RowSwizzle::by_length_desc(&mask);
+            let mut values = vec![0.0f32; mask.nnz()];
+            match SddmmKernel::try_new(
+                &lhs,
+                &rhs,
+                &mask,
+                &mut values,
+                &swizzle,
+                SddmmConfig::heuristic::<f32>(k),
+            ) {
+                Ok(kernel) => check(&gpu, &kernel, &mut summary, &mut failures),
+                Err(e) => {
+                    failures += 1;
+                    println!("FAIL sddmm construction: {e}");
+                }
+            }
+        }
+
+        // Sparse softmax over the sparse matrix's values.
+        {
+            let mut values = vec![0.0f32; a.nnz()];
+            let kernel = SparseSoftmaxKernel::new(&a, &mut values);
+            check(&gpu, &kernel, &mut summary, &mut failures);
+        }
+
+        // Value permute (the cached-transpose gather).
+        {
+            let src = a.values().to_vec();
+            let perm: Vec<u32> = (0..a.nnz() as u32).rev().collect();
+            let mut dst = vec![0.0f32; a.nnz()];
+            let kernel = PermuteKernel::new(&src, &perm, &mut dst);
+            check(&gpu, &kernel, &mut summary, &mut failures);
+        }
+
+        // Dense GEMM and the staging transpose.
+        {
+            let da = Matrix::<f32>::random(m, k, seed + 5);
+            let mut out = Matrix::<f32>::zeros(m, n);
+            let kernel = GemmKernel::new(&da, &b, &mut out);
+            check(&gpu, &kernel, &mut summary, &mut failures);
+
+            let mut t = Matrix::<f32>::zeros(k, m);
+            let kernel = TransposeKernel::new(&da, &mut t);
+            check(&gpu, &kernel, &mut summary, &mut failures);
+        }
+
+        // ELLR-T SpMM.
+        {
+            let ell = EllMatrix::from_csr(&a);
+            let mut out = Matrix::<f32>::zeros(m, n);
+            let kernel = EllSpmmKernel::new(&ell, &b, &mut out);
+            check(&gpu, &kernel, &mut summary, &mut failures);
+        }
+
+        // Merge-based SpMM requires N % 32 == 0.
+        if n % 32 == 0 {
+            let mut out = Matrix::<f32>::zeros(m, n);
+            match MergeSpmmKernel::new(&a, &b, &mut out) {
+                Ok(kernel) => check(&gpu, &kernel, &mut summary, &mut failures),
+                Err(e) => {
+                    failures += 1;
+                    println!("FAIL merge_spmm construction: {e}");
+                }
+            }
+        }
+
+        // Nonzero-splitting SpMM (atomic output: racecheck is suppressed,
+        // every other check still runs).
+        {
+            let out: Vec<AtomicU32> = (0..m * n).map(|_| AtomicU32::new(0)).collect();
+            let kernel = NnzSplitSpmmKernel::new(&a, &b, &out);
+            check(&gpu, &kernel, &mut summary, &mut failures);
+        }
+
+        // cuSPARSE-style SpMM wants column-major B and C.
+        {
+            let b_cm = b.to_layout(Layout::ColMajor);
+            let mut out = Matrix::<f32>::zeros_with_layout(m, n, Layout::ColMajor);
+            let kernel = CusparseSpmmKernel::new(&a, &b_cm, &mut out);
+            check(&gpu, &kernel, &mut summary, &mut failures);
+
+            let kernel = CusparseSpmmHalfFallbackKernel::new(&a, n);
+            check(&gpu, &kernel, &mut summary, &mut failures);
+        }
+
+        // cusparseConstrainedGeMM-style SDDMM (pre-transposed RHS).
+        {
+            let mask = gen::uniform(m, n, sparsity, seed + 6);
+            let lhs = Matrix::<f32>::random(m, k, seed + 7);
+            let rhs_t = Matrix::<f32>::random(k, n, seed + 8);
+            let mut values = vec![0.0f32; mask.nnz()];
+            let kernel = ConstrainedGemmKernel::new(&lhs, &rhs_t, &mask, &mut values);
+            check(&gpu, &kernel, &mut summary, &mut failures);
+        }
+    }
+
+    // Shape-constrained baselines get dedicated launches.
+    println!("-- shape-constrained baselines --");
+    {
+        // ASpT: rows % 256 == 0, n in {32, 128}.
+        let a = gen::uniform(256, 128, 0.8, 0xA597);
+        let b = Matrix::<f32>::random(128, 32, 0xA598);
+        let plan = AsptPlan::build(&a, AsptDirection::Spmm);
+        let mut out = Matrix::<f32>::zeros(256, 32);
+        match AsptSpmmKernel::new(&a, &plan, &b, &mut out) {
+            Ok(kernel) => check(&gpu, &kernel, &mut summary, &mut failures),
+            Err(e) => {
+                failures += 1;
+                println!("FAIL aspt construction: {e}");
+            }
+        }
+    }
+    {
+        // Block-sparse SpMM on a block-pruned weight matrix.
+        let dense = Matrix::<f32>::random(64, 64, 0xB10C);
+        let bsr = block::block_prune(&dense, 8, 0.5);
+        let b = Matrix::<f32>::random(64, 32, 0xB10D);
+        let mut out = Matrix::<f32>::zeros(64, 32);
+        let kernel = BlockSpmmKernel::new(&bsr, &b, &mut out);
+        check(&gpu, &kernel, &mut summary, &mut failures);
+    }
+
+    println!(
+        "\n{} sanitized launches, {} violations, {} warnings",
+        summary.launches, summary.violations, summary.warnings
+    );
+    if failures > 0 {
+        println!("sanitize_all: FAILED ({failures} violations)");
+        std::process::exit(1);
+    }
+    println!("sanitize_all: clean");
+}

@@ -38,7 +38,12 @@ fn main() {
     let specs = dataset::dl_corpus_sample(count, 17);
 
     // Cells indexed by (family, batch-kind) -> ablation -> ratios.
-    let spmm_ablations = ["-Load Balancing", "-Vector Inst.", "-Residue Unroll", "-Index Pre-Scale"];
+    let spmm_ablations = [
+        "-Load Balancing",
+        "-Vector Inst.",
+        "-Residue Unroll",
+        "-Index Pre-Scale",
+    ];
     let sddmm_ablations = ["-Load Balancing", "-Vector Inst."];
     let col_keys = [
         (ModelFamily::Transformer, false),
@@ -62,7 +67,10 @@ fn main() {
             let full = sputnik::spmm_profile::<f32>(&gpu, &a, spec.cols, n, full_cfg).time_us;
 
             let variants = [
-                SpmmConfig { row_swizzle: false, ..full_cfg },
+                SpmmConfig {
+                    row_swizzle: false,
+                    ..full_cfg
+                },
                 // Scalar kernel: no vector loads, which also removes ROMA and
                 // narrows the tile so a subwarp still fits a warp.
                 SpmmConfig {
@@ -71,8 +79,14 @@ fn main() {
                     block_items_x: full_cfg.block_items_x.min(32),
                     ..full_cfg
                 },
-                SpmmConfig { residue_unroll: false, ..full_cfg },
-                SpmmConfig { index_prescale: false, ..full_cfg },
+                SpmmConfig {
+                    residue_unroll: false,
+                    ..full_cfg
+                },
+                SpmmConfig {
+                    index_prescale: false,
+                    ..full_cfg
+                },
             ];
             for (i, cfg) in variants.iter().enumerate() {
                 let t = sputnik::spmm_profile::<f32>(&gpu, &a, spec.cols, n, *cfg).time_us;
@@ -88,8 +102,15 @@ fn main() {
             // *better* occupancy on the small weight matrices of these
             // models — the effect the paper highlights.
             let sddmm_variants = [
-                SddmmConfig { row_swizzle: false, ..sddmm_full_cfg },
-            SddmmConfig { vector_width: 1, block_items_x: 16, ..sddmm_full_cfg },
+                SddmmConfig {
+                    row_swizzle: false,
+                    ..sddmm_full_cfg
+                },
+                SddmmConfig {
+                    vector_width: 1,
+                    block_items_x: 16,
+                    ..sddmm_full_cfg
+                },
             ];
             for (i, cfg) in sddmm_variants.iter().enumerate() {
                 let t = sputnik::sddmm_profile::<f32>(&gpu, &a, n, *cfg).time_us;
@@ -98,23 +119,35 @@ fn main() {
         }
     }
 
-    let headers = ["ablation", "Transformer bs=1", "Transformer bs=8", "ResNet-50 bs=1", "ResNet-50 bs=32"];
-    let mut t_spmm = Table::new("Table II (SpMM) — % of complete kernel's performance", &headers);
+    let headers = [
+        "ablation",
+        "Transformer bs=1",
+        "Transformer bs=8",
+        "ResNet-50 bs=1",
+        "ResNet-50 bs=32",
+    ];
+    let mut t_spmm = Table::new(
+        "Table II (SpMM) — % of complete kernel's performance",
+        &headers,
+    );
     for (i, name) in spmm_ablations.iter().enumerate() {
         let mut row = vec![name.to_string()];
-        for col in 0..col_keys.len() {
-            row.push(format!("{:.1}%", spmm_cells[i][col].percent()));
+        for cell in spmm_cells[i].iter().take(col_keys.len()) {
+            row.push(format!("{:.1}%", cell.percent()));
         }
         t_spmm.row(&row);
     }
     t_spmm.print();
     println!("paper: -LB 96.1/88.9/91.7/78.5  -Vec 100.1/80.9/87.9/64.8  -Res 92.0/94.1/87.8/92.6  -Pre 100.6/100.6/98.2/100.3\n");
 
-    let mut t_sddmm = Table::new("Table II (SDDMM) — % of complete kernel's performance", &headers);
+    let mut t_sddmm = Table::new(
+        "Table II (SDDMM) — % of complete kernel's performance",
+        &headers,
+    );
     for (i, name) in sddmm_ablations.iter().enumerate() {
         let mut row = vec![name.to_string()];
-        for col in 0..col_keys.len() {
-            row.push(format!("{:.1}%", sddmm_cells[i][col].percent()));
+        for cell in sddmm_cells[i].iter().take(col_keys.len()) {
+            row.push(format!("{:.1}%", cell.percent()));
         }
         t_sddmm.row(&row);
     }
@@ -135,7 +168,12 @@ fn main() {
                     &a,
                     p.k(),
                     p.n(),
-                    SpmmConfig { vector_width: 1, roma: false, block_items_x: 32, ..cfg },
+                    SpmmConfig {
+                        vector_width: 1,
+                        roma: false,
+                        block_items_x: 32,
+                        ..cfg
+                    },
                 )
                 .time_us;
                 scalar / full
@@ -147,6 +185,8 @@ fn main() {
         );
     }
 
+    // Fields are written to JSON; the vendored serde stub doesn't read them.
+    #[allow(dead_code)]
     #[derive(Serialize)]
     struct Out {
         spmm: Vec<(String, Vec<f64>)>,
@@ -156,12 +196,22 @@ fn main() {
         spmm: spmm_ablations
             .iter()
             .enumerate()
-            .map(|(i, n)| (n.to_string(), (0..4).map(|c| spmm_cells[i][c].percent()).collect()))
+            .map(|(i, n)| {
+                (
+                    n.to_string(),
+                    (0..4).map(|c| spmm_cells[i][c].percent()).collect(),
+                )
+            })
             .collect(),
         sddmm: sddmm_ablations
             .iter()
             .enumerate()
-            .map(|(i, n)| (n.to_string(), (0..4).map(|c| sddmm_cells[i][c].percent()).collect()))
+            .map(|(i, n)| {
+                (
+                    n.to_string(),
+                    (0..4).map(|c| sddmm_cells[i][c].percent()).collect(),
+                )
+            })
             .collect(),
     };
     write_json("table02_ablation", &out);

@@ -12,7 +12,10 @@ use sputnik_bench::{has_flag, write_json, Table};
 
 fn main() {
     let cfg = if has_flag("--quick") {
-        TransformerConfig { seq: 4096, ..TransformerConfig::paper() }
+        TransformerConfig {
+            seq: 4096,
+            ..TransformerConfig::paper()
+        }
     } else {
         TransformerConfig::paper()
     };
@@ -42,7 +45,11 @@ fn main() {
             r.model.clone(),
             r.device.clone(),
             format!("{bpd:.2}"),
-            if r.out_of_memory { "out-of-memory".into() } else { format!("{:.0}", r.tokens_per_second) },
+            if r.out_of_memory {
+                "out-of-memory".into()
+            } else {
+                format!("{:.0}", r.tokens_per_second)
+            },
             format!("{:.2}", r.memory_gb),
         ]);
     }

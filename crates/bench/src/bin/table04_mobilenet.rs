@@ -15,6 +15,8 @@ use gpu_sim::Gpu;
 use serde::Serialize;
 use sputnik_bench::{write_json, Table};
 
+// Fields are written to JSON; the vendored serde stub doesn't read them.
+#[allow(dead_code)]
 #[derive(Serialize)]
 struct RowOut {
     model: String,
@@ -57,7 +59,14 @@ fn main() {
 
     let mut t = Table::new(
         "Table IV — sparse MobileNetV1 results (batch 1, V100)",
-        &["model", "width", "top-1*", "frames/s", "weights (MB)", "oracle overrides"],
+        &[
+            "model",
+            "width",
+            "top-1*",
+            "frames/s",
+            "weights (MB)",
+            "oracle overrides",
+        ],
     );
     for r in &rows {
         t.row(&[

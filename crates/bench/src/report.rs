@@ -26,7 +26,11 @@ impl Table {
     }
 
     pub fn row(&mut self, cells: &[String]) {
-        assert_eq!(cells.len(), self.headers.len(), "row width must match headers");
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
         self.rows.push(Row(cells.to_vec()));
     }
 

@@ -53,7 +53,11 @@ pub fn spmm_batched<T: Scalar>(
         naive_us += stats.time_us;
         outputs.push(out);
     }
-    BatchedResult { outputs, stream_us: stream.total_us(), naive_us }
+    BatchedResult {
+        outputs,
+        stream_us: stream.total_us(),
+        naive_us,
+    }
 }
 
 /// SDDMM of one mask against many (lhs, rhs) pairs — the per-head QK^T of
@@ -82,7 +86,11 @@ pub fn sddmm_batched<T: Scalar>(
         naive_us += stats.time_us;
         outputs.push(mask.with_values(values));
     }
-    BatchedResult { outputs, stream_us: stream.total_us(), naive_us }
+    BatchedResult {
+        outputs,
+        stream_us: stream.total_us(),
+        naive_us,
+    }
 }
 
 #[cfg(test)]
@@ -111,7 +119,10 @@ mod tests {
         let bs: Vec<Matrix<f32>> = (0..8).map(|i| Matrix::random(128, 64, 325 + i)).collect();
         let refs: Vec<&Matrix<f32>> = bs.iter().collect();
         let result = spmm_batched(&gpu, &a, &refs, SpmmConfig::heuristic::<f32>(64));
-        assert!(result.stream_us < result.naive_us, "pipelining must save time");
+        assert!(
+            result.stream_us < result.naive_us,
+            "pipelining must save time"
+        );
         assert!(result.overhead_saved_us() > 0.0);
     }
 
@@ -123,8 +134,12 @@ mod tests {
         let k1 = Matrix::<f32>::random(96, 32, 328);
         let q2 = Matrix::<f32>::random(96, 32, 329);
         let k2 = Matrix::<f32>::random(96, 32, 330);
-        let result =
-            sddmm_batched(&gpu, &[(&q1, &k1), (&q2, &k2)], &mask, SddmmConfig::heuristic::<f32>(32));
+        let result = sddmm_batched(
+            &gpu,
+            &[(&q1, &k1), (&q2, &k2)],
+            &mask,
+            SddmmConfig::heuristic::<f32>(32),
+        );
         for (out, (q, k)) in result.outputs.iter().zip([(&q1, &k1), (&q2, &k2)]) {
             let expect = reference::sddmm(q, k, &mask);
             assert!(out.same_pattern(&expect));

@@ -94,10 +94,16 @@ impl SpmmConfig {
         // until the tile divides evenly.
         let max_vec = 16 / T::BYTES;
         let mut vector_width = max_vec;
-        while vector_width > 1 && (n % vector_width as usize != 0 || tile_x % vector_width != 0) {
+        while vector_width > 1
+            && (!n.is_multiple_of(vector_width as usize) || !tile_x.is_multiple_of(vector_width))
+        {
             vector_width /= 2;
         }
-        let index_width = if T::BYTES == 2 { IndexWidth::U16 } else { IndexWidth::U32 };
+        let index_width = if T::BYTES == 2 {
+            IndexWidth::U16
+        } else {
+            IndexWidth::U32
+        };
         Self {
             block_items_y: 4,
             block_items_k: 32,
@@ -117,19 +123,25 @@ impl SpmmConfig {
     /// Validate the configuration for a given problem.
     pub fn validate(&self, cols: usize) -> Result<(), String> {
         if !self.vector_width.is_power_of_two() || self.vector_width > 8 {
-            return Err(format!("vector_width {} must be a power of two <= 8", self.vector_width));
+            return Err(format!(
+                "vector_width {} must be a power of two <= 8",
+                self.vector_width
+            ));
         }
-        if self.block_items_x % self.vector_width != 0 {
+        if !self.block_items_x.is_multiple_of(self.vector_width) {
             return Err("block_items_x must be divisible by vector_width".into());
         }
         if !self.block_items_y.is_power_of_two() || self.block_items_y > 32 {
             return Err("block_items_y must be a power of two <= 32".into());
         }
-        if self.block_items_k == 0 || self.block_items_k % 4 != 0 {
+        if self.block_items_k == 0 || !self.block_items_k.is_multiple_of(4) {
             return Err("block_items_k must be a positive multiple of 4".into());
         }
         if !self.index_width.can_index(cols) {
-            return Err(format!("{} columns overflow {:?} indices", cols, self.index_width));
+            return Err(format!(
+                "{} columns overflow {:?} indices",
+                cols, self.index_width
+            ));
         }
         Ok(())
     }
@@ -200,7 +212,7 @@ impl SddmmConfig {
     pub fn heuristic<T: Scalar>(k: usize) -> Self {
         let max_vec = 16 / T::BYTES;
         let mut vector_width = max_vec;
-        while vector_width > 1 && k % vector_width as usize != 0 {
+        while vector_width > 1 && !k.is_multiple_of(vector_width as usize) {
             vector_width /= 2;
         }
         Self {
@@ -226,7 +238,10 @@ impl SddmmConfig {
     }
 
     pub fn tag(&self) -> String {
-        format!("x{}v{}t{}", self.block_items_x, self.vector_width, self.threads_per_output_tile)
+        format!(
+            "x{}v{}t{}",
+            self.block_items_x, self.vector_width, self.threads_per_output_tile
+        )
     }
 }
 
@@ -271,12 +286,19 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_configs() {
-        let mut cfg = SpmmConfig::default();
-        cfg.vector_width = 3;
+        let cfg = SpmmConfig {
+            vector_width: 3,
+            ..SpmmConfig::default()
+        };
         assert!(cfg.validate(1024).is_err());
-        let mut cfg = SpmmConfig::default();
-        cfg.index_width = IndexWidth::U16;
-        assert!(cfg.validate(1 << 20).is_err(), "u16 cannot index 1M columns");
+        let cfg = SpmmConfig {
+            index_width: IndexWidth::U16,
+            ..SpmmConfig::default()
+        };
+        assert!(
+            cfg.validate(1 << 20).is_err(),
+            "u16 cannot index 1M columns"
+        );
     }
 
     #[test]

@@ -26,7 +26,9 @@
 use crate::config::SpmmConfig;
 use crate::error::{is_transient, SputnikError};
 use crate::reference;
-use crate::spmm::{require_finite, SpmmKernel, BUF_A_INDICES, BUF_A_OFFSETS, BUF_A_VALUES, BUF_B, BUF_C};
+use crate::spmm::{
+    require_finite, SpmmKernel, BUF_A_INDICES, BUF_A_OFFSETS, BUF_A_VALUES, BUF_B, BUF_C,
+};
 use gpu_sim::{
     AccessPattern, BlockContext, BufferSpec, Dim3, Gpu, Kernel, LaunchStats, SyncUnsafeSlice,
 };
@@ -223,9 +225,51 @@ pub fn spmm<T: Scalar>(
     // Last rung: host execution. Identical accumulation order to the
     // fallback kernel, so results remain bit-stable across rungs for f32.
     let out = reference_as_t::<T>(a, b);
-    let report =
-        DispatchReport { served_by: Rung::CpuReference, stats: None, attempts, backoff_us };
+    let report = DispatchReport {
+        served_by: Rung::CpuReference,
+        stats: None,
+        attempts,
+        backoff_us,
+    };
     Ok((out, report))
+}
+
+/// Run the requested Sputnik SpMM configuration under the gpu-sim sanitizer
+/// (the simulator's `compute-sanitizer` analogue; see
+/// [`gpu_sim::sanitizer`]): a functional launch whose racecheck / memcheck /
+/// aligncheck / lint findings come back in a
+/// [`SanitizerReport`](gpu_sim::SanitizerReport) next to the usual stats.
+/// Unlike [`spmm`], there is no degradation ladder — the point is to check
+/// the requested kernel, not to hide its failures.
+pub fn sanitize<T: Scalar>(
+    gpu: &Gpu,
+    a: &CsrMatrix<T>,
+    b: &Matrix<T>,
+    cfg: SpmmConfig,
+) -> Result<(Matrix<T>, LaunchStats, gpu_sim::SanitizerReport), SputnikError> {
+    if a.cols() != b.rows() {
+        return Err(SputnikError::ShapeMismatch {
+            expected: format!("B with {} rows", a.cols()),
+            found: format!("{}x{}", b.rows(), b.cols()),
+            context: "sanitize spmm inner dimension",
+        });
+    }
+    if b.layout() != sparse::Layout::RowMajor {
+        return Err(SputnikError::IllegalConfig {
+            reason: "Sputnik uses row-major dense operands".into(),
+        });
+    }
+    let swizzle = if cfg.row_swizzle {
+        RowSwizzle::by_length_desc(a)
+    } else {
+        RowSwizzle::identity(a.rows())
+    };
+    let mut out = Matrix::<T>::zeros(a.rows(), b.cols());
+    let (stats, report) = {
+        let kernel = SpmmKernel::try_new(a, b, &mut out, &swizzle, cfg)?;
+        gpu.sanitize(&kernel)?
+    };
+    Ok((out, stats, report))
 }
 
 fn launch_sputnik<T: Scalar>(
@@ -275,7 +319,12 @@ fn checksum_b_rowsums<T: Scalar>(b: &Matrix<T>) -> Vec<f64> {
     let n = b.cols();
     let data = b.as_slice();
     (0..b.rows())
-        .map(|r| data[r * n..(r + 1) * n].iter().map(|v| f64::from(v.to_f32())).sum())
+        .map(|r| {
+            data[r * n..(r + 1) * n]
+                .iter()
+                .map(|v| f64::from(v.to_f32()))
+                .sum()
+        })
         .collect()
 }
 
@@ -317,14 +366,13 @@ fn check_output<T: Scalar>(
             .map(|(&col, v)| (f64::from(v.to_f32()) * b_rowsums[col as usize]).abs())
             .sum::<f64>()
             .max(1.0);
-        // Negated `<=` so a NaN sum (which fails every comparison) is
-        // flagged as corrupt rather than slipping through.
-        if !((actual - expected).abs() <= policy.checksum_rel_tol * scale) {
+        // `within` is false for a NaN sum (NaN fails every comparison), so
+        // corruption is flagged rather than slipping through.
+        let within = (actual - expected).abs() <= policy.checksum_rel_tol * scale;
+        if !within {
             return Err(SputnikError::CorruptOutput {
                 kernel: kernel.to_string(),
-                reason: format!(
-                    "checksum mismatch: expected {expected:.6e}, found {actual:.6e}"
-                ),
+                reason: format!("checksum mismatch: expected {expected:.6e}, found {actual:.6e}"),
             });
         }
     }
@@ -354,7 +402,12 @@ impl<'a, T: Scalar> FallbackSpmmKernel<'a, T> {
         assert_eq!(out.rows(), a.rows());
         assert_eq!(out.cols(), b.cols());
         let n = b.cols();
-        Self { a, b, out: SyncUnsafeSlice::new(out.as_mut_slice()), n }
+        Self {
+            a,
+            b,
+            out: SyncUnsafeSlice::new(out.as_mut_slice()),
+            n,
+        }
     }
 }
 
@@ -488,9 +541,16 @@ mod tests {
         let kernel = FallbackSpmmKernel::new(&a, &b, &mut out);
         let stats = gpu.try_launch(&kernel).expect("fallback launches");
         assert!(stats.time_us > 0.0);
-        assert!(!stats.kernel.contains("sputnik"), "name must not match sputnik filters");
+        assert!(
+            !stats.kernel.contains("sputnik"),
+            "name must not match sputnik filters"
+        );
         let expect = reference::spmm(&a, &b);
-        assert_eq!(out.as_slice(), expect.as_slice(), "bit-identical to the reference");
+        assert_eq!(
+            out.as_slice(),
+            expect.as_slice(),
+            "bit-identical to the reference"
+        );
     }
 
     #[test]
@@ -498,8 +558,14 @@ mod tests {
         let a = gen::uniform(32, 64, 0.8, 23);
         let b = Matrix::<f32>::random(64, 32, 24);
         let gpu = Gpu::v100();
-        let (out, report) =
-            spmm(&gpu, &a, &b, SpmmConfig::default(), &DispatchPolicy::default()).unwrap();
+        let (out, report) = spmm(
+            &gpu,
+            &a,
+            &b,
+            SpmmConfig::default(),
+            &DispatchPolicy::default(),
+        )
+        .unwrap();
         assert!(report.clean());
         assert_eq!(report.served_by, Rung::Sputnik);
         assert!(report.stats.is_some());
@@ -513,8 +579,14 @@ mod tests {
         let a = gen::uniform(8, 16, 0.5, 25);
         let b = Matrix::<f32>::random(24, 8, 26);
         let gpu = Gpu::v100();
-        let err = spmm(&gpu, &a, &b, SpmmConfig::default(), &DispatchPolicy::default())
-            .expect_err("shapes disagree");
+        let err = spmm(
+            &gpu,
+            &a,
+            &b,
+            SpmmConfig::default(),
+            &DispatchPolicy::default(),
+        )
+        .expect_err("shapes disagree");
         assert!(matches!(err, SputnikError::ShapeMismatch { .. }));
     }
 
@@ -524,9 +596,18 @@ mod tests {
         let mut b = Matrix::<f32>::random(16, 8, 28);
         b.set(3, 3, f32::NAN);
         let gpu = Gpu::v100();
-        let err = spmm(&gpu, &a, &b, SpmmConfig::default(), &DispatchPolicy::default())
-            .expect_err("NaN operand");
-        assert!(matches!(err, SputnikError::NonFiniteOperand { operand: "b", .. }));
+        let err = spmm(
+            &gpu,
+            &a,
+            &b,
+            SpmmConfig::default(),
+            &DispatchPolicy::default(),
+        )
+        .expect_err("NaN operand");
+        assert!(matches!(
+            err,
+            SputnikError::NonFiniteOperand { operand: "b", .. }
+        ));
     }
 
     #[test]
@@ -536,12 +617,18 @@ mod tests {
         let gpu = Gpu::v100();
         // vector_width 3 is illegal; dispatch must fall through to the
         // heuristic rung rather than erroring.
-        let bad = SpmmConfig { vector_width: 3, ..SpmmConfig::default() };
+        let bad = SpmmConfig {
+            vector_width: 3,
+            ..SpmmConfig::default()
+        };
         let (out, report) = spmm(&gpu, &a, &b, bad, &DispatchPolicy::default()).unwrap();
         assert_eq!(report.served_by, Rung::Heuristic);
         // Deterministic failure: exactly one attempt burned on the bad rung.
         assert_eq!(report.attempts.len(), 1);
-        assert!(matches!(report.attempts[0].error, SputnikError::IllegalConfig { .. }));
+        assert!(matches!(
+            report.attempts[0].error,
+            SputnikError::IllegalConfig { .. }
+        ));
         let expect = reference::spmm(&a, &b);
         assert!(out.max_abs_diff(&expect) < 1e-3);
     }
@@ -553,12 +640,40 @@ mod tests {
         let b = Matrix::<f32>::random(32, 16, 32);
         let gpu = Gpu::v100();
         for _ in 0..3 {
-            let (_, report) =
-                spmm(&gpu, &a, &b, SpmmConfig::default(), &DispatchPolicy::default()).unwrap();
+            let (_, report) = spmm(
+                &gpu,
+                &a,
+                &b,
+                SpmmConfig::default(),
+                &DispatchPolicy::default(),
+            )
+            .unwrap();
             stats.record(&report);
         }
         assert_eq!(stats.calls, 3);
         assert_eq!(stats.served[Rung::Sputnik as usize], 3);
         assert_eq!(stats.clean_fraction(), 1.0);
+    }
+
+    #[test]
+    fn sanitize_passes_clean_spmm_and_still_computes() {
+        let a = gen::uniform(48, 64, 0.7, 41);
+        let b = Matrix::<f32>::random(64, 32, 42);
+        let gpu = Gpu::v100();
+        let cfg = SpmmConfig::heuristic::<f32>(32);
+        let (out, stats, report) = sanitize(&gpu, &a, &b, cfg).unwrap();
+        assert_eq!(report.violation_count, 0, "{report}");
+        assert!(stats.time_us > 0.0);
+        let expect = reference::spmm(&a, &b);
+        assert!(out.max_abs_diff(&expect) < 1e-3);
+    }
+
+    #[test]
+    fn sanitize_rejects_shape_mismatch() {
+        let a = gen::uniform(16, 32, 0.6, 43);
+        let b = Matrix::<f32>::random(48, 16, 44); // inner dim 32 != 48
+        let gpu = Gpu::v100();
+        let err = sanitize(&gpu, &a, &b, SpmmConfig::default()).unwrap_err();
+        assert!(matches!(err, SputnikError::ShapeMismatch { .. }));
     }
 }

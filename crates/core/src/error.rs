@@ -15,13 +15,21 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq)]
 pub enum SputnikError {
     /// Operand dimensions do not agree.
-    ShapeMismatch { expected: String, found: String, context: &'static str },
+    ShapeMismatch {
+        expected: String,
+        found: String,
+        context: &'static str,
+    },
     /// The kernel configuration is illegal for this problem (bad tile
     /// shapes, subwarp wider than a warp, unsupported layout, ...).
     IllegalConfig { reason: String },
     /// The configuration's shared-memory request exceeds what the device
     /// allows for a single block.
-    SmemOverBudget { kernel: String, requested: u32, budget: u32 },
+    SmemOverBudget {
+        kernel: String,
+        requested: u32,
+        budget: u32,
+    },
     /// No block of the configured kernel can be resident on an SM: the
     /// launch can never execute.
     OccupancyZero { kernel: String },
@@ -40,19 +48,36 @@ pub enum SputnikError {
 impl fmt::Display for SputnikError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SputnikError::ShapeMismatch { expected, found, context } => {
-                write!(f, "shape mismatch in {context}: expected {expected}, found {found}")
+            SputnikError::ShapeMismatch {
+                expected,
+                found,
+                context,
+            } => {
+                write!(
+                    f,
+                    "shape mismatch in {context}: expected {expected}, found {found}"
+                )
             }
             SputnikError::IllegalConfig { reason } => write!(f, "illegal configuration: {reason}"),
-            SputnikError::SmemOverBudget { kernel, requested, budget } => write!(
+            SputnikError::SmemOverBudget {
+                kernel,
+                requested,
+                budget,
+            } => write!(
                 f,
                 "kernel {kernel} requests {requested} B shared memory; device max is {budget}"
             ),
             SputnikError::OccupancyZero { kernel } => {
-                write!(f, "kernel {kernel} achieves zero occupancy: no block fits on an SM")
+                write!(
+                    f,
+                    "kernel {kernel} achieves zero occupancy: no block fits on an SM"
+                )
             }
             SputnikError::NonFiniteOperand { operand, index } => {
-                write!(f, "operand {operand} contains a non-finite value at index {index}")
+                write!(
+                    f,
+                    "operand {operand} contains a non-finite value at index {index}"
+                )
             }
             SputnikError::CorruptCsr(e) => write!(f, "corrupt CSR operand: {e}"),
             SputnikError::DeviceFault(fault) => write!(f, "device fault: {fault}"),
@@ -88,9 +113,15 @@ impl From<DeviceFault> for SputnikError {
 impl From<LaunchError> for SputnikError {
     fn from(e: LaunchError) -> Self {
         match e {
-            LaunchError::SmemOverBudget { kernel, requested, budget } => {
-                SputnikError::SmemOverBudget { kernel, requested, budget }
-            }
+            LaunchError::SmemOverBudget {
+                kernel,
+                requested,
+                budget,
+            } => SputnikError::SmemOverBudget {
+                kernel,
+                requested,
+                budget,
+            },
             LaunchError::OccupancyZero { kernel } => SputnikError::OccupancyZero { kernel },
             LaunchError::DeviceFault(fault) => SputnikError::DeviceFault(fault),
         }
@@ -100,7 +131,10 @@ impl From<LaunchError> for SputnikError {
 /// True when retrying the same launch could plausibly succeed: transient
 /// device faults are retryable, everything deterministic is not.
 pub fn is_transient(err: &SputnikError) -> bool {
-    matches!(err, SputnikError::DeviceFault(_) | SputnikError::CorruptOutput { .. })
+    matches!(
+        err,
+        SputnikError::DeviceFault(_) | SputnikError::CorruptOutput { .. }
+    )
 }
 
 #[cfg(test)]
@@ -129,12 +163,17 @@ mod tests {
             launch_index: 0,
         });
         assert!(is_transient(&fault));
-        assert!(!is_transient(&SputnikError::IllegalConfig { reason: "x".into() }));
+        assert!(!is_transient(&SputnikError::IllegalConfig {
+            reason: "x".into()
+        }));
     }
 
     #[test]
     fn display_is_informative() {
-        let e = SputnikError::NonFiniteOperand { operand: "b", index: 7 };
+        let e = SputnikError::NonFiniteOperand {
+            operand: "b",
+            index: 7,
+        };
         assert!(format!("{e}").contains("non-finite"));
     }
 }

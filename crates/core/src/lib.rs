@@ -20,7 +20,9 @@ pub mod tune;
 
 pub use batched::{sddmm_batched, spmm_batched, BatchedResult};
 pub use config::{SddmmConfig, SpmmConfig};
-pub use dispatch::{DegradationStats, DispatchPolicy, DispatchReport, FallbackSpmmKernel, Rung};
+pub use dispatch::{
+    sanitize, DegradationStats, DispatchPolicy, DispatchReport, FallbackSpmmKernel, Rung,
+};
 pub use error::SputnikError;
 pub use roma::MemoryAligner;
 pub use sddmm::{sddmm, sddmm_profile, try_sddmm, SddmmKernel};

@@ -33,8 +33,16 @@ pub fn spmm<T: Scalar>(a: &CsrMatrix<T>, b: &Matrix<f32>) -> Matrix<f32> {
 /// `D = (A * B^T) ⊙ I[C]` — for each nonzero position (i, j) of the mask
 /// `C`, compute the dot product of row i of `A` with row j of `B`.
 /// No element-wise scaling by C's values (the indicator form).
-pub fn sddmm<T: Scalar>(lhs: &Matrix<f32>, rhs: &Matrix<f32>, mask: &CsrMatrix<T>) -> CsrMatrix<f32> {
-    assert_eq!(lhs.cols(), rhs.cols(), "dot-product length must agree (B is transposed)");
+pub fn sddmm<T: Scalar>(
+    lhs: &Matrix<f32>,
+    rhs: &Matrix<f32>,
+    mask: &CsrMatrix<T>,
+) -> CsrMatrix<f32> {
+    assert_eq!(
+        lhs.cols(),
+        rhs.cols(),
+        "dot-product length must agree (B is transposed)"
+    );
     assert_eq!(mask.rows(), lhs.rows());
     assert_eq!(mask.cols(), rhs.rows());
     let k = lhs.cols();
@@ -142,7 +150,12 @@ mod tests {
         let mask = gen::uniform(8, 8, 0.5, 9);
         let plain = sddmm(&lhs, &rhs, &mask);
         let scaled = sddmm_scaled(&lhs, &rhs, &mask);
-        for ((p, s), m) in plain.values().iter().zip(scaled.values()).zip(mask.values()) {
+        for ((p, s), m) in plain
+            .values()
+            .iter()
+            .zip(scaled.values())
+            .zip(mask.values())
+        {
             assert!((p * m - s).abs() < 1e-5);
         }
     }

@@ -37,7 +37,11 @@ impl MemoryAligner {
         let mask = vector_width as usize - 1;
         let aligned_offset = row_offset & !mask;
         let prefix = row_offset - aligned_offset;
-        Self { aligned_offset, prefix, aligned_nonzeros: nonzeros + prefix }
+        Self {
+            aligned_offset,
+            prefix,
+            aligned_nonzeros: nonzeros + prefix,
+        }
     }
 
     /// Aligned start offset (guaranteed multiple of the vector width because

@@ -94,7 +94,8 @@ impl<'a, T: Scalar> SddmmKernel<'a, T> {
                 context: "sddmm row swizzle",
             });
         }
-        cfg.validate().map_err(|reason| SputnikError::IllegalConfig { reason })?;
+        cfg.validate()
+            .map_err(|reason| SputnikError::IllegalConfig { reason })?;
         let k = lhs.cols();
         let max_strips = Self::strips_for(mask, &cfg);
         Ok(Self {
@@ -110,25 +111,42 @@ impl<'a, T: Scalar> SddmmKernel<'a, T> {
     }
 
     /// Cost-model-only kernel; dense operands are described by `k` alone.
-    pub fn for_profile(mask: &'a CsrMatrix<T>, k: usize, swizzle: &'a RowSwizzle, cfg: SddmmConfig) -> Self {
-        cfg.validate().unwrap_or_else(|e| panic!("invalid SDDMM configuration: {e}"));
+    pub fn for_profile(
+        mask: &'a CsrMatrix<T>,
+        k: usize,
+        swizzle: &'a RowSwizzle,
+        cfg: SddmmConfig,
+    ) -> Self {
+        cfg.validate()
+            .unwrap_or_else(|e| panic!("invalid SDDMM configuration: {e}"));
         assert_eq!(swizzle.len(), mask.rows());
         let max_strips = Self::strips_for(mask, &cfg);
-        Self { lhs: None, rhs: None, mask, out_values: None, swizzle, cfg, k, max_strips }
+        Self {
+            lhs: None,
+            rhs: None,
+            mask,
+            out_values: None,
+            swizzle,
+            cfg,
+            k,
+            max_strips,
+        }
     }
 
     /// "Because the number of nonzeros in each row cannot be inferred without
     /// inspecting the sparse matrix, we launch the maximum number of thread
     /// blocks that could be needed."
     fn strips_for(mask: &CsrMatrix<T>, cfg: &SddmmConfig) -> u32 {
-        (mask.max_row_len() as u32).div_ceil(cfg.block_items_x).max(1)
+        (mask.max_row_len() as u32)
+            .div_ceil(cfg.block_items_x)
+            .max(1)
     }
 
     /// Effective vector width for the dense operands: full width only when
     /// the inner dimension is divisible by it (Section VI-B).
     fn vw(&self) -> u32 {
         let mut vw = self.cfg.vector_width;
-        while vw > 1 && self.k % vw as usize != 0 {
+        while vw > 1 && !self.k.is_multiple_of(vw as usize) {
             vw /= 2;
         }
         vw
@@ -287,9 +305,12 @@ impl<T: Scalar> Kernel for SddmmKernel<'_, T> {
         ctx.st_global(BUF_OUT, out_addr, s as u32, 1, eb);
 
         // ---- Functional ----------------------------------------------------
-        if let (true, Some(lhs), Some(rhs), Some(out)) =
-            (ctx.functional(), self.lhs, self.rhs, self.out_values.as_ref())
-        {
+        if let (true, Some(lhs), Some(rhs), Some(out)) = (
+            ctx.functional(),
+            self.lhs,
+            self.rhs,
+            self.out_values.as_ref(),
+        ) {
             let lrow = &lhs.as_slice()[row * k..(row + 1) * k];
             let (_, mask_vals) = self.mask.row(row);
             for (t, &j) in strip_cols.iter().enumerate() {
@@ -408,11 +429,26 @@ mod tests {
     fn matches_reference_config_sweep() {
         let mask = gen::uniform(32, 32, 0.6, 34);
         for cfg in [
-            SddmmConfig { vector_width: 1, ..SddmmConfig::default() },
-            SddmmConfig { vector_width: 2, ..SddmmConfig::default() },
-            SddmmConfig { threads_per_output_tile: 8, ..SddmmConfig::default() },
-            SddmmConfig { block_items_x: 16, ..SddmmConfig::default() },
-            SddmmConfig { row_swizzle: true, ..SddmmConfig::default() },
+            SddmmConfig {
+                vector_width: 1,
+                ..SddmmConfig::default()
+            },
+            SddmmConfig {
+                vector_width: 2,
+                ..SddmmConfig::default()
+            },
+            SddmmConfig {
+                threads_per_output_tile: 8,
+                ..SddmmConfig::default()
+            },
+            SddmmConfig {
+                block_items_x: 16,
+                ..SddmmConfig::default()
+            },
+            SddmmConfig {
+                row_swizzle: true,
+                ..SddmmConfig::default()
+            },
         ] {
             check(&mask, 48, cfg);
         }
@@ -473,7 +509,12 @@ mod tests {
             assert!((got.to_f32() - want).abs() <= want.abs() * 0.01 + 0.05);
         }
         // Halved element width must reduce DRAM traffic vs the f32 twin.
-        let f32_stats = sddmm_profile::<f32>(&gpu, &mask.convert::<f32>(), 32, SddmmConfig::heuristic::<f32>(32));
+        let f32_stats = sddmm_profile::<f32>(
+            &gpu,
+            &mask.convert::<f32>(),
+            32,
+            SddmmConfig::heuristic::<f32>(32),
+        );
         assert!(stats.dram_bytes < f32_stats.dram_bytes);
     }
 
@@ -496,7 +537,10 @@ mod tests {
         let lhs = Matrix::<f32>::random(24, 32, 41);
         let rhs = Matrix::<f32>::random(24, 32, 42);
         let gpu = Gpu::v100();
-        let cfg = SddmmConfig { scale_by_mask: true, ..SddmmConfig::default() };
+        let cfg = SddmmConfig {
+            scale_by_mask: true,
+            ..SddmmConfig::default()
+        };
         let (d, _) = sddmm(&gpu, &lhs, &rhs, &mask, cfg);
         let expect = crate::reference::sddmm_scaled(&lhs, &rhs, &mask);
         for (got, want) in d.values().iter().zip(expect.values()) {

@@ -30,11 +30,19 @@ pub struct SparseSoftmaxKernel<'a, T: Scalar> {
 impl<'a, T: Scalar> SparseSoftmaxKernel<'a, T> {
     pub fn new(m: &'a CsrMatrix<T>, out_values: &'a mut [T]) -> Self {
         assert_eq!(out_values.len(), m.nnz());
-        Self { m, out_values: Some(SyncUnsafeSlice::new(out_values)), vector_width: 16 / T::BYTES }
+        Self {
+            m,
+            out_values: Some(SyncUnsafeSlice::new(out_values)),
+            vector_width: 16 / T::BYTES,
+        }
     }
 
     pub fn for_profile(m: &'a CsrMatrix<T>) -> Self {
-        Self { m, out_values: None, vector_width: 16 / T::BYTES }
+        Self {
+            m,
+            out_values: None,
+            vector_width: 16 / T::BYTES,
+        }
     }
 }
 
@@ -98,7 +106,10 @@ impl<T: Scalar> Kernel for SparseSoftmaxKernel<'_, T> {
             // Two read passes (max, exp+sum) and one write pass. The values
             // are re-read rather than cached: rows can exceed register space.
             let load_instrs = gpu_sim::memory::vector_instr_count(len as u64, 32, vw);
-            let sectors = gpu_sim::memory::sectors_contiguous(start as u64 * eb as u64, len as u64 * eb as u64);
+            let sectors = gpu_sim::memory::sectors_contiguous(
+                start as u64 * eb as u64,
+                len as u64 * eb as u64,
+            );
             ctx.cost.ld_global_instrs += 3 * load_instrs;
             ctx.cost.gmem[BUF_VALUES.0 as usize].ld_sectors += 3 * sectors;
             // exp on each element + subtract max + divide: ~3 FLOPs each,
@@ -114,7 +125,10 @@ impl<T: Scalar> Kernel for SparseSoftmaxKernel<'_, T> {
 
             if let (true, Some(out)) = (ctx.functional(), self.out_values.as_ref()) {
                 let vals = &self.m.values()[start..start + len];
-                let max = vals.iter().map(|v| v.to_f32()).fold(f32::NEG_INFINITY, f32::max);
+                let max = vals
+                    .iter()
+                    .map(|v| v.to_f32())
+                    .fold(f32::NEG_INFINITY, f32::max);
                 let exps: Vec<f32> = vals.iter().map(|v| (v.to_f32() - max).exp()).collect();
                 let sum: f32 = exps.iter().sum();
                 for (i, &e) in exps.iter().enumerate() {
@@ -178,13 +192,22 @@ mod tests {
 
     #[test]
     fn handles_empty_rows() {
-        let m = CsrMatrix::<f32>::from_parts(3, 4, vec![0, 2, 2, 3], vec![0, 1, 3], vec![1.0, 2.0, 3.0])
-            .unwrap();
+        let m = CsrMatrix::<f32>::from_parts(
+            3,
+            4,
+            vec![0, 2, 2, 3],
+            vec![0, 1, 3],
+            vec![1.0, 2.0, 3.0],
+        )
+        .unwrap();
         let gpu = Gpu::v100();
         let (s, _) = sparse_softmax(&gpu, &m);
         assert_eq!(s.row_len(1), 0);
         let (_, vals) = s.row(2);
-        assert!((vals[0] - 1.0).abs() < 1e-6, "single-element row softmaxes to 1");
+        assert!(
+            (vals[0] - 1.0).abs() < 1e-6,
+            "single-element row softmaxes to 1"
+        );
     }
 
     #[test]
@@ -199,10 +222,16 @@ mod tests {
                 continue;
             }
             let sum: f32 = vals.iter().map(|v| v.to_f32()).sum();
-            assert!((sum - 1.0).abs() < 5e-3, "row {r}: {sum} (half-rounding tolerance)");
+            assert!(
+                (sum - 1.0).abs() < 5e-3,
+                "row {r}: {sum} (half-rounding tolerance)"
+            );
         }
         let f32_stats = sparse_softmax_profile::<f32>(&gpu, &m.convert::<f32>());
-        assert!(stats.dram_bytes < f32_stats.dram_bytes, "f16 halves the value traffic");
+        assert!(
+            stats.dram_bytes < f32_stats.dram_bytes,
+            "f16 halves the value traffic"
+        );
     }
 
     #[test]

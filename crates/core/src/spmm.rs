@@ -18,7 +18,7 @@ use crate::config::SpmmConfig;
 use crate::error::SputnikError;
 use crate::roma::{MemoryAligner, ROMA_MASK_INSTRS, ROMA_PRELUDE_INSTRS};
 use gpu_sim::{
-    AccessPattern, BlockContext, BufferId, BufferSpec, Dim3, Gpu, Kernel, LaunchStats,
+    AccessPattern, BlockContext, BufferId, BufferSpec, Dim3, Gpu, Kernel, LaunchStats, SmemScope,
     SyncUnsafeSlice,
 };
 use sparse::{CsrMatrix, Matrix, RowSwizzle, Scalar};
@@ -29,7 +29,8 @@ fn validate_spmm<T: Scalar>(
     swizzle: &RowSwizzle,
     cfg: &SpmmConfig,
 ) -> Result<(), SputnikError> {
-    cfg.validate(a.cols()).map_err(|reason| SputnikError::IllegalConfig { reason })?;
+    cfg.validate(a.cols())
+        .map_err(|reason| SputnikError::IllegalConfig { reason })?;
     if cfg.threads_x() > 32 {
         return Err(SputnikError::IllegalConfig {
             reason: format!(
@@ -145,20 +146,44 @@ impl<'a, T: Scalar> SpmmKernel<'a, T> {
         validate_spmm(a, swizzle, &cfg)?;
         let n = b.cols();
         let out = SyncUnsafeSlice::new(out.as_mut_slice());
-        Ok(Self { a, b: Some(b), out: Some(out), swizzle, bias: None, cfg, n })
+        Ok(Self {
+            a,
+            b: Some(b),
+            out: Some(out),
+            swizzle,
+            bias: None,
+            cfg,
+            n,
+        })
     }
 
     /// A cost-model-only kernel: no dense operands are materialized, so it
     /// can profile problems whose B/C matrices would not fit host memory
     /// (the corpus sweeps). Launch it with [`gpu_sim::Gpu::profile`].
-    pub fn for_profile(a: &'a CsrMatrix<T>, n: usize, swizzle: &'a RowSwizzle, cfg: SpmmConfig) -> Self {
+    pub fn for_profile(
+        a: &'a CsrMatrix<T>,
+        n: usize,
+        swizzle: &'a RowSwizzle,
+        cfg: SpmmConfig,
+    ) -> Self {
         validate_spmm(a, swizzle, &cfg).unwrap_or_else(|e| panic!("{e}"));
-        Self { a, b: None, out: None, swizzle, bias: None, cfg, n }
+        Self {
+            a,
+            b: None,
+            out: None,
+            swizzle,
+            bias: None,
+            cfg,
+            n,
+        }
     }
 
     /// Attach a fused bias + ReLU epilogue (`cfg.fused_bias_relu` must be set).
     pub fn with_bias_relu(mut self, bias: &'a [f32]) -> Self {
-        assert!(self.cfg.fused_bias_relu, "config must enable fused_bias_relu");
+        assert!(
+            self.cfg.fused_bias_relu,
+            "config must enable fused_bias_relu"
+        );
         assert_eq!(bias.len(), self.a.rows());
         self.bias = Some(bias);
         self
@@ -184,7 +209,7 @@ impl<'a, T: Scalar> SpmmKernel<'a, T> {
         let eb = T::BYTES as u64;
         let row_bytes = self.n as u64 * eb;
         let off_bytes = n_off as u64 * eb;
-        if row_bytes % 32 == 0 && off_bytes % 32 == 0 {
+        if row_bytes.is_multiple_of(32) && off_bytes.is_multiple_of(32) {
             gpu_sim::memory::sectors_contiguous(0, tile_w as u64 * eb)
         } else {
             gpu_sim::memory::sectors_contiguous(eb, tile_w as u64 * eb)
@@ -194,9 +219,19 @@ impl<'a, T: Scalar> SpmmKernel<'a, T> {
     /// Prepare one subwarp's work descriptor.
     fn subwarp_work(&self, m_idx: usize) -> SubwarpWork {
         if m_idx >= self.a.rows() {
-            return SubwarpWork { row: usize::MAX, nnz: 0, aligned_offset: 0, prefix: 0, total: 0 };
+            return SubwarpWork {
+                row: usize::MAX,
+                nnz: 0,
+                aligned_offset: 0,
+                prefix: 0,
+                total: 0,
+            };
         }
-        let row = if self.cfg.row_swizzle { self.swizzle.row(m_idx) } else { m_idx };
+        let row = if self.cfg.row_swizzle {
+            self.swizzle.row(m_idx)
+        } else {
+            m_idx
+        };
         let offset = self.a.row_offsets()[row] as usize;
         let nnz = self.a.row_len(row);
         let (aligned_offset, prefix, total) = if self.cfg.assume_aligned {
@@ -212,7 +247,13 @@ impl<'a, T: Scalar> SpmmKernel<'a, T> {
         } else {
             (offset, 0, nnz)
         };
-        SubwarpWork { row, nnz, aligned_offset, prefix, total }
+        SubwarpWork {
+            row,
+            nnz,
+            aligned_offset,
+            prefix,
+            total,
+        }
     }
 
     /// Functional computation for one subwarp: the real numerics, walked
@@ -224,7 +265,9 @@ impl<'a, T: Scalar> SpmmKernel<'a, T> {
         let indices = self.a.col_indices();
         // Both operands are always present on the functional path (the only
         // caller); a cost-model-only kernel never reaches this method.
-        let (Some(b), Some(out)) = (self.b, self.out.as_ref()) else { return };
+        let (Some(b), Some(out)) = (self.b, self.out.as_ref()) else {
+            return;
+        };
         let b = b.as_slice();
         for j in 0..sub.total {
             let pos = sub.aligned_offset + j;
@@ -244,7 +287,11 @@ impl<'a, T: Scalar> SpmmKernel<'a, T> {
         }
         let bias = self.bias.map(|bias| bias[sub.row]).unwrap_or(0.0);
         for (x, &v) in acc.iter().enumerate() {
-            let v = if self.cfg.fused_bias_relu { (v + bias).max(0.0) } else { v };
+            let v = if self.cfg.fused_bias_relu {
+                (v + bias).max(0.0)
+            } else {
+                v
+            };
             // Disjointness: each (row, column-tile) pair is owned by exactly
             // one subwarp of one block.
             unsafe { out.write(sub.row * self.n + n_off + x, T::from_f32(v)) };
@@ -302,8 +349,7 @@ impl<'a, T: Scalar> SpmmKernel<'a, T> {
                 .filter(|s| s.row != usize::MAX)
                 .map(|s| (max_total - s.total) as u64)
                 .sum();
-            ctx.cost.stall_cycles +=
-                wasted * DIVERGENCE_STALL_CYCLES_PER_SLOT / subs.len() as u64;
+            ctx.cost.stall_cycles += wasted * DIVERGENCE_STALL_CYCLES_PER_SLOT / subs.len() as u64;
         }
 
         // ---- Main loop ----------------------------------------------------
@@ -324,8 +370,10 @@ impl<'a, T: Scalar> SpmmKernel<'a, T> {
                 for _ in 0..a_load_instrs {
                     // Sector counts are added per-subwarp below; these calls
                     // only count the instruction + a placeholder address.
+                    // Warp scope: Sputnik's staging is warp-synchronous (the
+                    // warp that stores the strip is its only consumer).
                     ctx.cost.ld_global_instrs += 2; // values + indices
-                    ctx.cost.st_shared_instrs += 2;
+                    ctx.smem_store(2, 0, SmemScope::Warp);
                 }
                 ctx.cost.shared_bytes += bik as u64 * (eb + ib) as u64;
                 if cfg.index_prescale {
@@ -354,7 +402,7 @@ impl<'a, T: Scalar> SpmmKernel<'a, T> {
                 if it == 0 && cfg.roma && vw > 1 {
                     // Mask the prefix: 1 setp + 2 st.shared.
                     ctx.misc(1);
-                    ctx.cost.st_shared_instrs += 2;
+                    ctx.smem_store(2, 0, SmemScope::Warp);
                     let _ = ROMA_MASK_INSTRS;
                 }
             }
@@ -364,11 +412,12 @@ impl<'a, T: Scalar> SpmmKernel<'a, T> {
                 if cfg.residue_unroll {
                     // Zero the shared buffers, then run the unrolled path
                     // without bounds checks (Section V-D2).
-                    ctx.cost.st_shared_instrs += 2;
+                    ctx.smem_store(2, 0, SmemScope::Warp);
                     let rounded = residue.div_ceil(4) * 4;
-                    let a_instrs = gpu_sim::memory::vector_instr_count(residue as u64, threads_x, vw_a);
+                    let a_instrs =
+                        gpu_sim::memory::vector_instr_count(residue as u64, threads_x, vw_a);
                     ctx.cost.ld_global_instrs += 2 * a_instrs;
-                    ctx.cost.st_shared_instrs += 2 * a_instrs;
+                    ctx.smem_store(2 * a_instrs, 0, SmemScope::Warp);
                     ctx.cost.shared_bytes += residue as u64 * (eb + ib) as u64;
                     for _ in 0..(2 * (rounded as u64).div_ceil(4)) {
                         ctx.ld_shared(1, 4, eb.max(ib), 1);
@@ -387,9 +436,10 @@ impl<'a, T: Scalar> SpmmKernel<'a, T> {
                     // data-dependent trip count defeating unrolling (no
                     // static offsets, no dual-issue) — the inefficiency
                     // Section V-D2's loop splitting removes.
-                    let a_instrs = gpu_sim::memory::vector_instr_count(residue as u64, threads_x, 1);
+                    let a_instrs =
+                        gpu_sim::memory::vector_instr_count(residue as u64, threads_x, 1);
                     ctx.cost.ld_global_instrs += 2 * a_instrs;
-                    ctx.cost.st_shared_instrs += 2 * a_instrs;
+                    ctx.smem_store(2 * a_instrs, 0, SmemScope::Warp);
                     ctx.cost.shared_bytes += residue as u64 * (eb + ib) as u64;
                     for _ in 0..(2 * residue as u64) {
                         ctx.ld_shared(1, 1, eb.max(ib), 1);
@@ -409,13 +459,13 @@ impl<'a, T: Scalar> SpmmKernel<'a, T> {
                 continue;
             }
             // A values + indices: contiguous from the aligned offset.
-            let t = &mut ctx.cost.gmem[BUF_A_VALUES.0 as usize];
-            t.ld_sectors += gpu_sim::memory::sectors_contiguous(
+            ctx.ld_global_trace(
+                BUF_A_VALUES,
                 sub.aligned_offset as u64 * eb as u64,
                 sub.total as u64 * eb as u64,
             );
-            let t = &mut ctx.cost.gmem[BUF_A_INDICES.0 as usize];
-            t.ld_sectors += gpu_sim::memory::sectors_contiguous(
+            ctx.ld_global_trace(
+                BUF_A_INDICES,
                 sub.aligned_offset as u64 * ib as u64,
                 sub.total as u64 * ib as u64,
             );
@@ -431,7 +481,10 @@ impl<'a, T: Scalar> SpmmKernel<'a, T> {
         }
 
         // ---- Output store -------------------------------------------------
-        let store_vw = if self.n % vw as usize == 0 && n_off % vw as usize == 0 && tile_w % vw as usize == 0 {
+        let store_vw = if self.n.is_multiple_of(vw as usize)
+            && n_off.is_multiple_of(vw as usize)
+            && tile_w.is_multiple_of(vw as usize)
+        {
             vw
         } else {
             1
@@ -454,8 +507,7 @@ impl<'a, T: Scalar> SpmmKernel<'a, T> {
                 continue;
             }
             let addr = (sub.row * self.n + n_off) as u64 * eb as u64;
-            ctx.cost.gmem[BUF_C.0 as usize].st_sectors +=
-                gpu_sim::memory::sectors_contiguous(addr, tile_w as u64 * eb as u64);
+            ctx.st_global_trace(BUF_C, addr, tile_w as u64 * eb as u64);
         }
         let _ = lanes;
     }
@@ -671,14 +723,40 @@ mod tests {
         let a = gen::uniform(48, 96, 0.7, 2);
         let base = SpmmConfig::default();
         let variants = [
-            SpmmConfig { row_swizzle: false, ..base },
-            SpmmConfig { vector_width: 1, roma: false, ..base },
-            SpmmConfig { residue_unroll: false, ..base },
-            SpmmConfig { index_prescale: false, ..base },
-            SpmmConfig { vector_width: 2, ..base },
-            SpmmConfig { block_items_y: 1, ..base },
-            SpmmConfig { block_items_y: 8, ..base },
-            SpmmConfig { block_items_x: 64, block_items_y: 2, ..base },
+            SpmmConfig {
+                row_swizzle: false,
+                ..base
+            },
+            SpmmConfig {
+                vector_width: 1,
+                roma: false,
+                ..base
+            },
+            SpmmConfig {
+                residue_unroll: false,
+                ..base
+            },
+            SpmmConfig {
+                index_prescale: false,
+                ..base
+            },
+            SpmmConfig {
+                vector_width: 2,
+                ..base
+            },
+            SpmmConfig {
+                block_items_y: 1,
+                ..base
+            },
+            SpmmConfig {
+                block_items_y: 8,
+                ..base
+            },
+            SpmmConfig {
+                block_items_x: 64,
+                block_items_y: 2,
+                ..base
+            },
         ];
         for cfg in variants {
             check_against_reference(&a, 32, cfg);
@@ -732,7 +810,10 @@ mod tests {
             for col in 0..32 {
                 let got = c.get(r, col).to_f32();
                 let want = expect.get(r, col);
-                assert!((got - want).abs() <= want.abs() * 0.01 + 0.05, "({r},{col}): {got} vs {want}");
+                assert!(
+                    (got - want).abs() <= want.abs() * 0.01 + 0.05,
+                    "({r},{col}): {got} vs {want}"
+                );
             }
         }
     }
@@ -743,7 +824,10 @@ mod tests {
         let b = Matrix::<f32>::random(64, 32, 10);
         let bias: Vec<f32> = (0..32).map(|i| (i as f32 - 16.0) / 8.0).collect();
         let gpu = Gpu::v100();
-        let cfg = SpmmConfig { fused_bias_relu: true, ..SpmmConfig::default() };
+        let cfg = SpmmConfig {
+            fused_bias_relu: true,
+            ..SpmmConfig::default()
+        };
         let swizzle = RowSwizzle::by_length_desc(&a);
         let mut out = Matrix::<f32>::zeros(32, 32);
         let stats = {
@@ -759,7 +843,17 @@ mod tests {
     fn vector_loads_reduce_instructions() {
         let a = gen::uniform(512, 1024, 0.8, 11);
         let gpu = Gpu::v100();
-        let scalar = spmm_profile(&gpu, &a, 1024, 256, SpmmConfig { vector_width: 1, roma: false, ..SpmmConfig::default() });
+        let scalar = spmm_profile(
+            &gpu,
+            &a,
+            1024,
+            256,
+            SpmmConfig {
+                vector_width: 1,
+                roma: false,
+                ..SpmmConfig::default()
+            },
+        );
         let vec4 = spmm_profile(&gpu, &a, 1024, 256, SpmmConfig::default());
         assert!(
             vec4.instructions < scalar.instructions,
@@ -775,7 +869,16 @@ mod tests {
         let gpu = Gpu::v100();
         let base = SpmmConfig::heuristic::<f32>(128);
         let with = spmm_profile(&gpu, &a, 2048, 128, base);
-        let without = spmm_profile(&gpu, &a, 2048, 128, SpmmConfig { row_swizzle: false, ..base });
+        let without = spmm_profile(
+            &gpu,
+            &a,
+            2048,
+            128,
+            SpmmConfig {
+                row_swizzle: false,
+                ..base
+            },
+        );
         assert!(
             with.time_us < without.time_us,
             "swizzle {} should beat no-swizzle {}",

@@ -53,7 +53,11 @@ impl<T: Scalar> CachedTranspose<T> {
     /// not the topology): the "argsort of the matrix values" — one gather.
     /// Returns the simulated cost of the device-side permute kernel.
     pub fn update_values(&mut self, gpu: &Gpu, a_values: &[T]) -> LaunchStats {
-        assert_eq!(a_values.len(), self.at.nnz(), "topology changed; rebuild the cache");
+        assert_eq!(
+            a_values.len(),
+            self.at.nnz(),
+            "topology changed; rebuild the cache"
+        );
         let mut new_values = vec![T::zero(); a_values.len()];
         let stats = {
             let kernel = PermuteKernel::new(a_values, &self.perm, &mut new_values);
@@ -67,7 +71,10 @@ impl<T: Scalar> CachedTranspose<T> {
     pub fn spmm(&self, gpu: &Gpu, b: &Matrix<T>, cfg: SpmmConfig) -> (Matrix<T>, LaunchStats) {
         let mut out = Matrix::<T>::zeros(self.at.rows(), b.cols());
         let stats = {
-            let cfg = SpmmConfig { row_swizzle: true, ..cfg };
+            let cfg = SpmmConfig {
+                row_swizzle: true,
+                ..cfg
+            };
             let kernel = SpmmKernel::new(&self.at, b, &mut out, &self.swizzle, cfg);
             gpu.launch(&kernel)
         };
@@ -76,7 +83,10 @@ impl<T: Scalar> CachedTranspose<T> {
 
     /// Cost-only `A^T B`.
     pub fn spmm_profile(&self, gpu: &Gpu, n: usize, cfg: SpmmConfig) -> LaunchStats {
-        let cfg = SpmmConfig { row_swizzle: true, ..cfg };
+        let cfg = SpmmConfig {
+            row_swizzle: true,
+            ..cfg
+        };
         let kernel = SpmmKernel::<T>::for_profile(&self.at, n, &self.swizzle, cfg);
         gpu.profile(&kernel)
     }
@@ -101,7 +111,11 @@ impl<'a, T: Scalar> PermuteKernel<'a, T> {
     pub fn new(src: &'a [T], perm: &'a [u32], dst: &'a mut [T]) -> Self {
         assert_eq!(src.len(), perm.len());
         assert_eq!(src.len(), dst.len());
-        Self { src, perm, dst: SyncUnsafeSlice::new(dst) }
+        Self {
+            src,
+            perm,
+            dst: SyncUnsafeSlice::new(dst),
+        }
     }
 }
 
@@ -122,9 +136,24 @@ impl<T: Scalar> Kernel for PermuteKernel<'_, T> {
         let eb = T::BYTES as u64;
         let n = self.src.len() as u64;
         vec![
-            BufferSpec { id: BUF_SRC, name: "src_values", footprint_bytes: n * eb, pattern: AccessPattern::Streaming },
-            BufferSpec { id: BUF_PERM, name: "permutation", footprint_bytes: n * 4, pattern: AccessPattern::Streaming },
-            BufferSpec { id: BUF_DST, name: "dst_values", footprint_bytes: n * eb, pattern: AccessPattern::Streaming },
+            BufferSpec {
+                id: BUF_SRC,
+                name: "src_values",
+                footprint_bytes: n * eb,
+                pattern: AccessPattern::Streaming,
+            },
+            BufferSpec {
+                id: BUF_PERM,
+                name: "permutation",
+                footprint_bytes: n * 4,
+                pattern: AccessPattern::Streaming,
+            },
+            BufferSpec {
+                id: BUF_DST,
+                name: "dst_values",
+                footprint_bytes: n * eb,
+                pattern: AccessPattern::Streaming,
+            },
         ]
     }
 
@@ -138,11 +167,13 @@ impl<T: Scalar> Kernel for PermuteKernel<'_, T> {
         let warps = (count as u64).div_ceil(32);
         // Permutation indices and destination: coalesced.
         ctx.cost.ld_global_instrs += warps;
-        ctx.cost.gmem[BUF_PERM.0 as usize].ld_sectors +=
-            gpu_sim::memory::sectors_contiguous((start * 4) as u64, count as u64 * 4);
+        ctx.ld_global_trace(BUF_PERM, (start * 4) as u64, count as u64 * 4);
         ctx.cost.st_global_instrs += warps;
-        ctx.cost.gmem[BUF_DST.0 as usize].st_sectors +=
-            gpu_sim::memory::sectors_contiguous((start * eb as usize) as u64, count as u64 * eb as u64);
+        ctx.st_global_trace(
+            BUF_DST,
+            (start * eb as usize) as u64,
+            count as u64 * eb as u64,
+        );
         // Source values: a gather — count real sectors from the permutation.
         for chunk in self.perm[start..start + count].chunks(32) {
             let addrs: Vec<u64> = chunk.iter().map(|&p| p as u64 * eb as u64).collect();
@@ -187,7 +218,11 @@ mod tests {
         let a2 = a.with_values(new_values.clone());
         let stats = cache.update_values(&gpu, &new_values);
         assert!(stats.time_us > 0.0);
-        assert_eq!(cache.matrix(), &a2.transpose(), "cached update must equal a fresh transpose");
+        assert_eq!(
+            cache.matrix(),
+            &a2.transpose(),
+            "cached update must equal a fresh transpose"
+        );
     }
 
     #[test]
@@ -199,7 +234,7 @@ mod tests {
         let a = gen::uniform(2048, 2048, 0.8, 304);
         let gpu = Gpu::v100();
         let mut cache = CachedTranspose::new(&a);
-        let update = cache.update_values(&gpu, &a.values().to_vec());
+        let update = cache.update_values(&gpu, a.values());
         let spmm = cache.spmm_profile(&gpu, 128, SpmmConfig::heuristic::<f32>(128));
         assert!(
             update.time_us < spmm.time_us,
@@ -222,8 +257,8 @@ mod tests {
                 gpu.launch(&kernel)
             };
             assert!(stats.time_us > 0.0);
-            for i in 0..n {
-                assert_eq!(dst[i], (n - 1 - i) as f32);
+            for (i, &v) in dst.iter().enumerate() {
+                assert_eq!(v, (n - 1 - i) as f32);
             }
         }
     }

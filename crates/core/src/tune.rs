@@ -30,8 +30,12 @@ pub struct ProblemClass {
 impl ProblemClass {
     pub fn of<T: Scalar>(a: &CsrMatrix<T>, n: usize) -> Self {
         Self {
-            m_pow2: (a.rows().max(1) as u32).next_power_of_two().trailing_zeros(),
-            k_pow2: (a.cols().max(1) as u32).next_power_of_two().trailing_zeros(),
+            m_pow2: (a.rows().max(1) as u32)
+                .next_power_of_two()
+                .trailing_zeros(),
+            k_pow2: (a.cols().max(1) as u32)
+                .next_power_of_two()
+                .trailing_zeros(),
             n_pow2: (n.max(1) as u32).next_power_of_two().trailing_zeros(),
             sparsity_bucket: (a.sparsity() * 20.0).round().clamp(0.0, 20.0) as u8,
         }
@@ -83,7 +87,7 @@ impl AutoTuner {
                     if cfg.validate(k).is_err() || cfg.threads_x() > 32 {
                         continue;
                     }
-                    if vector_width > 1 && n % vector_width as usize != 0 {
+                    if vector_width > 1 && !n.is_multiple_of(vector_width as usize) {
                         continue;
                     }
                     if cfg != heuristic {
@@ -104,7 +108,11 @@ impl AutoTuner {
         }
         let heuristic = SpmmConfig::heuristic::<T>(n);
         let heuristic_us = spmm::spmm_profile::<T>(gpu, a, a.cols(), n, heuristic).time_us;
-        let mut best = TuneResult { config: heuristic, best_us: heuristic_us, heuristic_us };
+        let mut best = TuneResult {
+            config: heuristic,
+            best_us: heuristic_us,
+            heuristic_us,
+        };
         for cfg in Self::candidates::<T>(a.cols(), n) {
             let t = spmm::spmm_profile::<T>(gpu, a, a.cols(), n, cfg).time_us;
             if t < best.best_us {
@@ -139,7 +147,11 @@ mod tests {
     fn tuned_config_never_loses_to_heuristic() {
         let gpu = Gpu::v100();
         let mut tuner = AutoTuner::new();
-        for (m, k, n, s) in [(256usize, 256usize, 64usize, 0.8), (1000, 1024, 4, 0.9), (512, 128, 52, 0.7)] {
+        for (m, k, n, s) in [
+            (256usize, 256usize, 64usize, 0.8),
+            (1000, 1024, 4, 0.9),
+            (512, 128, 52, 0.7),
+        ] {
             let a = gen::uniform(m, k, s, (m + n) as u64);
             let result = tuner.tune(&gpu, &a, n);
             assert!(result.best_us <= result.heuristic_us + 1e-9, "{m}x{k}x{n}");

@@ -45,16 +45,31 @@ fn try_sddmm_surfaces_injected_faults_as_errors() {
 #[test]
 fn dispatch_survives_total_sputnik_failure_bit_correct() {
     let (a, b) = problem(200);
-    let gpu = Gpu::v100()
-        .with_fault_plan(FaultPlan::fail_all(FaultKind::EccError).matching("sputnik"));
-    let (out, report) =
-        dispatch::spmm(&gpu, &a, &b, SpmmConfig::default(), &DispatchPolicy::default())
-            .expect("dispatch must not fail");
+    let gpu =
+        Gpu::v100().with_fault_plan(FaultPlan::fail_all(FaultKind::EccError).matching("sputnik"));
+    let (out, report) = dispatch::spmm(
+        &gpu,
+        &a,
+        &b,
+        SpmmConfig::default(),
+        &DispatchPolicy::default(),
+    )
+    .expect("dispatch must not fail");
     assert_eq!(report.served_by, Rung::Fallback);
-    assert!(!report.attempts.is_empty(), "the failed sputnik attempts are recorded");
-    assert!(report.backoff_us > 0.0, "transient faults trigger retries with backoff");
+    assert!(
+        !report.attempts.is_empty(),
+        "the failed sputnik attempts are recorded"
+    );
+    assert!(
+        report.backoff_us > 0.0,
+        "transient faults trigger retries with backoff"
+    );
     let expect = reference::spmm(&a, &b);
-    assert_eq!(out.as_slice(), expect.as_slice(), "bit-identical to the CPU reference");
+    assert_eq!(
+        out.as_slice(),
+        expect.as_slice(),
+        "bit-identical to the CPU reference"
+    );
 }
 
 /// When every launch faults — fallback included — the ladder bottoms out at
@@ -63,9 +78,14 @@ fn dispatch_survives_total_sputnik_failure_bit_correct() {
 fn dispatch_survives_total_device_failure_via_cpu() {
     let (a, b) = problem(300);
     let gpu = Gpu::v100().with_fault_plan(FaultPlan::fail_all(FaultKind::EccError));
-    let (out, report) =
-        dispatch::spmm(&gpu, &a, &b, SpmmConfig::default(), &DispatchPolicy::default())
-            .expect("dispatch must not fail");
+    let (out, report) = dispatch::spmm(
+        &gpu,
+        &a,
+        &b,
+        SpmmConfig::default(),
+        &DispatchPolicy::default(),
+    )
+    .expect("dispatch must not fail");
     assert_eq!(report.served_by, Rung::CpuReference);
     assert!(report.stats.is_none(), "no launch served this call");
     let expect = reference::spmm(&a, &b);
@@ -79,9 +99,14 @@ fn dispatch_detects_poisoned_output() {
     let (a, b) = problem(400);
     let gpu = Gpu::v100()
         .with_fault_plan(FaultPlan::fail_all(FaultKind::PoisonOutput).matching("sputnik"));
-    let (out, report) =
-        dispatch::spmm(&gpu, &a, &b, SpmmConfig::default(), &DispatchPolicy::default())
-            .expect("dispatch must not fail");
+    let (out, report) = dispatch::spmm(
+        &gpu,
+        &a,
+        &b,
+        SpmmConfig::default(),
+        &DispatchPolicy::default(),
+    )
+    .expect("dispatch must not fail");
     assert_eq!(report.served_by, Rung::Fallback);
     assert!(report
         .attempts
@@ -100,7 +125,10 @@ fn checksum_guard_catches_corruption_without_finite_scan() {
     let (a, b) = problem(500);
     let gpu = Gpu::v100()
         .with_fault_plan(FaultPlan::fail_all(FaultKind::PoisonOutput).matching("sputnik"));
-    let policy = DispatchPolicy { check_finite: false, ..DispatchPolicy::default() };
+    let policy = DispatchPolicy {
+        check_finite: false,
+        ..DispatchPolicy::default()
+    };
     let (out, report) =
         dispatch::spmm(&gpu, &a, &b, SpmmConfig::default(), &policy).expect("must not fail");
     assert_eq!(report.served_by, Rung::Fallback);
@@ -114,10 +142,19 @@ fn checksum_guard_catches_corruption_without_finite_scan() {
 fn transient_fault_recovered_by_retry() {
     let (a, b) = problem(600);
     let gpu = Gpu::v100().with_fault_plan(FaultPlan::fail_first(1, FaultKind::EccError));
-    let (out, report) =
-        dispatch::spmm(&gpu, &a, &b, SpmmConfig::default(), &DispatchPolicy::default())
-            .expect("dispatch must not fail");
-    assert_eq!(report.served_by, Rung::Sputnik, "retry on the same rung succeeds");
+    let (out, report) = dispatch::spmm(
+        &gpu,
+        &a,
+        &b,
+        SpmmConfig::default(),
+        &DispatchPolicy::default(),
+    )
+    .expect("dispatch must not fail");
+    assert_eq!(
+        report.served_by,
+        Rung::Sputnik,
+        "retry on the same rung succeeds"
+    );
     assert_eq!(report.attempts.len(), 1);
     assert!(report.backoff_us > 0.0);
     let expect = reference::spmm(&a, &b);
@@ -130,16 +167,17 @@ fn transient_fault_recovered_by_retry() {
 fn rate_plans_replay_deterministically() {
     let (a, b) = problem(700);
     let run = || {
-        let gpu = Gpu::v100().with_fault_plan(FaultPlan::with_rate(
-            9,
-            0.8,
-            FaultKind::EccError,
-        ));
+        let gpu = Gpu::v100().with_fault_plan(FaultPlan::with_rate(9, 0.8, FaultKind::EccError));
         let mut rungs = Vec::new();
         for _ in 0..6 {
-            let (_, report) =
-                dispatch::spmm(&gpu, &a, &b, SpmmConfig::default(), &DispatchPolicy::default())
-                    .expect("dispatch must not fail");
+            let (_, report) = dispatch::spmm(
+                &gpu,
+                &a,
+                &b,
+                SpmmConfig::default(),
+                &DispatchPolicy::default(),
+            )
+            .expect("dispatch must not fail");
             rungs.push(report.served_by);
         }
         rungs
@@ -157,9 +195,14 @@ fn empty_fault_plan_changes_nothing() {
     let (direct_out, direct_stats) = sputnik::spmm(&plain_gpu, &a, &b, SpmmConfig::default());
 
     let guarded_gpu = Gpu::v100().with_fault_plan(FaultPlan::none());
-    let (out, report) =
-        dispatch::spmm(&guarded_gpu, &a, &b, SpmmConfig::default(), &DispatchPolicy::default())
-            .expect("dispatch must not fail");
+    let (out, report) = dispatch::spmm(
+        &guarded_gpu,
+        &a,
+        &b,
+        SpmmConfig::default(),
+        &DispatchPolicy::default(),
+    )
+    .expect("dispatch must not fail");
     assert!(report.clean());
     let stats = report.stats.expect("served by a launch");
 
@@ -189,14 +232,16 @@ fn dispatch_handles_half_precision_under_faults() {
             b.set(r, c, Half::from_f32(b32.get(r, c)));
         }
     }
-    let gpu = Gpu::v100()
-        .with_fault_plan(FaultPlan::fail_all(FaultKind::EccError).matching("sputnik"));
+    let gpu =
+        Gpu::v100().with_fault_plan(FaultPlan::fail_all(FaultKind::EccError).matching("sputnik"));
     // Half rounding per element exceeds the default checksum tolerance
     // budgeted for f32 kernels; widen it accordingly.
-    let policy = DispatchPolicy { checksum_rel_tol: 5e-2, ..DispatchPolicy::default() };
-    let (out, report) =
-        dispatch::spmm(&gpu, &a, &b, SpmmConfig::heuristic::<Half>(32), &policy)
-            .expect("dispatch must not fail");
+    let policy = DispatchPolicy {
+        checksum_rel_tol: 5e-2,
+        ..DispatchPolicy::default()
+    };
+    let (out, report) = dispatch::spmm(&gpu, &a, &b, SpmmConfig::heuristic::<Half>(32), &policy)
+        .expect("dispatch must not fail");
     assert_eq!(report.served_by, Rung::Fallback);
     let expect = reference::spmm(&a.convert::<f32>(), &b.to_f32());
     for (got, want) in out.as_slice().iter().zip(expect.as_slice()) {

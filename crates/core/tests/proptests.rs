@@ -17,19 +17,22 @@ fn spmm_config() -> impl Strategy<Value = SpmmConfig> {
         any::<bool>(),
         any::<bool>(),
     )
-        .prop_filter_map("subwarp must fit a warp", |(y, x, v, swz, roma, pre, res)| {
-            let cfg = SpmmConfig {
-                block_items_y: y,
-                block_items_x: x,
-                vector_width: v,
-                row_swizzle: swz,
-                roma,
-                index_prescale: pre,
-                residue_unroll: res,
-                ..SpmmConfig::default()
-            };
-            (cfg.threads_x() <= 32).then_some(cfg)
-        })
+        .prop_filter_map(
+            "subwarp must fit a warp",
+            |(y, x, v, swz, roma, pre, res)| {
+                let cfg = SpmmConfig {
+                    block_items_y: y,
+                    block_items_x: x,
+                    vector_width: v,
+                    row_swizzle: swz,
+                    roma,
+                    index_prescale: pre,
+                    residue_unroll: res,
+                    ..SpmmConfig::default()
+                };
+                (cfg.threads_x() <= 32).then_some(cfg)
+            },
+        )
 }
 
 proptest! {

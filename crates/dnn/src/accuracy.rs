@@ -18,19 +18,46 @@ pub struct AccuracyPoint {
 
 /// Dense MobileNetV1 accuracies reported in Table IV.
 pub const DENSE_MOBILENET: [AccuracyPoint; 3] = [
-    AccuracyPoint { width: 1.0, top1: 72.7 },
-    AccuracyPoint { width: 1.2, top1: 73.8 },
-    AccuracyPoint { width: 1.4, top1: 74.8 },
+    AccuracyPoint {
+        width: 1.0,
+        top1: 72.7,
+    },
+    AccuracyPoint {
+        width: 1.2,
+        top1: 73.8,
+    },
+    AccuracyPoint {
+        width: 1.4,
+        top1: 74.8,
+    },
 ];
 
 /// 90%-sparse MobileNetV1 accuracies reported in Table IV.
 pub const SPARSE_MOBILENET: [AccuracyPoint; 6] = [
-    AccuracyPoint { width: 1.3, top1: 72.9 },
-    AccuracyPoint { width: 1.4, top1: 73.3 },
-    AccuracyPoint { width: 1.5, top1: 73.8 },
-    AccuracyPoint { width: 1.6, top1: 74.1 },
-    AccuracyPoint { width: 1.7, top1: 74.4 },
-    AccuracyPoint { width: 1.8, top1: 74.9 },
+    AccuracyPoint {
+        width: 1.3,
+        top1: 72.9,
+    },
+    AccuracyPoint {
+        width: 1.4,
+        top1: 73.3,
+    },
+    AccuracyPoint {
+        width: 1.5,
+        top1: 73.8,
+    },
+    AccuracyPoint {
+        width: 1.6,
+        top1: 74.1,
+    },
+    AccuracyPoint {
+        width: 1.7,
+        top1: 74.4,
+    },
+    AccuracyPoint {
+        width: 1.8,
+        top1: 74.9,
+    },
 ];
 
 /// Piecewise-linear interpolation (with linear extrapolation at the ends)
@@ -89,6 +116,9 @@ mod tests {
     #[test]
     fn extrapolation_continues_the_last_segment() {
         let beyond = dense_mobilenet_top1(1.6);
-        assert!(beyond > 74.8, "extrapolating past 1.4 should keep rising, got {beyond}");
+        assert!(
+            beyond > 74.8,
+            "extrapolating past 1.4 should keep rising, got {beyond}"
+        );
     }
 }

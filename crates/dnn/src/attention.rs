@@ -47,7 +47,11 @@ pub fn dense_attention(
     let (ctxm, s3) = baselines::gemm(gpu, &probs, v);
     (
         ctxm,
-        AttentionTime { scores_us: s1.time_us, softmax_us: s2.time_us, context_us: s3.time_us },
+        AttentionTime {
+            scores_us: s1.time_us,
+            softmax_us: s2.time_us,
+            context_us: s3.time_us,
+        },
     )
 }
 
@@ -76,7 +80,11 @@ pub fn sparse_attention(
     let (context, s3) = sputnik::spmm(gpu, &probs, v, SpmmConfig::heuristic::<f32>(v.cols()));
     (
         context,
-        AttentionTime { scores_us: s1.time_us, softmax_us: s2.time_us, context_us: s3.time_us },
+        AttentionTime {
+            scores_us: s1.time_us,
+            softmax_us: s2.time_us,
+            context_us: s3.time_us,
+        },
     )
 }
 
@@ -92,10 +100,17 @@ pub fn dense_attention_profile(gpu: &Gpu, seq: usize, d: usize) -> AttentionTime
 /// Cost-only sparse attention for one head with the given mask.
 pub fn sparse_attention_profile(gpu: &Gpu, mask: &CsrMatrix<f32>, d: usize) -> AttentionTime {
     AttentionTime {
-        scores_us: sputnik::sddmm_profile::<f32>(gpu, mask, d, SddmmConfig::heuristic::<f32>(d)).time_us,
-        softmax_us: sputnik::sparse_softmax_profile::<f32>(gpu, mask).time_us,
-        context_us: sputnik::spmm_profile::<f32>(gpu, mask, mask.cols(), d, SpmmConfig::heuristic::<f32>(d))
+        scores_us: sputnik::sddmm_profile::<f32>(gpu, mask, d, SddmmConfig::heuristic::<f32>(d))
             .time_us,
+        softmax_us: sputnik::sparse_softmax_profile::<f32>(gpu, mask).time_us,
+        context_us: sputnik::spmm_profile::<f32>(
+            gpu,
+            mask,
+            mask.cols(),
+            d,
+            SpmmConfig::heuristic::<f32>(d),
+        )
+        .time_us,
     }
 }
 
@@ -125,7 +140,10 @@ mod tests {
             let logits: Vec<f32> = cols
                 .iter()
                 .map(|&j| {
-                    (0..d).map(|l| q.get(i, l) * k.get(j as usize, l)).sum::<f32>() * scale
+                    (0..d)
+                        .map(|l| q.get(i, l) * k.get(j as usize, l))
+                        .sum::<f32>()
+                        * scale
                 })
                 .collect();
             let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
@@ -171,6 +189,9 @@ mod tests {
         let dense = dense_attention_profile(&gpu, seq, d);
         let sparse = sparse_attention_profile(&gpu, &mask, d);
         let speedup = dense.total_us() / sparse.total_us();
-        assert!(speedup > 1.5, "sparse attention should win at seq={seq}, got {speedup:.2}x");
+        assert!(
+            speedup > 1.5,
+            "sparse attention should win at seq={seq}, got {speedup:.2}x"
+        );
     }
 }

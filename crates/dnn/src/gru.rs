@@ -43,7 +43,12 @@ impl GruStep {
 }
 
 impl SparseGruCell {
-    pub fn new(w_x: CsrMatrix<f32>, w_h: CsrMatrix<f32>, bias_x: Vec<f32>, bias_h: Vec<f32>) -> Self {
+    pub fn new(
+        w_x: CsrMatrix<f32>,
+        w_h: CsrMatrix<f32>,
+        bias_x: Vec<f32>,
+        bias_h: Vec<f32>,
+    ) -> Self {
         assert_eq!(w_x.rows(), w_h.rows());
         assert_eq!(w_x.rows() % 3, 0, "GRU needs 3 gates");
         let hidden = w_x.rows() / 3;
@@ -52,7 +57,15 @@ impl SparseGruCell {
         assert_eq!(bias_h.len(), 3 * hidden);
         let swizzle_x = RowSwizzle::by_length_desc(&w_x);
         let swizzle_h = RowSwizzle::by_length_desc(&w_h);
-        Self { w_x, w_h, bias_x, bias_h, swizzle_x, swizzle_h, hidden }
+        Self {
+            w_x,
+            w_h,
+            bias_x,
+            bias_h,
+            swizzle_x,
+            swizzle_h,
+            hidden,
+        }
     }
 
     pub fn random(input: usize, hidden: usize, sparsity: f64, seed: u64) -> Self {
@@ -167,11 +180,36 @@ impl Kernel for GruElementwiseKernel<'_> {
     fn buffers(&self) -> Vec<BufferSpec> {
         let hb = (self.hidden * self.batch * 4) as u64;
         vec![
-            BufferSpec { id: BUF_GX, name: "gates_x", footprint_bytes: 3 * hb, pattern: AccessPattern::Streaming },
-            BufferSpec { id: BUF_GH, name: "gates_h", footprint_bytes: 3 * hb, pattern: AccessPattern::Streaming },
-            BufferSpec { id: BUF_BIAS, name: "biases", footprint_bytes: (6 * self.hidden * 4) as u64, pattern: AccessPattern::SharedReuse },
-            BufferSpec { id: BUF_H_IN, name: "h_in", footprint_bytes: hb, pattern: AccessPattern::Streaming },
-            BufferSpec { id: BUF_H_OUT, name: "h_out", footprint_bytes: hb, pattern: AccessPattern::Streaming },
+            BufferSpec {
+                id: BUF_GX,
+                name: "gates_x",
+                footprint_bytes: 3 * hb,
+                pattern: AccessPattern::Streaming,
+            },
+            BufferSpec {
+                id: BUF_GH,
+                name: "gates_h",
+                footprint_bytes: 3 * hb,
+                pattern: AccessPattern::Streaming,
+            },
+            BufferSpec {
+                id: BUF_BIAS,
+                name: "biases",
+                footprint_bytes: (6 * self.hidden * 4) as u64,
+                pattern: AccessPattern::SharedReuse,
+            },
+            BufferSpec {
+                id: BUF_H_IN,
+                name: "h_in",
+                footprint_bytes: hb,
+                pattern: AccessPattern::Streaming,
+            },
+            BufferSpec {
+                id: BUF_H_OUT,
+                name: "h_out",
+                footprint_bytes: hb,
+                pattern: AccessPattern::Streaming,
+            },
         ]
     }
 
@@ -207,8 +245,12 @@ impl Kernel for GruElementwiseKernel<'_> {
             let b = self.batch;
             for idx in start..start + count {
                 let (row, col) = (idx / b, idx % b);
-                let gx = |k: usize| self.gx.get(k * self.hidden + row, col) + self.bias_x[k * self.hidden + row];
-                let gh = |k: usize| self.gh.get(k * self.hidden + row, col) + self.bias_h[k * self.hidden + row];
+                let gx = |k: usize| {
+                    self.gx.get(k * self.hidden + row, col) + self.bias_x[k * self.hidden + row]
+                };
+                let gh = |k: usize| {
+                    self.gh.get(k * self.hidden + row, col) + self.bias_h[k * self.hidden + row]
+                };
                 let r = sigmoid(gx(0) + gh(0));
                 let z = sigmoid(gx(1) + gh(1));
                 let n = (gx(2) + r * gh(2)).tanh();
@@ -279,6 +321,9 @@ mod tests {
         let g = gru.step(&gpu, &x, &h);
         let l = lstm.step(&gpu, &x, &h, &c);
         let ratio = g.recurrent_matmul_us / l.recurrent_matmul_us;
-        assert!((0.55..0.95).contains(&ratio), "expected ~0.75, got {ratio:.2}");
+        assert!(
+            (0.55..0.95).contains(&ratio),
+            "expected ~0.75, got {ratio:.2}"
+        );
     }
 }

@@ -18,18 +18,36 @@ use sputnik::{SpmmConfig, SpmmKernel};
 /// A linear operator `y = act(W x + b)` with dense or sparse weights.
 /// Activations are `K x N` (features x positions), weights `M x K`.
 pub enum Linear {
-    Dense { weights: Matrix<f32>, bias: Option<Vec<f32>>, relu: bool },
-    Sparse { weights: CsrMatrix<f32>, swizzle: RowSwizzle, bias: Option<Vec<f32>>, relu: bool },
+    Dense {
+        weights: Matrix<f32>,
+        bias: Option<Vec<f32>>,
+        relu: bool,
+    },
+    Sparse {
+        weights: CsrMatrix<f32>,
+        swizzle: RowSwizzle,
+        bias: Option<Vec<f32>>,
+        relu: bool,
+    },
 }
 
 impl Linear {
     pub fn dense(weights: Matrix<f32>, bias: Option<Vec<f32>>, relu: bool) -> Self {
-        Linear::Dense { weights, bias, relu }
+        Linear::Dense {
+            weights,
+            bias,
+            relu,
+        }
     }
 
     pub fn sparse(weights: CsrMatrix<f32>, bias: Option<Vec<f32>>, relu: bool) -> Self {
         let swizzle = RowSwizzle::by_length_desc(&weights);
-        Linear::Sparse { weights, swizzle, bias, relu }
+        Linear::Sparse {
+            weights,
+            swizzle,
+            bias,
+            relu,
+        }
     }
 
     pub fn out_features(&self) -> usize {
@@ -50,9 +68,9 @@ impl Linear {
     pub fn weight_bytes(&self) -> u64 {
         match self {
             Linear::Dense { weights, .. } => weights.bytes(),
-            Linear::Sparse { weights, swizzle, .. } => {
-                weights.bytes(sparse::IndexWidth::U32) + swizzle.bytes()
-            }
+            Linear::Sparse {
+                weights, swizzle, ..
+            } => weights.bytes(sparse::IndexWidth::U32) + swizzle.bytes(),
         }
     }
 
@@ -60,7 +78,11 @@ impl Linear {
     /// across the launched kernels.
     pub fn forward(&self, gpu: &Gpu, x: &Matrix<f32>) -> (Matrix<f32>, f64) {
         match self {
-            Linear::Dense { weights, bias, relu } => {
+            Linear::Dense {
+                weights,
+                bias,
+                relu,
+            } => {
                 let (y, s1) = baselines::gemm(gpu, weights, x);
                 match bias {
                     Some(b) => {
@@ -78,7 +100,12 @@ impl Linear {
                     }
                 }
             }
-            Linear::Sparse { weights, swizzle, bias, relu } => {
+            Linear::Sparse {
+                weights,
+                swizzle,
+                bias,
+                relu,
+            } => {
                 let mut cfg = SpmmConfig::heuristic::<f32>(x.cols());
                 let mut out = Matrix::<f32>::zeros(weights.rows(), x.cols());
                 let stats = match (bias, relu) {
@@ -110,7 +137,12 @@ impl Linear {
                     t
                 }
             }
-            Linear::Sparse { weights, bias, relu, .. } => {
+            Linear::Sparse {
+                weights,
+                bias,
+                relu,
+                ..
+            } => {
                 let mut cfg = SpmmConfig::heuristic::<f32>(n);
                 cfg.fused_bias_relu = bias.is_some() && *relu;
                 sputnik::spmm_profile::<f32>(gpu, weights, weights.cols(), n, cfg).time_us
@@ -154,7 +186,14 @@ impl<'a> BiasReluKernel<'a> {
     }
 
     pub fn for_profile(m: usize, n: usize) -> Self {
-        Self { x: None, bias: None, out: None, relu: true, m, n }
+        Self {
+            x: None,
+            bias: None,
+            out: None,
+            relu: true,
+            m,
+            n,
+        }
     }
 }
 
@@ -228,7 +267,12 @@ impl Kernel for BiasReluKernel<'_> {
 }
 
 /// Functional fused bias (+ optional ReLU).
-pub fn bias_relu(gpu: &Gpu, x: &Matrix<f32>, bias: &[f32], relu: bool) -> (Matrix<f32>, LaunchStats) {
+pub fn bias_relu(
+    gpu: &Gpu,
+    x: &Matrix<f32>,
+    bias: &[f32],
+    relu: bool,
+) -> (Matrix<f32>, LaunchStats) {
     let mut out = Matrix::zeros(x.rows(), x.cols());
     let stats = {
         let kernel = BiasReluKernel::new(x, bias, &mut out, relu);
@@ -257,15 +301,27 @@ pub struct Chw {
 
 impl Chw {
     pub fn zeros(channels: usize, height: usize, width: usize) -> Self {
-        Self { channels, height, width, data: vec![0.0; channels * height * width] }
+        Self {
+            channels,
+            height,
+            width,
+            data: vec![0.0; channels * height * width],
+        }
     }
 
     pub fn random(channels: usize, height: usize, width: usize, seed: u64) -> Self {
         use rand::rngs::StdRng;
         use rand::{RngExt, SeedableRng};
         let mut rng = StdRng::seed_from_u64(seed);
-        let data = (0..channels * height * width).map(|_| rng.random_range(-1.0..1.0)).collect();
-        Self { channels, height, width, data }
+        let data = (0..channels * height * width)
+            .map(|_| rng.random_range(-1.0..1.0))
+            .collect();
+        Self {
+            channels,
+            height,
+            width,
+            data,
+        }
     }
 
     #[inline]
@@ -286,7 +342,12 @@ impl Chw {
 
     pub fn from_matrix(m: &Matrix<f32>, height: usize, width: usize) -> Self {
         assert_eq!(m.cols(), height * width);
-        Self { channels: m.rows(), height, width, data: m.as_slice().to_vec() }
+        Self {
+            channels: m.rows(),
+            height,
+            width,
+            data: m.as_slice().to_vec(),
+        }
     }
 
     pub fn bytes(&self) -> u64 {
@@ -324,7 +385,10 @@ impl<'a> DepthwiseConvKernel<'a> {
         assert_eq!(filters.len(), input.channels * 9);
         assert_eq!(bias.len(), input.channels);
         let (oh, ow) = Self::out_dims(input.height, input.width, stride);
-        assert_eq!((out.channels, out.height, out.width), (input.channels, oh, ow));
+        assert_eq!(
+            (out.channels, out.height, out.width),
+            (input.channels, oh, ow)
+        );
         let (channels, in_h, in_w) = (input.channels, input.height, input.width);
         Self {
             input: Some(input),
@@ -339,7 +403,16 @@ impl<'a> DepthwiseConvKernel<'a> {
     }
 
     pub fn for_profile(channels: usize, in_h: usize, in_w: usize, stride: usize) -> Self {
-        Self { input: None, filters: None, bias: None, out: None, channels, in_h, in_w, stride }
+        Self {
+            input: None,
+            filters: None,
+            bias: None,
+            out: None,
+            channels,
+            in_h,
+            in_w,
+            stride,
+        }
     }
 
     pub fn out_dims(h: usize, w: usize, stride: usize) -> (usize, usize) {
@@ -400,7 +473,7 @@ impl Kernel for DepthwiseConvKernel<'_> {
         let warps = (count as u64).div_ceil(32);
         ctx.ld_global(BUF_DW_W, (c * 9) as u64 * 4, 9, 1, 4);
         ctx.ld_global(BUF_DW_W, c as u64 * 4, 1, 1, 4); // bias via same buffer
-        // 3 rows x 3 taps of (mostly) contiguous loads per warp.
+                                                        // 3 rows x 3 taps of (mostly) contiguous loads per warp.
         ctx.cost.ld_global_instrs += warps * 9;
         let row_bytes = (32 * self.stride) as u64 * 4 + 8;
         ctx.cost.gmem[BUF_DW_IN.0 as usize].ld_sectors +=
@@ -409,15 +482,17 @@ impl Kernel for DepthwiseConvKernel<'_> {
         ctx.fp(warps * 2, 2 * count as u64);
         ctx.misc(warps * 12);
         ctx.cost.st_global_instrs += warps;
-        ctx.cost.gmem[BUF_DW_OUT.0 as usize].st_sectors += gpu_sim::memory::sectors_contiguous(
-            ((c * oh * ow + p0) * 4) as u64,
-            count as u64 * 4,
-        );
+        ctx.cost.gmem[BUF_DW_OUT.0 as usize].st_sectors +=
+            gpu_sim::memory::sectors_contiguous(((c * oh * ow + p0) * 4) as u64, count as u64 * 4);
         ctx.cost.flops += (9 * 2 + 2) * count as u64;
 
-        if let (true, Some(input), Some(filters), Some(bias), Some(out)) =
-            (ctx.functional(), self.input, self.filters, self.bias, self.out.as_ref())
-        {
+        if let (true, Some(input), Some(filters), Some(bias), Some(out)) = (
+            ctx.functional(),
+            self.input,
+            self.filters,
+            self.bias,
+            self.out.as_ref(),
+        ) {
             let bias = bias[c];
             for p in p0..p0 + count {
                 let oy = (p / ow) as i64;
@@ -454,7 +529,13 @@ pub fn depthwise_conv(
 }
 
 /// Profile a depthwise convolution.
-pub fn depthwise_conv_profile(gpu: &Gpu, channels: usize, h: usize, w: usize, stride: usize) -> LaunchStats {
+pub fn depthwise_conv_profile(
+    gpu: &Gpu,
+    channels: usize,
+    h: usize,
+    w: usize,
+    stride: usize,
+) -> LaunchStats {
     gpu.profile(&DepthwiseConvKernel::for_profile(channels, h, w, stride))
 }
 
@@ -477,11 +558,21 @@ impl<'a> DenseSoftmaxKernel<'a> {
     pub fn new(x: &'a Matrix<f32>, out: &'a mut Matrix<f32>) -> Self {
         assert_eq!((out.rows(), out.cols()), (x.rows(), x.cols()));
         let (m, n) = (x.rows(), x.cols());
-        Self { x: Some(x), out: Some(SyncUnsafeSlice::new(out.as_mut_slice())), m, n }
+        Self {
+            x: Some(x),
+            out: Some(SyncUnsafeSlice::new(out.as_mut_slice())),
+            m,
+            n,
+        }
     }
 
     pub fn for_profile(m: usize, n: usize) -> Self {
-        Self { x: None, out: None, m, n }
+        Self {
+            x: None,
+            out: None,
+            m,
+            n,
+        }
     }
 }
 
@@ -605,7 +696,9 @@ pub fn fold_batchnorm(
     eps: f32,
 ) {
     let m = weights.rows();
-    assert!(bias.len() == m && gamma.len() == m && beta.len() == m && mean.len() == m && var.len() == m);
+    assert!(
+        bias.len() == m && gamma.len() == m && beta.len() == m && mean.len() == m && var.len() == m
+    );
     for r in 0..m {
         let scale = gamma[r] / (var[r] + eps).sqrt();
         for c in 0..weights.cols() {

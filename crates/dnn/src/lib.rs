@@ -18,12 +18,14 @@ pub mod training;
 pub mod transformer;
 
 pub use attention::{dense_attention, sparse_attention, AttentionTime};
-pub use layers::{bias_relu, depthwise_conv, im2col_3x3, Chw, Linear};
 pub use gru::{GruStep, SparseGruCell};
+pub use layers::{bias_relu, depthwise_conv, im2col_3x3, Chw, Linear};
 pub use lstm::{LstmStep, SparseLstmCell};
 pub use mobilenet::MobileNetV1;
 pub use pruning::magnitude_prune;
 pub use resnet::resnet50_convs;
 pub use rnn::{problem_suite, CellKind, RnnProblem};
-pub use training::{sparse_attention_backward, AttentionGrads, SparseAdam, SparseLinearTrainer, StepTiming};
+pub use training::{
+    sparse_attention_backward, AttentionGrads, SparseAdam, SparseLinearTrainer, StepTiming,
+};
 pub use transformer::{AttentionMode, TransformerConfig};

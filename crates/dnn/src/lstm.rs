@@ -53,7 +53,14 @@ impl SparseLstmCell {
         assert_eq!(bias.len(), 4 * hidden);
         let swizzle_x = RowSwizzle::by_length_desc(&w_x);
         let swizzle_h = RowSwizzle::by_length_desc(&w_h);
-        Self { w_x, w_h, bias, swizzle_x, swizzle_h, hidden }
+        Self {
+            w_x,
+            w_h,
+            bias,
+            swizzle_x,
+            swizzle_h,
+            hidden,
+        }
     }
 
     /// Generate a random cell at the given sparsity (for benchmarks).
@@ -177,11 +184,36 @@ impl Kernel for LstmElementwiseKernel<'_> {
     fn buffers(&self) -> Vec<BufferSpec> {
         let hb = (self.hidden * self.batch * 4) as u64;
         vec![
-            BufferSpec { id: BUF_GATES, name: "gates", footprint_bytes: 4 * hb, pattern: AccessPattern::Streaming },
-            BufferSpec { id: BUF_BIAS, name: "bias", footprint_bytes: (4 * self.hidden * 4) as u64, pattern: AccessPattern::SharedReuse },
-            BufferSpec { id: BUF_C_IN, name: "c_in", footprint_bytes: hb, pattern: AccessPattern::Streaming },
-            BufferSpec { id: BUF_H_OUT, name: "h_out", footprint_bytes: hb, pattern: AccessPattern::Streaming },
-            BufferSpec { id: BUF_C_OUT, name: "c_out", footprint_bytes: hb, pattern: AccessPattern::Streaming },
+            BufferSpec {
+                id: BUF_GATES,
+                name: "gates",
+                footprint_bytes: 4 * hb,
+                pattern: AccessPattern::Streaming,
+            },
+            BufferSpec {
+                id: BUF_BIAS,
+                name: "bias",
+                footprint_bytes: (4 * self.hidden * 4) as u64,
+                pattern: AccessPattern::SharedReuse,
+            },
+            BufferSpec {
+                id: BUF_C_IN,
+                name: "c_in",
+                footprint_bytes: hb,
+                pattern: AccessPattern::Streaming,
+            },
+            BufferSpec {
+                id: BUF_H_OUT,
+                name: "h_out",
+                footprint_bytes: hb,
+                pattern: AccessPattern::Streaming,
+            },
+            BufferSpec {
+                id: BUF_C_OUT,
+                name: "c_out",
+                footprint_bytes: hb,
+                pattern: AccessPattern::Streaming,
+            },
         ]
     }
 
@@ -219,14 +251,16 @@ impl Kernel for LstmElementwiseKernel<'_> {
             let g = self.gates.as_slice();
             let c_in = self.c_in.as_slice();
             let b = self.batch;
-            for idx in start..start + count {
+            for (idx, &c_prev) in c_in.iter().enumerate().take(start + count).skip(start) {
                 let (row, col) = (idx / b, idx % b);
-                let gate = |k: usize| g[(k * self.hidden + row) * b + col] + self.bias[k * self.hidden + row];
+                let gate = |k: usize| {
+                    g[(k * self.hidden + row) * b + col] + self.bias[k * self.hidden + row]
+                };
                 let i = sigmoid(gate(0));
                 let f = sigmoid(gate(1));
                 let gg = gate(2).tanh();
                 let o = sigmoid(gate(3));
-                let c_new = f * c_in[idx] + i * gg;
+                let c_new = f * c_prev + i * gg;
                 unsafe {
                     self.c_out.write(idx, c_new);
                     self.h_out.write(idx, o * c_new.tanh());
@@ -262,8 +296,8 @@ impl SparseLstmCell {
             let step = self.step(gpu, x, &h, &c);
             // Within a step the three kernels pipeline their launches; across
             // steps the dependency chain allows the same overlap.
-            let pipelined = step.total_us() - 2.0 * overhead * 0.7
-                - if i > 0 { overhead * 0.7 } else { 0.0 };
+            let pipelined =
+                step.total_us() - 2.0 * overhead * 0.7 - if i > 0 { overhead * 0.7 } else { 0.0 };
             total_us += pipelined.max(overhead);
             h = step.h;
             c = step.c;
@@ -299,7 +333,9 @@ mod tests {
         let mut c_out = Matrix::zeros(hidden, batch);
         for r in 0..hidden {
             for col in 0..batch {
-                let gate = |k: usize| gx.get(k * hidden + r, col) + gh.get(k * hidden + r, col) + bias[k * hidden + r];
+                let gate = |k: usize| {
+                    gx.get(k * hidden + r, col) + gh.get(k * hidden + r, col) + bias[k * hidden + r]
+                };
                 let i = sigmoid(gate(0));
                 let f = sigmoid(gate(1));
                 let g = gate(2).tanh();

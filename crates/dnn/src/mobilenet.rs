@@ -113,14 +113,23 @@ fn oracle_candidates(n: usize) -> Vec<SpmmConfig> {
     let base = SpmmConfig::heuristic::<f32>(n);
     let mut cands = vec![base];
     for biy in [1u32, 2, 8] {
-        cands.push(SpmmConfig { block_items_y: biy, ..base });
+        cands.push(SpmmConfig {
+            block_items_y: biy,
+            ..base
+        });
     }
     if base.vector_width > 1 {
-        cands.push(SpmmConfig { vector_width: base.vector_width / 2, ..base });
+        cands.push(SpmmConfig {
+            vector_width: base.vector_width / 2,
+            ..base
+        });
     }
     for bix in [32u32, 64] {
         if bix != base.block_items_x && bix % base.vector_width == 0 {
-            let cand = SpmmConfig { block_items_x: bix, ..base };
+            let cand = SpmmConfig {
+                block_items_x: bix,
+                ..base
+            };
             if cand.threads_x() <= 32 {
                 cands.push(cand);
             }
@@ -133,7 +142,12 @@ fn oracle_candidates(n: usize) -> Vec<SpmmConfig> {
 /// `None` benchmarks the dense baseline (cuBLAS GEMM + separate fused
 /// bias/ReLU kernel); `Some(s)` prunes every pointwise convolution to `s`
 /// and uses the Sputnik SpMM with fused epilogue.
-pub fn benchmark(gpu: &Gpu, model: &MobileNetV1, sparsity: Option<f64>, oracle: bool) -> MobileNetBench {
+pub fn benchmark(
+    gpu: &Gpu,
+    model: &MobileNetV1,
+    sparsity: Option<f64>,
+    oracle: bool,
+) -> MobileNetBench {
     let mut bench = MobileNetBench {
         width: model.width,
         sparse: sparsity.is_some(),
@@ -153,9 +167,14 @@ pub fn benchmark(gpu: &Gpu, model: &MobileNetV1, sparsity: Option<f64>, oracle: 
         let out_sp = b.spatial / b.stride;
         let n = out_sp * out_sp;
         // Depthwise 3x3 with fused bias + ReLU.
-        bench.depthwise_us +=
-            crate::layers::depthwise_conv_profile(gpu, b.in_channels, b.spatial, b.spatial, b.stride)
-                .time_us;
+        bench.depthwise_us += crate::layers::depthwise_conv_profile(
+            gpu,
+            b.in_channels,
+            b.spatial,
+            b.spatial,
+            b.stride,
+        )
+        .time_us;
         bench.weight_bytes += (b.in_channels * 9 * 4) as u64;
 
         // Pointwise 1x1: the sparse/dense fork.
@@ -171,13 +190,15 @@ pub fn benchmark(gpu: &Gpu, model: &MobileNetV1, sparsity: Option<f64>, oracle: 
                 let n_padded = pad4(n);
                 let mut cfg = SpmmConfig::heuristic::<f32>(n_padded);
                 cfg.fused_bias_relu = true;
-                let mut t = sputnik::spmm_profile::<f32>(gpu, &w, b.in_channels, n_padded, cfg).time_us;
+                let mut t =
+                    sputnik::spmm_profile::<f32>(gpu, &w, b.in_channels, n_padded, cfg).time_us;
                 if oracle {
                     let mut best = t;
                     for mut cand in oracle_candidates(n_padded) {
                         cand.fused_bias_relu = true;
-                        let ct = sputnik::spmm_profile::<f32>(gpu, &w, b.in_channels, n_padded, cand)
-                            .time_us;
+                        let ct =
+                            sputnik::spmm_profile::<f32>(gpu, &w, b.in_channels, n_padded, cand)
+                                .time_us;
                         if ct < best {
                             best = ct;
                         }

@@ -67,7 +67,11 @@ mod tests {
         let w = Matrix::<f32>::random(64, 64, 5);
         let p = magnitude_prune(&w, 0.9);
         let expect = 64 * 64 / 10;
-        assert!((p.nnz() as i64 - expect as i64).abs() <= 1, "nnz {}", p.nnz());
+        assert!(
+            (p.nnz() as i64 - expect as i64).abs() <= 1,
+            "nnz {}",
+            p.nnz()
+        );
     }
 
     #[test]
@@ -100,7 +104,10 @@ mod tests {
         assert_eq!(gradual_sparsity(0, 100, 1100, 0.0, 0.9), 0.0);
         assert_eq!(gradual_sparsity(2000, 100, 1100, 0.0, 0.9), 0.9);
         let mid = gradual_sparsity(600, 100, 1100, 0.0, 0.9);
-        assert!(mid > 0.7 && mid < 0.9, "cubic ramp is front-loaded, got {mid}");
+        assert!(
+            mid > 0.7 && mid < 0.9,
+            "cubic ramp is front-loaded, got {mid}"
+        );
         // Monotone non-decreasing.
         let mut prev = 0.0;
         for t in (0..1200).step_by(50) {

@@ -41,24 +41,48 @@ impl ConvShape {
 pub fn resnet50_convs() -> Vec<ConvShape> {
     let mut convs = Vec::new();
     // Stem: 7x7, 3->64, stride 2 on 224x224 (output 112x112). Stays dense.
-    convs.push(ConvShape { out_channels: 64, k: 3 * 49, spatial: 112 * 112, prunable: false });
+    convs.push(ConvShape {
+        out_channels: 64,
+        k: 3 * 49,
+        spatial: 112 * 112,
+        prunable: false,
+    });
 
-    let stages: [(usize, usize, usize); 4] =
-        [(64, 3, 56), (128, 4, 28), (256, 6, 14), (512, 3, 7)];
+    let stages: [(usize, usize, usize); 4] = [(64, 3, 56), (128, 4, 28), (256, 6, 14), (512, 3, 7)];
     let mut in_ch = 64;
     for (width, blocks, spatial) in stages {
         let out_ch = width * 4;
         for b in 0..blocks {
             let sp = spatial * spatial;
             // 1x1 reduce.
-            convs.push(ConvShape { out_channels: width, k: in_ch, spatial: sp, prunable: true });
+            convs.push(ConvShape {
+                out_channels: width,
+                k: in_ch,
+                spatial: sp,
+                prunable: true,
+            });
             // 3x3 (im2col: K = 9 * width).
-            convs.push(ConvShape { out_channels: width, k: 9 * width, spatial: sp, prunable: true });
+            convs.push(ConvShape {
+                out_channels: width,
+                k: 9 * width,
+                spatial: sp,
+                prunable: true,
+            });
             // 1x1 expand.
-            convs.push(ConvShape { out_channels: out_ch, k: width, spatial: sp, prunable: true });
+            convs.push(ConvShape {
+                out_channels: out_ch,
+                k: width,
+                spatial: sp,
+                prunable: true,
+            });
             if b == 0 {
                 // Projection shortcut (dense, like the stem).
-                convs.push(ConvShape { out_channels: out_ch, k: in_ch, spatial: sp, prunable: false });
+                convs.push(ConvShape {
+                    out_channels: out_ch,
+                    k: in_ch,
+                    spatial: sp,
+                    prunable: false,
+                });
             }
             in_ch = out_ch;
         }
@@ -107,10 +131,10 @@ pub fn benchmark(gpu: &Gpu, sparsity: Option<f64>) -> ResNetBench {
                 bench.weight_bytes += w.bytes(sparse::IndexWidth::U32);
             }
             _ => {
-                bench.dense_layer_us +=
-                    baselines::gemm_profile(gpu, conv.out_channels, conv.k, n).time_us
-                        + crate::layers::bias_relu_profile(gpu, conv.out_channels, conv.spatial)
-                            .time_us;
+                bench.dense_layer_us += baselines::gemm_profile(gpu, conv.out_channels, conv.k, n)
+                    .time_us
+                    + crate::layers::bias_relu_profile(gpu, conv.out_channels, conv.spatial)
+                        .time_us;
                 bench.weight_bytes += (conv.out_channels * conv.k * 4) as u64;
             }
         }
@@ -138,7 +162,11 @@ mod tests {
         let gmacs: f64 = convs.iter().map(|c| c.macs() as f64).sum::<f64>() / 1e9;
         assert!((3.2..4.6).contains(&gmacs), "got {gmacs} GMACs");
         // Prunable layers carry the majority of the compute.
-        let prunable: f64 = convs.iter().filter(|c| c.prunable).map(|c| c.macs() as f64).sum();
+        let prunable: f64 = convs
+            .iter()
+            .filter(|c| c.prunable)
+            .map(|c| c.macs() as f64)
+            .sum();
         assert!(prunable / (gmacs * 1e9) > 0.75);
     }
 
@@ -147,7 +175,12 @@ mod tests {
         let gpu = Gpu::v100();
         let dense = benchmark(&gpu, None);
         let sparse = benchmark(&gpu, Some(0.9));
-        assert!(sparse.inference_us < dense.inference_us, "{} vs {}", sparse.inference_us, dense.inference_us);
+        assert!(
+            sparse.inference_us < dense.inference_us,
+            "{} vs {}",
+            sparse.inference_us,
+            dense.inference_us
+        );
         assert!(sparse.weight_bytes < dense.weight_bytes);
         assert_eq!(dense.total_macs, sparse.total_macs, "same architecture");
     }

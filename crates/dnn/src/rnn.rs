@@ -93,7 +93,12 @@ pub fn problem_suite(hidden_sizes: &[usize]) -> Vec<RnnProblem> {
         for &hidden in hidden_sizes {
             for &sparsity in &[0.7, 0.8, 0.9] {
                 for &batch in &[32usize, 128] {
-                    out.push(RnnProblem { cell, hidden, sparsity, batch });
+                    out.push(RnnProblem {
+                        cell,
+                        hidden,
+                        sparsity,
+                        batch,
+                    });
                 }
             }
         }
@@ -107,7 +112,12 @@ pub const PAPER_HIDDEN_SIZES: [usize; 4] = [1024, 2048, 4096, 8192];
 /// The Figure 1 problem: "input size 8192, hidden size 2048, and batch size
 /// 128" — an LSTM recurrent matmul with M = 8192 = 4 x 2048.
 pub fn figure1_problem(sparsity: f64) -> RnnProblem {
-    RnnProblem { cell: CellKind::Lstm, hidden: 2048, sparsity, batch: 128 }
+    RnnProblem {
+        cell: CellKind::Lstm,
+        hidden: 2048,
+        sparsity,
+        batch: 128,
+    }
 }
 
 #[cfg(test)]
@@ -130,9 +140,20 @@ mod tests {
 
     #[test]
     fn gates_scale_m() {
-        let lstm = RnnProblem { cell: CellKind::Lstm, hidden: 1024, sparsity: 0.8, batch: 32 };
-        let gru = RnnProblem { cell: CellKind::Gru, ..lstm };
-        let rnn = RnnProblem { cell: CellKind::Rnn, ..lstm };
+        let lstm = RnnProblem {
+            cell: CellKind::Lstm,
+            hidden: 1024,
+            sparsity: 0.8,
+            batch: 32,
+        };
+        let gru = RnnProblem {
+            cell: CellKind::Gru,
+            ..lstm
+        };
+        let rnn = RnnProblem {
+            cell: CellKind::Rnn,
+            ..lstm
+        };
         assert_eq!(lstm.m(), 4096);
         assert_eq!(gru.m(), 3072);
         assert_eq!(rnn.m(), 1024);
@@ -140,7 +161,12 @@ mod tests {
 
     #[test]
     fn weights_match_spec() {
-        let p = RnnProblem { cell: CellKind::Gru, hidden: 512, sparsity: 0.8, batch: 32 };
+        let p = RnnProblem {
+            cell: CellKind::Gru,
+            hidden: 512,
+            sparsity: 0.8,
+            batch: 32,
+        };
         let w = p.weights(7);
         assert_eq!(w.rows(), p.m());
         assert_eq!(w.cols(), p.k());

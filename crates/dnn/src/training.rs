@@ -46,7 +46,11 @@ impl SparseLinearTrainer {
     pub fn new(weights: CsrMatrix<f32>) -> Self {
         let swizzle = RowSwizzle::by_length_desc(&weights);
         let wt_cache = CachedTranspose::new(&weights);
-        Self { weights, swizzle, wt_cache }
+        Self {
+            weights,
+            swizzle,
+            wt_cache,
+        }
     }
 
     pub fn weights(&self) -> &CsrMatrix<f32> {
@@ -67,7 +71,13 @@ impl SparseLinearTrainer {
     /// One SGD step given the layer input and the output gradient: computes
     /// `dW = dY X^T ⊙ I[W]` and `dX = W^T dY`, updates the weight values,
     /// refreshes the cached transpose, and returns `dX` with timings.
-    pub fn step(&mut self, gpu: &Gpu, x: &Matrix<f32>, dy: &Matrix<f32>, lr: f32) -> (Matrix<f32>, StepTiming) {
+    pub fn step(
+        &mut self,
+        gpu: &Gpu,
+        x: &Matrix<f32>,
+        dy: &Matrix<f32>,
+        lr: f32,
+    ) -> (Matrix<f32>, StepTiming) {
         let n = x.cols();
         assert_eq!(dy.cols(), n);
         assert_eq!(dy.rows(), self.weights.rows());
@@ -189,7 +199,14 @@ pub struct SparseAdam {
 
 impl SparseAdam {
     pub fn new(nnz: usize) -> Self {
-        Self { m: vec![0.0; nnz], v: vec![0.0; nnz], beta1: 0.9, beta2: 0.999, eps: 1e-8, step: 0 }
+        Self {
+            m: vec![0.0; nnz],
+            v: vec![0.0; nnz],
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            step: 0,
+        }
     }
 
     /// Apply one Adam update to `weights` given a same-topology gradient.
@@ -203,7 +220,10 @@ impl SparseAdam {
         grads: &CsrMatrix<f32>,
         lr: f32,
     ) -> (CsrMatrix<f32>, f64) {
-        assert!(weights.same_pattern(grads), "Adam requires matching topology");
+        assert!(
+            weights.same_pattern(grads),
+            "Adam requires matching topology"
+        );
         assert_eq!(self.m.len(), weights.nnz());
         self.step += 1;
         let bc1 = 1.0 - self.beta1.powi(self.step as i32);
@@ -259,7 +279,10 @@ mod tests {
         {
             assert!((new - (old - 0.1 * g)).abs() < 1e-3);
         }
-        assert!(trainer.weights().same_pattern(&w_before), "topology must not change");
+        assert!(
+            trainer.weights().same_pattern(&w_before),
+            "topology must not change"
+        );
         assert!(timing.total_us() > 0.0);
     }
 
@@ -286,12 +309,19 @@ mod tests {
             let dy = Matrix::from_vec(
                 16,
                 8,
-                y.as_slice().iter().zip(y_star.as_slice()).map(|(a, b)| (a - b) / 8.0).collect(),
+                y.as_slice()
+                    .iter()
+                    .zip(y_star.as_slice())
+                    .map(|(a, b)| (a - b) / 8.0)
+                    .collect(),
             );
             trainer.step(&gpu, &x, &dy, 0.2);
         }
         let l1 = loss(&trainer);
-        assert!(l1 < l0 * 0.2, "loss {l0} -> {l1} should collapse on a realizable target");
+        assert!(
+            l1 < l0 * 0.2,
+            "loss {l0} -> {l1} should collapse on a realizable target"
+        );
     }
 
     /// Analytic check of the attention backward against a dense host
@@ -335,7 +365,11 @@ mod tests {
                 .map(|(&c, &p)| p * dp_dense.get(r, c as usize))
                 .sum();
             for (&c, &p) in cols.iter().zip(pvals) {
-                ds_dense.set(r, c as usize, p * (dp_dense.get(r, c as usize) - dot) * scale);
+                ds_dense.set(
+                    r,
+                    c as usize,
+                    p * (dp_dense.get(r, c as usize) - dot) * scale,
+                );
             }
         }
         // dQ = dS K; dK = dS^T Q.

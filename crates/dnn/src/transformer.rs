@@ -26,12 +26,26 @@ pub struct TransformerConfig {
 impl TransformerConfig {
     /// The paper's sparse-Transformer benchmark model.
     pub fn paper() -> Self {
-        Self { layers: 3, heads: 8, d_model: 1024, ff: 4096, seq: 12288, batch: 8 }
+        Self {
+            layers: 3,
+            heads: 8,
+            d_model: 1024,
+            ff: 4096,
+            seq: 12288,
+            batch: 8,
+        }
     }
 
     /// A scaled-down configuration for functional tests.
     pub fn tiny() -> Self {
-        Self { layers: 1, heads: 2, d_model: 64, ff: 128, seq: 128, batch: 1 }
+        Self {
+            layers: 1,
+            heads: 2,
+            d_model: 64,
+            ff: 128,
+            seq: 128,
+            batch: 1,
+        }
     }
 
     pub fn d_head(&self) -> usize {
@@ -54,21 +68,31 @@ impl TransformerConfig {
 pub enum AttentionMode {
     Dense,
     /// The paper's mask: dense band + distance-decaying random off-diagonal.
-    Sparse { band: usize, off_diag_sparsity: f64, seed: u64 },
+    Sparse {
+        band: usize,
+        off_diag_sparsity: f64,
+        seed: u64,
+    },
 }
 
 impl AttentionMode {
     /// The paper's sparse configuration.
     pub fn paper_sparse() -> Self {
-        AttentionMode::Sparse { band: 256, off_diag_sparsity: 0.95, seed: 0x5eed }
+        AttentionMode::Sparse {
+            band: 256,
+            off_diag_sparsity: 0.95,
+            seed: 0x5eed,
+        }
     }
 
     pub fn build_mask(&self, seq: usize) -> Option<CsrMatrix<f32>> {
         match self {
             AttentionMode::Dense => None,
-            AttentionMode::Sparse { band, off_diag_sparsity, seed } => {
-                Some(gen::attention_mask(seq, *band, *off_diag_sparsity, *seed))
-            }
+            AttentionMode::Sparse {
+                band,
+                off_diag_sparsity,
+                seed,
+            } => Some(gen::attention_mask(seq, *band, *off_diag_sparsity, *seed)),
         }
     }
 }
@@ -189,8 +213,14 @@ mod tests {
         let mask = AttentionMode::paper_sparse().build_mask(cfg.seq);
         let sparse_mem = memory_bytes(&cfg, mask.as_ref());
         let gtx = gpu_sim::DeviceConfig::gtx1080();
-        assert!(dense_mem > gtx.dram_capacity_bytes, "dense must OOM on the 1080");
-        assert!(sparse_mem < gtx.dram_capacity_bytes, "sparse must fit on the 1080");
+        assert!(
+            dense_mem > gtx.dram_capacity_bytes,
+            "dense must OOM on the 1080"
+        );
+        assert!(
+            sparse_mem < gtx.dram_capacity_bytes,
+            "sparse must fit on the 1080"
+        );
         let ratio = dense_mem as f64 / sparse_mem as f64;
         assert!(
             (6.0..25.0).contains(&ratio),
@@ -202,17 +232,28 @@ mod tests {
     fn sparse_is_faster_on_v100() {
         // Scaled-down run of the Table III timing comparison (full seq is
         // exercised by the bench harness).
-        let cfg = TransformerConfig { seq: 2048, batch: 2, ..TransformerConfig::paper() };
+        let cfg = TransformerConfig {
+            seq: 2048,
+            batch: 2,
+            ..TransformerConfig::paper()
+        };
         let gpu = Gpu::v100();
         let dense = benchmark(&gpu, &cfg, &AttentionMode::Dense);
         let sparse = benchmark(
             &gpu,
             &cfg,
-            &AttentionMode::Sparse { band: 64, off_diag_sparsity: 0.95, seed: 1 },
+            &AttentionMode::Sparse {
+                band: 64,
+                off_diag_sparsity: 0.95,
+                seed: 1,
+            },
         );
         assert!(!dense.out_of_memory && !sparse.out_of_memory);
         let speedup = sparse.tokens_per_second / dense.tokens_per_second;
-        assert!(speedup > 1.1, "sparse Transformer should be faster, got {speedup:.2}x");
+        assert!(
+            speedup > 1.1,
+            "sparse Transformer should be faster, got {speedup:.2}x"
+        );
     }
 
     #[test]

@@ -71,7 +71,11 @@ impl DramTraffic {
 }
 
 /// Estimate DRAM traffic from aggregate per-buffer requested sectors.
-pub fn dram_traffic(dev: &DeviceConfig, buffers: &[BufferSpec], requested: &[Traffic; MAX_BUFFERS]) -> DramTraffic {
+pub fn dram_traffic(
+    dev: &DeviceConfig,
+    buffers: &[BufferSpec],
+    requested: &[Traffic; MAX_BUFFERS],
+) -> DramTraffic {
     let mut out = DramTraffic::default();
     for rate in out.ld_miss_rate.iter_mut() {
         *rate = 1.0;
@@ -134,11 +138,19 @@ mod tests {
     use crate::cost::{BufferId, Traffic};
 
     fn spec(id: u8, footprint: u64, pattern: AccessPattern) -> BufferSpec {
-        BufferSpec { id: BufferId(id), name: "t", footprint_bytes: footprint, pattern }
+        BufferSpec {
+            id: BufferId(id),
+            name: "t",
+            footprint_bytes: footprint,
+            pattern,
+        }
     }
 
     fn req(ld: u64) -> Traffic {
-        Traffic { ld_sectors: ld / 32, st_sectors: 0 }
+        Traffic {
+            ld_sectors: ld / 32,
+            st_sectors: 0,
+        }
     }
 
     #[test]

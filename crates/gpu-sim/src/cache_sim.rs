@@ -27,12 +27,20 @@ pub struct CacheConfig {
 impl CacheConfig {
     /// The V100 L2 as sectors: 6 MiB, 32-byte sectors, 16-way.
     pub fn v100_l2() -> Self {
-        Self { capacity_bytes: 6 * 1024 * 1024, line_bytes: SECTOR_BYTES, ways: 16 }
+        Self {
+            capacity_bytes: 6 * 1024 * 1024,
+            line_bytes: SECTOR_BYTES,
+            ways: 16,
+        }
     }
 
     /// One SM's 128 KiB L1 slice.
     pub fn v100_l1() -> Self {
-        Self { capacity_bytes: 128 * 1024, line_bytes: SECTOR_BYTES, ways: 4 }
+        Self {
+            capacity_bytes: 128 * 1024,
+            line_bytes: SECTOR_BYTES,
+            ways: 4,
+        }
     }
 
     fn num_lines(&self) -> usize {
@@ -81,11 +89,23 @@ pub struct CacheSim {
 
 impl CacheSim {
     pub fn new(cfg: CacheConfig) -> Self {
-        assert!(cfg.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            cfg.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(cfg.ways >= 1);
-        assert!(cfg.num_lines() >= cfg.ways, "capacity must hold at least one set");
+        assert!(
+            cfg.num_lines() >= cfg.ways,
+            "capacity must hold at least one set"
+        );
         let lines = cfg.num_sets() * cfg.ways;
-        Self { cfg, tags: vec![u64::MAX; lines], stamps: vec![0; lines], tick: 0, stats: CacheStats::default() }
+        Self {
+            cfg,
+            tags: vec![u64::MAX; lines],
+            stamps: vec![0; lines],
+            tick: 0,
+            stats: CacheStats::default(),
+        }
     }
 
     pub fn config(&self) -> CacheConfig {
@@ -154,7 +174,11 @@ mod tests {
     use super::*;
 
     fn tiny(capacity: u64, ways: usize) -> CacheSim {
-        CacheSim::new(CacheConfig { capacity_bytes: capacity, line_bytes: 32, ways })
+        CacheSim::new(CacheConfig {
+            capacity_bytes: capacity,
+            line_bytes: 32,
+            ways,
+        })
     }
 
     #[test]
@@ -190,7 +214,11 @@ mod tests {
                 c.access(line * 32);
             }
         }
-        assert_eq!(c.stats().hits, 0, "cyclic sweep > capacity never hits under LRU");
+        assert_eq!(
+            c.stats().hits,
+            0,
+            "cyclic sweep > capacity never hits under LRU"
+        );
     }
 
     #[test]
@@ -202,7 +230,11 @@ mod tests {
             c.access(0);
             c.access(stride);
         }
-        assert_eq!(c.stats().hits, 0, "conflict misses in a direct-mapped cache");
+        assert_eq!(
+            c.stats().hits,
+            0,
+            "conflict misses in a direct-mapped cache"
+        );
         // 2-way tolerates the pair.
         let mut c2 = tiny(1024, 2);
         for _ in 0..4 {

@@ -6,6 +6,7 @@
 //! each access touched. The launcher turns these traces into simulated time.
 
 use crate::memory;
+use crate::sanitizer::{BlockSan, SmemScope};
 use serde::{Deserialize, Serialize};
 
 /// Identifies one logical device buffer (e.g. the sparse matrix values, the
@@ -126,11 +127,33 @@ impl BlockCost {
 pub struct BlockContext {
     pub cost: BlockCost,
     functional: bool,
+    /// Per-block sanitizer state; `None` outside sanitized launches, so the
+    /// hot path pays one branch per recorded access.
+    san: Option<Box<BlockSan>>,
 }
 
 impl BlockContext {
     pub fn new(functional: bool) -> Self {
-        Self { cost: BlockCost::default(), functional }
+        Self {
+            cost: BlockCost::default(),
+            functional,
+            san: None,
+        }
+    }
+
+    /// A context that additionally records sanitizer findings (see
+    /// [`crate::sanitizer`]). Used by [`Gpu::sanitize`](crate::Gpu::sanitize).
+    pub fn sanitized(functional: bool, san: BlockSan) -> Self {
+        Self {
+            cost: BlockCost::default(),
+            functional,
+            san: Some(Box::new(san)),
+        }
+    }
+
+    /// Detach the block's sanitizer findings after `execute_block`.
+    pub fn take_sanitizer(&mut self) -> Option<BlockSan> {
+        self.san.take().map(|b| *b)
     }
 
     /// Whether the kernel must produce real numerical outputs.
@@ -143,36 +166,87 @@ impl BlockContext {
     /// reading `vec_width` consecutive elements of `elem_bytes` starting at
     /// `byte_addr + i * vec_width * elem_bytes`. One warp instruction.
     #[inline]
-    pub fn ld_global(&mut self, buf: BufferId, byte_addr: u64, lanes: u32, vec_width: u32, elem_bytes: u32) {
+    pub fn ld_global(
+        &mut self,
+        buf: BufferId,
+        byte_addr: u64,
+        lanes: u32,
+        vec_width: u32,
+        elem_bytes: u32,
+    ) {
         let bytes = lanes as u64 * vec_width as u64 * elem_bytes as u64;
         let sectors = memory::sectors_contiguous(byte_addr, bytes);
         self.cost.ld_global_instrs += 1;
         self.cost.gmem[buf.0 as usize].ld_sectors += sectors;
+        if let Some(san) = self.san.as_deref_mut() {
+            san.check_global(buf.0 as usize, byte_addr, bytes);
+            san.check_align(buf.0 as usize, byte_addr, vec_width, elem_bytes);
+        }
     }
 
     /// A contiguous warp-wide global store; mirror of [`Self::ld_global`].
     #[inline]
-    pub fn st_global(&mut self, buf: BufferId, byte_addr: u64, lanes: u32, vec_width: u32, elem_bytes: u32) {
+    pub fn st_global(
+        &mut self,
+        buf: BufferId,
+        byte_addr: u64,
+        lanes: u32,
+        vec_width: u32,
+        elem_bytes: u32,
+    ) {
         let bytes = lanes as u64 * vec_width as u64 * elem_bytes as u64;
         let sectors = memory::sectors_contiguous(byte_addr, bytes);
         self.cost.st_global_instrs += 1;
         self.cost.gmem[buf.0 as usize].st_sectors += sectors;
+        if let Some(san) = self.san.as_deref_mut() {
+            san.check_global(buf.0 as usize, byte_addr, bytes);
+            san.check_align(buf.0 as usize, byte_addr, vec_width, elem_bytes);
+        }
     }
 
     /// A strided warp load (e.g. walking a column of a row-major matrix).
     #[inline]
-    pub fn ld_global_strided(&mut self, buf: BufferId, base: u64, lanes: u32, stride_bytes: u64, elem_bytes: u32) {
+    pub fn ld_global_strided(
+        &mut self,
+        buf: BufferId,
+        base: u64,
+        lanes: u32,
+        stride_bytes: u64,
+        elem_bytes: u32,
+    ) {
         let sectors = memory::sectors_strided(base, lanes, stride_bytes, elem_bytes as u64);
         self.cost.ld_global_instrs += 1;
         self.cost.gmem[buf.0 as usize].ld_sectors += sectors;
+        if let Some(san) = self.san.as_deref_mut() {
+            if lanes > 0 {
+                let span = (lanes as u64 - 1) * stride_bytes + elem_bytes as u64;
+                san.check_global(buf.0 as usize, base, span);
+            }
+            if stride_bytes >= memory::SECTOR_BYTES {
+                san.note_uncoalesced(buf.0 as usize, lanes, sectors);
+            }
+        }
     }
 
     /// A strided warp store.
     #[inline]
-    pub fn st_global_strided(&mut self, buf: BufferId, base: u64, lanes: u32, stride_bytes: u64, elem_bytes: u32) {
+    pub fn st_global_strided(
+        &mut self,
+        buf: BufferId,
+        base: u64,
+        lanes: u32,
+        stride_bytes: u64,
+        elem_bytes: u32,
+    ) {
         let sectors = memory::sectors_strided(base, lanes, stride_bytes, elem_bytes as u64);
         self.cost.st_global_instrs += 1;
         self.cost.gmem[buf.0 as usize].st_sectors += sectors;
+        if let Some(san) = self.san.as_deref_mut() {
+            if lanes > 0 {
+                let span = (lanes as u64 - 1) * stride_bytes + elem_bytes as u64;
+                san.check_global(buf.0 as usize, base, span);
+            }
+        }
     }
 
     /// A gather load with arbitrary per-lane byte addresses.
@@ -181,6 +255,12 @@ impl BlockContext {
         let sectors = memory::sectors_gather(addrs, elem_bytes as u64);
         self.cost.ld_global_instrs += 1;
         self.cost.gmem[buf.0 as usize].ld_sectors += sectors;
+        if let Some(san) = self.san.as_deref_mut() {
+            for &addr in addrs {
+                san.check_global(buf.0 as usize, addr, elem_bytes as u64);
+            }
+            san.note_uncoalesced(buf.0 as usize, addrs.len() as u32, sectors);
+        }
     }
 
     /// A shared-memory load: one warp instruction moving
@@ -191,14 +271,67 @@ impl BlockContext {
         self.cost.ld_shared_instrs += 1;
         self.cost.shared_bytes += lanes as u64 * vec_width as u64 * elem_bytes as u64;
         self.cost.bank_conflict_passes += conflict_ways.saturating_sub(1) as u64;
+        if let Some(san) = self.san.as_deref_mut() {
+            san.note_smem_load(SmemScope::Block);
+            san.note_bank_conflict(conflict_ways);
+        }
     }
 
     /// A shared-memory store; mirror of [`Self::ld_shared`].
     #[inline]
     pub fn st_shared(&mut self, lanes: u32, vec_width: u32, elem_bytes: u32, conflict_ways: u32) {
+        let bytes = lanes as u64 * vec_width as u64 * elem_bytes as u64;
         self.cost.st_shared_instrs += 1;
-        self.cost.shared_bytes += lanes as u64 * vec_width as u64 * elem_bytes as u64;
+        self.cost.shared_bytes += bytes;
         self.cost.bank_conflict_passes += conflict_ways.saturating_sub(1) as u64;
+        if let Some(san) = self.san.as_deref_mut() {
+            san.note_smem_store(bytes, SmemScope::Block);
+            san.note_bank_conflict(conflict_ways);
+        }
+    }
+
+    /// Aggregate shared-memory staging: `warp_instrs` store instructions
+    /// moving `bytes` total. `scope` tells the sanitizer whether the data is
+    /// consumed warp-synchronously or crosses warps (requiring a barrier
+    /// before the matching [`Self::smem_load`]).
+    #[inline]
+    pub fn smem_store(&mut self, warp_instrs: u64, bytes: u64, scope: SmemScope) {
+        self.cost.st_shared_instrs += warp_instrs;
+        self.cost.shared_bytes += bytes;
+        if let Some(san) = self.san.as_deref_mut() {
+            san.note_smem_store(bytes, scope);
+        }
+    }
+
+    /// Aggregate shared-memory readback; mirror of [`Self::smem_store`].
+    #[inline]
+    pub fn smem_load(&mut self, warp_instrs: u64, bytes: u64, scope: SmemScope) {
+        self.cost.ld_shared_instrs += warp_instrs;
+        self.cost.shared_bytes += bytes;
+        if let Some(san) = self.san.as_deref_mut() {
+            san.note_smem_load(scope);
+        }
+    }
+
+    /// Sector-accurate contiguous global-load traffic for callers that
+    /// account load *instructions* separately (bulk staging loops). Adds
+    /// sectors and runs memcheck; no instruction is counted.
+    #[inline]
+    pub fn ld_global_trace(&mut self, buf: BufferId, byte_addr: u64, bytes: u64) {
+        self.cost.gmem[buf.0 as usize].ld_sectors += memory::sectors_contiguous(byte_addr, bytes);
+        if let Some(san) = self.san.as_deref_mut() {
+            san.check_global(buf.0 as usize, byte_addr, bytes);
+        }
+    }
+
+    /// Sector-accurate contiguous global-store traffic; mirror of
+    /// [`Self::ld_global_trace`].
+    #[inline]
+    pub fn st_global_trace(&mut self, buf: BufferId, byte_addr: u64, bytes: u64) {
+        self.cost.gmem[buf.0 as usize].st_sectors += memory::sectors_contiguous(byte_addr, bytes);
+        if let Some(san) = self.san.as_deref_mut() {
+            san.check_global(buf.0 as usize, byte_addr, bytes);
+        }
     }
 
     /// `warp_instrs` FMA warp instructions performing `scalar_fmas` useful
@@ -233,6 +366,9 @@ impl BlockContext {
     #[inline]
     pub fn bar_sync(&mut self) {
         self.cost.barriers += 1;
+        if let Some(san) = self.san.as_deref_mut() {
+            san.note_barrier();
+        }
     }
 }
 

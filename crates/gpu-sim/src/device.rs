@@ -214,7 +214,10 @@ mod tests {
     fn a100_peak_matches_datasheet() {
         let dev = DeviceConfig::a100();
         let peak = dev.fp32_peak_tflops();
-        assert!((peak - 19.5).abs() < 0.3, "A100 FP32 peak should be ~19.5 TFLOP/s, got {peak}");
+        assert!(
+            (peak - 19.5).abs() < 0.3,
+            "A100 FP32 peak should be ~19.5 TFLOP/s, got {peak}"
+        );
         assert!(dev.l2_bytes > DeviceConfig::v100().l2_bytes);
     }
 

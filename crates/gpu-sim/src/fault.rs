@@ -52,7 +52,11 @@ pub struct DeviceFault {
 
 impl fmt::Display for DeviceFault {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} on launch #{} of '{}'", self.kind, self.launch_index, self.kernel)
+        write!(
+            f,
+            "{} on launch #{} of '{}'",
+            self.kind, self.launch_index, self.kernel
+        )
     }
 }
 
@@ -174,7 +178,11 @@ impl FaultPlan {
             return None;
         }
         self.injected.fetch_add(1, Ordering::Relaxed);
-        Some(DeviceFault { kind: self.kind, kernel: kernel.to_string(), launch_index: index })
+        Some(DeviceFault {
+            kind: self.kind,
+            kernel: kernel.to_string(),
+            launch_index: index,
+        })
     }
 
     /// A deterministic seed for poisoning the faulted launch's output.
@@ -232,6 +240,9 @@ mod tests {
         let fires_b: Vec<bool> = (0..2000).map(|_| b.decide("k").is_some()).collect();
         assert_eq!(fires_a, fires_b, "same seed, same schedule");
         let rate = fires_a.iter().filter(|&&x| x).count() as f64 / 2000.0;
-        assert!((0.25..0.35).contains(&rate), "empirical rate {rate} far from 0.3");
+        assert!(
+            (0.25..0.35).contains(&rate),
+            "empirical rate {rate} far from 0.3"
+        );
     }
 }

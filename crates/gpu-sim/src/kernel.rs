@@ -50,6 +50,15 @@ pub trait Kernel: Sync {
     /// is a no-op: kernels that do not opt in simply cannot be poisoned.
     fn poison_output(&self, _seed: u64) {}
 
+    /// Whether this kernel accumulates its output with device atomics
+    /// (e.g. `atomicAdd`-style CAS loops). Atomic kernels legitimately have
+    /// multiple blocks touching the same output index, so the sanitizer's
+    /// cross-block racecheck is skipped for them; every other check still
+    /// runs.
+    fn atomic_output(&self) -> bool {
+        false
+    }
+
     /// Derived per-block resource requirements.
     fn block_requirements(&self) -> BlockRequirements {
         BlockRequirements {

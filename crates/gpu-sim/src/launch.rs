@@ -7,6 +7,7 @@ use crate::device::DeviceConfig;
 use crate::fault::{DeviceFault, FaultKind, FaultPlan};
 use crate::kernel::Kernel;
 use crate::occupancy::{self, Occupancy};
+use crate::sanitizer::{self, BlockSan, SanitizerReport};
 use crate::scheduler;
 use crate::timing;
 use rayon::prelude::*;
@@ -17,7 +18,11 @@ use serde::{Deserialize, Serialize};
 pub enum LaunchError {
     /// The kernel requests more shared memory per block than the device
     /// allows for any single block.
-    SmemOverBudget { kernel: String, requested: u32, budget: u32 },
+    SmemOverBudget {
+        kernel: String,
+        requested: u32,
+        budget: u32,
+    },
     /// No block of this kernel can be resident on an SM (shared memory or
     /// register pressure exceed per-SM capacity): the launch cannot execute.
     OccupancyZero { kernel: String },
@@ -28,12 +33,19 @@ pub enum LaunchError {
 impl std::fmt::Display for LaunchError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            LaunchError::SmemOverBudget { kernel, requested, budget } => write!(
+            LaunchError::SmemOverBudget {
+                kernel,
+                requested,
+                budget,
+            } => write!(
                 f,
                 "kernel {kernel} requests {requested} B shared memory; device max is {budget}"
             ),
             LaunchError::OccupancyZero { kernel } => {
-                write!(f, "kernel {kernel} achieves zero occupancy: no block fits on an SM")
+                write!(
+                    f,
+                    "kernel {kernel} achieves zero occupancy: no block fits on an SM"
+                )
             }
             LaunchError::DeviceFault(fault) => write!(f, "device fault: {fault}"),
         }
@@ -63,7 +75,13 @@ pub struct PipelineBreakdown {
 impl PipelineBreakdown {
     /// Each pipeline's share of the binding time, for reports.
     pub fn utilizations(&self, total_cycles: f64) -> [(&'static str, f64); 6] {
-        let f = |c: f64| if total_cycles > 0.0 { c / total_cycles } else { 0.0 };
+        let f = |c: f64| {
+            if total_cycles > 0.0 {
+                c / total_cycles
+            } else {
+                0.0
+            }
+        };
         [
             ("fma", f(self.fma_cycles)),
             ("issue", f(self.issue_cycles)),
@@ -200,7 +218,55 @@ impl Gpu {
         self.try_run(kernel, false)
     }
 
-    fn try_run(&self, kernel: &dyn Kernel, functional: bool) -> Result<LaunchStats, LaunchError> {
+    /// Run a kernel under the sanitizer (see [`crate::sanitizer`]): a
+    /// functional launch whose blocks additionally record racecheck /
+    /// memcheck / aligncheck / lint findings, the simulator's analogue of
+    /// `compute-sanitizer`. The fault plan is not consulted — the sanitizer
+    /// checks the kernel, not the device. Sanitized launches serialize
+    /// process-wide (a global shadow map backs the cross-block racecheck).
+    pub fn sanitize(
+        &self,
+        kernel: &dyn Kernel,
+    ) -> Result<(LaunchStats, SanitizerReport), LaunchError> {
+        let occ = self.validate(kernel)?;
+        let req = kernel.block_requirements();
+        let buffers = kernel.buffers();
+        let multi_warp = req.threads > self.dev.warp_size;
+        let grid = kernel.grid();
+        let n_blocks = grid.size();
+
+        let session = sanitizer::begin_session(!kernel.atomic_output());
+        let results: Vec<(BlockCost, Option<BlockSan>)> = (0..n_blocks)
+            .into_par_iter()
+            .map(|lin| {
+                let idx = grid.delinearize(lin);
+                let san = BlockSan::for_kernel(&buffers, req.smem_bytes, multi_warp);
+                let mut ctx = BlockContext::sanitized(true, san);
+                sanitizer::enter_block(lin);
+                kernel.execute_block(idx, &mut ctx);
+                sanitizer::exit_block();
+                let san = ctx.take_sanitizer();
+                (ctx.cost, san)
+            })
+            .collect();
+        let (race_count, race_examples) = sanitizer::drain_session();
+        drop(session);
+
+        let mut report = SanitizerReport::new(kernel.name(), n_blocks);
+        let mut costs = Vec::with_capacity(results.len());
+        for (cost, san) in results {
+            costs.push(cost);
+            if let Some(san) = san {
+                report.absorb_block(san);
+            }
+        }
+        report.absorb_session(race_count, race_examples);
+
+        Ok((self.finish(kernel, occ, costs), report))
+    }
+
+    /// Resource validation shared by every launch path.
+    fn validate(&self, kernel: &dyn Kernel) -> Result<Occupancy, LaunchError> {
         let dev = &self.dev;
         let req = kernel.block_requirements();
         let occ = occupancy::occupancy(dev, &req);
@@ -212,8 +278,15 @@ impl Gpu {
             });
         }
         if occ.blocks_per_sm == 0 {
-            return Err(LaunchError::OccupancyZero { kernel: kernel.name() });
+            return Err(LaunchError::OccupancyZero {
+                kernel: kernel.name(),
+            });
         }
+        Ok(occ)
+    }
+
+    fn try_run(&self, kernel: &dyn Kernel, functional: bool) -> Result<LaunchStats, LaunchError> {
+        let occ = self.validate(kernel)?;
 
         // The fault decision comes *after* resource validation: an invalid
         // launch never reaches the device, so it must not consume an index
@@ -242,10 +315,8 @@ impl Gpu {
     }
 
     fn run(&self, kernel: &dyn Kernel, functional: bool, occ: Occupancy) -> LaunchStats {
-        let dev = &self.dev;
         let grid = kernel.grid();
         let n_blocks = grid.size();
-        let req = kernel.block_requirements();
 
         // 1. Execute all blocks, collecting per-block cost traces.
         let costs: Vec<BlockCost> = (0..n_blocks)
@@ -257,6 +328,16 @@ impl Gpu {
                 ctx.cost
             })
             .collect();
+
+        self.finish(kernel, occ, costs)
+    }
+
+    /// Turn collected per-block cost traces into launch statistics (cache
+    /// model, per-block timing, scheduling, rooflines).
+    fn finish(&self, kernel: &dyn Kernel, occ: Occupancy, costs: Vec<BlockCost>) -> LaunchStats {
+        let dev = &self.dev;
+        let n_blocks = costs.len() as u64;
+        let req = kernel.block_requirements();
 
         // 2. Aggregate traffic, apply the cache model.
         let mut total = BlockCost::default();
@@ -287,8 +368,16 @@ impl Gpu {
                 for (slot, t) in c.gmem.iter().enumerate() {
                     bytes += t.ld_bytes() as f64 * dram.ld_miss_rate[slot] + t.st_bytes() as f64;
                 }
-                timing::block_cycles(dev, c, warps_per_block, eff_warps, bytes, bw_per_sm, concurrency)
-                    .total_cycles
+                timing::block_cycles(
+                    dev,
+                    c,
+                    warps_per_block,
+                    eff_warps,
+                    bytes,
+                    bw_per_sm,
+                    concurrency,
+                )
+                .total_cycles
             })
             .collect();
 
@@ -298,7 +387,8 @@ impl Gpu {
         // 5. Device-wide rooflines (lower bounds the makespan cannot beat).
         let fma_tp = dev.fp32_lanes_per_sm as f64 / dev.warp_size as f64;
         let t_fma = (total.fma_instrs + total.fp_instrs) as f64 / (fma_tp * dev.num_sms as f64);
-        let t_issue = total.total_instrs() as f64 / (dev.issue_slots_per_sm as f64 * dev.num_sms as f64);
+        let t_issue =
+            total.total_instrs() as f64 / (dev.issue_slots_per_sm as f64 * dev.num_sms as f64);
         let lsu_tp = (dev.lsu_lanes_per_sm as f64 / dev.warp_size as f64).max(0.125);
         let t_lsu = ((total.ld_global_instrs + total.st_global_instrs) as f64 / lsu_tp
             + (total.ld_shared_instrs + total.st_shared_instrs) as f64)
@@ -385,7 +475,10 @@ pub struct Stream<'g> {
 
 impl<'g> Stream<'g> {
     pub fn new(gpu: &'g Gpu) -> Self {
-        Self { gpu, launches: Vec::new() }
+        Self {
+            gpu,
+            launches: Vec::new(),
+        }
     }
 
     /// Launch functionally on the stream; returns this kernel's stats.
@@ -432,6 +525,11 @@ pub struct LaunchSummary {
     pub time_us: f64,
     pub flops: u64,
     pub dram_bytes: u64,
+    /// Sanitizer violations across sanitized launches (0 unless
+    /// [`LaunchSummary::add_sanitized`] was used).
+    pub violations: u64,
+    /// Sanitizer lint warnings across sanitized launches.
+    pub warnings: u64,
 }
 
 impl LaunchSummary {
@@ -440,6 +538,13 @@ impl LaunchSummary {
         self.time_us += stats.time_us;
         self.flops += stats.flops;
         self.dram_bytes += stats.dram_bytes;
+    }
+
+    /// Accumulate a sanitized launch: the stats plus its sanitizer findings.
+    pub fn add_sanitized(&mut self, stats: &LaunchStats, report: &SanitizerReport) {
+        self.add(stats);
+        self.violations += report.violation_count;
+        self.warnings += report.warning_count;
     }
 
     pub fn tflops(&self) -> f64 {
@@ -493,29 +598,46 @@ mod tests {
     #[test]
     fn breakdown_is_populated_and_consistent() {
         let gpu = Gpu::v100();
-        let stats = gpu.profile(&Noop { blocks: 800, cycles_of_fma: 10_000 });
+        let stats = gpu.profile(&Noop {
+            blocks: 800,
+            cycles_of_fma: 10_000,
+        });
         let p = stats.pipelines;
         assert!(p.fma_cycles > 0.0);
-        assert!(p.schedule_cycles >= p.fma_cycles * 0.99, "makespan bounds the rooflines");
+        assert!(
+            p.schedule_cycles >= p.fma_cycles * 0.99,
+            "makespan bounds the rooflines"
+        );
         let binding = p
             .utilizations(stats.makespan_cycles.max(1.0))
             .iter()
             .map(|&(_, u)| u)
             .fold(0.0f64, f64::max);
-        assert!(binding > 0.9, "some pipeline must be near-binding, got {binding}");
+        assert!(
+            binding > 0.9,
+            "some pipeline must be near-binding, got {binding}"
+        );
     }
 
     #[test]
     fn stream_overlaps_launch_overhead() {
         let gpu = Gpu::v100();
-        let k = Noop { blocks: 800, cycles_of_fma: 50_000 };
+        let k = Noop {
+            blocks: 800,
+            cycles_of_fma: 50_000,
+        };
         let solo = gpu.profile(&k).time_us;
         let mut stream = Stream::new(&gpu);
         for _ in 0..4 {
             stream.profile(&k);
         }
         let total = stream.total_us();
-        assert!(total < 4.0 * solo, "stream {} must beat 4x solo {}", total, 4.0 * solo);
+        assert!(
+            total < 4.0 * solo,
+            "stream {} must beat 4x solo {}",
+            total,
+            4.0 * solo
+        );
         assert!(total > 4.0 * (solo - gpu.device().launch_overhead_us));
         assert_eq!(stream.launches().len(), 4);
     }

@@ -65,6 +65,7 @@ pub mod launch;
 pub mod memory;
 pub mod microbench;
 pub mod occupancy;
+pub mod sanitizer;
 pub mod scheduler;
 pub mod timing;
 pub mod util;
@@ -79,5 +80,6 @@ pub use kernel::Kernel;
 pub use launch::{Gpu, LaunchError, LaunchStats, LaunchSummary, PipelineBreakdown, Stream};
 pub use microbench::{validate, Validation};
 pub use occupancy::{occupancy, BlockRequirements, Occupancy, OccupancyLimit};
+pub use sanitizer::{SanitizerReport, SanitizerViolation, SanitizerWarning, SmemScope};
 pub use scheduler::{simulate_schedule, volta_first_wave_sm, ScheduleResult};
 pub use util::SyncUnsafeSlice;

@@ -63,7 +63,11 @@ pub fn sectors_gather(addrs: &[u64], elem_bytes: u64) -> u64 {
     let mut n = 0;
     for &a in addrs {
         let first = a / SECTOR_BYTES;
-        let last = if elem_bytes == 0 { first } else { (a + elem_bytes - 1) / SECTOR_BYTES };
+        let last = if elem_bytes == 0 {
+            first
+        } else {
+            (a + elem_bytes - 1) / SECTOR_BYTES
+        };
         let mut s = first;
         while s <= last && n < sectors.len() {
             sectors[n] = s;
@@ -178,7 +182,15 @@ mod tests {
         assert_eq!(bank_conflict_ways(1, 32), 1, "unit stride is conflict-free");
         assert_eq!(bank_conflict_ways(2, 32), 2, "stride 2 is a 2-way conflict");
         assert_eq!(bank_conflict_ways(32, 32), 32, "stride 32 serializes fully");
-        assert_eq!(bank_conflict_ways(0, 32), 1, "same-word access is a broadcast");
-        assert_eq!(bank_conflict_ways(5, 32), 1, "odd strides are conflict-free");
+        assert_eq!(
+            bank_conflict_ways(0, 32),
+            1,
+            "same-word access is a broadcast"
+        );
+        assert_eq!(
+            bank_conflict_ways(5, 32),
+            1,
+            "odd strides are conflict-free"
+        );
     }
 }

@@ -34,8 +34,18 @@ impl Kernel for CopyKernel {
 
     fn buffers(&self) -> Vec<BufferSpec> {
         vec![
-            BufferSpec { id: BufferId(0), name: "src", footprint_bytes: self.n * 4, pattern: AccessPattern::Streaming },
-            BufferSpec { id: BufferId(1), name: "dst", footprint_bytes: self.n * 4, pattern: AccessPattern::Streaming },
+            BufferSpec {
+                id: BufferId(0),
+                name: "src",
+                footprint_bytes: self.n * 4,
+                pattern: AccessPattern::Streaming,
+            },
+            BufferSpec {
+                id: BufferId(1),
+                name: "dst",
+                footprint_bytes: self.n * 4,
+                pattern: AccessPattern::Streaming,
+            },
         ]
     }
 
@@ -174,7 +184,10 @@ pub fn validate(gpu: &Gpu) -> Validation {
     let copy_gbps = (2 * n * 4) as f64 / (copy.time_us * 1e-6) / 1e9;
 
     // Math: 4 blocks per SM, long FMA chains.
-    let fma = gpu.profile(&FmaKernel { per_block: 200_000, blocks: dev.num_sms * 4 });
+    let fma = gpu.profile(&FmaKernel {
+        per_block: 200_000,
+        blocks: dev.num_sms * 4,
+    });
 
     // Latency exposure: same scattered loads, 1 warp vs many.
     let lone = gpu.profile(&LatencyProbeKernel { accesses: 10_000 });
@@ -229,9 +242,16 @@ mod tests {
     #[test]
     fn bank_conflicts_serialize_smem() {
         let gpu = Gpu::v100();
-        let clean = gpu.profile(&SmemSweepKernel { rounds: 5_000, blocks: 320, conflict_ways: 1 });
-        let conflicted =
-            gpu.profile(&SmemSweepKernel { rounds: 5_000, blocks: 320, conflict_ways: 8 });
+        let clean = gpu.profile(&SmemSweepKernel {
+            rounds: 5_000,
+            blocks: 320,
+            conflict_ways: 1,
+        });
+        let conflicted = gpu.profile(&SmemSweepKernel {
+            rounds: 5_000,
+            blocks: 320,
+            conflict_ways: 8,
+        });
         assert!(
             conflicted.time_us > 2.0 * clean.time_us,
             "8-way conflicts must serialize: {:.1} vs {:.1} us",

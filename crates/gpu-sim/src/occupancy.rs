@@ -75,15 +75,13 @@ pub fn occupancy(dev: &DeviceConfig, req: &BlockRequirements) -> Occupancy {
         best = dev.max_blocks_per_sm;
         limit = OccupancyLimit::Blocks;
     }
-    if req.smem_bytes > 0 {
-        let by_smem = dev.smem_per_sm / req.smem_bytes;
+    if let Some(by_smem) = dev.smem_per_sm.checked_div(req.smem_bytes) {
         if by_smem < best {
             best = by_smem;
             limit = OccupancyLimit::SharedMemory;
         }
     }
-    if regs_per_block > 0 {
-        let by_regs = dev.regs_per_sm / regs_per_block;
+    if let Some(by_regs) = dev.regs_per_sm.checked_div(regs_per_block) {
         if by_regs < best {
             best = by_regs;
             limit = OccupancyLimit::Registers;
@@ -105,7 +103,12 @@ pub fn occupancy(dev: &DeviceConfig, req: &BlockRequirements) -> Occupancy {
 /// single resident block regardless of theoretical occupancy. This is the
 /// effect that makes the paper's 1-D tiling win on problems with small M —
 /// more blocks mean more resident warps and better latency hiding.
-pub fn effective_warps_per_sm(dev: &DeviceConfig, occ: &Occupancy, grid_blocks: u64, warps_per_block: u32) -> f64 {
+pub fn effective_warps_per_sm(
+    dev: &DeviceConfig,
+    occ: &Occupancy,
+    grid_blocks: u64,
+    warps_per_block: u32,
+) -> f64 {
     if grid_blocks == 0 {
         return 0.0;
     }
@@ -128,7 +131,14 @@ mod tests {
     #[test]
     fn small_blocks_hit_block_limit() {
         // 32-thread blocks, no smem, few regs: capped by the 32-block limit.
-        let occ = occupancy(&v100(), &BlockRequirements { threads: 32, smem_bytes: 0, regs_per_thread: 32 });
+        let occ = occupancy(
+            &v100(),
+            &BlockRequirements {
+                threads: 32,
+                smem_bytes: 0,
+                regs_per_thread: 32,
+            },
+        );
         assert_eq!(occ.blocks_per_sm, 32);
         assert_eq!(occ.limited_by, OccupancyLimit::Blocks);
         assert_eq!(occ.warps_per_sm, 32);
@@ -136,7 +146,14 @@ mod tests {
 
     #[test]
     fn big_blocks_hit_thread_limit() {
-        let occ = occupancy(&v100(), &BlockRequirements { threads: 1024, smem_bytes: 0, regs_per_thread: 32 });
+        let occ = occupancy(
+            &v100(),
+            &BlockRequirements {
+                threads: 1024,
+                smem_bytes: 0,
+                regs_per_thread: 32,
+            },
+        );
         assert_eq!(occ.blocks_per_sm, 2);
         assert_eq!(occ.warps_per_sm, 64);
         assert_eq!(occ.fraction, 1.0);
@@ -145,7 +162,14 @@ mod tests {
     #[test]
     fn shared_memory_limits() {
         // 48 KiB per block on a 96 KiB SM: 2 blocks.
-        let occ = occupancy(&v100(), &BlockRequirements { threads: 128, smem_bytes: 48 * 1024, regs_per_thread: 32 });
+        let occ = occupancy(
+            &v100(),
+            &BlockRequirements {
+                threads: 128,
+                smem_bytes: 48 * 1024,
+                regs_per_thread: 32,
+            },
+        );
         assert_eq!(occ.blocks_per_sm, 2);
         assert_eq!(occ.limited_by, OccupancyLimit::SharedMemory);
     }
@@ -154,7 +178,14 @@ mod tests {
     fn registers_limit() {
         // 255 regs/thread, 256 threads: 255*32 -> 8160 -> rounded 8192 per warp,
         // 8 warps per block -> 65536 regs: exactly 1 block.
-        let occ = occupancy(&v100(), &BlockRequirements { threads: 256, smem_bytes: 0, regs_per_thread: 255 });
+        let occ = occupancy(
+            &v100(),
+            &BlockRequirements {
+                threads: 256,
+                smem_bytes: 0,
+                regs_per_thread: 255,
+            },
+        );
         assert_eq!(occ.blocks_per_sm, 1);
         assert_eq!(occ.limited_by, OccupancyLimit::Registers);
     }
@@ -162,7 +193,14 @@ mod tests {
     #[test]
     fn effective_warps_small_grid() {
         let dev = v100();
-        let occ = occupancy(&dev, &BlockRequirements { threads: 256, smem_bytes: 0, regs_per_thread: 32 });
+        let occ = occupancy(
+            &dev,
+            &BlockRequirements {
+                threads: 256,
+                smem_bytes: 0,
+                regs_per_thread: 32,
+            },
+        );
         // 40 blocks of 8 warps on 80 SMs: half the SMs idle, 4 warps/SM avg.
         let eff = effective_warps_per_sm(&dev, &occ, 40, 8);
         assert!(eff <= 8.0);

@@ -28,7 +28,7 @@ pub fn volta_first_wave_sm(dev: &DeviceConfig, block_idx: u64) -> u32 {
     if sms == 1 {
         return 0;
     }
-    if sms % 2 == 0 {
+    if sms.is_multiple_of(2) {
         let half = sms / 2;
         let b = block_idx % sms;
         (2 * (b % half) + (b / half) % 2) as u32
@@ -62,12 +62,21 @@ pub struct ScheduleResult {
 /// reproduces both sources of load imbalance the paper identifies: imbalance
 /// *between* SMs (some SMs get heavier blocks) and the tail created when a
 /// heavy block starts late.
-pub fn simulate_schedule(dev: &DeviceConfig, blocks_per_sm: u32, block_cycles: &[f64]) -> ScheduleResult {
+pub fn simulate_schedule(
+    dev: &DeviceConfig,
+    blocks_per_sm: u32,
+    block_cycles: &[f64],
+) -> ScheduleResult {
     let num_sms = dev.num_sms as usize;
     let n = block_cycles.len();
     let mut per_sm_busy = vec![0.0f64; num_sms];
     if n == 0 {
-        return ScheduleResult { makespan_cycles: 0.0, per_sm_busy, waves: 0.0, balance: 1.0 };
+        return ScheduleResult {
+            makespan_cycles: 0.0,
+            per_sm_busy,
+            waves: 0.0,
+            balance: 1.0,
+        };
     }
     let slots_per_sm = blocks_per_sm.max(1) as usize;
     let first_wave = (num_sms * slots_per_sm).min(n);
@@ -82,10 +91,10 @@ pub fn simulate_schedule(dev: &DeviceConfig, blocks_per_sm: u32, block_cycles: &
     let mut sm_finish = vec![0.0f64; num_sms];
 
     // First wave: hardware round-robin placement, blind to block weight.
-    for b in 0..first_wave {
+    for (b, &cycles) in block_cycles.iter().enumerate().take(first_wave) {
         let sm = volta_first_wave_sm(dev, b as u64) as usize;
-        sm_finish[sm] += block_cycles[b];
-        per_sm_busy[sm] += block_cycles[b];
+        sm_finish[sm] += cycles;
+        per_sm_busy[sm] += cycles;
     }
 
     // Remaining blocks issue in block_idx order as SMs free up. Heap entry:
@@ -95,13 +104,15 @@ pub fn simulate_schedule(dev: &DeviceConfig, blocks_per_sm: u32, block_cycles: &
     for (sm, &t) in sm_finish.iter().enumerate() {
         heap.push(Reverse((t.to_bits(), sm as u32)));
     }
-    for b in first_wave..n {
+    for &cycles in block_cycles.iter().take(n).skip(first_wave) {
         // The heap always holds `num_sms` entries (each pop is followed by a
         // push), so this never breaks; the guard only satisfies panic-freedom.
-        let Some(Reverse((free_bits, sm))) = heap.pop() else { break };
+        let Some(Reverse((free_bits, sm))) = heap.pop() else {
+            break;
+        };
         let free = f64::from_bits(free_bits);
-        let end = free + block_cycles[b];
-        per_sm_busy[sm as usize] += block_cycles[b];
+        let end = free + cycles;
+        per_sm_busy[sm as usize] += cycles;
         sm_finish[sm as usize] = end;
         heap.push(Reverse((end.to_bits(), sm)));
     }
@@ -109,10 +120,19 @@ pub fn simulate_schedule(dev: &DeviceConfig, blocks_per_sm: u32, block_cycles: &
     let makespan = sm_finish.iter().cloned().fold(0.0f64, f64::max);
     let busy_sum: f64 = per_sm_busy.iter().sum();
     let mean_busy = busy_sum / num_sms as f64;
-    let balance = if makespan > 0.0 { mean_busy / makespan } else { 1.0 };
+    let balance = if makespan > 0.0 {
+        mean_busy / makespan
+    } else {
+        1.0
+    };
     let waves = n as f64 / (num_sms as f64 * slots_per_sm as f64);
 
-    ScheduleResult { makespan_cycles: makespan, per_sm_busy, waves, balance }
+    ScheduleResult {
+        makespan_cycles: makespan,
+        per_sm_busy,
+        waves,
+        balance,
+    }
 }
 
 #[cfg(test)]
@@ -136,11 +156,14 @@ mod tests {
     #[test]
     fn first_wave_covers_all_sms() {
         let dev = v100();
-        let mut seen = vec![false; 80];
+        let mut seen = [false; 80];
         for b in 0..80u64 {
             seen[volta_first_wave_sm(&dev, b) as usize] = true;
         }
-        assert!(seen.iter().all(|&s| s), "first 80 blocks must hit all 80 SMs");
+        assert!(
+            seen.iter().all(|&s| s),
+            "first 80 blocks must hit all 80 SMs"
+        );
     }
 
     #[test]
@@ -160,7 +183,11 @@ mod tests {
         let res = simulate_schedule(&dev, 4, &blocks);
         // Tail-dominated: makespan ~ start-of-last + 10_000.
         assert!(res.makespan_cycles >= 10_000.0);
-        assert!(res.balance < 0.2, "balance should collapse, got {}", res.balance);
+        assert!(
+            res.balance < 0.2,
+            "balance should collapse, got {}",
+            res.balance
+        );
     }
 
     #[test]

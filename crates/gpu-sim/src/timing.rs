@@ -93,12 +93,17 @@ pub fn block_cycles(
     };
 
     let penalty = latency_penalty(dev, eff_warps);
-    let exec = issue_cycles.max(fma_cycles).max(lsu_cycles).max(smem_cycles);
+    let exec = issue_cycles
+        .max(fma_cycles)
+        .max(lsu_cycles)
+        .max(smem_cycles);
     // Memory and execution overlap; the slower one dominates, and whatever
     // latency the resident warps cannot hide inflates the memory component.
     // The fixed launch/drain overhead is amortized across co-resident blocks
     // (a new block's setup overlaps its neighbours' execution).
-    let total = exec.max(dram_cycles * penalty).max(exec * (1.0 + 0.15 * (penalty - 1.0)))
+    let total = exec
+        .max(dram_cycles * penalty)
+        .max(exec * (1.0 + 0.15 * (penalty - 1.0)))
         + dev.block_overhead_cycles / concurrency.max(1.0)
         + cost.barriers as f64 * 20.0
         + cost.stall_cycles as f64;
@@ -129,7 +134,15 @@ mod tests {
         let dev = v100();
         let mut ctx = BlockContext::new(false);
         ctx.fma(10_000, 320_000);
-        let t = block_cycles(&dev, &ctx.cost, 8, 16.0, 0.0, dev.dram_bytes_per_cycle() / 80.0, 2.0);
+        let t = block_cycles(
+            &dev,
+            &ctx.cost,
+            8,
+            16.0,
+            0.0,
+            dev.dram_bytes_per_cycle() / 80.0,
+            2.0,
+        );
         // 10_000 warp FMAs at 2/cycle = 5_000 cycles; issue is 10_000/4 = 2_500.
         assert!((t.fma_cycles - 5_000.0).abs() < 1.0);
         assert!(t.total_cycles >= 5_000.0);
@@ -144,8 +157,12 @@ mod tests {
         let bw = dev.dram_bytes_per_cycle() / dev.num_sms as f64;
         let fast = block_cycles(&dev, &ctx.cost, 8, 32.0, 1_000_000.0, bw, 2.0);
         let slow = block_cycles(&dev, &ctx.cost, 8, 1.0, 1_000_000.0, bw, 2.0);
-        assert!(slow.total_cycles > fast.total_cycles * 2.0,
-            "low occupancy must expose latency: fast={} slow={}", fast.total_cycles, slow.total_cycles);
+        assert!(
+            slow.total_cycles > fast.total_cycles * 2.0,
+            "low occupancy must expose latency: fast={} slow={}",
+            fast.total_cycles,
+            slow.total_cycles
+        );
     }
 
     #[test]

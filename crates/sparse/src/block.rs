@@ -36,8 +36,16 @@ impl<T: Scalar> BsrMatrix<T> {
     /// matrix. Dimensions must be multiples of `block_size`.
     pub fn from_dense(dense: &Matrix<T>, block_size: usize) -> Self {
         assert!(block_size > 0);
-        assert_eq!(dense.rows() % block_size, 0, "rows must be a multiple of the block size");
-        assert_eq!(dense.cols() % block_size, 0, "cols must be a multiple of the block size");
+        assert_eq!(
+            dense.rows() % block_size,
+            0,
+            "rows must be a multiple of the block size"
+        );
+        assert_eq!(
+            dense.cols() % block_size,
+            0,
+            "cols must be a multiple of the block size"
+        );
         let brows = dense.rows() / block_size;
         let bcols = dense.cols() / block_size;
         let mut block_row_offsets = vec![0u32];
@@ -65,7 +73,14 @@ impl<T: Scalar> BsrMatrix<T> {
             }
             block_row_offsets.push(block_col_indices.len() as u32);
         }
-        Self { rows: dense.rows(), cols: dense.cols(), block_size, block_row_offsets, block_col_indices, blocks }
+        Self {
+            rows: dense.rows(),
+            cols: dense.cols(),
+            block_size,
+            block_row_offsets,
+            block_col_indices,
+            blocks,
+        }
     }
 
     pub fn rows(&self) -> usize {
@@ -108,7 +123,12 @@ impl<T: Scalar> BsrMatrix<T> {
         let s = self.block_row_offsets[br] as usize;
         let e = self.block_row_offsets[br + 1] as usize;
         let bb = self.block_size * self.block_size;
-        (s..e).map(move |i| (self.block_col_indices[i] as usize, &self.blocks[i * bb..(i + 1) * bb]))
+        (s..e).map(move |i| {
+            (
+                self.block_col_indices[i] as usize,
+                &self.blocks[i * bb..(i + 1) * bb],
+            )
+        })
     }
 
     /// Blocks per block-row (for load-balance analysis).
@@ -191,7 +211,12 @@ pub fn block_prune(dense: &Matrix<f32>, block_size: usize, sparsity: f64) -> Bsr
 impl BsrMatrix<f32> {
     /// Internal: build from a masked dense matrix keeping exactly the chosen
     /// blocks (including all-zero kept blocks, which `from_dense` would drop).
-    fn from_dense_with_kept(dense: &Matrix<f32>, block_size: usize, kept: &[bool], bcols: usize) -> Self {
+    fn from_dense_with_kept(
+        dense: &Matrix<f32>,
+        block_size: usize,
+        kept: &[bool],
+        bcols: usize,
+    ) -> Self {
         let brows = dense.rows() / block_size;
         let mut block_row_offsets = vec![0u32];
         let mut block_col_indices = Vec::new();
@@ -210,7 +235,14 @@ impl BsrMatrix<f32> {
             }
             block_row_offsets.push(block_col_indices.len() as u32);
         }
-        Self { rows: dense.rows(), cols: dense.cols(), block_size, block_row_offsets, block_col_indices, blocks }
+        Self {
+            rows: dense.rows(),
+            cols: dense.cols(),
+            block_size,
+            block_row_offsets,
+            block_col_indices,
+            blocks,
+        }
     }
 }
 
@@ -222,7 +254,12 @@ impl BsrMatrix<f32> {
 /// quality".
 pub fn block_magnitude_retention(dense: &Matrix<f32>, block_size: usize, sparsity: f64) -> f64 {
     let blocked = block_prune(dense, block_size, sparsity);
-    let kept_block: f64 = blocked.to_dense().as_slice().iter().map(|v| v.abs() as f64).sum();
+    let kept_block: f64 = blocked
+        .to_dense()
+        .as_slice()
+        .iter()
+        .map(|v| v.abs() as f64)
+        .sum();
 
     // Unstructured: top-k |w| at the same kept-parameter count.
     let kept_params = blocked.stored_elements();
@@ -247,7 +284,7 @@ mod tests {
 
     fn checkerboard(n: usize, b: usize) -> Matrix<f32> {
         Matrix::from_fn(n, n, |r, c| {
-            if ((r / b) + (c / b)) % 2 == 0 {
+            if ((r / b) + (c / b)).is_multiple_of(2) {
                 (r * n + c) as f32 + 1.0
             } else {
                 0.0
@@ -271,7 +308,10 @@ mod tests {
         let d = Matrix::<f32>::from_fn(8, 8, |r, c| (r * 8 + c) as f32);
         let m = block_prune(&d, 4, 0.75); // keep 1 of 4 blocks
         assert_eq!(m.nnz_blocks(), 1);
-        let (bc, _) = m.block_row(1).next().expect("bottom block row keeps a block");
+        let (bc, _) = m
+            .block_row(1)
+            .next()
+            .expect("bottom block row keeps a block");
         assert_eq!(bc, 1, "bottom-right block has the largest norm");
     }
 
@@ -281,7 +321,10 @@ mod tests {
         for &s in &[0.5, 0.75, 0.9] {
             let m = block_prune(&d, 8, s);
             let stored_frac = m.stored_elements() as f64 / (64.0 * 64.0);
-            assert!((stored_frac - (1.0 - s)).abs() < 0.05, "sparsity {s}: stored {stored_frac}");
+            assert!(
+                (stored_frac - (1.0 - s)).abs() < 0.05,
+                "sparsity {s}: stored {stored_frac}"
+            );
         }
     }
 
@@ -294,7 +337,10 @@ mod tests {
         let r4 = block_magnitude_retention(&d, 4, 0.8);
         let r16 = block_magnitude_retention(&d, 16, 0.8);
         assert!(r1 > 0.999, "1x1 blocks are unstructured pruning, got {r1}");
-        assert!(r4 < r1 && r16 < r4, "retention must degrade: {r1} > {r4} > {r16}");
+        assert!(
+            r4 < r1 && r16 < r4,
+            "retention must degrade: {r1} > {r4} > {r16}"
+        );
         assert!(r16 > 0.3, "retention should stay meaningful, got {r16}");
     }
 

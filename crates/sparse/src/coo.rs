@@ -49,11 +49,19 @@ impl std::error::Error for CooError {}
 
 impl<T: Scalar> CooMatrix<T> {
     pub fn new(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, entries: Vec::new() }
+        Self {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
     }
 
     pub fn with_capacity(rows: usize, cols: usize, nnz: usize) -> Self {
-        Self { rows, cols, entries: Vec::with_capacity(nnz) }
+        Self {
+            rows,
+            cols,
+            entries: Vec::with_capacity(nnz),
+        }
     }
 
     pub fn rows(&self) -> usize {
@@ -83,7 +91,10 @@ impl<T: Scalar> CooMatrix<T> {
     }
 
     /// Append many triplets.
-    pub fn extend(&mut self, it: impl IntoIterator<Item = (usize, usize, T)>) -> Result<(), CooError> {
+    pub fn extend(
+        &mut self,
+        it: impl IntoIterator<Item = (usize, usize, T)>,
+    ) -> Result<(), CooError> {
         for (r, c, v) in it {
             self.push(r, c, v)?;
         }
@@ -213,8 +224,14 @@ mod tests {
     #[test]
     fn bounds_checked() {
         let mut coo = CooMatrix::<f32>::new(2, 2);
-        assert!(matches!(coo.push(2, 0, 1.0), Err(CooError::OutOfBounds { .. })));
-        assert!(matches!(coo.push(0, 5, 1.0), Err(CooError::OutOfBounds { .. })));
+        assert!(matches!(
+            coo.push(2, 0, 1.0),
+            Err(CooError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            coo.push(0, 5, 1.0),
+            Err(CooError::OutOfBounds { .. })
+        ));
     }
 
     #[test]

@@ -76,10 +76,16 @@ impl<T: Scalar> CsrMatrix<T> {
         values: Vec<T>,
     ) -> Result<Self, CsrError> {
         if row_offsets.len() != rows + 1 {
-            return Err(CsrError::BadOffsetLen { expected: rows + 1, got: row_offsets.len() });
+            return Err(CsrError::BadOffsetLen {
+                expected: rows + 1,
+                got: row_offsets.len(),
+            });
         }
         if col_indices.len() != values.len() {
-            return Err(CsrError::LengthMismatch { indices: col_indices.len(), values: values.len() });
+            return Err(CsrError::LengthMismatch {
+                indices: col_indices.len(),
+                values: values.len(),
+            });
         }
         for r in 0..rows {
             if row_offsets[r] > row_offsets[r + 1] {
@@ -87,14 +93,21 @@ impl<T: Scalar> CsrMatrix<T> {
             }
         }
         if row_offsets[rows] as usize != values.len() {
-            return Err(CsrError::BadNnz { expected: values.len(), got: row_offsets[rows] as usize });
+            return Err(CsrError::BadNnz {
+                expected: values.len(),
+                got: row_offsets[rows] as usize,
+            });
         }
         for r in 0..rows {
             let (s, e) = (row_offsets[r] as usize, row_offsets[r + 1] as usize);
             let mut prev: Option<u32> = None;
             for &c in &col_indices[s..e] {
                 if c as usize >= cols {
-                    return Err(CsrError::ColumnOutOfBounds { row: r, col: c, cols });
+                    return Err(CsrError::ColumnOutOfBounds {
+                        row: r,
+                        col: c,
+                        cols,
+                    });
                 }
                 if let Some(p) = prev {
                     if c <= p {
@@ -104,12 +117,24 @@ impl<T: Scalar> CsrMatrix<T> {
                 prev = Some(c);
             }
         }
-        Ok(Self { rows, cols, row_offsets, col_indices, values })
+        Ok(Self {
+            rows,
+            cols,
+            row_offsets,
+            col_indices,
+            values,
+        })
     }
 
     /// An empty (all-zero) sparse matrix.
     pub fn empty(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, row_offsets: vec![0; rows + 1], col_indices: vec![], values: vec![] }
+        Self {
+            rows,
+            cols,
+            row_offsets: vec![0; rows + 1],
+            col_indices: vec![],
+            values: vec![],
+        }
     }
 
     /// Extract the nonzero pattern and values from a dense matrix.
@@ -130,7 +155,13 @@ impl<T: Scalar> CsrMatrix<T> {
             }
             row_offsets.push(col_indices.len() as u32);
         }
-        Self { rows, cols, row_offsets, col_indices, values }
+        Self {
+            rows,
+            cols,
+            row_offsets,
+            col_indices,
+            values,
+        }
     }
 
     /// Scatter back to a dense row-major matrix.
@@ -197,7 +228,9 @@ impl<T: Scalar> CsrMatrix<T> {
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, T)> + '_ {
         (0..self.rows).flat_map(move |r| {
             let (cols, vals) = self.row(r);
-            cols.iter().zip(vals).map(move |(&c, &v)| (r, c as usize, v))
+            cols.iter()
+                .zip(vals)
+                .map(move |(&c, &v)| (r, c as usize, v))
         })
     }
 
@@ -296,7 +329,11 @@ impl<T: Scalar> CsrMatrix<T> {
             cols: self.cols,
             row_offsets: self.row_offsets.clone(),
             col_indices: self.col_indices.clone(),
-            values: self.values.iter().map(|v| U::from_f32(v.to_f32())).collect(),
+            values: self
+                .values
+                .iter()
+                .map(|v| U::from_f32(v.to_f32()))
+                .collect(),
         }
     }
 
@@ -319,7 +356,10 @@ impl<T: Scalar> CsrMatrix<T> {
     /// indices in each row. Returns `None` when a row has no free columns
     /// left to pad with — the generality loss the paper's ROMA avoids.
     pub fn padded_to_multiple(&self, multiple: usize) -> Option<CsrMatrix<T>> {
-        assert!(multiple.is_power_of_two(), "pad target must be a power of two");
+        assert!(
+            multiple.is_power_of_two(),
+            "pad target must be a power of two"
+        );
         let mut row_offsets = Vec::with_capacity(self.rows + 1);
         let mut col_indices = Vec::new();
         let mut values = Vec::new();
@@ -377,8 +417,14 @@ mod tests {
         // [ 1 0 2 ]
         // [ 0 0 0 ]
         // [ 3 4 0 ]
-        CsrMatrix::from_parts(3, 3, vec![0, 2, 2, 4], vec![0, 2, 0, 1], vec![1.0, 2.0, 3.0, 4.0])
-            .unwrap()
+        CsrMatrix::from_parts(
+            3,
+            3,
+            vec![0, 2, 2, 4],
+            vec![0, 2, 0, 1],
+            vec![1.0, 2.0, 3.0, 4.0],
+        )
+        .unwrap()
     }
 
     #[test]
@@ -394,7 +440,13 @@ mod tests {
     #[test]
     fn validation_rejects_bad_offsets() {
         let e = CsrMatrix::<f32>::from_parts(2, 2, vec![0, 2], vec![0, 1], vec![1.0, 2.0]);
-        assert_eq!(e.unwrap_err(), CsrError::BadOffsetLen { expected: 3, got: 2 });
+        assert_eq!(
+            e.unwrap_err(),
+            CsrError::BadOffsetLen {
+                expected: 3,
+                got: 2
+            }
+        );
     }
 
     #[test]
@@ -476,7 +528,8 @@ mod tests {
     #[test]
     fn padding_fails_on_full_rows() {
         // A fully dense 1x3 row cannot be padded to a multiple of 4.
-        let m = CsrMatrix::<f32>::from_parts(1, 3, vec![0, 3], vec![0, 1, 2], vec![1.0; 3]).unwrap();
+        let m =
+            CsrMatrix::<f32>::from_parts(1, 3, vec![0, 3], vec![0, 1, 2], vec![1.0; 3]).unwrap();
         assert!(m.padded_to_multiple(4).is_none());
     }
 
@@ -484,6 +537,9 @@ mod tests {
     fn iter_yields_all_entries() {
         let m = sample();
         let entries: Vec<_> = m.iter().collect();
-        assert_eq!(entries, vec![(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)]);
+        assert_eq!(
+            entries,
+            vec![(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)]
+        );
     }
 }

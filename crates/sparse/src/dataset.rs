@@ -98,7 +98,13 @@ impl ProblemSpec {
 
     /// Materialize the sparse weight matrix.
     pub fn generate(&self) -> CsrMatrix<f32> {
-        gen::with_cov(self.rows, self.cols, self.sparsity, self.method.row_cov(), self.seed())
+        gen::with_cov(
+            self.rows,
+            self.cols,
+            self.sparsity,
+            self.method.row_cov(),
+            self.seed(),
+        )
     }
 
     /// The SpMM N dimension at a given batch size. Inference problems pad N
@@ -224,7 +230,13 @@ pub struct ScientificSpec {
 
 impl ScientificSpec {
     pub fn generate(&self) -> CsrMatrix<f32> {
-        gen::power_law(self.rows, self.cols, self.avg_row_len, self.alpha, self.seed)
+        gen::power_law(
+            self.rows,
+            self.cols,
+            self.avg_row_len,
+            self.alpha,
+            self.seed,
+        )
     }
 }
 
@@ -244,7 +256,13 @@ pub fn scientific_corpus(count: usize, seed: u64) -> Vec<ScientificSpec> {
             // (2.3x shorter rows, 25x higher CoV than the DL corpus).
             let avg = rng.random_range(20.0f64..250.0).min(n as f64 / 8.0);
             let alpha = rng.random_range(1.06f64..1.45);
-            ScientificSpec { rows: n, cols: n, avg_row_len: avg, alpha, seed: seed ^ (i as u64) }
+            ScientificSpec {
+                rows: n,
+                cols: n,
+                avg_row_len: avg,
+                alpha,
+                seed: seed ^ (i as u64),
+            }
         })
         .collect()
 }
@@ -294,14 +312,17 @@ mod tests {
             replica: 0,
         };
         assert_eq!(spec.n(1), 52);
-        assert_eq!(spec.n(32), 49 * 32 % 4 + (49 * 32 / 4) * 4);
+        assert_eq!(spec.n(32), ((49 * 32 / 4) * 4));
     }
 
     #[test]
     fn corpus_statistics_separate_from_scientific() {
         // Small sample of each corpus; DL must be less sparse, longer-rowed,
         // and far more balanced than scientific — the Figure 2 result.
-        let dl: Vec<_> = dl_corpus_sample(12, 3).iter().map(|s| matrix_stats(&s.generate())).collect();
+        let dl: Vec<_> = dl_corpus_sample(12, 3)
+            .iter()
+            .map(|s| matrix_stats(&s.generate()))
+            .collect();
         let sci: Vec<_> = scientific_corpus(6, 3)
             .iter()
             .map(|s| matrix_stats(&s.generate()))
@@ -310,7 +331,13 @@ mod tests {
         let sci_sparsity = mean(&sci.iter().map(|s| s.sparsity).collect::<Vec<_>>());
         let dl_cov = mean(&dl.iter().map(|s| s.row_cov).collect::<Vec<_>>());
         let sci_cov = mean(&sci.iter().map(|s| s.row_cov).collect::<Vec<_>>());
-        assert!(dl_sparsity < sci_sparsity, "DL {dl_sparsity} vs sci {sci_sparsity}");
-        assert!(dl_cov * 3.0 < sci_cov, "DL cov {dl_cov} vs sci cov {sci_cov}");
+        assert!(
+            dl_sparsity < sci_sparsity,
+            "DL {dl_sparsity} vs sci {sci_sparsity}"
+        );
+        assert!(
+            dl_cov * 3.0 < sci_cov,
+            "DL cov {dl_cov} vs sci cov {sci_cov}"
+        );
     }
 }

@@ -28,12 +28,22 @@ pub struct Matrix<T> {
 impl<T: Scalar> Matrix<T> {
     /// A zero-filled matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, layout: Layout::RowMajor, data: vec![T::zero(); rows * cols] }
+        Self {
+            rows,
+            cols,
+            layout: Layout::RowMajor,
+            data: vec![T::zero(); rows * cols],
+        }
     }
 
     /// A zero-filled matrix with an explicit layout.
     pub fn zeros_with_layout(rows: usize, cols: usize, layout: Layout) -> Self {
-        Self { rows, cols, layout, data: vec![T::zero(); rows * cols] }
+        Self {
+            rows,
+            cols,
+            layout,
+            data: vec![T::zero(); rows * cols],
+        }
     }
 
     /// Build from a function of (row, col).
@@ -50,7 +60,12 @@ impl<T: Scalar> Matrix<T> {
     /// Build from row-major data.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Self {
         assert_eq!(data.len(), rows * cols, "data length must equal rows*cols");
-        Self { rows, cols, layout: Layout::RowMajor, data }
+        Self {
+            rows,
+            cols,
+            layout: Layout::RowMajor,
+            data,
+        }
     }
 
     pub fn rows(&self) -> usize {
@@ -96,7 +111,11 @@ impl<T: Scalar> Matrix<T> {
 
     /// A contiguous row slice (row-major matrices only).
     pub fn row(&self, r: usize) -> &[T] {
-        assert_eq!(self.layout, Layout::RowMajor, "row() requires row-major layout");
+        assert_eq!(
+            self.layout,
+            Layout::RowMajor,
+            "row() requires row-major layout"
+        );
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 

@@ -47,7 +47,14 @@ impl<T: Scalar> EllMatrix<T> {
                 values[j * rows + r] = v;
             }
         }
-        Self { rows, cols: csr.cols(), width, row_lengths, col_indices, values }
+        Self {
+            rows,
+            cols: csr.cols(),
+            width,
+            row_lengths,
+            col_indices,
+            values,
+        }
     }
 
     pub fn rows(&self) -> usize {

@@ -31,7 +31,11 @@ impl Half {
 
         if exp == 0xFF {
             // Inf / NaN. Preserve NaN-ness with a quiet mantissa bit.
-            return if mant == 0 { Half(sign | 0x7C00) } else { Half(sign | 0x7E00) };
+            return if mant == 0 {
+                Half(sign | 0x7C00)
+            } else {
+                Half(sign | 0x7E00)
+            };
         }
 
         // Unbiased exponent, rebiasing from 127 to 15.
@@ -155,7 +159,10 @@ mod tests {
         assert_eq!(Half::from_f32(1e6), Half::INFINITY);
         assert_eq!(Half::from_f32(-1e6), Half::NEG_INFINITY);
         assert_eq!(Half::from_f32(65504.0), Half::MAX, "max finite half");
-        assert!(Half::from_f32(65520.0).is_infinite(), "just past max rounds to inf");
+        assert!(
+            Half::from_f32(65520.0).is_infinite(),
+            "just past max rounds to inf"
+        );
     }
 
     #[test]

@@ -83,7 +83,9 @@ pub fn uniform(rows: usize, cols: usize, sparsity: f64, seed: u64) -> CsrMatrix<
     assert!((0.0..=1.0).contains(&sparsity), "sparsity must be in [0,1]");
     let mut rng = StdRng::seed_from_u64(seed);
     let p = 1.0 - sparsity;
-    let lens: Vec<usize> = (0..rows).map(|_| binomial_approx(cols, p, &mut rng)).collect();
+    let lens: Vec<usize> = (0..rows)
+        .map(|_| binomial_approx(cols, p, &mut rng))
+        .collect();
     from_row_lengths(rows, cols, &lens, &mut rng)
 }
 
@@ -100,7 +102,13 @@ pub fn balanced(rows: usize, cols: usize, nnz_per_row: usize, seed: u64) -> CsrM
 /// drawn from a lognormal distribution whose CoV equals `target_cov`, then
 /// rescaled so the matrix hits the requested sparsity. This is the
 /// load-imbalance dial of Figure 7.
-pub fn with_cov(rows: usize, cols: usize, sparsity: f64, target_cov: f64, seed: u64) -> CsrMatrix<f32> {
+pub fn with_cov(
+    rows: usize,
+    cols: usize,
+    sparsity: f64,
+    target_cov: f64,
+    seed: u64,
+) -> CsrMatrix<f32> {
     assert!((0.0..=1.0).contains(&sparsity));
     assert!(target_cov >= 0.0);
     let mut rng = StdRng::seed_from_u64(seed);
@@ -152,7 +160,13 @@ pub fn with_cov(rows: usize, cols: usize, sparsity: f64, target_cov: f64, seed: 
 /// Heavy-tailed "scientific computing" matrix: row lengths follow a Pareto
 /// distribution (shape `alpha`, smaller = heavier tail), producing the high
 /// CoV and extreme sparsity of the SuiteSparse corpus in Figure 2.
-pub fn power_law(rows: usize, cols: usize, avg_row_len: f64, alpha: f64, seed: u64) -> CsrMatrix<f32> {
+pub fn power_law(
+    rows: usize,
+    cols: usize,
+    avg_row_len: f64,
+    alpha: f64,
+    seed: u64,
+) -> CsrMatrix<f32> {
     assert!(alpha > 1.0, "Pareto needs alpha > 1 for a finite mean");
     let mut rng = StdRng::seed_from_u64(seed);
     // Pareto(x_m, alpha) has mean alpha*x_m/(alpha-1).
@@ -173,7 +187,12 @@ pub fn power_law(rows: usize, cols: usize, avg_row_len: f64, alpha: f64, seed: u
 /// with probability inversely proportional to the distance from the
 /// diagonal, calibrated so the off-diagonal region has sparsity
 /// `off_diag_sparsity` (0.95 in the paper).
-pub fn attention_mask(seq: usize, band: usize, off_diag_sparsity: f64, seed: u64) -> CsrMatrix<f32> {
+pub fn attention_mask(
+    seq: usize,
+    band: usize,
+    off_diag_sparsity: f64,
+    seed: u64,
+) -> CsrMatrix<f32> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut row_offsets = Vec::with_capacity(seq + 1);
     let mut col_indices: Vec<u32> = Vec::new();
@@ -268,11 +287,22 @@ mod tests {
         for &cov in &[0.0, 0.3, 0.6, 1.0, 1.5] {
             let m = with_cov(2048, 2048, 0.75, cov, 11);
             let s = matrix_stats(&m);
-            assert!((s.sparsity - 0.75).abs() < 0.05, "cov={cov}: sparsity {}", s.sparsity);
+            assert!(
+                (s.sparsity - 0.75).abs() < 0.05,
+                "cov={cov}: sparsity {}",
+                s.sparsity
+            );
             // Tight at moderate CoV; the clamped tail loosens the extreme end.
             let tol = if cov <= 1.0 { 0.2 } else { 0.35 };
-            assert!((s.row_cov - cov).abs() < tol, "target cov {cov}, got {}", s.row_cov);
-            assert!(s.row_cov > prev, "achieved CoV must increase with the target");
+            assert!(
+                (s.row_cov - cov).abs() < tol,
+                "target cov {cov}, got {}",
+                s.row_cov
+            );
+            assert!(
+                s.row_cov > prev,
+                "achieved CoV must increase with the target"
+            );
             prev = s.row_cov;
         }
     }
@@ -284,14 +314,22 @@ mod tests {
         let s = matrix_stats(&m);
         let cap = ((512.0 - 128.0f64) / 128.0).sqrt();
         assert!(s.row_cov <= cap + 0.1, "cov {} above cap {cap}", s.row_cov);
-        assert!(s.row_cov > cap * 0.6, "cov {} too far below cap {cap}", s.row_cov);
+        assert!(
+            s.row_cov > cap * 0.6,
+            "cov {} too far below cap {cap}",
+            s.row_cov
+        );
     }
 
     #[test]
     fn power_law_has_high_cov() {
         let m = power_law(4096, 4096, 8.0, 1.3, 5);
         let s = matrix_stats(&m);
-        assert!(s.row_cov > 1.0, "scientific matrices should be imbalanced, cov {}", s.row_cov);
+        assert!(
+            s.row_cov > 1.0,
+            "scientific matrices should be imbalanced, cov {}",
+            s.row_cov
+        );
         assert!(s.sparsity > 0.99, "sparsity {}", s.sparsity);
     }
 
@@ -314,7 +352,10 @@ mod tests {
         let off_candidates: usize = (0..seq).map(|i| i.saturating_sub(band)).sum();
         let off_nnz = m.nnz() - band_nnz;
         let off_density = off_nnz as f64 / off_candidates as f64;
-        assert!((off_density - 0.05).abs() < 0.02, "off-diag density {off_density}");
+        assert!(
+            (off_density - 0.05).abs() < 0.02,
+            "off-diag density {off_density}"
+        );
     }
 
     #[test]

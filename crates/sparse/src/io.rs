@@ -55,18 +55,29 @@ pub fn read_smtx<R: BufRead>(r: R) -> Result<CsrMatrix<f32>, SmtxError> {
         .ok_or_else(|| SmtxError::Parse("missing header".into()))??;
     let parts: Vec<&str> = header.split(',').map(|s| s.trim()).collect();
     if parts.len() != 3 {
-        return Err(SmtxError::Parse(format!("header must be 'rows, cols, nnz', got '{header}'")));
+        return Err(SmtxError::Parse(format!(
+            "header must be 'rows, cols, nnz', got '{header}'"
+        )));
     }
-    let rows: usize = parts[0].parse().map_err(|e| SmtxError::Parse(format!("rows: {e}")))?;
-    let cols: usize = parts[1].parse().map_err(|e| SmtxError::Parse(format!("cols: {e}")))?;
-    let nnz: usize = parts[2].parse().map_err(|e| SmtxError::Parse(format!("nnz: {e}")))?;
+    let rows: usize = parts[0]
+        .parse()
+        .map_err(|e| SmtxError::Parse(format!("rows: {e}")))?;
+    let cols: usize = parts[1]
+        .parse()
+        .map_err(|e| SmtxError::Parse(format!("cols: {e}")))?;
+    let nnz: usize = parts[2]
+        .parse()
+        .map_err(|e| SmtxError::Parse(format!("nnz: {e}")))?;
 
     let offsets_line = lines
         .next()
         .ok_or_else(|| SmtxError::Parse("missing row offsets".into()))??;
     let row_offsets: Vec<u32> = offsets_line
         .split_whitespace()
-        .map(|t| t.parse().map_err(|e| SmtxError::Parse(format!("offset: {e}"))))
+        .map(|t| {
+            t.parse()
+                .map_err(|e| SmtxError::Parse(format!("offset: {e}")))
+        })
         .collect::<Result<_, _>>()?;
 
     // The format always has three lines; a missing indices line is a
@@ -76,7 +87,10 @@ pub fn read_smtx<R: BufRead>(r: R) -> Result<CsrMatrix<f32>, SmtxError> {
         .ok_or_else(|| SmtxError::Parse("truncated file: missing column indices line".into()))??;
     let col_indices: Vec<u32> = indices_line
         .split_whitespace()
-        .map(|t| t.parse().map_err(|e| SmtxError::Parse(format!("index: {e}"))))
+        .map(|t| {
+            t.parse()
+                .map_err(|e| SmtxError::Parse(format!("index: {e}")))
+        })
         .collect::<Result<_, _>>()?;
 
     if col_indices.len() != nnz {

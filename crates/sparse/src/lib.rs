@@ -36,8 +36,8 @@ pub use block::{block_magnitude_retention, block_prune, BsrMatrix};
 pub use coo::{CooMatrix, DuplicatePolicy};
 pub use csr::{CsrError, CsrMatrix};
 pub use dense::{Layout, Matrix};
-pub use ell::EllMatrix;
 pub use element::{IndexWidth, Scalar};
+pub use ell::EllMatrix;
 pub use f16::Half;
 pub use stats::{matrix_stats, MatrixStats};
 pub use swizzle::RowSwizzle;

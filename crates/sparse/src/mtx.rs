@@ -43,12 +43,18 @@ pub fn read_mtx<R: BufRead>(r: R) -> Result<CsrMatrix<f32>, MtxError> {
     let header = lines
         .next()
         .ok_or_else(|| MtxError::Parse("empty file".into()))??;
-    let tokens: Vec<String> = header.split_whitespace().map(|t| t.to_lowercase()).collect();
+    let tokens: Vec<String> = header
+        .split_whitespace()
+        .map(|t| t.to_lowercase())
+        .collect();
     if tokens.len() < 4 || tokens[0] != "%%matrixmarket" || tokens[1] != "matrix" {
         return Err(MtxError::Parse(format!("bad header: '{header}'")));
     }
     if tokens[2] != "coordinate" {
-        return Err(MtxError::Unsupported(format!("format '{}' (only coordinate)", tokens[2])));
+        return Err(MtxError::Unsupported(format!(
+            "format '{}' (only coordinate)",
+            tokens[2]
+        )));
     }
     let field = tokens[3].as_str();
     let pattern = match field {
@@ -60,7 +66,9 @@ pub fn read_mtx<R: BufRead>(r: R) -> Result<CsrMatrix<f32>, MtxError> {
     // malformed header, not implicitly `general` — guessing here silently
     // mis-reads symmetric matrices written by sloppy producers.
     let symmetry = tokens.get(4).ok_or_else(|| {
-        MtxError::Parse(format!("header missing symmetry token (general|symmetric): '{header}'"))
+        MtxError::Parse(format!(
+            "header missing symmetry token (general|symmetric): '{header}'"
+        ))
     })?;
     let symmetric = match symmetry.as_str() {
         "general" => false,
@@ -84,7 +92,9 @@ pub fn read_mtx<R: BufRead>(r: R) -> Result<CsrMatrix<f32>, MtxError> {
         .map(|t| t.parse().map_err(|e| MtxError::Parse(format!("size: {e}"))))
         .collect::<Result<_, _>>()?;
     if dims.len() != 3 {
-        return Err(MtxError::Parse(format!("size line needs 'rows cols nnz', got '{size_line}'")));
+        return Err(MtxError::Parse(format!(
+            "size line needs 'rows cols nnz', got '{size_line}'"
+        )));
     }
     let (rows, cols, nnz) = (dims[0], dims[1], dims[2]);
 
@@ -117,7 +127,9 @@ pub fn read_mtx<R: BufRead>(r: R) -> Result<CsrMatrix<f32>, MtxError> {
                 .map_err(|e| MtxError::Parse(format!("value: {e}")))?
         };
         if r == 0 || c == 0 || r > rows || c > cols {
-            return Err(MtxError::Parse(format!("entry ({r},{c}) out of 1-indexed bounds")));
+            return Err(MtxError::Parse(format!(
+                "entry ({r},{c}) out of 1-indexed bounds"
+            )));
         }
         coo.push(r - 1, c - 1, v)
             .map_err(|e| MtxError::Parse(e.to_string()))?;
@@ -128,9 +140,12 @@ pub fn read_mtx<R: BufRead>(r: R) -> Result<CsrMatrix<f32>, MtxError> {
         seen += 1;
     }
     if seen != nnz {
-        return Err(MtxError::Parse(format!("header claims {nnz} entries, found {seen}")));
+        return Err(MtxError::Parse(format!(
+            "header claims {nnz} entries, found {seen}"
+        )));
     }
-    coo.to_csr(DuplicatePolicy::Sum).map_err(|e| MtxError::Parse(e.to_string()))
+    coo.to_csr(DuplicatePolicy::Sum)
+        .map_err(|e| MtxError::Parse(e.to_string()))
 }
 
 /// Write a CSR matrix as `matrix coordinate real general`.
@@ -163,7 +178,8 @@ mod tests {
 
     #[test]
     fn parses_pattern_and_comments() {
-        let text = b"%%MatrixMarket matrix coordinate pattern general\n% comment\n\n2 3 2\n1 1\n2 3\n";
+        let text =
+            b"%%MatrixMarket matrix coordinate pattern general\n% comment\n\n2 3 2\n1 1\n2 3\n";
         let m = read_mtx(io::BufReader::new(&text[..])).unwrap();
         assert_eq!(m.nnz(), 2);
         assert_eq!(m.values(), &[1.0, 1.0]);
@@ -172,7 +188,8 @@ mod tests {
 
     #[test]
     fn expands_symmetric() {
-        let text = b"%%MatrixMarket matrix coordinate real symmetric\n3 3 3\n1 1 5.0\n2 1 2.0\n3 2 4.0\n";
+        let text =
+            b"%%MatrixMarket matrix coordinate real symmetric\n3 3 3\n1 1 5.0\n2 1 2.0\n3 2 4.0\n";
         let m = read_mtx(io::BufReader::new(&text[..])).unwrap();
         assert_eq!(m.nnz(), 5, "off-diagonal entries mirrored, diagonal not");
         let d = m.to_dense();

@@ -25,7 +25,9 @@ pub struct RowSwizzle {
 impl RowSwizzle {
     /// The identity ordering (what a kernel without load balancing uses).
     pub fn identity(rows: usize) -> Self {
-        Self { order: (0..rows as u32).collect() }
+        Self {
+            order: (0..rows as u32).collect(),
+        }
     }
 
     /// Argsort of rows by decreasing nonzero count. Ties keep the original

@@ -14,7 +14,9 @@ use std::io::BufReader;
 use std::path::{Path, PathBuf};
 
 fn fixture(name: &str) -> PathBuf {
-    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name)
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
 }
 
 fn smtx(name: &str) -> Result<sparse::CsrMatrix<f32>, SmtxError> {
@@ -27,7 +29,10 @@ fn mtx(name: &str) -> Result<sparse::CsrMatrix<f32>, MtxError> {
 
 #[test]
 fn smtx_truncated_offsets_line() {
-    assert!(matches!(smtx("truncated_offsets.smtx"), Err(SmtxError::Parse(_))));
+    assert!(matches!(
+        smtx("truncated_offsets.smtx"),
+        Err(SmtxError::Parse(_))
+    ));
 }
 
 #[test]
@@ -48,7 +53,11 @@ fn smtx_non_monotone_offsets() {
 fn smtx_column_out_of_bounds() {
     assert!(matches!(
         smtx("column_out_of_bounds.smtx"),
-        Err(SmtxError::Invalid(CsrError::ColumnOutOfBounds { col: 5, cols: 2, .. }))
+        Err(SmtxError::Invalid(CsrError::ColumnOutOfBounds {
+            col: 5,
+            cols: 2,
+            ..
+        }))
     ));
 }
 
@@ -63,14 +72,20 @@ fn smtx_duplicate_entries_in_row() {
 
 #[test]
 fn smtx_nnz_mismatch() {
-    assert!(matches!(smtx("nnz_mismatch.smtx"), Err(SmtxError::Parse(_))));
+    assert!(matches!(
+        smtx("nnz_mismatch.smtx"),
+        Err(SmtxError::Parse(_))
+    ));
 }
 
 #[test]
 fn smtx_bad_offset_length() {
     assert!(matches!(
         smtx("bad_offset_len.smtx"),
-        Err(SmtxError::Invalid(CsrError::BadOffsetLen { expected: 3, got: 2 }))
+        Err(SmtxError::Invalid(CsrError::BadOffsetLen {
+            expected: 3,
+            got: 2
+        }))
     ));
 }
 
@@ -104,7 +119,10 @@ fn mtx_short_entry_line() {
 
 #[test]
 fn mtx_unsupported_field() {
-    assert!(matches!(mtx("unsupported_field.mtx"), Err(MtxError::Unsupported(_))));
+    assert!(matches!(
+        mtx("unsupported_field.mtx"),
+        Err(MtxError::Unsupported(_))
+    ));
 }
 
 #[test]
@@ -115,7 +133,10 @@ fn mtx_zero_indexed_entry() {
 
 #[test]
 fn mtx_unsupported_format() {
-    assert!(matches!(mtx("unsupported_format.mtx"), Err(MtxError::Unsupported(_))));
+    assert!(matches!(
+        mtx("unsupported_format.mtx"),
+        Err(MtxError::Unsupported(_))
+    ));
 }
 
 /// Sweep: every fixture in the corpus directory must parse to `Err`, never
@@ -139,5 +160,8 @@ fn every_fixture_errors_without_panicking() {
             _ => {}
         }
     }
-    assert!(checked >= 15, "fixture corpus went missing: only {checked} files checked");
+    assert!(
+        checked >= 15,
+        "fixture corpus went missing: only {checked} files checked"
+    );
 }

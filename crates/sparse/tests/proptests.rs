@@ -6,11 +6,8 @@ use sparse::{gen, stats, CsrMatrix, Half, Matrix, RowSwizzle};
 /// Strategy: a small dense matrix with ~half the entries zeroed.
 fn dense_matrix() -> impl Strategy<Value = Matrix<f32>> {
     (1usize..24, 1usize..24).prop_flat_map(|(r, c)| {
-        proptest::collection::vec(
-            prop_oneof![3 => Just(0.0f32), 2 => -100.0f32..100.0],
-            r * c,
-        )
-        .prop_map(move |data| Matrix::from_vec(r, c, data))
+        proptest::collection::vec(prop_oneof![3 => Just(0.0f32), 2 => -100.0f32..100.0], r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data))
     })
 }
 

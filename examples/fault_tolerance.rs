@@ -5,6 +5,10 @@
 //! cargo run --release --example fault_tolerance
 //! ```
 
+// Examples crash loudly on purpose; the workspace-wide unwrap/expect denial
+// is for library code.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use gpu_sim::{FaultKind, FaultPlan, Gpu};
 use sparse::{gen, Matrix};
 use sputnik::{dispatch, reference, try_spmm, DispatchPolicy, SpmmConfig};
@@ -27,13 +31,17 @@ fn main() {
     let gpu = Gpu::v100();
     let policy = DispatchPolicy::default();
     let (out, report) = dispatch::spmm(&gpu, &a, &b, cfg, &policy).expect("clean dispatch");
-    println!("clean device    : served by {} (clean: {})", report.served_by, report.clean());
+    println!(
+        "clean device    : served by {} (clean: {})",
+        report.served_by,
+        report.clean()
+    );
     assert_eq!(out.as_slice(), expect.as_slice());
 
     // 3. Every Sputnik launch fails with an ECC error: the ladder degrades to
     //    the conservative fallback kernel and still returns bit-correct output.
-    let gpu = Gpu::v100()
-        .with_fault_plan(FaultPlan::fail_all(FaultKind::EccError).matching("sputnik"));
+    let gpu =
+        Gpu::v100().with_fault_plan(FaultPlan::fail_all(FaultKind::EccError).matching("sputnik"));
     let (out, report) = dispatch::spmm(&gpu, &a, &b, cfg, &policy).expect("degraded dispatch");
     println!(
         "all-ECC device  : served by {} after {} failed attempts ({:.0} us backoff)",
@@ -41,7 +49,11 @@ fn main() {
         report.attempts.len(),
         report.backoff_us
     );
-    assert_eq!(out.as_slice(), expect.as_slice(), "degraded result must stay bit-correct");
+    assert_eq!(
+        out.as_slice(),
+        expect.as_slice(),
+        "degraded result must stay bit-correct"
+    );
 
     // 4. Silent corruption: outputs are NaN-poisoned, launches "succeed", and
     //    the post-launch guards catch it anyway.

@@ -7,6 +7,10 @@
 //! cargo run --release --example kernel_tuning
 //! ```
 
+// Examples crash loudly on purpose; the workspace-wide unwrap/expect denial
+// is for library code.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use gpu_sim::Gpu;
 use sparse::gen;
 use sputnik::SpmmConfig;
@@ -69,12 +73,40 @@ fn main() {
     // Ablations on the best config, the Table II story for this problem.
     println!("\nablations on the heuristic config:");
     for (name, cfg) in [
-        ("-row swizzle", SpmmConfig { row_swizzle: false, ..heuristic }),
-        ("-ROMA (scalar A loads)", SpmmConfig { roma: false, ..heuristic }),
-        ("-residue unroll", SpmmConfig { residue_unroll: false, ..heuristic }),
-        ("-index pre-scale", SpmmConfig { index_prescale: false, ..heuristic }),
+        (
+            "-row swizzle",
+            SpmmConfig {
+                row_swizzle: false,
+                ..heuristic
+            },
+        ),
+        (
+            "-ROMA (scalar A loads)",
+            SpmmConfig {
+                roma: false,
+                ..heuristic
+            },
+        ),
+        (
+            "-residue unroll",
+            SpmmConfig {
+                residue_unroll: false,
+                ..heuristic
+            },
+        ),
+        (
+            "-index pre-scale",
+            SpmmConfig {
+                index_prescale: false,
+                ..heuristic
+            },
+        ),
     ] {
         let t = sputnik::spmm_profile::<f32>(&gpu, &a, k, n, cfg).time_us;
-        println!("  {name:<24} {:.1} us ({:.1}% of full)", t, 100.0 * heuristic_us / t);
+        println!(
+            "  {name:<24} {:.1} us ({:.1}% of full)",
+            t,
+            100.0 * heuristic_us / t
+        );
     }
 }

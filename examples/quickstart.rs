@@ -24,11 +24,18 @@ fn main() {
     let (m, k, n) = (1024, 1024, 128);
     let a = gen::uniform(m, k, 0.8, 42);
     let b = Matrix::<f32>::random(k, n, 43);
-    println!("\nA: {m}x{k} with {} nonzeros ({:.0}% sparse)", a.nnz(), a.sparsity() * 100.0);
+    println!(
+        "\nA: {m}x{k} with {} nonzeros ({:.0}% sparse)",
+        a.nnz(),
+        a.sparsity() * 100.0
+    );
 
     // --- SpMM: A (sparse) x B (dense) => C (dense) --------------------------
     let cfg = SpmmConfig::heuristic::<f32>(n);
-    println!("SpMM config: tile {}x{}, vector width {}", cfg.block_items_y, cfg.block_items_x, cfg.vector_width);
+    println!(
+        "SpMM config: tile {}x{}, vector width {}",
+        cfg.block_items_y, cfg.block_items_x, cfg.vector_width
+    );
     let (c, stats) = sputnik::spmm(&gpu, &a, &b, cfg);
     let expect = reference::spmm(&a, &b);
     println!(
@@ -38,11 +45,17 @@ fn main() {
         stats.frac_peak * 100.0,
         stats.bound_by
     );
-    println!("      max |err| vs reference: {:.2e}", c.max_abs_diff(&expect));
+    println!(
+        "      max |err| vs reference: {:.2e}",
+        c.max_abs_diff(&expect)
+    );
 
     // Compare against the cuSPARSE-style baseline.
     let cusp = baselines::cusparse_spmm_profile::<f32>(&gpu, &a, n);
-    println!("      speedup over cuSPARSE baseline: {:.2}x", cusp.time_us / stats.time_us);
+    println!(
+        "      speedup over cuSPARSE baseline: {:.2}x",
+        cusp.time_us / stats.time_us
+    );
 
     // --- SDDMM: (Q x K^T) sampled at a mask's nonzeros ----------------------
     let q = Matrix::<f32>::random(256, 64, 44);

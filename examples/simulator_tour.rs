@@ -31,11 +31,12 @@ fn main() {
     println!("\n== pipeline breakdown: Sputnik SpMM, 2048x2048 @ 80%, N=128 ==");
     let gpu = Gpu::v100();
     let a = gen::uniform(2048, 2048, 0.8, 42);
-    let stats = sputnik::spmm_profile::<f32>(&gpu, &a, 2048, 128, SpmmConfig::heuristic::<f32>(128));
+    let stats =
+        sputnik::spmm_profile::<f32>(&gpu, &a, 2048, 128, SpmmConfig::heuristic::<f32>(128));
     println!("{stats}");
     let total = stats.makespan_cycles.max(1.0);
     for (name, util) in stats.pipelines.utilizations(total) {
-        let bar: String = std::iter::repeat('#').take((util * 40.0).min(40.0) as usize).collect();
+        let bar: String = std::iter::repeat_n('#', (util * 40.0).min(40.0) as usize).collect();
         println!("  {name:>8} |{bar:<40}| {:5.1}%", util * 100.0);
     }
 

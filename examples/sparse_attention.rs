@@ -52,12 +52,18 @@ fn main() {
         .as_slice()
         .iter()
         .fold(0.0f32, |m, &x| m.max(x.abs()));
-    assert!(max_out <= bound + 1e-4, "sparse attention must stay within V's hull");
+    assert!(
+        max_out <= bound + 1e-4,
+        "sparse attention must stay within V's hull"
+    );
     let _ = dense_out;
 
     // --- Crossover sweep -----------------------------------------------------
     println!("\nseq sweep (band 64, 95% off-diagonal sparsity):");
-    println!("{:>6}  {:>12}  {:>12}  {:>8}", "seq", "dense (us)", "sparse (us)", "speedup");
+    println!(
+        "{:>6}  {:>12}  {:>12}  {:>8}",
+        "seq", "dense (us)", "sparse (us)", "speedup"
+    );
     for seq in [512usize, 1024, 2048, 4096, 8192] {
         let mask = gen::attention_mask(seq, 64, 0.95, 7);
         let dense = attention::dense_attention_profile(&gpu, seq, d);

@@ -21,10 +21,15 @@ fn main() {
     let input = Chw::random(c_in, hw, hw, 11);
 
     // Depthwise 3x3 with fused bias + ReLU.
-    let dw_filters: Vec<f32> = (0..c_in * 9).map(|i| ((i % 9) as f32 - 4.0) / 10.0).collect();
+    let dw_filters: Vec<f32> = (0..c_in * 9)
+        .map(|i| ((i % 9) as f32 - 4.0) / 10.0)
+        .collect();
     let dw_bias = vec![0.05f32; c_in];
     let (dw_out, dw_stats) = layers::depthwise_conv(&gpu, &input, &dw_filters, &dw_bias, 1);
-    println!("depthwise 3x3 ({c_in}ch, {hw}x{hw}): {:.1} us simulated", dw_stats.time_us);
+    println!(
+        "depthwise 3x3 ({c_in}ch, {hw}x{hw}): {:.1} us simulated",
+        dw_stats.time_us
+    );
 
     // Pointwise 1x1 = matrix multiply over the CHW activation matrix.
     let dense_w = Matrix::<f32>::random(c_out, c_in, 12);
@@ -44,15 +49,23 @@ fn main() {
     let (dense_out, dense_us) = dense_layer.forward(&gpu, &act);
     let (sparse_out, sparse_us) = sparse_layer.forward(&gpu, &act);
     println!("dense pointwise:  {dense_us:.1} us");
-    println!("sparse pointwise: {sparse_us:.1} us ({:.2}x)", dense_us / sparse_us);
+    println!(
+        "sparse pointwise: {sparse_us:.1} us ({:.2}x)",
+        dense_us / sparse_us
+    );
 
     // The sparse output uses pruned weights, so it differs from dense — but
     // at identical topology the kernels agree; verify against the reference.
     let expect = sputnik::reference::bias_relu(
         &sputnik::reference::spmm(&sparse_w, &act),
-        &(0..c_out).map(|i| (i as f32 - 64.0) / 256.0).collect::<Vec<_>>(),
+        &(0..c_out)
+            .map(|i| (i as f32 - 64.0) / 256.0)
+            .collect::<Vec<_>>(),
     );
-    println!("sparse kernel max |err| vs reference: {:.2e}", sparse_out.max_abs_diff(&expect));
+    println!(
+        "sparse kernel max |err| vs reference: {:.2e}",
+        sparse_out.max_abs_diff(&expect)
+    );
     let _ = dense_out;
 
     // --- Whole-network benchmark (cost model) --------------------------------

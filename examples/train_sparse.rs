@@ -2,12 +2,12 @@
 //!
 //! A weight-sparse layer trained with SGD on a toy regression problem:
 //!
-//! * forward:   `Y = W X`                    (SpMM)
-//! * weight grad: `dW = dY X^T ⊙ I[W]`       (SDDMM — topology preserved)
-//! * input grad:  `dX = W^T dY`              (transposed SpMM via the
-//!                                            cached-transpose scheme)
-//! * update:     `W -= lr * dW`, then refresh the cached W^T values with
-//!               the amortized permute kernel (no topology rebuild).
+//! * forward: `Y = W X` (SpMM)
+//! * weight grad: `dW = dY X^T ⊙ I[W]` (SDDMM — topology preserved)
+//! * input grad: `dX = W^T dY` (transposed SpMM via the cached-transpose
+//!   scheme)
+//! * update: `W -= lr * dW`, then refresh the cached W^T values with the
+//!   amortized permute kernel (no topology rebuild).
 //!
 //! ```bash
 //! cargo run --release --example train_sparse
@@ -48,7 +48,10 @@ fn main() {
     // for U(-1,1) inputs; run just under it.
     let lr = 5.0f32 / k as f32;
 
-    println!("\n{:>5}  {:>12}  {:>10}  {:>10}  {:>10}  {:>9}", "step", "loss", "fwd (us)", "dW (us)", "dX (us)", "upd (us)");
+    println!(
+        "\n{:>5}  {:>12}  {:>10}  {:>10}  {:>10}  {:>9}",
+        "step", "loss", "fwd (us)", "dW (us)", "dX (us)", "upd (us)"
+    );
     let mut first_loss = f32::INFINITY;
     let mut last_loss = 0.0f32;
     for step in 0..60 {
@@ -96,7 +99,10 @@ fn main() {
         last_loss = loss;
     }
 
-    assert!(last_loss < first_loss * 0.5, "training must reduce the loss substantially");
+    assert!(
+        last_loss < first_loss * 0.5,
+        "training must reduce the loss substantially"
+    );
     println!("\nloss fell {:.1}x over 60 steps.", first_loss / last_loss);
     println!("Note the amortization: the swizzle and transpose topology were built once;");
     println!("each step pays only the value permute — the Section IX scheme.");

@@ -12,7 +12,8 @@ use sputnik::SpmmConfig;
 fn spmm_peak_fraction_band() {
     let gpu = Gpu::v100();
     let a = gen::uniform(8192, 4096, 0.7, 2001);
-    let stats = sputnik::spmm_profile::<f32>(&gpu, &a, 4096, 256, SpmmConfig::heuristic::<f32>(256));
+    let stats =
+        sputnik::spmm_profile::<f32>(&gpu, &a, 4096, 256, SpmmConfig::heuristic::<f32>(256));
     assert!(
         (0.15..0.40).contains(&stats.frac_peak),
         "best-case SpMM should be near the paper's 27% of peak, got {:.1}%",
@@ -31,7 +32,8 @@ fn figure1_crossover_band() {
     let mut crossover = None;
     for s in [0.5, 0.55, 0.6, 0.65, 0.7, 0.75, 0.8, 0.85] {
         let a = gen::uniform(m, k, s, 2002);
-        let t = sputnik::spmm_profile::<f32>(&gpu, &a, k, n, SpmmConfig::heuristic::<f32>(n)).time_us;
+        let t =
+            sputnik::spmm_profile::<f32>(&gpu, &a, k, n, SpmmConfig::heuristic::<f32>(n)).time_us;
         if t < dense_us {
             crossover = Some(s);
             break;
@@ -55,14 +57,22 @@ fn corpus_speedup_band() {
         .map(|spec| {
             let a = spec.generate();
             let n = spec.n(spec.batch_sizes().1);
-            let ours =
-                sputnik::spmm_profile::<f32>(&gpu, &a, spec.cols, n, SpmmConfig::heuristic::<f32>(n));
+            let ours = sputnik::spmm_profile::<f32>(
+                &gpu,
+                &a,
+                spec.cols,
+                n,
+                SpmmConfig::heuristic::<f32>(n),
+            );
             let cusp = baselines::cusparse_spmm_profile::<f32>(&gpu, &a, n);
             cusp.time_us / ours.time_us
         })
         .collect();
     let geo = sparse::stats::geometric_mean(&speedups);
-    assert!((2.0..7.0).contains(&geo), "geo-mean speedup {geo:.2}x outside the paper band (3.58x)");
+    assert!(
+        (2.0..7.0).contains(&geo),
+        "geo-mean speedup {geo:.2}x outside the paper band (3.58x)"
+    );
 }
 
 /// Paper Figure 7: at the feasible CoV maximum, the standard ordering falls
@@ -78,11 +88,22 @@ fn figure7_anchors() {
 
     let worst = gen::with_cov(m, k, 0.75, 1.7, 2005);
     let with = sputnik::spmm_profile::<f32>(&gpu, &worst, k, n, cfg);
-    let without =
-        sputnik::spmm_profile::<f32>(&gpu, &worst, k, n, SpmmConfig { row_swizzle: false, ..cfg });
+    let without = sputnik::spmm_profile::<f32>(
+        &gpu,
+        &worst,
+        k,
+        n,
+        SpmmConfig {
+            row_swizzle: false,
+            ..cfg
+        },
+    );
     let swizzle_pct = (with.flops as f64 / with.time_us) / base_eff;
     let standard_pct = (without.flops as f64 / without.time_us) / base_eff;
-    assert!(swizzle_pct > 0.90, "swizzle retains {swizzle_pct:.2} (paper 0.965)");
+    assert!(
+        swizzle_pct > 0.90,
+        "swizzle retains {swizzle_pct:.2} (paper 0.965)"
+    );
     assert!(
         (0.35..0.65).contains(&standard_pct),
         "standard ordering at {standard_pct:.2} (paper 0.475)"
@@ -94,7 +115,11 @@ fn figure7_anchors() {
 fn cublas_model_bands() {
     let gpu = Gpu::v100();
     let big = baselines::gemm_profile(&gpu, 4096, 4096, 4096);
-    assert!(big.frac_peak > 0.55, "square SGEMM {:.2} of peak", big.frac_peak);
+    assert!(
+        big.frac_peak > 0.55,
+        "square SGEMM {:.2} of peak",
+        big.frac_peak
+    );
     let skinny = baselines::gemm_profile(&gpu, 8192, 2048, 128);
     assert!(skinny.frac_peak < big.frac_peak);
     // DRAM bandwidth never exceeds the device's.
@@ -116,7 +141,17 @@ fn no_kernel_exceeds_device_limits() {
         baselines::gemm_profile(&gpu, 2048, 2048, 2048),
     ];
     for s in checks {
-        assert!(s.tflops <= peak * 1.001, "{}: {} TFLOP/s exceeds peak", s.kernel, s.tflops);
-        assert!(s.dram_gbps <= bw * 1.01, "{}: {} GB/s exceeds bandwidth", s.kernel, s.dram_gbps);
+        assert!(
+            s.tflops <= peak * 1.001,
+            "{}: {} TFLOP/s exceeds peak",
+            s.kernel,
+            s.tflops
+        );
+        assert!(
+            s.dram_gbps <= bw * 1.01,
+            "{}: {} GB/s exceeds bandwidth",
+            s.kernel,
+            s.dram_gbps
+        );
     }
 }

@@ -39,7 +39,10 @@ fn batched_equals_unbatched() {
     let batched = sputnik::spmm_batched(&gpu, &a, &refs, cfg);
     for (out, b) in batched.outputs.iter().zip(&heads) {
         let (solo, _) = sputnik::spmm(&gpu, &a, b, cfg);
-        assert!(out.max_abs_diff(&solo) < 1e-6, "batched must equal unbatched exactly");
+        assert!(
+            out.max_abs_diff(&solo) < 1e-6,
+            "batched must equal unbatched exactly"
+        );
     }
     assert!(batched.stream_us <= batched.naive_us);
 }
@@ -110,7 +113,15 @@ fn padding_and_roma_agree() {
 
     let (roma_out, _) = sputnik::spmm(&gpu, &a, &b, cfg);
     let padded = a.padded_to_multiple(cfg.vector_width as usize).unwrap();
-    let (pad_out, _) =
-        sputnik::spmm(&gpu, &padded, &b, SpmmConfig { roma: false, assume_aligned: true, ..cfg });
+    let (pad_out, _) = sputnik::spmm(
+        &gpu,
+        &padded,
+        &b,
+        SpmmConfig {
+            roma: false,
+            assume_aligned: true,
+            ..cfg
+        },
+    );
     assert!(roma_out.max_abs_diff(&pad_out) < 1e-4);
 }

@@ -24,7 +24,12 @@ fn all_spmm_implementations_agree() {
         &gpu,
         &a,
         &b,
-        SpmmConfig { vector_width: 1, roma: false, block_items_x: 32, ..SpmmConfig::default() },
+        SpmmConfig {
+            vector_width: 1,
+            roma: false,
+            block_items_x: 32,
+            ..SpmmConfig::default()
+        },
     );
     assert!(ours_scalar.max_abs_diff(&expect) < 1e-3, "sputnik scalar");
 
@@ -32,7 +37,10 @@ fn all_spmm_implementations_agree() {
     let (cusp, _) = baselines::cusparse_spmm(&gpu, &a, &b_cm);
     for r in 0..256 {
         for c in 0..32 {
-            assert!((cusp.get(r, c) - expect.get(r, c)).abs() < 1e-3, "cusparse ({r},{c})");
+            assert!(
+                (cusp.get(r, c) - expect.get(r, c)).abs() < 1e-3,
+                "cusparse ({r},{c})"
+            );
         }
     }
 
@@ -104,8 +112,12 @@ fn training_step_roundtrip() {
 
     // SGD update on the values only (topology unchanged).
     let lr = 0.01f32;
-    let new_values: Vec<f32> =
-        w.values().iter().zip(dw.values()).map(|(w, g)| w - lr * g).collect();
+    let new_values: Vec<f32> = w
+        .values()
+        .iter()
+        .zip(dw.values())
+        .map(|(w, g)| w - lr * g)
+        .collect();
     let w2 = w.with_values(new_values);
     assert!(w2.same_pattern(&w));
 
@@ -143,7 +155,11 @@ fn attention_pipelines_agree_on_full_causal_mask() {
         let exps: Vec<f32> = logits.iter().map(|&x| (x - max).exp()).collect();
         let sum: f32 = exps.iter().sum();
         for l in 0..d {
-            let want: f32 = exps.iter().enumerate().map(|(j, &e)| e / sum * v.get(j, l)).sum();
+            let want: f32 = exps
+                .iter()
+                .enumerate()
+                .map(|(j, &e)| e / sum * v.get(j, l))
+                .sum();
             assert!((sparse_ctx.get(i, l) - want).abs() < 1e-3, "({i},{l})");
         }
     }
@@ -179,7 +195,8 @@ fn mixed_precision_spmm_end_to_end() {
         }
     }
     // The f16 kernel must move fewer DRAM bytes than its f32 twin.
-    let f32_stats = sputnik::spmm_profile::<f32>(&gpu, &a32, 96, 64, SpmmConfig::heuristic::<f32>(64));
+    let f32_stats =
+        sputnik::spmm_profile::<f32>(&gpu, &a32, 96, 64, SpmmConfig::heuristic::<f32>(64));
     assert!(stats.dram_bytes < f32_stats.dram_bytes);
 }
 
@@ -221,7 +238,12 @@ fn mobilenet_block_functional() {
     let w_dense = Matrix::<f32>::random(16, 8, 1022);
     let w_sparse = CsrMatrix::from_dense(&w_dense);
     let act = dw_out.as_matrix();
-    let (y_sparse, _) = sputnik::spmm(&gpu, &w_sparse, &act, SpmmConfig::heuristic::<f32>(act.cols()));
+    let (y_sparse, _) = sputnik::spmm(
+        &gpu,
+        &w_sparse,
+        &act,
+        SpmmConfig::heuristic::<f32>(act.cols()),
+    );
     let (y_dense, _) = baselines::gemm(&gpu, &w_dense, &act);
     assert!(y_sparse.max_abs_diff(&y_dense) < 1e-3);
 }

@@ -13,6 +13,14 @@ impl Criterion {
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
         BenchmarkGroup { name: name.into() }
     }
+
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_once(&id.to_string(), &mut f);
+        self
+    }
 }
 
 pub struct BenchmarkGroup {
@@ -32,7 +40,12 @@ impl BenchmarkGroup {
         self
     }
 
-    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
     where
         F: FnMut(&mut Bencher, &I),
     {
@@ -40,7 +53,10 @@ impl BenchmarkGroup {
         let mut b = Bencher::default();
         let start = Instant::now();
         f(&mut b, input);
-        println!("bench {label}: {:.3} ms (single shot)", start.elapsed().as_secs_f64() * 1e3);
+        println!(
+            "bench {label}: {:.3} ms (single shot)",
+            start.elapsed().as_secs_f64() * 1e3
+        );
         self
     }
 
@@ -51,7 +67,10 @@ fn run_once<F: FnMut(&mut Bencher)>(label: &str, f: &mut F) {
     let mut b = Bencher::default();
     let start = Instant::now();
     f(&mut b);
-    println!("bench {label}: {:.3} ms (single shot)", start.elapsed().as_secs_f64() * 1e3);
+    println!(
+        "bench {label}: {:.3} ms (single shot)",
+        start.elapsed().as_secs_f64() * 1e3
+    );
 }
 
 #[derive(Default)]
@@ -70,7 +89,10 @@ pub struct BenchmarkId {
 
 impl BenchmarkId {
     pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
-        Self { function: function.into(), parameter: parameter.to_string() }
+        Self {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
     }
 }
 

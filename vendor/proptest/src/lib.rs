@@ -93,21 +93,30 @@ pub mod collection {
 
     impl From<usize> for SizeRange {
         fn from(n: usize) -> Self {
-            Self { min: n, max_exclusive: n + 1 }
+            Self {
+                min: n,
+                max_exclusive: n + 1,
+            }
         }
     }
 
     impl From<Range<usize>> for SizeRange {
         fn from(r: Range<usize>) -> Self {
             assert!(r.start < r.end, "empty size range");
-            Self { min: r.start, max_exclusive: r.end }
+            Self {
+                min: r.start,
+                max_exclusive: r.end,
+            }
         }
     }
 
     /// Strategy producing `Vec`s of `element` with a length drawn from
     /// `size`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     #[derive(Debug, Clone)]

@@ -36,7 +36,11 @@ pub trait Strategy {
         Self: Sized,
         F: Fn(&Self::Value) -> bool,
     {
-        Filter { base: self, reason, f }
+        Filter {
+            base: self,
+            reason,
+            f,
+        }
     }
 
     fn prop_filter_map<O, F>(self, reason: &'static str, f: F) -> FilterMap<Self, F>
@@ -44,7 +48,11 @@ pub trait Strategy {
         Self: Sized,
         F: Fn(Self::Value) -> Option<O>,
     {
-        FilterMap { base: self, reason, f }
+        FilterMap {
+            base: self,
+            reason,
+            f,
+        }
     }
 
     fn boxed(self) -> BoxedStrategy<Self::Value>
@@ -262,13 +270,19 @@ impl<T> Union<T> {
         assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
         let total_weight = options.iter().map(|&(w, _)| w as u64).sum();
         assert!(total_weight > 0, "prop_oneof! weights must not all be zero");
-        Self { options, total_weight }
+        Self {
+            options,
+            total_weight,
+        }
     }
 }
 
 impl<T> Clone for Union<T> {
     fn clone(&self) -> Self {
-        Self { options: self.options.clone(), total_weight: self.total_weight }
+        Self {
+            options: self.options.clone(),
+            total_weight: self.total_weight,
+        }
     }
 }
 
@@ -329,7 +343,10 @@ mod tests {
         let mut rng = TestRng::seed_from_u64(4);
         let s = crate::prop_oneof![3 => Just(0u8), 1 => Just(1u8)];
         let ones: u32 = (0..4000).map(|_| s.sample(&mut rng) as u32).sum();
-        assert!((700..1300).contains(&ones), "expected ~1000 ones, got {ones}");
+        assert!(
+            (700..1300).contains(&ones),
+            "expected ~1000 ones, got {ones}"
+        );
     }
 
     #[test]

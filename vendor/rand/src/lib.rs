@@ -124,7 +124,10 @@ mod tests {
         let mut a = StdRng::seed_from_u64(7);
         let mut b = StdRng::seed_from_u64(7);
         for _ in 0..100 {
-            assert_eq!(a.random_range(0u64..1_000_000), b.random_range(0u64..1_000_000));
+            assert_eq!(
+                a.random_range(0u64..1_000_000),
+                b.random_range(0u64..1_000_000)
+            );
         }
     }
 
@@ -151,7 +154,10 @@ mod tests {
             counts[rng.random_range(0usize..8)] += 1;
         }
         for &c in &counts {
-            assert!((9_000..11_000).contains(&c), "bucket count {c} far from uniform");
+            assert!(
+                (9_000..11_000).contains(&c),
+                "bucket count {c} far from uniform"
+            );
         }
     }
 }

@@ -22,7 +22,9 @@ impl fmt::Display for Error {
 impl std::error::Error for Error {}
 
 fn unavailable() -> Error {
-    Error { msg: "serde_json stub: serialization unavailable in offline build" }
+    Error {
+        msg: "serde_json stub: serialization unavailable in offline build",
+    }
 }
 
 pub fn to_string<T: serde::Serialize + ?Sized>(_value: &T) -> Result<String, Error> {

@@ -264,6 +264,27 @@ impl<T: Scalar> Kernel for AsptSpmmKernel<'_, T> {
         ]
     }
 
+    /// Structural cost signature: the panel's heavy-tile shapes (column
+    /// count and nonzeros per tile), per-row light nonzeros, and row count.
+    /// With N restricted to 32 or 128, `n * eb` is a multiple of 32, so the
+    /// traced B-row and output-strip addresses all sit on sector boundaries
+    /// (class 0) and the column tile `n0` drops out of every address class —
+    /// blocks in the same panel are identical across the whole grid row.
+    fn block_signature(&self, block: Dim3) -> Option<u64> {
+        let panel = &self.plan.panels[block.y as usize];
+        let mut fp = gpu_sim::Fingerprint::new();
+        for (tile_cols, tile_nnz) in &panel.heavy_tiles {
+            fp.write_u64(tile_cols.len() as u64);
+            fp.write_u64(*tile_nnz as u64);
+        }
+        fp.write_u64(u64::MAX); // separates the variable-length sections
+        for &lnnz in &panel.light_nnz {
+            fp.write_u64(lnnz as u64);
+        }
+        fp.write_u64((panel.row_end - panel.row_start) as u64);
+        Some(fp.finish())
+    }
+
     fn execute_block(&self, block: Dim3, ctx: &mut BlockContext) {
         let panel = &self.plan.panels[block.y as usize];
         let n0 = block.x as usize * 32;

@@ -113,6 +113,26 @@ impl Kernel for BlockSpmmKernel<'_> {
         ]
     }
 
+    /// Structural cost signature: live column-tile width, block-row length,
+    /// the meta-load and output-strip base alignment classes, and each
+    /// stored block's B-strip base class. With `bs` and `n` kernel-constant,
+    /// a strip's per-row trace addresses advance by a fixed stride from its
+    /// base, so the base class pins the whole sequence.
+    fn block_signature(&self, block: Dim3) -> Option<u64> {
+        let bs = self.a.block_size();
+        let br = block.y as usize;
+        let n0 = block.x as usize * TILE_N;
+        let mut fp = gpu_sim::Fingerprint::new();
+        fp.write_u64(TILE_N.min(self.n - n0) as u64);
+        fp.write_u64(br as u64 * 4 % 32);
+        fp.write_u64(self.a.block_row_len(br) as u64);
+        for (bc, _) in self.a.block_row(br) {
+            fp.write_u64((bc * bs * self.n + n0) as u64 * 4 % 32);
+        }
+        fp.write_u64((br * bs * self.n + n0) as u64 * 4 % 32);
+        Some(fp.finish())
+    }
+
     fn execute_block(&self, block: Dim3, ctx: &mut BlockContext) {
         let bs = self.a.block_size();
         let br = block.y as usize;

@@ -144,6 +144,20 @@ impl Kernel for GemmKernel<'_> {
         ]
     }
 
+    /// Structural cost signature: a dense tile's trace is fixed by its live
+    /// extent (full interior tiles vs edge-masked ones) and the sector
+    /// alignment of its output corner — every interior block of a large GEMM
+    /// collapses onto a handful of signatures.
+    fn block_signature(&self, block: Dim3) -> Option<u64> {
+        let row0 = block.y as usize * self.tile_m;
+        let col0 = block.x as usize * self.tile_n;
+        let mut fp = gpu_sim::Fingerprint::new();
+        fp.write_u64(self.tile_m.min(self.m - row0) as u64);
+        fp.write_u64(self.tile_n.min(self.n - col0) as u64);
+        fp.write_u64((row0 * self.n + col0) as u64 * 4 % 32);
+        Some(fp.finish())
+    }
+
     fn execute_block(&self, block: Dim3, ctx: &mut BlockContext) {
         let (tm, tn, threads) = (self.tile_m, self.tile_n, self.threads);
         let row0 = block.y as usize * tm;
@@ -296,6 +310,19 @@ impl Kernel for TransposeKernel<'_> {
                 pattern: AccessPattern::Streaming,
             },
         ]
+    }
+
+    /// Structural cost signature: live tile extent plus the alignment class
+    /// of the source and destination corners (strides are kernel constants).
+    fn block_signature(&self, block: Dim3) -> Option<u64> {
+        let r0 = block.y as usize * T_TILE;
+        let c0 = block.x as usize * T_TILE;
+        let mut fp = gpu_sim::Fingerprint::new();
+        fp.write_u64(T_TILE.min(self.rows - r0) as u64);
+        fp.write_u64(T_TILE.min(self.cols - c0) as u64);
+        fp.write_u64((r0 * self.cols + c0) as u64 * 4 % 32);
+        fp.write_u64((c0 * self.rows + r0) as u64 * 4 % 32);
+        Some(fp.finish())
     }
 
     fn execute_block(&self, block: Dim3, ctx: &mut BlockContext) {

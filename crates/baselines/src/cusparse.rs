@@ -130,6 +130,37 @@ impl<T: Scalar> Kernel for CusparseSpmmKernel<'_, T> {
         ]
     }
 
+    /// Structural cost signature: the live column-tile width plus, per warp
+    /// in the block, the row's nonzero count and the alignment classes of
+    /// its offset/value/index addresses. The strided B gathers and C stores
+    /// use constant bases and strides, so they need no per-block terms
+    /// beyond `tile_n` (and the empty-row store's base class).
+    fn block_signature(&self, block: Dim3) -> Option<u64> {
+        let eb = T::BYTES as u64;
+        let n0 = block.x as usize * 32;
+        let tile_n = 32.min(self.n - n0);
+        let mut fp = gpu_sim::Fingerprint::new();
+        fp.write_u64(tile_n as u64);
+        for w in 0..4usize {
+            let row = block.y as usize * 4 + w;
+            if row >= self.a.rows() {
+                fp.write_u64(u64::MAX);
+                continue;
+            }
+            let nnz = self.a.row_len(row) as u64;
+            fp.write_u64(nnz);
+            fp.write_u64(row as u64 * 4 % 32);
+            if nnz == 0 {
+                fp.write_u64((n0 * self.a.rows() + row) as u64 * eb % 32);
+            } else {
+                let offset = self.a.row_offsets()[row] as u64;
+                fp.write_u64(offset * eb % 32);
+                fp.write_u64(offset * 4 % 32);
+            }
+        }
+        Some(fp.finish())
+    }
+
     fn execute_block(&self, block: Dim3, ctx: &mut BlockContext) {
         let n0 = block.x as usize * 32;
         let tile_n = 32.min(self.n - n0);
@@ -257,6 +288,21 @@ impl<T: Scalar> Kernel for CusparseSpmmHalfFallbackKernel<'_, T> {
 
     fn buffers(&self) -> Vec<BufferSpec> {
         CusparseSpmmKernel::<T>::for_profile(self.a, self.n).buffers()
+    }
+
+    /// The degenerate path's cost is a pure function of each owned row's
+    /// nonzero count (all accesses are scalar, so no address classes matter).
+    fn block_signature(&self, block: Dim3) -> Option<u64> {
+        let mut fp = gpu_sim::Fingerprint::new();
+        for w in 0..2usize {
+            let row = block.x as usize * 2 + w;
+            if row >= self.a.rows() {
+                fp.write_u64(u64::MAX);
+            } else {
+                fp.write_u64(self.a.row_len(row) as u64);
+            }
+        }
+        Some(fp.finish())
     }
 
     fn execute_block(&self, block: Dim3, ctx: &mut BlockContext) {
@@ -404,6 +450,31 @@ impl<T: Scalar> Kernel for ConstrainedGemmKernel<'_, T> {
                 pattern: AccessPattern::Streaming,
             },
         ]
+    }
+
+    /// Structural cost signature: the live tile extents, the tile's masked
+    /// nonzero count (drives the epilogue gather/scatter and useful-flop
+    /// accounting), and the offsets-load base alignment class. The dense
+    /// mainloop cost depends only on `k`, a kernel constant.
+    fn block_signature(&self, block: Dim3) -> Option<u64> {
+        let row0 = block.y as usize * 64;
+        let col0 = block.x as usize * 64;
+        let tile_m = 64.min(self.mask.rows() - row0);
+        let tile_n = 64.min(self.mask.cols() - col0);
+        let mut masked = 0u64;
+        for r in row0..row0 + tile_m {
+            let (cols, _) = self.mask.row(r);
+            masked += cols
+                .iter()
+                .filter(|&&c| (c as usize) >= col0 && (c as usize) < col0 + tile_n)
+                .count() as u64;
+        }
+        let mut fp = gpu_sim::Fingerprint::new();
+        fp.write_u64(tile_m as u64);
+        fp.write_u64(tile_n as u64);
+        fp.write_u64(masked);
+        fp.write_u64(row0 as u64 * 4 % 32);
+        Some(fp.finish())
     }
 
     fn execute_block(&self, block: Dim3, ctx: &mut BlockContext) {

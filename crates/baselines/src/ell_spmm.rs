@@ -106,6 +106,30 @@ impl Kernel for EllSpmmKernel<'_> {
         ]
     }
 
+    /// Structural cost signature: live row count, column-tile width, the
+    /// block's row-offset alignment class, and the resident rows' ELL
+    /// lengths (which determine each warp's trip count and per-slot active
+    /// lanes). Warp starts are multiples of 32 rows and column tiles are
+    /// multiples of 128 bytes, so every address class in the trace reduces
+    /// to `r0 % 8` given the kernel-constant `rows` and `n`.
+    fn block_signature(&self, block: Dim3) -> Option<u64> {
+        let rows = self.a.rows();
+        let r0 = block.y as usize * 128;
+        let count = 128.min(rows - r0);
+        let mut fp = gpu_sim::Fingerprint::new();
+        fp.write_u64(count as u64);
+        if count == 0 {
+            return Some(fp.finish());
+        }
+        let n0 = block.x as usize * 32;
+        fp.write_u64(32.min(self.n - n0) as u64);
+        fp.write_u64(r0 as u64 % 8);
+        for r in r0..r0 + count {
+            fp.write_u64(self.a.row_length(r) as u64);
+        }
+        Some(fp.finish())
+    }
+
     fn execute_block(&self, block: Dim3, ctx: &mut BlockContext) {
         let rows = self.a.rows();
         let r0 = block.y as usize * 128;

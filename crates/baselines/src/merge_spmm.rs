@@ -132,6 +132,31 @@ impl<T: Scalar> Kernel for MergeSpmmKernel<'_, T> {
         ]
     }
 
+    /// Structural cost signature: per warp, the owned row's validity, its
+    /// nonzero count, and the alignment classes of the offsets/values/
+    /// indices/output addresses. The B sector model uses `n0 * eb % 32`,
+    /// which is identically zero (`32 * eb` is a multiple of 32), so no
+    /// column-tile term is needed.
+    fn block_signature(&self, block: Dim3) -> Option<u64> {
+        let n0 = block.x as usize * 32;
+        let eb = T::BYTES as u64;
+        let mut fp = gpu_sim::Fingerprint::new();
+        for w in 0..4usize {
+            let row = block.y as usize * 4 + w;
+            if row >= self.a.rows() {
+                fp.write_u64(u64::MAX);
+                continue;
+            }
+            let row_off = self.a.row_offsets()[row] as u64;
+            fp.write_u64(self.a.row_len(row) as u64);
+            fp.write_u64(row as u64 * 4 % 32);
+            fp.write_u64(row_off * eb % 32);
+            fp.write_u64(row_off * 4 % 32);
+            fp.write_u64((row * self.n + n0) as u64 * eb % 32);
+        }
+        Some(fp.finish())
+    }
+
     fn execute_block(&self, block: Dim3, ctx: &mut BlockContext) {
         let n0 = block.x as usize * 32;
         let eb = T::BYTES as u64;

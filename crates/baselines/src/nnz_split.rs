@@ -144,6 +144,32 @@ impl<T: Scalar> Kernel for NnzSplitSpmmKernel<'_, T> {
         ]
     }
 
+    /// Structural cost signature: strip length, live column-tile width, the
+    /// strip's value/index base alignment classes, and the number of row
+    /// boundaries the strip straddles (which sets the interior-store and
+    /// atomic accounting). The binary-search prelude and the base-0 strided
+    /// B/C sector models are constant given those.
+    fn block_signature(&self, block: Dim3) -> Option<u64> {
+        let nnz = self.a.nnz();
+        let start = block.y as usize * STRIP;
+        let mut fp = gpu_sim::Fingerprint::new();
+        if start >= nnz {
+            fp.write_u64(u64::MAX);
+            return Some(fp.finish());
+        }
+        let count = STRIP.min(nnz - start);
+        let n0 = block.x as usize * TILE_N;
+        let eb = T::BYTES as u64;
+        fp.write_u64(count as u64);
+        fp.write_u64(TILE_N.min(self.n - n0) as u64);
+        fp.write_u64(start as u64 * eb % 32);
+        fp.write_u64(start as u64 * 4 % 32);
+        let first_row = self.row_of(start);
+        let last_row = self.row_of(start + count - 1);
+        fp.write_u64(last_row.saturating_sub(first_row) as u64);
+        Some(fp.finish())
+    }
+
     fn execute_block(&self, block: Dim3, ctx: &mut BlockContext) {
         let nnz = self.a.nnz();
         let start = block.y as usize * STRIP;

@@ -73,10 +73,15 @@ fn main() {
         }
     );
 
-    // Kernel recommendations at a few batch sizes.
+    // Kernel recommendations at a few batch sizes. Tuning decisions persist
+    // across runs (results/autotune_cache.json) and the probe launches go
+    // through a launch cache, the way production libraries keep autotuning
+    // from re-paying its search cost.
     println!("\nSpMM configuration (heuristic vs tuned, simulated V100):");
     let gpu = Gpu::v100();
-    let mut tuner = AutoTuner::new();
+    let cache_path = std::path::Path::new("results").join("autotune_cache.json");
+    let mut tuner = AutoTuner::load_from(&cache_path).unwrap_or_default();
+    let launch_cache = gpu_sim::LaunchCache::new();
     println!(
         "  {:>6}  {:>22}  {:>10}  {:>22}  {:>10}  {:>6}",
         "N", "heuristic", "time", "tuned", "time", "gain"
@@ -84,7 +89,7 @@ fn main() {
     for n in [8usize, 32, 128, 512] {
         let h = SpmmConfig::heuristic::<f32>(n);
         let th = sputnik::spmm_profile::<f32>(&gpu, &m, m.cols(), n, h).time_us;
-        let tuned = tuner.tune(&gpu, &m, n);
+        let tuned = tuner.tune_cached(&gpu, &launch_cache, &m, n);
         println!(
             "  {:>6}  {:>22}  {:>8.1}us  {:>22}  {:>8.1}us  {:>5.2}x",
             n,
@@ -94,6 +99,15 @@ fn main() {
             tuned.best_us,
             tuned.speedup_over_heuristic()
         );
+    }
+    match tuner.save_to(&cache_path) {
+        Ok(()) => eprintln!(
+            "[autotune cache saved to {} — launch cache: {} hits, {} misses]",
+            cache_path.display(),
+            launch_cache.hits(),
+            launch_cache.misses()
+        ),
+        Err(e) => eprintln!("[autotune cache not saved: {e}]"),
     }
 
     // Load-balance outlook.

@@ -1,0 +1,185 @@
+//! Wall-clock benchmark of the simulator's launch fast path.
+//!
+//! Every other bench bin reports *simulated* microseconds; this one times
+//! the simulator itself. It runs a Figure-9-style corpus sweep (SpMM +
+//! SDDMM heuristic profiles) three times:
+//!
+//! 1. `slowpath` — block dedup off, no launch cache: the pre-fast-path
+//!    engine's per-block cost.
+//! 2. `cold` — dedup on, fresh [`LaunchCache`]: the fast path populating
+//!    the cache.
+//! 3. `warm` — the same cache again: every launch served by memoized
+//!    replay, the steady state of the tuner / dispatch ladder / repeated
+//!    sweeps.
+//!
+//! Results land in `BENCH_simwall.json` (repo root) so the perf trajectory
+//! is tracked across PRs. `--check <baseline.json>` gates CI: wall-clock
+//! times are machine-dependent, so the gate is on the cold/warm ratio —
+//! the quantity the fast path actually controls — and fails when the
+//! current speedup drops below half the committed baseline's.
+
+use gpu_sim::{Gpu, LaunchCache, LaunchSummary};
+use sparse::dataset::{self, ProblemSpec};
+use sputnik::{SddmmConfig, SpmmConfig};
+use sputnik_bench::{has_flag, Table};
+use std::io::{self, Read as _};
+use std::time::Instant;
+
+/// One full sweep over the corpus; returns the accumulated summary.
+fn sweep(
+    gpu: &Gpu,
+    cache: Option<&LaunchCache>,
+    problems: &[(ProblemSpec, sparse::CsrMatrix<f32>)],
+) -> LaunchSummary {
+    let mut summary = LaunchSummary::default();
+    for (spec, a) in problems {
+        let (inference, training) = spec.batch_sizes();
+        for batch in [inference, training] {
+            let n = spec.n(batch);
+            let spmm_cfg = SpmmConfig::heuristic::<f32>(n);
+            let sddmm_cfg = SddmmConfig::heuristic::<f32>(n);
+            match cache {
+                Some(lc) => {
+                    let (s, hit) =
+                        sputnik::spmm_profile_cached::<f32>(gpu, lc, a, spec.cols, n, spmm_cfg);
+                    summary.add_cached(&s, hit);
+                    let (s, hit) = sputnik::sddmm_profile_cached::<f32>(gpu, lc, a, n, sddmm_cfg);
+                    summary.add_cached(&s, hit);
+                }
+                None => {
+                    summary.add(&sputnik::spmm_profile::<f32>(
+                        gpu, a, spec.cols, n, spmm_cfg,
+                    ));
+                    summary.add(&sputnik::sddmm_profile::<f32>(gpu, a, n, sddmm_cfg));
+                }
+            }
+        }
+    }
+    summary
+}
+
+/// Extract the raw text of `"key": <value>` from a flat JSON object.
+fn json_raw<'a>(text: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let start = text.find(&needle)? + needle.len();
+    let rest = text[start..].trim_start();
+    let end = rest.find([',', '}', '\n']).unwrap_or(rest.len());
+    Some(rest[..end].trim())
+}
+
+fn json_f64(text: &str, key: &str) -> Option<f64> {
+    json_raw(text, key)?.parse().ok()
+}
+
+fn main() {
+    let count = if has_flag("--full") {
+        48
+    } else if has_flag("--quick") {
+        6
+    } else {
+        16
+    };
+    let specs = dataset::dl_corpus_sample(count, 17);
+    let problems: Vec<(ProblemSpec, sparse::CsrMatrix<f32>)> = specs
+        .iter()
+        .map(|spec| (spec.clone(), spec.generate()))
+        .collect();
+
+    // Pass 1: the pre-fast-path engine (no dedup, no cache).
+    let slow_gpu = Gpu::v100().with_block_dedup(false);
+    let t = Instant::now();
+    let slow = sweep(&slow_gpu, None, &problems);
+    let slowpath_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    // Pass 2 + 3: fast path, cold then warm.
+    let gpu = Gpu::v100();
+    let cache = LaunchCache::new();
+    let t = Instant::now();
+    let cold = sweep(&gpu, Some(&cache), &problems);
+    let cold_ms = t.elapsed().as_secs_f64() * 1e3;
+    let t = Instant::now();
+    let warm = sweep(&gpu, Some(&cache), &problems);
+    let warm_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    // The fast path must not change simulated results: the warm pass replays
+    // exactly the cold pass's stats.
+    assert_eq!(cold.time_us, warm.time_us, "cache replay changed results");
+    assert_eq!(slow.time_us, cold.time_us, "dedup changed results");
+
+    let cold_warm = cold_ms / warm_ms.max(1e-9);
+    let slow_cold = slowpath_ms / cold_ms.max(1e-9);
+
+    let mut t = Table::new(
+        "simwall — simulator wall-clock (fig09-style sweep)",
+        &["pass", "wall ms", "launches", "cache hits"],
+    );
+    t.row(&[
+        "slowpath (no dedup)".into(),
+        format!("{slowpath_ms:.1}"),
+        format!("{}", slow.launches),
+        "-".into(),
+    ]);
+    t.row(&[
+        "cold (dedup + cache fill)".into(),
+        format!("{cold_ms:.1}"),
+        format!("{}", cold.launches),
+        format!("{}/{}", cold.cache_hits, cold.launches),
+    ]);
+    t.row(&[
+        "warm (cache replay)".into(),
+        format!("{warm_ms:.1}"),
+        format!("{}", warm.launches),
+        format!("{}/{}", warm.cache_hits, warm.launches),
+    ]);
+    t.print();
+    println!("cold -> warm speedup: {cold_warm:.1}x   slowpath -> cold: {slow_cold:.2}x");
+
+    let grid = if has_flag("--full") {
+        "full"
+    } else if has_flag("--quick") {
+        "quick"
+    } else {
+        "default"
+    };
+    // The vendored serde stub cannot serialize, so the record is written by
+    // hand — one flat object, stable key order.
+    let json = format!(
+        "{{\n  \"bench\": \"simwall\",\n  \"grid\": \"{grid}\",\n  \"problems\": {count},\n  \"launches_per_pass\": {launches},\n  \"slowpath_ms\": {slowpath_ms:.3},\n  \"cold_ms\": {cold_ms:.3},\n  \"warm_ms\": {warm_ms:.3},\n  \"cold_warm_speedup\": {cold_warm:.3},\n  \"slowpath_cold_speedup\": {slow_cold:.3},\n  \"cache_hits_warm\": {hits},\n  \"cache_misses_cold\": {misses}\n}}\n",
+        launches = cold.launches,
+        hits = warm.cache_hits,
+        misses = cold.cache_misses,
+    );
+    let out = "BENCH_simwall.json";
+    match std::fs::write(out, &json) {
+        Ok(()) => eprintln!("[results written to {out}]"),
+        Err(e) => eprintln!("[failed to write {out}: {e}]"),
+    }
+
+    // CI gate: compare against a committed baseline, if asked.
+    let baseline_arg = std::env::args().skip_while(|a| a != "--check").nth(1);
+    if let Some(baseline_path) = baseline_arg {
+        match check_regression(&baseline_path, cold_warm) {
+            Ok(()) => println!("[--check passed vs {baseline_path}]"),
+            Err(e) => {
+                eprintln!("[--check FAILED: {e}]");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// Fail when the cold→warm speedup regressed to below half the baseline's.
+fn check_regression(baseline_path: &str, current_speedup: f64) -> Result<(), String> {
+    let mut text = String::new();
+    std::fs::File::open(baseline_path)
+        .and_then(|mut f| f.read_to_string(&mut text).map(|_| ()))
+        .map_err(|e: io::Error| format!("cannot read baseline {baseline_path}: {e}"))?;
+    let baseline = json_f64(&text, "cold_warm_speedup")
+        .ok_or_else(|| format!("no cold_warm_speedup in {baseline_path}"))?;
+    if current_speedup * 2.0 < baseline {
+        return Err(format!(
+            "cold_warm_speedup {current_speedup:.2}x is a >2x regression vs baseline {baseline:.2}x"
+        ));
+    }
+    Ok(())
+}

@@ -21,12 +21,13 @@ pub mod tune;
 pub use batched::{sddmm_batched, spmm_batched, BatchedResult};
 pub use config::{SddmmConfig, SpmmConfig};
 pub use dispatch::{
-    sanitize, DegradationStats, DispatchPolicy, DispatchReport, FallbackSpmmKernel, Rung,
+    sanitize, spmm_cached, DegradationStats, DispatchPolicy, DispatchReport, FallbackSpmmKernel,
+    Rung,
 };
 pub use error::SputnikError;
 pub use roma::MemoryAligner;
-pub use sddmm::{sddmm, sddmm_profile, try_sddmm, SddmmKernel};
+pub use sddmm::{sddmm, sddmm_profile, sddmm_profile_cached, try_sddmm, SddmmKernel};
 pub use softmax::{sparse_softmax, sparse_softmax_profile, SparseSoftmaxKernel};
-pub use spmm::{spmm, spmm_profile, try_spmm, SpmmKernel};
+pub use spmm::{spmm, spmm_profile, spmm_profile_cached, try_spmm, SpmmKernel};
 pub use transpose::{CachedTranspose, PermuteKernel};
 pub use tune::{AutoTuner, ProblemClass, TuneResult};

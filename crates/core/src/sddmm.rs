@@ -17,8 +17,8 @@ use crate::config::SddmmConfig;
 use crate::error::SputnikError;
 use crate::spmm::require_finite;
 use gpu_sim::{
-    AccessPattern, BlockContext, BufferId, BufferSpec, Dim3, Gpu, Kernel, LaunchStats,
-    SyncUnsafeSlice,
+    AccessPattern, BlockContext, BufferId, BufferSpec, Dim3, Fingerprint, Gpu, Kernel, LaunchCache,
+    LaunchKey, LaunchStats, SyncUnsafeSlice,
 };
 use sparse::{CsrMatrix, Matrix, RowSwizzle, Scalar};
 
@@ -153,9 +153,17 @@ impl<'a, T: Scalar> SddmmKernel<'a, T> {
     }
 }
 
+impl<T: Scalar> SddmmKernel<'_, T> {
+    /// The launch name for a configuration, without building a kernel —
+    /// lets cache lookups skip swizzle construction on the hit path.
+    pub(crate) fn launch_name(cfg: &SddmmConfig) -> String {
+        format!("sputnik_sddmm_{}_{}", T::TAG, cfg.tag())
+    }
+}
+
 impl<T: Scalar> Kernel for SddmmKernel<'_, T> {
     fn name(&self) -> String {
-        format!("sputnik_sddmm_{}_{}", T::TAG, self.cfg.tag())
+        Self::launch_name(&self.cfg)
     }
 
     fn grid(&self) -> Dim3 {
@@ -220,6 +228,53 @@ impl<T: Scalar> Kernel for SddmmKernel<'_, T> {
             });
         }
         bufs
+    }
+
+    /// Structural cost signature (see [`Kernel::block_signature`]).
+    ///
+    /// An SDDMM block's trace is determined by its strip length `s` and the
+    /// alignment class (mod 32, the sector size) of every address it touches:
+    /// the swizzle/offset lookups, the strip's index/value/output range, the
+    /// LHS row, and each RHS row in the strip. All dot products share the
+    /// same length `k`, so when the dense row stride `k * eb` is a multiple
+    /// of the sector size every RHS row lands in the same class and the
+    /// over-provisioned grid collapses to a handful of signatures.
+    fn block_signature(&self, block: Dim3) -> Option<u64> {
+        let cfg = &self.cfg;
+        let eb = T::BYTES as u64;
+        let k = self.k as u64;
+        let row = if cfg.row_swizzle {
+            self.swizzle.row(block.y as usize)
+        } else {
+            block.y as usize
+        };
+        let mut fp = Fingerprint::new();
+        if cfg.row_swizzle {
+            fp.write_u64(block.y as u64 * 4 % 32);
+        }
+        fp.write_u64(row as u64 * 4 % 32);
+        let row_start = self.mask.row_offsets()[row] as usize;
+        let row_nnz = self.mask.row_len(row);
+        let strip_start = block.x as usize * cfg.block_items_x as usize;
+        if strip_start >= row_nnz {
+            // Early-exit block: only the prelude was traced.
+            fp.write_u64(u64::MAX);
+            return Some(fp.finish());
+        }
+        let s = (cfg.block_items_x as usize).min(row_nnz - strip_start);
+        fp.write_u64(s as u64);
+        fp.write_u64((row_start + strip_start) as u64 * 4 % 32);
+        fp.write_u64((row_start + strip_start) as u64 * eb % 32);
+        fp.write_u64(row as u64 * k * eb % 32);
+        if (k * eb).is_multiple_of(32) {
+            fp.write_u64(0);
+        } else {
+            let (cols, _) = self.mask.row(row);
+            for &j in &cols[strip_start..strip_start + s] {
+                fp.write_u64(j as u64 * k * eb % 32);
+            }
+        }
+        Some(fp.finish())
     }
 
     fn execute_block(&self, block: Dim3, ctx: &mut BlockContext) {
@@ -400,6 +455,39 @@ pub fn sddmm_profile<T: Scalar>(
     gpu.profile(&kernel)
 }
 
+/// [`sddmm_profile`] through a cross-launch [`LaunchCache`]: returns the
+/// stats plus whether they were served from the cache. The fingerprint mixes
+/// the mask topology with `k`, the dot-product length the kernel name does
+/// not encode.
+pub fn sddmm_profile_cached<T: Scalar>(
+    gpu: &Gpu,
+    cache: &LaunchCache,
+    mask: &CsrMatrix<T>,
+    k: usize,
+    cfg: SddmmConfig,
+) -> (LaunchStats, bool) {
+    // The key needs only the config-derived name, so a hit skips swizzle
+    // construction. Fault-plan GPUs must not be served from (or populate)
+    // the cache: schedules consume per-launch indices.
+    if gpu.fault_plan().is_some() {
+        return (sddmm_profile(gpu, mask, k, cfg), false);
+    }
+    let mut fp = Fingerprint::new();
+    fp.write_u64(mask.fingerprint());
+    fp.write_u64(k as u64);
+    let key = LaunchKey {
+        kernel: SddmmKernel::<T>::launch_name(&cfg),
+        fingerprint: fp.finish(),
+        device: gpu.device().name.clone(),
+    };
+    if let Some(stats) = cache.lookup(&key) {
+        return (stats, true);
+    }
+    let stats = sddmm_profile(gpu, mask, k, cfg);
+    cache.insert(key, stats.clone());
+    (stats, false)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -550,6 +638,51 @@ mod tests {
         let plain = sddmm_profile::<f32>(&gpu, &mask, 32, SddmmConfig::default());
         let scaled = sddmm_profile::<f32>(&gpu, &mask, 32, cfg);
         assert!(scaled.instructions > plain.instructions);
+    }
+
+    #[test]
+    fn dedup_profile_is_bit_identical() {
+        for (m, n, k, sp, swiz) in [
+            (64usize, 96usize, 32usize, 0.7, false),
+            (128, 128, 128, 0.9, true),
+            (100, 76, 40, 0.8, false),
+        ] {
+            let mask = gen::uniform(m, n, sp, 51);
+            let cfg = SddmmConfig {
+                row_swizzle: swiz,
+                ..SddmmConfig::default()
+            };
+            let swizzle = if swiz {
+                RowSwizzle::by_length_desc(&mask)
+            } else {
+                RowSwizzle::identity(mask.rows())
+            };
+            let fast = {
+                let kernel = SddmmKernel::<f32>::for_profile(&mask, k, &swizzle, cfg);
+                Gpu::v100().profile(&kernel)
+            };
+            let brute = {
+                let kernel = SddmmKernel::<f32>::for_profile(&mask, k, &swizzle, cfg);
+                Gpu::v100().with_block_dedup(false).profile(&kernel)
+            };
+            assert_eq!(fast, brute, "{m}x{n} k={k}");
+        }
+    }
+
+    #[test]
+    fn cached_profile_replays_identical_stats() {
+        let mask = gen::uniform(48, 40, 0.7, 52);
+        let gpu = Gpu::v100();
+        let cache = gpu_sim::LaunchCache::new();
+        let cfg = SddmmConfig::default();
+        let (first, hit1) = sddmm_profile_cached(&gpu, &cache, &mask, 64, cfg);
+        let (second, hit2) = sddmm_profile_cached(&gpu, &cache, &mask, 64, cfg);
+        assert!(!hit1);
+        assert!(hit2);
+        assert_eq!(first, second);
+        assert_eq!(first, sddmm_profile(&gpu, &mask, 64, cfg));
+        let (_, hit3) = sddmm_profile_cached(&gpu, &cache, &mask, 32, cfg);
+        assert!(!hit3, "different k must be a different key");
     }
 
     #[test]

@@ -18,8 +18,8 @@ use crate::config::SpmmConfig;
 use crate::error::SputnikError;
 use crate::roma::{MemoryAligner, ROMA_MASK_INSTRS, ROMA_PRELUDE_INSTRS};
 use gpu_sim::{
-    AccessPattern, BlockContext, BufferId, BufferSpec, Dim3, Gpu, Kernel, LaunchStats, SmemScope,
-    SyncUnsafeSlice,
+    AccessPattern, BlockContext, BufferId, BufferSpec, Dim3, Fingerprint, Gpu, Kernel, LaunchCache,
+    LaunchKey, LaunchStats, SmemScope, SyncUnsafeSlice,
 };
 use sparse::{CsrMatrix, Matrix, RowSwizzle, Scalar};
 
@@ -513,9 +513,17 @@ impl<'a, T: Scalar> SpmmKernel<'a, T> {
     }
 }
 
+impl<T: Scalar> SpmmKernel<'_, T> {
+    /// The launch name for a configuration, without building a kernel —
+    /// lets cache lookups skip swizzle construction on the hit path.
+    pub(crate) fn launch_name(cfg: &SpmmConfig) -> String {
+        format!("sputnik_spmm_{}_{}", T::TAG, cfg.tag())
+    }
+}
+
 impl<T: Scalar> Kernel for SpmmKernel<'_, T> {
     fn name(&self) -> String {
-        format!("sputnik_spmm_{}_{}", T::TAG, self.cfg.tag())
+        Self::launch_name(&self.cfg)
     }
 
     fn grid(&self) -> Dim3 {
@@ -588,6 +596,67 @@ impl<T: Scalar> Kernel for SpmmKernel<'_, T> {
             });
         }
         bufs
+    }
+
+    /// Structural cost signature (see [`Kernel::block_signature`]).
+    ///
+    /// Everything `cost_warp` records is a function of the per-subwarp work
+    /// descriptors plus a handful of *alignment classes* — never of raw row
+    /// ids or float values — so the signature hashes exactly those inputs:
+    /// the tile width, the B-strip sector count, the store vector-width
+    /// legality, and per subwarp the work sizes plus each traced address
+    /// mod 32 (the sector granularity). Gathered addresses (row offsets,
+    /// bias) contribute their exact deduplicated sector counts, computed with
+    /// the same `sectors_gather` the trace itself uses. Blocks agreeing on
+    /// all of this record bit-identical costs, which lets dataset sweeps
+    /// execute one representative per signature — notably collapsing the
+    /// grid's x extent, where the same row strip repeats across column tiles
+    /// in the same alignment class.
+    fn block_signature(&self, block: Dim3) -> Option<u64> {
+        let cfg = &self.cfg;
+        let eb = T::BYTES as u64;
+        let ib = cfg.index_width.bytes() as u64;
+        let n_off = block.x as usize * cfg.block_items_x as usize;
+        let tile_w = cfg.block_items_x.min(self.n.saturating_sub(n_off) as u32) as usize;
+        let mut fp = Fingerprint::new();
+        fp.write_u64(tile_w as u64);
+        if tile_w == 0 {
+            return Some(fp.finish());
+        }
+        fp.write_u64(self.b_load_sectors(n_off, tile_w));
+        let store_vw = self.n.is_multiple_of(cfg.vector_width as usize)
+            && n_off.is_multiple_of(cfg.vector_width as usize)
+            && tile_w.is_multiple_of(cfg.vector_width as usize);
+        fp.write_u64(store_vw as u64);
+
+        let biy = cfg.block_items_y as usize;
+        let base_m = block.y as usize * biy;
+        let subs: Vec<SubwarpWork> = (0..biy).map(|s| self.subwarp_work(base_m + s)).collect();
+        // Chunk boundaries are fixed per kernel, so hashing subwarps in order
+        // preserves the per-warp grouping the divergence model depends on.
+        for chunk in subs.chunks(cfg.subwarps_per_warp() as usize) {
+            let gather: Vec<u64> = chunk
+                .iter()
+                .filter(|s| s.row != usize::MAX)
+                .map(|s| s.row as u64 * 4)
+                .collect();
+            fp.write_u64(gpu_sim::memory::sectors_gather(&gather, 8));
+            if cfg.fused_bias_relu {
+                fp.write_u64(gpu_sim::memory::sectors_gather(&gather, 4));
+            }
+            for sub in chunk {
+                if sub.row == usize::MAX {
+                    fp.write_u64(u64::MAX);
+                    continue;
+                }
+                fp.write_u64(sub.total as u64);
+                fp.write_u64(sub.nnz as u64);
+                fp.write_u64(sub.aligned_offset as u64 * eb % 32);
+                fp.write_u64(sub.aligned_offset as u64 * ib % 32);
+                fp.write_u64((sub.row * self.n + n_off) as u64 * eb % 32);
+            }
+        }
+        Some(fp.finish())
     }
 
     fn execute_block(&self, block: Dim3, ctx: &mut BlockContext) {
@@ -693,6 +762,50 @@ pub fn spmm_profile<T: Scalar>(
     };
     let kernel = SpmmKernel::<T>::for_profile(a, n, &swizzle, cfg);
     gpu.profile(&kernel)
+}
+
+/// [`spmm_profile`] through a cross-launch [`LaunchCache`]: returns the
+/// stats plus whether they were served from the cache. The key combines the
+/// kernel name (config + scalar type), the device, and a fingerprint of the
+/// sparse topology mixed with `n` — the one problem dimension the kernel
+/// name does not encode. The swizzle is derived deterministically from the
+/// topology, so it needs no separate key component.
+pub fn spmm_profile_cached<T: Scalar>(
+    gpu: &Gpu,
+    cache: &LaunchCache,
+    a: &CsrMatrix<T>,
+    b_rows: usize,
+    n: usize,
+    cfg: SpmmConfig,
+) -> (LaunchStats, bool) {
+    assert_eq!(a.cols(), b_rows, "inner dimensions must agree");
+    // The key needs only the config-derived name, so a hit skips swizzle
+    // construction entirely. Fault-plan GPUs must not be served from (or
+    // populate) the cache: schedules consume per-launch indices.
+    if gpu.fault_plan().is_some() {
+        return (spmm_profile(gpu, a, b_rows, n, cfg), false);
+    }
+    let key = LaunchKey {
+        kernel: SpmmKernel::<T>::launch_name(&cfg),
+        fingerprint: operand_fingerprint(a, n),
+        device: gpu.device().name.clone(),
+    };
+    if let Some(stats) = cache.lookup(&key) {
+        return (stats, true);
+    }
+    let stats = spmm_profile(gpu, a, b_rows, n, cfg);
+    cache.insert(key, stats.clone());
+    (stats, false)
+}
+
+/// The launch-cache fingerprint for an SpMM-shaped problem: the sparse
+/// topology plus the dense column count `n` (the kernel name covers the
+/// configuration and scalar type; the device is a separate key component).
+pub(crate) fn operand_fingerprint<T: Scalar>(a: &CsrMatrix<T>, n: usize) -> u64 {
+    let mut fp = Fingerprint::new();
+    fp.write_u64(a.fingerprint());
+    fp.write_u64(n as u64);
+    fp.finish()
 }
 
 #[cfg(test)]
@@ -885,6 +998,47 @@ mod tests {
             with.time_us,
             without.time_us
         );
+    }
+
+    #[test]
+    fn dedup_profile_is_bit_identical() {
+        // The fast path (one execution per structural signature) must agree
+        // exactly — not approximately — with brute force on every field.
+        let shapes = [(64usize, 96usize, 32usize, 0.7), (128, 128, 128, 0.9)];
+        for (m, k, n, sp) in shapes {
+            let a = gen::with_cov(m, k, sp, 0.8, 21);
+            let swizzle = RowSwizzle::by_length_desc(&a);
+            let cfg = SpmmConfig::default();
+            let fast = {
+                let kernel = SpmmKernel::<f32>::for_profile(&a, n, &swizzle, cfg);
+                Gpu::v100().profile(&kernel)
+            };
+            let brute = {
+                let kernel = SpmmKernel::<f32>::for_profile(&a, n, &swizzle, cfg);
+                Gpu::v100().with_block_dedup(false).profile(&kernel)
+            };
+            assert_eq!(fast, brute, "{m}x{k} n={n}");
+        }
+    }
+
+    #[test]
+    fn cached_profile_replays_identical_stats() {
+        let a = gen::uniform(64, 128, 0.8, 22);
+        let gpu = Gpu::v100();
+        let cache = gpu_sim::LaunchCache::new();
+        let cfg = SpmmConfig::default();
+        let (first, hit1) = spmm_profile_cached(&gpu, &cache, &a, 128, 64, cfg);
+        let (second, hit2) = spmm_profile_cached(&gpu, &cache, &a, 128, 64, cfg);
+        assert!(!hit1, "cold lookup must miss");
+        assert!(hit2, "identical problem must hit");
+        assert_eq!(first, second);
+        assert_eq!(first, spmm_profile(&gpu, &a, 128, 64, cfg));
+        // A different dense width is a different problem even though the
+        // kernel name is unchanged.
+        let (_, hit3) = spmm_profile_cached(&gpu, &cache, &a, 128, 32, cfg);
+        assert!(!hit3);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 2);
     }
 
     #[test]

@@ -10,10 +10,12 @@
 
 use crate::config::SpmmConfig;
 use crate::spmm;
-use gpu_sim::Gpu;
+use gpu_sim::{Gpu, LaunchCache};
 use serde::{Deserialize, Serialize};
-use sparse::{CsrMatrix, Scalar};
+use sparse::{CsrMatrix, IndexWidth, Scalar};
 use std::collections::HashMap;
+use std::io::{self, BufRead, Write};
+use std::path::Path;
 
 /// A bucketized problem identity: problems in the same bucket share a tuned
 /// configuration. Shapes are bucketed to the nearest power of two and
@@ -60,7 +62,7 @@ impl TuneResult {
 }
 
 /// A memoized SpMM autotuner.
-#[derive(Default)]
+#[derive(Debug, Default)]
 pub struct AutoTuner {
     cache: HashMap<ProblemClass, TuneResult>,
 }
@@ -102,19 +104,48 @@ impl AutoTuner {
     /// The tuned configuration for this problem, searching at most once per
     /// problem class.
     pub fn tune<T: Scalar>(&mut self, gpu: &Gpu, a: &CsrMatrix<T>, n: usize) -> TuneResult {
+        self.tune_impl(gpu, None, a, n)
+    }
+
+    /// [`Self::tune`] with every probe launch going through a cross-launch
+    /// [`LaunchCache`]. The tuner's own memo works at problem-*class*
+    /// granularity; the launch cache works at exact-(kernel, operand, device)
+    /// granularity, so repeated tuning sessions over overlapping corpora skip
+    /// re-simulating every variant they have seen before.
+    pub fn tune_cached<T: Scalar>(
+        &mut self,
+        gpu: &Gpu,
+        launch_cache: &LaunchCache,
+        a: &CsrMatrix<T>,
+        n: usize,
+    ) -> TuneResult {
+        self.tune_impl(gpu, Some(launch_cache), a, n)
+    }
+
+    fn tune_impl<T: Scalar>(
+        &mut self,
+        gpu: &Gpu,
+        launch_cache: Option<&LaunchCache>,
+        a: &CsrMatrix<T>,
+        n: usize,
+    ) -> TuneResult {
         let class = ProblemClass::of(a, n);
         if let Some(&hit) = self.cache.get(&class) {
             return hit;
         }
+        let profile = |cfg: SpmmConfig| match launch_cache {
+            Some(lc) => spmm::spmm_profile_cached::<T>(gpu, lc, a, a.cols(), n, cfg).0,
+            None => spmm::spmm_profile::<T>(gpu, a, a.cols(), n, cfg),
+        };
         let heuristic = SpmmConfig::heuristic::<T>(n);
-        let heuristic_us = spmm::spmm_profile::<T>(gpu, a, a.cols(), n, heuristic).time_us;
+        let heuristic_us = profile(heuristic).time_us;
         let mut best = TuneResult {
             config: heuristic,
             best_us: heuristic_us,
             heuristic_us,
         };
         for cfg in Self::candidates::<T>(a.cols(), n) {
-            let t = spmm::spmm_profile::<T>(gpu, a, a.cols(), n, cfg).time_us;
+            let t = profile(cfg).time_us;
             if t < best.best_us {
                 best.best_us = t;
                 best.config = cfg;
@@ -136,6 +167,156 @@ impl AutoTuner {
     pub fn is_empty(&self) -> bool {
         self.cache.is_empty()
     }
+
+    /// Format version of the on-disk cache. Bump on any change to the entry
+    /// layout; [`Self::load_from`] rejects files written by other versions so
+    /// stale tuning decisions can never leak across format changes.
+    pub const CACHE_FORMAT_VERSION: u32 = 1;
+    const CACHE_KIND: &'static str = "sputnik_autotune_cache";
+
+    /// Persist the memo table as JSON lines: a versioned header object
+    /// followed by one flat entry object per problem class, sorted for
+    /// deterministic output. (Hand-rolled writer/reader — the flat format
+    /// needs no general JSON machinery.)
+    pub fn save_to(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let path = path.as_ref();
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let mut entries: Vec<_> = self.cache.iter().collect();
+        entries.sort_by_key(|(c, _)| (c.m_pow2, c.k_pow2, c.n_pow2, c.sparsity_bucket));
+        let mut f = io::BufWriter::new(std::fs::File::create(path)?);
+        writeln!(
+            f,
+            "{{\"version\":{},\"kind\":\"{}\"}}",
+            Self::CACHE_FORMAT_VERSION,
+            Self::CACHE_KIND
+        )?;
+        for (class, r) in entries {
+            let c = &r.config;
+            writeln!(
+                f,
+                concat!(
+                    "{{\"m_pow2\":{},\"k_pow2\":{},\"n_pow2\":{},\"sparsity_bucket\":{},",
+                    "\"block_items_y\":{},\"block_items_k\":{},\"block_items_x\":{},",
+                    "\"vector_width\":{},\"row_swizzle\":{},\"roma\":{},",
+                    "\"index_prescale\":{},\"residue_unroll\":{},\"index_bytes\":{},",
+                    "\"fused_bias_relu\":{},\"assume_aligned\":{},",
+                    "\"best_us\":{:?},\"heuristic_us\":{:?}}}"
+                ),
+                class.m_pow2,
+                class.k_pow2,
+                class.n_pow2,
+                class.sparsity_bucket,
+                c.block_items_y,
+                c.block_items_k,
+                c.block_items_x,
+                c.vector_width,
+                c.row_swizzle,
+                c.roma,
+                c.index_prescale,
+                c.residue_unroll,
+                c.index_width.bytes(),
+                c.fused_bias_relu,
+                c.assume_aligned,
+                r.best_us,
+                r.heuristic_us,
+            )?;
+        }
+        f.flush()
+    }
+
+    /// Load a memo table written by [`Self::save_to`]. Fails with
+    /// `InvalidData` on a missing/mismatched version header or a malformed
+    /// entry — a corrupt cache must never silently tune kernels.
+    pub fn load_from(path: impl AsRef<Path>) -> io::Result<Self> {
+        let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+        let f = io::BufReader::new(std::fs::File::open(path)?);
+        let mut lines = f.lines();
+        let header = lines
+            .next()
+            .ok_or_else(|| bad("empty autotune cache file".into()))??;
+        let version = json_u64(&header, "version")
+            .ok_or_else(|| bad("autotune cache header missing version".into()))?;
+        if version != u64::from(Self::CACHE_FORMAT_VERSION)
+            || json_raw(&header, "kind") != Some(&format!("\"{}\"", Self::CACHE_KIND))
+        {
+            return Err(bad(format!(
+                "autotune cache header {header:?} does not match version {} kind {}",
+                Self::CACHE_FORMAT_VERSION,
+                Self::CACHE_KIND
+            )));
+        }
+        let mut tuner = Self::new();
+        for (i, line) in lines.enumerate() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let entry = parse_entry(&line)
+                .ok_or_else(|| bad(format!("malformed autotune cache entry on line {}", i + 2)))?;
+            tuner.cache.insert(entry.0, entry.1);
+        }
+        Ok(tuner)
+    }
+}
+
+/// The raw text of `"key":<value>` in a flat one-line JSON object.
+fn json_raw<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}'])?;
+    Some(rest[..end].trim())
+}
+
+fn json_u64(line: &str, key: &str) -> Option<u64> {
+    json_raw(line, key)?.parse().ok()
+}
+
+fn json_f64(line: &str, key: &str) -> Option<f64> {
+    json_raw(line, key)?.parse().ok()
+}
+
+fn json_bool(line: &str, key: &str) -> Option<bool> {
+    json_raw(line, key)?.parse().ok()
+}
+
+fn parse_entry(line: &str) -> Option<(ProblemClass, TuneResult)> {
+    let class = ProblemClass {
+        m_pow2: json_u64(line, "m_pow2")? as u32,
+        k_pow2: json_u64(line, "k_pow2")? as u32,
+        n_pow2: json_u64(line, "n_pow2")? as u32,
+        sparsity_bucket: u8::try_from(json_u64(line, "sparsity_bucket")?).ok()?,
+    };
+    let index_width = match json_u64(line, "index_bytes")? {
+        2 => IndexWidth::U16,
+        4 => IndexWidth::U32,
+        _ => return None,
+    };
+    let config = SpmmConfig {
+        block_items_y: json_u64(line, "block_items_y")? as u32,
+        block_items_k: json_u64(line, "block_items_k")? as u32,
+        block_items_x: json_u64(line, "block_items_x")? as u32,
+        vector_width: json_u64(line, "vector_width")? as u32,
+        row_swizzle: json_bool(line, "row_swizzle")?,
+        roma: json_bool(line, "roma")?,
+        index_prescale: json_bool(line, "index_prescale")?,
+        residue_unroll: json_bool(line, "residue_unroll")?,
+        index_width,
+        fused_bias_relu: json_bool(line, "fused_bias_relu")?,
+        assume_aligned: json_bool(line, "assume_aligned")?,
+    };
+    Some((
+        class,
+        TuneResult {
+            config,
+            best_us: json_f64(line, "best_us")?,
+            heuristic_us: json_f64(line, "heuristic_us")?,
+        },
+    ))
 }
 
 #[cfg(test)]
@@ -188,6 +369,64 @@ mod tests {
             "expected a tuning win on N=4, got {:.3}x",
             result.speedup_over_heuristic()
         );
+    }
+
+    #[test]
+    fn cache_round_trips_through_disk() {
+        let gpu = Gpu::v100();
+        let mut tuner = AutoTuner::new();
+        let a = gen::uniform(256, 256, 0.8, 5);
+        let r1 = tuner.tune(&gpu, &a, 64);
+        tuner.tune(&gpu, &a, 4);
+        let dir = std::env::temp_dir().join("sputnik_tune_cache_test");
+        let path = dir.join("autotune.json");
+        tuner.save_to(&path).unwrap();
+        let loaded = AutoTuner::load_from(&path).unwrap();
+        assert_eq!(loaded.len(), tuner.len());
+        // A reloaded tuner serves the persisted decision without searching.
+        let mut loaded = loaded;
+        let r2 = loaded.tune(&gpu, &a, 64);
+        assert_eq!(r1.config, r2.config);
+        assert_eq!(r1.best_us, r2.best_us);
+        assert_eq!(r1.heuristic_us, r2.heuristic_us);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_cache_versions_are_rejected() {
+        let dir = std::env::temp_dir().join("sputnik_tune_cache_ver_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("autotune.json");
+        std::fs::write(
+            &path,
+            "{\"version\":999,\"kind\":\"sputnik_autotune_cache\"}\n",
+        )
+        .unwrap();
+        let err = AutoTuner::load_from(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        std::fs::write(&path, "{\"version\":1,\"kind\":\"something_else\"}\n").unwrap();
+        assert!(AutoTuner::load_from(&path).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tune_cached_reuses_probe_launches() {
+        let gpu = Gpu::v100();
+        let cache = gpu_sim::LaunchCache::new();
+        let a = gen::uniform(256, 256, 0.8, 6);
+        let cold = AutoTuner::new().tune_cached(&gpu, &cache, &a, 64);
+        let cold_misses = cache.misses();
+        assert!(cold_misses > 0, "first search simulates every variant");
+        // Within one search the heuristic is probed twice (baseline + first
+        // candidate); the second probe is already a hit.
+        assert_eq!(cache.hits(), 1);
+        // A fresh tuner (empty class memo) re-probes the same variants; the
+        // launch cache serves all of them.
+        let warm = AutoTuner::new().tune_cached(&gpu, &cache, &a, 64);
+        assert_eq!(cache.misses(), cold_misses, "no new simulations");
+        assert_eq!(cache.hits(), 1 + cold_misses + 1);
+        assert_eq!(cold.config, warm.config);
+        assert_eq!(cold.best_us, warm.best_us);
     }
 
     #[test]

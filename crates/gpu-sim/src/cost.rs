@@ -117,6 +117,56 @@ impl BlockCost {
     }
 }
 
+/// The compact per-block record the launcher's timing model actually needs.
+///
+/// [`crate::timing::block_cycles`] reads only a handful of derived sums from
+/// a [`BlockCost`] plus the per-buffer traffic; on large grids, keeping one
+/// full `BlockCost` per block alive until the cache model has run wastes
+/// memory and bandwidth. The streaming launch path folds each block's cost
+/// into a running total immediately and retains only this struct per block.
+///
+/// Every field is an exact integer pre-sum of `BlockCost` counters, so
+/// cycles computed from a `BlockCostLite` are bit-identical to cycles
+/// computed from the originating `BlockCost` (the float math in
+/// [`crate::timing`] consumes the same `u64` values either way). The
+/// per-buffer [`Traffic`] array is kept whole because each slot is scaled by
+/// its own cache miss rate — pre-summing across slots would reassociate
+/// float additions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BlockCostLite {
+    /// `BlockCost::total_instrs()`.
+    pub instrs: u64,
+    /// `fma_instrs + fp_instrs`.
+    pub fma_fp_instrs: u64,
+    /// `ld_global_instrs + st_global_instrs`.
+    pub global_instrs: u64,
+    /// `ld_shared_instrs + st_shared_instrs`.
+    pub smem_instrs: u64,
+    pub shared_bytes: u64,
+    pub bank_conflict_passes: u64,
+    pub barriers: u64,
+    pub stall_cycles: u64,
+    /// Per-buffer global-memory traffic (kept per-slot for the cache model's
+    /// per-buffer miss rates).
+    pub gmem: [Traffic; MAX_BUFFERS],
+}
+
+impl From<&BlockCost> for BlockCostLite {
+    fn from(c: &BlockCost) -> Self {
+        Self {
+            instrs: c.total_instrs(),
+            fma_fp_instrs: c.fma_instrs + c.fp_instrs,
+            global_instrs: c.ld_global_instrs + c.st_global_instrs,
+            smem_instrs: c.ld_shared_instrs + c.st_shared_instrs,
+            shared_bytes: c.shared_bytes,
+            bank_conflict_passes: c.bank_conflict_passes,
+            barriers: c.barriers,
+            stall_cycles: c.stall_cycles,
+            gmem: c.gmem,
+        }
+    }
+}
+
 /// Recording context handed to a kernel's `execute_block`.
 ///
 /// Provides the memory/arithmetic primitives a CUDA kernel would use; each
@@ -127,6 +177,12 @@ impl BlockCost {
 pub struct BlockContext {
     pub cost: BlockCost,
     functional: bool,
+    /// When false, the recording methods below are no-ops: the context is a
+    /// replay of a launch whose statistics are already known (a
+    /// [`LaunchCache`](crate::LaunchCache) hit), so sector/conflict math
+    /// would be wasted. Kernels that poke `ctx.cost` fields directly still
+    /// pay those (cheap) increments; the resulting cost is discarded.
+    record: bool,
     /// Per-block sanitizer state; `None` outside sanitized launches, so the
     /// hot path pays one branch per recorded access.
     san: Option<Box<BlockSan>>,
@@ -137,6 +193,19 @@ impl BlockContext {
         Self {
             cost: BlockCost::default(),
             functional,
+            record: true,
+            san: None,
+        }
+    }
+
+    /// A functional context with cost recording disabled: used when a cached
+    /// launch still has to produce its outputs but the statistics are served
+    /// from the [`LaunchCache`](crate::LaunchCache).
+    pub fn replay() -> Self {
+        Self {
+            cost: BlockCost::default(),
+            functional: true,
+            record: false,
             san: None,
         }
     }
@@ -147,6 +216,7 @@ impl BlockContext {
         Self {
             cost: BlockCost::default(),
             functional,
+            record: true,
             san: Some(Box::new(san)),
         }
     }
@@ -174,6 +244,9 @@ impl BlockContext {
         vec_width: u32,
         elem_bytes: u32,
     ) {
+        if !self.record {
+            return;
+        }
         let bytes = lanes as u64 * vec_width as u64 * elem_bytes as u64;
         let sectors = memory::sectors_contiguous(byte_addr, bytes);
         self.cost.ld_global_instrs += 1;
@@ -194,6 +267,9 @@ impl BlockContext {
         vec_width: u32,
         elem_bytes: u32,
     ) {
+        if !self.record {
+            return;
+        }
         let bytes = lanes as u64 * vec_width as u64 * elem_bytes as u64;
         let sectors = memory::sectors_contiguous(byte_addr, bytes);
         self.cost.st_global_instrs += 1;
@@ -214,6 +290,9 @@ impl BlockContext {
         stride_bytes: u64,
         elem_bytes: u32,
     ) {
+        if !self.record {
+            return;
+        }
         let sectors = memory::sectors_strided(base, lanes, stride_bytes, elem_bytes as u64);
         self.cost.ld_global_instrs += 1;
         self.cost.gmem[buf.0 as usize].ld_sectors += sectors;
@@ -238,6 +317,9 @@ impl BlockContext {
         stride_bytes: u64,
         elem_bytes: u32,
     ) {
+        if !self.record {
+            return;
+        }
         let sectors = memory::sectors_strided(base, lanes, stride_bytes, elem_bytes as u64);
         self.cost.st_global_instrs += 1;
         self.cost.gmem[buf.0 as usize].st_sectors += sectors;
@@ -252,6 +334,9 @@ impl BlockContext {
     /// A gather load with arbitrary per-lane byte addresses.
     #[inline]
     pub fn ld_global_gather(&mut self, buf: BufferId, addrs: &[u64], elem_bytes: u32) {
+        if !self.record {
+            return;
+        }
         let sectors = memory::sectors_gather(addrs, elem_bytes as u64);
         self.cost.ld_global_instrs += 1;
         self.cost.gmem[buf.0 as usize].ld_sectors += sectors;
@@ -268,6 +353,9 @@ impl BlockContext {
     /// adding N-1 extra passes.
     #[inline]
     pub fn ld_shared(&mut self, lanes: u32, vec_width: u32, elem_bytes: u32, conflict_ways: u32) {
+        if !self.record {
+            return;
+        }
         self.cost.ld_shared_instrs += 1;
         self.cost.shared_bytes += lanes as u64 * vec_width as u64 * elem_bytes as u64;
         self.cost.bank_conflict_passes += conflict_ways.saturating_sub(1) as u64;
@@ -280,6 +368,9 @@ impl BlockContext {
     /// A shared-memory store; mirror of [`Self::ld_shared`].
     #[inline]
     pub fn st_shared(&mut self, lanes: u32, vec_width: u32, elem_bytes: u32, conflict_ways: u32) {
+        if !self.record {
+            return;
+        }
         let bytes = lanes as u64 * vec_width as u64 * elem_bytes as u64;
         self.cost.st_shared_instrs += 1;
         self.cost.shared_bytes += bytes;
@@ -296,6 +387,9 @@ impl BlockContext {
     /// before the matching [`Self::smem_load`]).
     #[inline]
     pub fn smem_store(&mut self, warp_instrs: u64, bytes: u64, scope: SmemScope) {
+        if !self.record {
+            return;
+        }
         self.cost.st_shared_instrs += warp_instrs;
         self.cost.shared_bytes += bytes;
         if let Some(san) = self.san.as_deref_mut() {
@@ -306,6 +400,9 @@ impl BlockContext {
     /// Aggregate shared-memory readback; mirror of [`Self::smem_store`].
     #[inline]
     pub fn smem_load(&mut self, warp_instrs: u64, bytes: u64, scope: SmemScope) {
+        if !self.record {
+            return;
+        }
         self.cost.ld_shared_instrs += warp_instrs;
         self.cost.shared_bytes += bytes;
         if let Some(san) = self.san.as_deref_mut() {
@@ -318,6 +415,9 @@ impl BlockContext {
     /// sectors and runs memcheck; no instruction is counted.
     #[inline]
     pub fn ld_global_trace(&mut self, buf: BufferId, byte_addr: u64, bytes: u64) {
+        if !self.record {
+            return;
+        }
         self.cost.gmem[buf.0 as usize].ld_sectors += memory::sectors_contiguous(byte_addr, bytes);
         if let Some(san) = self.san.as_deref_mut() {
             san.check_global(buf.0 as usize, byte_addr, bytes);
@@ -328,6 +428,9 @@ impl BlockContext {
     /// [`Self::ld_global_trace`].
     #[inline]
     pub fn st_global_trace(&mut self, buf: BufferId, byte_addr: u64, bytes: u64) {
+        if !self.record {
+            return;
+        }
         self.cost.gmem[buf.0 as usize].st_sectors += memory::sectors_contiguous(byte_addr, bytes);
         if let Some(san) = self.san.as_deref_mut() {
             san.check_global(buf.0 as usize, byte_addr, bytes);
@@ -338,6 +441,9 @@ impl BlockContext {
     /// scalar fused multiply-adds (2 FLOPs each).
     #[inline]
     pub fn fma(&mut self, warp_instrs: u64, scalar_fmas: u64) {
+        if !self.record {
+            return;
+        }
         self.cost.fma_instrs += warp_instrs;
         self.cost.flops += 2 * scalar_fmas;
     }
@@ -346,6 +452,9 @@ impl BlockContext {
     /// (e.g. the exp/add/div of the sparse softmax).
     #[inline]
     pub fn fp(&mut self, warp_instrs: u64, scalar_ops: u64) {
+        if !self.record {
+            return;
+        }
         self.cost.fp_instrs += warp_instrs;
         self.cost.flops += scalar_ops;
     }
@@ -353,18 +462,27 @@ impl BlockContext {
     /// Warp shuffle instructions (SDDMM's cross-lane reduction).
     #[inline]
     pub fn shfl(&mut self, n: u64) {
+        if !self.record {
+            return;
+        }
         self.cost.shfl_instrs += n;
     }
 
     /// Integer / address / predicate / control instructions.
     #[inline]
     pub fn misc(&mut self, n: u64) {
+        if !self.record {
+            return;
+        }
         self.cost.misc_instrs += n;
     }
 
     /// A `__syncthreads()` barrier.
     #[inline]
     pub fn bar_sync(&mut self) {
+        if !self.record {
+            return;
+        }
         self.cost.barriers += 1;
         if let Some(san) = self.san.as_deref_mut() {
             san.note_barrier();

@@ -42,6 +42,25 @@ pub trait Kernel: Sync {
     /// Execute one thread block. `block` is the block index within the grid.
     fn execute_block(&self, block: Dim3, ctx: &mut BlockContext);
 
+    /// A structural signature of this block's *cost trace*: two blocks with
+    /// equal signatures must record bit-identical [`BlockCost`]s from
+    /// `execute_block` (instruction counts, sector counts, stalls — the
+    /// functional output may of course differ). Profile-mode launches
+    /// execute one representative per signature and replay its cost for the
+    /// others, which is how dataset-scale sweeps skip the long tail of
+    /// structurally repeated blocks.
+    ///
+    /// Soundness is the implementor's burden: the signature must cover every
+    /// input the trace depends on, including address *alignment* classes
+    /// (sector counts change with `addr % 32`). Return `None` (the default)
+    /// for blocks whose cost cannot be cheaply summarized — those execute
+    /// normally. Functional and sanitized launches never consult this.
+    ///
+    /// [`BlockCost`]: crate::cost::BlockCost
+    fn block_signature(&self, _block: Dim3) -> Option<u64> {
+        None
+    }
+
     /// Corrupt this kernel's functional output with non-finite values, as a
     /// silent data-corruption fault would. Called by the launcher when a
     /// [`FaultPlan`](crate::fault::FaultPlan) injects

@@ -2,16 +2,18 @@
 //! the cache / scheduling / timing models, and reports simulated statistics.
 
 use crate::cache;
-use crate::cost::{BlockContext, BlockCost, Traffic, MAX_BUFFERS};
+use crate::cost::{BlockContext, BlockCost, BlockCostLite, Traffic, MAX_BUFFERS};
 use crate::device::DeviceConfig;
 use crate::fault::{DeviceFault, FaultKind, FaultPlan};
 use crate::kernel::Kernel;
+use crate::launch_cache::{LaunchCache, LaunchKey};
 use crate::occupancy::{self, Occupancy};
 use crate::sanitizer::{self, BlockSan, SanitizerReport};
 use crate::scheduler;
 use crate::timing;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 
 /// Why a launch could not run (or did not complete).
 #[derive(Debug, Clone, PartialEq)]
@@ -62,7 +64,7 @@ impl From<DeviceFault> for LaunchError {
 
 /// Device-wide roofline times (cycles) per pipeline — the denominator view
 /// of where a kernel's time goes.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct PipelineBreakdown {
     pub fma_cycles: f64,
     pub issue_cycles: f64,
@@ -94,7 +96,11 @@ impl PipelineBreakdown {
 }
 
 /// Simulated statistics for one kernel launch.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// `PartialEq` compares every field (f64s bitwise-as-values): the fast-path
+/// equivalence suite relies on exact equality between the streaming/dedup
+/// launch engine and the brute-force reference path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LaunchStats {
     /// Kernel name.
     pub kernel: String,
@@ -160,11 +166,19 @@ pub struct Gpu {
     dev: DeviceConfig,
     /// Optional injected-fault schedule consulted on every launch.
     fault: Option<FaultPlan>,
+    /// Structural block dedup in profile mode (see
+    /// [`Kernel::block_signature`]); on by default, disabled only to
+    /// brute-force a reference for equivalence testing.
+    dedup: bool,
 }
 
 impl Gpu {
     pub fn new(dev: DeviceConfig) -> Self {
-        Self { dev, fault: None }
+        Self {
+            dev,
+            fault: None,
+            dedup: true,
+        }
     }
 
     pub fn v100() -> Self {
@@ -194,6 +208,15 @@ impl Gpu {
         self.fault.as_ref()
     }
 
+    /// Enable or disable structural block dedup for profile launches.
+    /// Dedup is on by default and bit-identical to brute force (that is the
+    /// [`Kernel::block_signature`] contract); turning it off forces every
+    /// block to execute, which the equivalence suite uses as the reference.
+    pub fn with_block_dedup(mut self, enabled: bool) -> Self {
+        self.dedup = enabled;
+        self
+    }
+
     /// Launch a kernel functionally: blocks compute real outputs *and* the
     /// launch is timed. Panics on invalid launches or injected faults; use
     /// [`Gpu::try_launch`] for a recoverable error instead.
@@ -218,6 +241,72 @@ impl Gpu {
         self.try_run(kernel, false)
     }
 
+    /// The [`LaunchCache`] key this launch would use. See
+    /// [`crate::launch_cache`] for what `fingerprint` must cover (operand
+    /// structure plus any problem dimension the kernel name does not encode).
+    pub fn cache_key(&self, kernel: &dyn Kernel, fingerprint: u64) -> LaunchKey {
+        LaunchKey {
+            kernel: kernel.name(),
+            fingerprint,
+            device: self.dev.name.clone(),
+        }
+    }
+
+    /// Memoized profile launch: consult `cache` before simulating. Returns
+    /// the stats plus whether they were served from the cache. A GPU
+    /// carrying a fault plan bypasses the cache entirely (fault schedules
+    /// consume per-launch indices).
+    pub fn try_profile_cached(
+        &self,
+        cache: &LaunchCache,
+        fingerprint: u64,
+        kernel: &dyn Kernel,
+    ) -> Result<(LaunchStats, bool), LaunchError> {
+        if self.fault.is_some() {
+            return self.try_profile(kernel).map(|s| (s, false));
+        }
+        let key = self.cache_key(kernel, fingerprint);
+        if let Some(stats) = cache.lookup(&key) {
+            return Ok((stats, true));
+        }
+        let stats = self.try_profile(kernel)?;
+        cache.insert(key, stats.clone());
+        Ok((stats, false))
+    }
+
+    /// Memoized functional launch: on a hit the kernel still executes every
+    /// block (outputs must be produced) but with cost recording disabled —
+    /// the statistics come from the cache. Fault-plan GPUs bypass the cache.
+    pub fn try_launch_cached(
+        &self,
+        cache: &LaunchCache,
+        fingerprint: u64,
+        kernel: &dyn Kernel,
+    ) -> Result<(LaunchStats, bool), LaunchError> {
+        if self.fault.is_some() {
+            return self.try_launch(kernel).map(|s| (s, false));
+        }
+        let key = self.cache_key(kernel, fingerprint);
+        if let Some(stats) = cache.lookup(&key) {
+            self.validate(kernel)?;
+            self.replay_functional(kernel);
+            return Ok((stats, true));
+        }
+        let stats = self.try_launch(kernel)?;
+        cache.insert(key, stats.clone());
+        Ok((stats, false))
+    }
+
+    /// Execute every block functionally with cost recording disabled (the
+    /// output-producing half of a cached functional launch).
+    fn replay_functional(&self, kernel: &dyn Kernel) {
+        let grid = kernel.grid();
+        (0..grid.size()).into_par_iter().for_each(|lin| {
+            let mut ctx = BlockContext::replay();
+            kernel.execute_block(grid.delinearize(lin), &mut ctx);
+        });
+    }
+
     /// Run a kernel under the sanitizer (see [`crate::sanitizer`]): a
     /// functional launch whose blocks additionally record racecheck /
     /// memcheck / aligncheck / lint findings, the simulator's analogue of
@@ -235,34 +324,47 @@ impl Gpu {
         let grid = kernel.grid();
         let n_blocks = grid.size();
 
+        // Sanitized launches always take the slow path (no dedup, no launch
+        // cache): the global shadow-map racecheck must observe every block's
+        // real accesses. The trace reduction itself still streams — only the
+        // per-block sanitizer findings are kept whole for the report.
         let session = sanitizer::begin_session(!kernel.atomic_output());
-        let results: Vec<(BlockCost, Option<BlockSan>)> = (0..n_blocks)
+        let (total, lites, sans) = (0..n_blocks)
             .into_par_iter()
-            .map(|lin| {
-                let idx = grid.delinearize(lin);
-                let san = BlockSan::for_kernel(&buffers, req.smem_bytes, multi_warp);
-                let mut ctx = BlockContext::sanitized(true, san);
-                sanitizer::enter_block(lin);
-                kernel.execute_block(idx, &mut ctx);
-                sanitizer::exit_block();
-                let san = ctx.take_sanitizer();
-                (ctx.cost, san)
+            .fold_with(
+                (BlockCost::default(), Vec::new(), Vec::new()),
+                |(mut total, mut lites, mut sans), lin| {
+                    let idx = grid.delinearize(lin);
+                    let san = BlockSan::for_kernel(&buffers, req.smem_bytes, multi_warp);
+                    let mut ctx = BlockContext::sanitized(true, san);
+                    sanitizer::enter_block(lin);
+                    kernel.execute_block(idx, &mut ctx);
+                    sanitizer::exit_block();
+                    if let Some(san) = ctx.take_sanitizer() {
+                        sans.push(san);
+                    }
+                    total.merge(&ctx.cost);
+                    lites.push(BlockCostLite::from(&ctx.cost));
+                    (total, lites, sans)
+                },
+            )
+            .reduce_with(|(mut ta, mut la, mut sa), (tb, lb, sb)| {
+                ta.merge(&tb);
+                la.extend(lb);
+                sa.extend(sb);
+                (ta, la, sa)
             })
-            .collect();
+            .unwrap_or_default();
         let (race_count, race_examples) = sanitizer::drain_session();
         drop(session);
 
         let mut report = SanitizerReport::new(kernel.name(), n_blocks);
-        let mut costs = Vec::with_capacity(results.len());
-        for (cost, san) in results {
-            costs.push(cost);
-            if let Some(san) = san {
-                report.absorb_block(san);
-            }
+        for san in sans {
+            report.absorb_block(san);
         }
         report.absorb_session(race_count, race_examples);
 
-        Ok((self.finish(kernel, occ, costs), report))
+        Ok((self.finish(kernel, occ, total, lites), report))
     }
 
     /// Resource validation shared by every launch path.
@@ -318,49 +420,141 @@ impl Gpu {
         let grid = kernel.grid();
         let n_blocks = grid.size();
 
-        // 1. Execute all blocks, collecting per-block cost traces.
+        // Profile-mode fast path: execute one representative per structural
+        // block signature, replay its cost for the rest.
+        if !functional && self.dedup {
+            if let Some(stats) = self.run_profile_dedup(kernel, occ) {
+                return stats;
+            }
+        }
+
+        // 1. Execute all blocks, streaming each cost trace into the running
+        // total and a compact per-block record — no `Vec<BlockCost>` of full
+        // `MAX_BUFFERS`-wide traces is ever materialized.
+        let (total, lites) = (0..n_blocks)
+            .into_par_iter()
+            .fold_with(
+                (BlockCost::default(), Vec::new()),
+                |(mut total, mut lites), lin| {
+                    let idx = grid.delinearize(lin);
+                    let mut ctx = BlockContext::new(functional);
+                    kernel.execute_block(idx, &mut ctx);
+                    total.merge(&ctx.cost);
+                    lites.push(BlockCostLite::from(&ctx.cost));
+                    (total, lites)
+                },
+            )
+            .reduce_with(|(mut ta, mut la), (tb, lb)| {
+                ta.merge(&tb);
+                la.extend(lb);
+                (ta, la)
+            })
+            .unwrap_or_default();
+
+        self.finish(kernel, occ, total, lites)
+    }
+
+    /// Profile-mode structural dedup: group blocks by
+    /// [`Kernel::block_signature`], execute one representative per group, and
+    /// replay its cost for the other members. Returns `None` when the kernel
+    /// offers no signatures or no two blocks share one (the plain streaming
+    /// path is then cheaper). Bit-identity with brute force holds because
+    /// totals are exact `u64` sums (merging a representative's cost once per
+    /// member is the same arithmetic) and per-block records land back at
+    /// their original linear indices, so the scheduler sees the same order.
+    fn run_profile_dedup(&self, kernel: &dyn Kernel, occ: Occupancy) -> Option<LaunchStats> {
+        let grid = kernel.grid();
+        let n_blocks = grid.size();
+        if n_blocks == 0 {
+            return None;
+        }
+        // `unique` lists the blocks that really execute (signature-less
+        // blocks and first occurrences); `member[i]` is the slot in `unique`
+        // whose cost block `i` replays. Signatures are computed in parallel
+        // (they can walk per-row metadata); only the grouping is serial.
+        let sigs: Vec<Option<u64>> = (0..n_blocks)
+            .into_par_iter()
+            .map(|lin| kernel.block_signature(grid.delinearize(lin)))
+            .collect();
+        let mut slot_of: HashMap<u64, usize> = HashMap::new();
+        let mut unique: Vec<u64> = Vec::new();
+        let mut member: Vec<usize> = Vec::with_capacity(n_blocks as usize);
+        for (lin, sig) in sigs.into_iter().enumerate() {
+            let lin = lin as u64;
+            match sig {
+                Some(sig) => {
+                    let next = unique.len();
+                    let slot = *slot_of.entry(sig).or_insert(next);
+                    if slot == next {
+                        unique.push(lin);
+                    }
+                    member.push(slot);
+                }
+                None => {
+                    member.push(unique.len());
+                    unique.push(lin);
+                }
+            }
+        }
+        if unique.len() as u64 == n_blocks {
+            return None;
+        }
+
+        let costs: Vec<BlockCost> = unique
+            .par_iter()
+            .map(|&lin| {
+                let mut ctx = BlockContext::new(false);
+                kernel.execute_block(grid.delinearize(lin), &mut ctx);
+                ctx.cost
+            })
+            .collect();
+
+        let mut total = BlockCost::default();
+        let mut lites = Vec::with_capacity(n_blocks as usize);
+        for &slot in &member {
+            let c = &costs[slot];
+            total.merge(c);
+            lites.push(BlockCostLite::from(c));
+        }
+        Some(self.finish(kernel, occ, total, lites))
+    }
+
+    /// The pre-fast-path launch engine: collect one full [`BlockCost`] per
+    /// block, then run the cache/timing models from the full traces. Kept as
+    /// the ground truth the streaming and dedup paths must match bit-for-bit
+    /// (the equivalence suite exercises it); never deduplicates.
+    #[doc(hidden)]
+    pub fn profile_reference(&self, kernel: &dyn Kernel) -> Result<LaunchStats, LaunchError> {
+        let occ = self.validate(kernel)?;
+        let dev = &self.dev;
+        let grid = kernel.grid();
+        let n_blocks = grid.size();
+        let req = kernel.block_requirements();
+
         let costs: Vec<BlockCost> = (0..n_blocks)
             .into_par_iter()
             .map(|lin| {
                 let idx = grid.delinearize(lin);
-                let mut ctx = BlockContext::new(functional);
+                let mut ctx = BlockContext::new(false);
                 kernel.execute_block(idx, &mut ctx);
                 ctx.cost
             })
             .collect();
 
-        self.finish(kernel, occ, costs)
-    }
-
-    /// Turn collected per-block cost traces into launch statistics (cache
-    /// model, per-block timing, scheduling, rooflines).
-    fn finish(&self, kernel: &dyn Kernel, occ: Occupancy, costs: Vec<BlockCost>) -> LaunchStats {
-        let dev = &self.dev;
-        let n_blocks = costs.len() as u64;
-        let req = kernel.block_requirements();
-
-        // 2. Aggregate traffic, apply the cache model.
         let mut total = BlockCost::default();
         for c in &costs {
             total.merge(c);
         }
         let buffers = kernel.buffers();
         let dram = cache::dram_traffic(dev, &buffers, &total.gmem);
-        let dram_bytes = dram.total_bytes();
-
-        // 3. Per-block cycles. Each block's DRAM share uses the per-buffer
-        // miss rates from the aggregate cache model.
         let warps_per_block = req.threads.div_ceil(dev.warp_size);
         let eff_warps = occupancy::effective_warps_per_sm(dev, &occ, n_blocks, warps_per_block);
-        // Bandwidth share per SM: when fewer blocks than SMs are active, the
-        // active SMs share the full device bandwidth.
         let active_sms = (n_blocks.min(dev.num_sms as u64)).max(1) as f64;
         let bw_per_sm = dev.dram_bytes_per_cycle() / active_sms;
         let concurrency = n_blocks
             .div_ceil(dev.num_sms as u64)
             .min(occ.blocks_per_sm as u64)
             .max(1) as f64;
-
         let block_cycles: Vec<f64> = costs
             .par_iter()
             .map(|c| {
@@ -381,8 +575,78 @@ impl Gpu {
             })
             .collect();
 
+        Ok(self.assemble(kernel, occ, &total, dram.total_bytes(), &block_cycles))
+    }
+
+    /// Turn the aggregated trace plus compact per-block records into launch
+    /// statistics (cache model, per-block timing, scheduling, rooflines).
+    fn finish(
+        &self,
+        kernel: &dyn Kernel,
+        occ: Occupancy,
+        total: BlockCost,
+        lites: Vec<BlockCostLite>,
+    ) -> LaunchStats {
+        let dev = &self.dev;
+        let n_blocks = lites.len() as u64;
+        let req = kernel.block_requirements();
+
+        // 2. Apply the cache model to the aggregate traffic.
+        let buffers = kernel.buffers();
+        let dram = cache::dram_traffic(dev, &buffers, &total.gmem);
+        let dram_bytes = dram.total_bytes();
+
+        // 3. Per-block cycles. Each block's DRAM share uses the per-buffer
+        // miss rates from the aggregate cache model.
+        let warps_per_block = req.threads.div_ceil(dev.warp_size);
+        let eff_warps = occupancy::effective_warps_per_sm(dev, &occ, n_blocks, warps_per_block);
+        // Bandwidth share per SM: when fewer blocks than SMs are active, the
+        // active SMs share the full device bandwidth.
+        let active_sms = (n_blocks.min(dev.num_sms as u64)).max(1) as f64;
+        let bw_per_sm = dev.dram_bytes_per_cycle() / active_sms;
+        let concurrency = n_blocks
+            .div_ceil(dev.num_sms as u64)
+            .min(occ.blocks_per_sm as u64)
+            .max(1) as f64;
+
+        let block_cycles: Vec<f64> = lites
+            .par_iter()
+            .map(|c| {
+                let mut bytes = 0.0f64;
+                for (slot, t) in c.gmem.iter().enumerate() {
+                    bytes += t.ld_bytes() as f64 * dram.ld_miss_rate[slot] + t.st_bytes() as f64;
+                }
+                timing::block_cycles_lite(
+                    dev,
+                    c,
+                    warps_per_block,
+                    eff_warps,
+                    bytes,
+                    bw_per_sm,
+                    concurrency,
+                )
+                .total_cycles
+            })
+            .collect();
+
+        self.assemble(kernel, occ, &total, dram_bytes, &block_cycles)
+    }
+
+    /// Shared tail of every launch path: schedule the per-block cycles onto
+    /// SMs, compute device-wide rooflines, and package the statistics.
+    fn assemble(
+        &self,
+        kernel: &dyn Kernel,
+        occ: Occupancy,
+        total: &BlockCost,
+        dram_bytes: u64,
+        block_cycles: &[f64],
+    ) -> LaunchStats {
+        let dev = &self.dev;
+        let n_blocks = block_cycles.len() as u64;
+
         // 4. Schedule blocks onto SMs.
-        let sched = scheduler::simulate_schedule(dev, occ.blocks_per_sm, &block_cycles);
+        let sched = scheduler::simulate_schedule(dev, occ.blocks_per_sm, block_cycles);
 
         // 5. Device-wide rooflines (lower bounds the makespan cannot beat).
         let fma_tp = dev.fp32_lanes_per_sm as f64 / dev.warp_size as f64;
@@ -530,6 +794,11 @@ pub struct LaunchSummary {
     pub violations: u64,
     /// Sanitizer lint warnings across sanitized launches.
     pub warnings: u64,
+    /// Launches served from a [`LaunchCache`] (0 unless
+    /// [`LaunchSummary::add_cached`] was used).
+    pub cache_hits: u64,
+    /// Launches that missed the cache and simulated in full.
+    pub cache_misses: u64,
 }
 
 impl LaunchSummary {
@@ -538,6 +807,17 @@ impl LaunchSummary {
         self.time_us += stats.time_us;
         self.flops += stats.flops;
         self.dram_bytes += stats.dram_bytes;
+    }
+
+    /// Accumulate a memoized launch (see [`Gpu::try_profile_cached`] /
+    /// [`Gpu::try_launch_cached`]), recording whether the cache served it.
+    pub fn add_cached(&mut self, stats: &LaunchStats, hit: bool) {
+        self.add(stats);
+        if hit {
+            self.cache_hits += 1;
+        } else {
+            self.cache_misses += 1;
+        }
     }
 
     /// Accumulate a sanitized launch: the stats plus its sanitizer findings.

@@ -1,0 +1,195 @@
+//! Cross-launch memoization of simulated launch statistics.
+//!
+//! The evaluation sweeps (dataset benchmarks, autotuning grids, the dispatch
+//! ladder) re-simulate the same kernel on the same operands over and over.
+//! [`LaunchCache`] memoizes [`LaunchStats`] across launches, keyed by the
+//! kernel name (which encodes the configuration tag), a caller-supplied
+//! operand fingerprint, and the device name.
+//!
+//! ## What the key must cover
+//!
+//! Simulated statistics depend on the kernel's *cost trace*, which is a
+//! function of the launch configuration and the operand **structure** —
+//! shapes, sparsity topology, alignment — but not of the floating-point
+//! values flowing through it. The kernel name covers the configuration; the
+//! device name covers the hardware model; the `fingerprint` must cover
+//! everything else the trace reads: the sparse topology (row offsets, column
+//! indices) *and* any problem dimension not implied by it (e.g. SpMM's dense
+//! column count `n`, which the kernel name does not encode).
+//!
+//! ## Functional launches
+//!
+//! A cache hit on a functional launch still has to produce outputs. The
+//! launcher re-executes every block with a cost-recording-disabled context
+//! ([`BlockContext::replay`](crate::cost::BlockContext::replay)), skipping
+//! the sector/conflict arithmetic while the kernel writes its results, and
+//! returns the cached statistics.
+//!
+//! ## When the cache is bypassed
+//!
+//! Launches on a [`Gpu`](crate::Gpu) carrying a fault plan bypass the cache
+//! entirely (no lookup, no insert): fault schedules consume per-launch
+//! indices and may poison outputs, so serving them from a cache would both
+//! skip scheduled faults and desynchronize the schedule.
+
+use crate::launch::LaunchStats;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Cache key: (kernel name incl. config tag, operand fingerprint, device).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LaunchKey {
+    pub kernel: String,
+    pub fingerprint: u64,
+    pub device: String,
+}
+
+/// A thread-safe memo table of simulated launch statistics.
+///
+/// Shared by `&` reference (interior mutability), so one cache can serve an
+/// entire benchmark sweep or a whole dispatch ladder without plumbing `&mut`
+/// through every call site.
+#[derive(Debug, Default)]
+pub struct LaunchCache {
+    entries: Mutex<HashMap<LaunchKey, LaunchStats>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl LaunchCache {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn entries(&self) -> std::sync::MutexGuard<'_, HashMap<LaunchKey, LaunchStats>> {
+        // A poisoned mutex only means another thread panicked mid-insert;
+        // the map itself is still a valid memo table.
+        match self.entries.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Look up a key, counting the hit or miss.
+    pub fn lookup(&self, key: &LaunchKey) -> Option<LaunchStats> {
+        let found = self.entries().get(key).cloned();
+        match found {
+            Some(stats) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(stats)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Record freshly simulated statistics under a key.
+    pub fn insert(&self, key: LaunchKey, stats: LaunchStats) {
+        self.entries().insert(key, stats);
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries().is_empty()
+    }
+
+    /// Drop all entries and reset the counters.
+    pub fn clear(&self) {
+        self.entries().clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::launch::LaunchStats;
+
+    fn dummy_stats(us: f64) -> LaunchStats {
+        LaunchStats {
+            kernel: "k".into(),
+            time_us: us,
+            makespan_cycles: 0.0,
+            blocks: 1,
+            waves: 1.0,
+            balance: 1.0,
+            occupancy: crate::occupancy::occupancy(
+                &crate::device::DeviceConfig::v100(),
+                &crate::occupancy::BlockRequirements {
+                    threads: 32,
+                    smem_bytes: 0,
+                    regs_per_thread: 32,
+                },
+            ),
+            instructions: 1,
+            flops: 2,
+            dram_bytes: 3,
+            tflops: 0.0,
+            frac_peak: 0.0,
+            dram_gbps: 0.0,
+            bound_by: "dram".into(),
+            pipelines: Default::default(),
+        }
+    }
+
+    fn key(fp: u64) -> LaunchKey {
+        LaunchKey {
+            kernel: "k".into(),
+            fingerprint: fp,
+            device: "V100".into(),
+        }
+    }
+
+    #[test]
+    fn hit_and_miss_counters() {
+        let cache = LaunchCache::new();
+        assert!(cache.lookup(&key(1)).is_none());
+        cache.insert(key(1), dummy_stats(10.0));
+        let hit = cache.lookup(&key(1)).expect("inserted");
+        assert_eq!(hit.time_us, 10.0);
+        assert!(cache.lookup(&key(2)).is_none());
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn keys_distinguish_all_components() {
+        let cache = LaunchCache::new();
+        cache.insert(key(1), dummy_stats(1.0));
+        let mut other_kernel = key(1);
+        other_kernel.kernel = "k2".into();
+        let mut other_dev = key(1);
+        other_dev.device = "A100".into();
+        assert!(cache.lookup(&other_kernel).is_none());
+        assert!(cache.lookup(&other_dev).is_none());
+        assert!(cache.lookup(&key(2)).is_none());
+        assert!(cache.lookup(&key(1)).is_some());
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let cache = LaunchCache::new();
+        cache.insert(key(1), dummy_stats(1.0));
+        let _ = cache.lookup(&key(1));
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.misses(), 0);
+    }
+}

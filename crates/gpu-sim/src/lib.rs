@@ -60,8 +60,10 @@ pub mod cost;
 pub mod device;
 pub mod dim;
 pub mod fault;
+pub mod fingerprint;
 pub mod kernel;
 pub mod launch;
+pub mod launch_cache;
 pub mod memory;
 pub mod microbench;
 pub mod occupancy;
@@ -72,12 +74,14 @@ pub mod util;
 
 pub use cache::{AccessPattern, BufferSpec, DramTraffic};
 pub use cache_sim::{CacheConfig, CacheSim, CacheStats};
-pub use cost::{BlockContext, BlockCost, BufferId, Traffic, MAX_BUFFERS};
+pub use cost::{BlockContext, BlockCost, BlockCostLite, BufferId, Traffic, MAX_BUFFERS};
 pub use device::DeviceConfig;
 pub use dim::Dim3;
 pub use fault::{DeviceFault, FaultKind, FaultPlan};
+pub use fingerprint::Fingerprint;
 pub use kernel::Kernel;
 pub use launch::{Gpu, LaunchError, LaunchStats, LaunchSummary, PipelineBreakdown, Stream};
+pub use launch_cache::{LaunchCache, LaunchKey};
 pub use microbench::{validate, Validation};
 pub use occupancy::{occupancy, BlockRequirements, Occupancy, OccupancyLimit};
 pub use sanitizer::{SanitizerReport, SanitizerViolation, SanitizerWarning, SmemScope};

@@ -8,7 +8,7 @@
 //! occupancy is too low to cover DRAM latency. Kernel time is then
 //! `max(schedule makespan, device-wide rooflines) + launch overhead`.
 
-use crate::cost::BlockCost;
+use crate::cost::{BlockCost, BlockCostLite};
 use crate::device::DeviceConfig;
 use serde::{Deserialize, Serialize};
 
@@ -59,16 +59,41 @@ pub fn block_cycles(
     dram_bytes_per_cycle_per_sm: f64,
     concurrency: f64,
 ) -> BlockTiming {
+    block_cycles_lite(
+        dev,
+        &BlockCostLite::from(cost),
+        warps_per_block,
+        eff_warps,
+        dram_bytes,
+        dram_bytes_per_cycle_per_sm,
+        concurrency,
+    )
+}
+
+/// [`block_cycles`] over the compact per-block record the streaming launch
+/// path retains. The full-cost entry point above delegates here, so both
+/// paths share one arithmetic expression and stay bit-identical (the lite
+/// fields are exact integer pre-sums of the `BlockCost` counters this
+/// function reads).
+pub fn block_cycles_lite(
+    dev: &DeviceConfig,
+    cost: &BlockCostLite,
+    warps_per_block: u32,
+    eff_warps: f64,
+    dram_bytes: f64,
+    dram_bytes_per_cycle_per_sm: f64,
+    concurrency: f64,
+) -> BlockTiming {
     // Block service time charges the SM's full issue rate: co-resident
     // blocks interleave on the schedulers, so a block's cost to the SM is its
     // instruction count at the aggregate rate (a lone small block that cannot
     // reach this rate is covered by the latency penalty instead).
     let _ = warps_per_block;
-    let issue_cycles = cost.total_instrs() as f64 / dev.issue_slots_per_sm as f64;
+    let issue_cycles = cost.instrs as f64 / dev.issue_slots_per_sm as f64;
 
     // FP32 pipeline: fp32 lanes / warp_size warp-FMAs per cycle (2.0 on Volta).
     let fma_tp = dev.fp32_lanes_per_sm as f64 / dev.warp_size as f64;
-    let fma_cycles = (cost.fma_instrs + cost.fp_instrs) as f64 / fma_tp;
+    let fma_cycles = cost.fma_fp_instrs as f64 / fma_tp;
 
     // LSU pipeline: global & shared access instructions contend for ld/st
     // issue; throughput in warp-instructions per cycle.
@@ -76,9 +101,7 @@ pub fn block_cycles(
     // Global accesses pay the full LSU/TLB path; shared-memory accesses
     // issue at one warp-instruction per cycle on Volta's dedicated pipe.
     // Shuffles run on their own crossbar and contend for issue only.
-    let global_instr = cost.ld_global_instrs + cost.st_global_instrs;
-    let smem_instr = cost.ld_shared_instrs + cost.st_shared_instrs;
-    let lsu_cycles = global_instr as f64 / lsu_tp + smem_instr as f64;
+    let lsu_cycles = cost.global_instrs as f64 / lsu_tp + cost.smem_instrs as f64;
 
     // Shared-memory bandwidth: bytes / (bytes-per-cycle), plus one full warp
     // access per conflict pass.

@@ -248,6 +248,34 @@ impl<T: Scalar> CsrMatrix<T> {
         }
     }
 
+    /// A stable 64-bit fingerprint of the matrix *topology*: dimensions,
+    /// row offsets, and column indices (values excluded — simulated cost
+    /// traces depend only on structure). FNV-1a over the raw words, so the
+    /// result is identical across runs, platforms, and Rust versions, which
+    /// makes it usable as a persistent cache-key component.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        // FNV-1a lifted to whole words (one xor-multiply per word): this
+        // runs on every launch-cache lookup, so it must stay O(nnz) with a
+        // small constant.
+        let mut mix = |word: u64| {
+            h ^= word;
+            h = h.wrapping_mul(FNV_PRIME);
+        };
+        mix(self.rows as u64);
+        mix(self.cols as u64);
+        mix(self.nnz() as u64);
+        for &o in &self.row_offsets {
+            mix(o as u64);
+        }
+        for &c in &self.col_indices {
+            mix(c as u64);
+        }
+        h
+    }
+
     /// Do two matrices share the same topology (offsets and indices)?
     pub fn same_pattern(&self, other: &Self) -> bool {
         self.rows == other.rows
@@ -531,6 +559,20 @@ mod tests {
         let m =
             CsrMatrix::<f32>::from_parts(1, 3, vec![0, 3], vec![0, 1, 2], vec![1.0; 3]).unwrap();
         assert!(m.padded_to_multiple(4).is_none());
+    }
+
+    #[test]
+    fn fingerprint_tracks_topology_not_values() {
+        let m = crate::gen::uniform(32, 64, 0.7, 801);
+        let same_pattern = m.with_values(vec![7.0; m.nnz()]);
+        assert_eq!(m.fingerprint(), same_pattern.fingerprint());
+        let other = crate::gen::uniform(32, 64, 0.7, 802);
+        assert_ne!(m.fingerprint(), other.fingerprint());
+        // Dimensions are covered even when the pattern is empty.
+        assert_ne!(
+            CsrMatrix::<f32>::empty(4, 8).fingerprint(),
+            CsrMatrix::<f32>::empty(8, 4).fingerprint()
+        );
     }
 
     #[test]

@@ -16,6 +16,32 @@ pub mod prelude {
 
     impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
 
+    /// Sequential stand-ins for rayon's `ParallelIterator::fold_with` /
+    /// `reduce_with`. Real rayon folds each worker's chunk into its own
+    /// accumulator and yields one accumulator per chunk; the sequential
+    /// equivalent is a single chunk, so `fold_with` yields exactly one
+    /// accumulated value and `reduce_with` combines what it is given.
+    /// Callers written against this pair are source-compatible with rayon
+    /// (unlike `std`'s one-closure `fold`, whose signature differs).
+    pub trait ParallelFold: Iterator + Sized {
+        fn fold_with<T, F>(self, init: T, fold_op: F) -> std::iter::Once<T>
+        where
+            F: FnMut(T, Self::Item) -> T,
+        {
+            std::iter::once(self.fold(init, fold_op))
+        }
+
+        fn reduce_with<F>(mut self, op: F) -> Option<Self::Item>
+        where
+            F: FnMut(Self::Item, Self::Item) -> Self::Item,
+        {
+            let first = self.next()?;
+            Some(self.fold(first, op))
+        }
+    }
+
+    impl<I: Iterator> ParallelFold for I {}
+
     /// Sequential stand-in for `rayon::iter::IntoParallelRefIterator`.
     pub trait IntoParallelRefIterator<'a> {
         type Iter: Iterator;
@@ -53,5 +79,23 @@ mod tests {
         assert_eq!(doubled, vec![2, 4, 6, 8]);
         let sum: u64 = (0u64..100).into_par_iter().sum();
         assert_eq!(sum, 4950);
+    }
+
+    #[test]
+    fn fold_reduce_streams_one_accumulator() {
+        let (sum, items) = (0u64..10)
+            .into_par_iter()
+            .fold_with((0u64, Vec::new()), |(s, mut v), x| {
+                v.push(x);
+                (s + x, v)
+            })
+            .reduce_with(|(sa, mut va), (sb, vb)| {
+                va.extend(vb);
+                (sa + sb, va)
+            })
+            .unwrap_or_default();
+        assert_eq!(sum, 45);
+        assert_eq!(items, (0..10).collect::<Vec<_>>());
+        assert_eq!(std::iter::empty::<u64>().reduce_with(|a, b| a + b), None);
     }
 }

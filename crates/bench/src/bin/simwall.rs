@@ -98,8 +98,9 @@ fn main() {
     let cold = sweep(&gpu, Some(&cache), &problems);
     let cold_ms = t.elapsed().as_secs_f64() * 1e3;
     let t = Instant::now();
-    let warm = sweep(&gpu, Some(&cache), &problems);
+    let mut warm = sweep(&gpu, Some(&cache), &problems);
     let warm_ms = t.elapsed().as_secs_f64() * 1e3;
+    warm.absorb_cache(&cache);
 
     // The fast path must not change simulated results: the warm pass replays
     // exactly the cold pass's stats.
@@ -144,10 +145,11 @@ fn main() {
     // The vendored serde stub cannot serialize, so the record is written by
     // hand — one flat object, stable key order.
     let json = format!(
-        "{{\n  \"bench\": \"simwall\",\n  \"grid\": \"{grid}\",\n  \"problems\": {count},\n  \"launches_per_pass\": {launches},\n  \"slowpath_ms\": {slowpath_ms:.3},\n  \"cold_ms\": {cold_ms:.3},\n  \"warm_ms\": {warm_ms:.3},\n  \"cold_warm_speedup\": {cold_warm:.3},\n  \"slowpath_cold_speedup\": {slow_cold:.3},\n  \"cache_hits_warm\": {hits},\n  \"cache_misses_cold\": {misses}\n}}\n",
+        "{{\n  \"bench\": \"simwall\",\n  \"grid\": \"{grid}\",\n  \"problems\": {count},\n  \"launches_per_pass\": {launches},\n  \"slowpath_ms\": {slowpath_ms:.3},\n  \"cold_ms\": {cold_ms:.3},\n  \"warm_ms\": {warm_ms:.3},\n  \"cold_warm_speedup\": {cold_warm:.3},\n  \"slowpath_cold_speedup\": {slow_cold:.3},\n  \"cache_hits_warm\": {hits},\n  \"cache_misses_cold\": {misses},\n  \"cache_evictions\": {evictions}\n}}\n",
         launches = cold.launches,
         hits = warm.cache_hits,
         misses = cold.cache_misses,
+        evictions = warm.cache_evictions,
     );
     let out = "BENCH_simwall.json";
     match std::fs::write(out, &json) {

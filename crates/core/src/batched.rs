@@ -3,14 +3,22 @@
 //! Sparse attention runs the *same* sparse topology against many dense
 //! operands — one per (head, batch element) — and sparse training reuses one
 //! weight topology across micro-batches. These helpers amortize everything
-//! amortizable: the row swizzle is computed once, and the launches go
-//! through a [`gpu_sim::Stream`] so consecutive kernels overlap their launch
-//! overhead, as back-to-back launches do on real hardware.
+//! amortizable: the row swizzle is computed once, the launches go through a
+//! [`gpu_sim::Stream`] so consecutive kernels overlap their launch overhead
+//! (as back-to-back launches do on real hardware), and the stream consults a
+//! [`LaunchCache`] — the simulated statistics depend on the topology and
+//! configuration, not the dense values, so items 2..k of a batch replay item
+//! 1's simulation instead of re-running it. The usual bypass rule applies: a
+//! [`Gpu`] carrying a fault plan simulates every launch in full.
+//!
+//! [`spmm_batched`] / [`sddmm_batched`] memoize within the one call (a
+//! private per-batch cache); the `_cached` variants accept a caller-owned
+//! cache so repeated batches (layers, training steps) hit across calls too.
 
 use crate::config::{SddmmConfig, SpmmConfig};
-use crate::sddmm::SddmmKernel;
-use crate::spmm::SpmmKernel;
-use gpu_sim::{Gpu, Stream};
+use crate::sddmm::{self, SddmmKernel};
+use crate::spmm::{self, SpmmKernel};
+use gpu_sim::{Gpu, LaunchCache, Stream};
 use sparse::{CsrMatrix, Matrix, RowSwizzle, Scalar};
 
 /// Result of a batched launch: per-item outputs plus stream-level timing.
@@ -20,18 +28,49 @@ pub struct BatchedResult<T> {
     pub stream_us: f64,
     /// Sum of standalone launch times (what naive sequential launches cost).
     pub naive_us: f64,
+    /// Launches whose statistics were replayed from the launch cache.
+    pub cache_hits: u64,
 }
 
 impl<T> BatchedResult<T> {
     /// How much the stream pipelining saved.
+    ///
+    /// Invariant: **never negative**. Pipelining can only hide launch
+    /// overhead behind execution, so a stream slower than its naive
+    /// back-to-back sum is a model violation — the batched constructors
+    /// assert it on every batch.
     pub fn overhead_saved_us(&self) -> f64 {
         self.naive_us - self.stream_us
     }
 }
 
-/// SpMM of one sparse matrix against many dense operands.
+/// Check the stream-vs-naive model invariant for a finished batch.
+fn assert_stream_invariant(stream_us: f64, naive_us: f64) {
+    assert!(
+        stream_us <= naive_us + 1e-9,
+        "model violation: stream time {stream_us} us exceeds naive sequential {naive_us} us \
+         (pipelining can only hide overhead)"
+    );
+}
+
+/// SpMM of one sparse matrix against many dense operands, memoized within
+/// the batch (every item shares `a`'s topology and `cfg`, so items 2..k are
+/// cache replays).
 pub fn spmm_batched<T: Scalar>(
     gpu: &Gpu,
+    a: &CsrMatrix<T>,
+    bs: &[&Matrix<T>],
+    cfg: SpmmConfig,
+) -> BatchedResult<Matrix<T>> {
+    let cache = LaunchCache::new();
+    spmm_batched_cached(gpu, &cache, a, bs, cfg)
+}
+
+/// [`spmm_batched`] through a caller-owned [`LaunchCache`], so repeated
+/// batches on the same topology hit across calls.
+pub fn spmm_batched_cached<T: Scalar>(
+    gpu: &Gpu,
+    cache: &LaunchCache,
     a: &CsrMatrix<T>,
     bs: &[&Matrix<T>],
     cfg: SpmmConfig,
@@ -41,30 +80,47 @@ pub fn spmm_batched<T: Scalar>(
     } else {
         RowSwizzle::identity(a.rows())
     };
-    let mut stream = Stream::new(gpu);
+    let mut stream = Stream::with_cache(gpu, cache);
     let mut outputs = Vec::with_capacity(bs.len());
     let mut naive_us = 0.0;
     for b in bs {
         let mut out = Matrix::<T>::zeros(a.rows(), b.cols());
+        let fingerprint = spmm::operand_fingerprint(a, b.cols());
         let stats = {
             let kernel = SpmmKernel::new(a, b, &mut out, &swizzle, cfg);
-            stream.launch(&kernel)
+            stream.launch_cached(fingerprint, &kernel)
         };
         naive_us += stats.time_us;
         outputs.push(out);
     }
+    let stream_us = stream.total_us();
+    assert_stream_invariant(stream_us, naive_us);
     BatchedResult {
         outputs,
-        stream_us: stream.total_us(),
+        stream_us,
         naive_us,
+        cache_hits: stream.cache_hits(),
     }
 }
 
 /// SDDMM of one mask against many (lhs, rhs) pairs — the per-head QK^T of
 /// sparse attention ("the sparse attention mask ... is shared by all
-/// attention heads and layers").
+/// attention heads and layers"). Memoized within the batch like
+/// [`spmm_batched`].
 pub fn sddmm_batched<T: Scalar>(
     gpu: &Gpu,
+    pairs: &[(&Matrix<T>, &Matrix<T>)],
+    mask: &CsrMatrix<T>,
+    cfg: SddmmConfig,
+) -> BatchedResult<CsrMatrix<T>> {
+    let cache = LaunchCache::new();
+    sddmm_batched_cached(gpu, &cache, pairs, mask, cfg)
+}
+
+/// [`sddmm_batched`] through a caller-owned [`LaunchCache`].
+pub fn sddmm_batched_cached<T: Scalar>(
+    gpu: &Gpu,
+    cache: &LaunchCache,
     pairs: &[(&Matrix<T>, &Matrix<T>)],
     mask: &CsrMatrix<T>,
     cfg: SddmmConfig,
@@ -74,22 +130,26 @@ pub fn sddmm_batched<T: Scalar>(
     } else {
         RowSwizzle::identity(mask.rows())
     };
-    let mut stream = Stream::new(gpu);
+    let mut stream = Stream::with_cache(gpu, cache);
     let mut outputs = Vec::with_capacity(pairs.len());
     let mut naive_us = 0.0;
     for (lhs, rhs) in pairs {
         let mut values = vec![T::zero(); mask.nnz()];
+        let fingerprint = sddmm::mask_fingerprint(mask, lhs.cols());
         let stats = {
             let kernel = SddmmKernel::new(lhs, rhs, mask, &mut values, &swizzle, cfg);
-            stream.launch(&kernel)
+            stream.launch_cached(fingerprint, &kernel)
         };
         naive_us += stats.time_us;
         outputs.push(mask.with_values(values));
     }
+    let stream_us = stream.total_us();
+    assert_stream_invariant(stream_us, naive_us);
     BatchedResult {
         outputs,
-        stream_us: stream.total_us(),
+        stream_us,
         naive_us,
+        cache_hits: stream.cache_hits(),
     }
 }
 
@@ -97,6 +157,7 @@ pub fn sddmm_batched<T: Scalar>(
 mod tests {
     use super::*;
     use crate::reference;
+    use gpu_sim::{FaultKind, FaultPlan};
     use sparse::gen;
 
     #[test]
@@ -110,6 +171,10 @@ mod tests {
         assert_eq!(result.outputs.len(), 2);
         assert!(result.outputs[0].max_abs_diff(&reference::spmm(&a, &b1)) < 1e-3);
         assert!(result.outputs[1].max_abs_diff(&reference::spmm(&a, &b2)) < 1e-3);
+        assert_eq!(
+            result.cache_hits, 1,
+            "second item replays the first's simulation"
+        );
     }
 
     #[test]
@@ -124,6 +189,31 @@ mod tests {
             "pipelining must save time"
         );
         assert!(result.overhead_saved_us() > 0.0);
+        assert_eq!(result.cache_hits, 7, "items 2..8 hit the batch cache");
+    }
+
+    /// Regression (`overhead_saved_us` < 0): a single tiny kernel used to
+    /// pay the short-kernel gap penalty with no successor to pipeline, so a
+    /// one-item "batch" came out slower than its naive launch. The saved
+    /// overhead must be non-negative for every batch size.
+    #[test]
+    fn overhead_saved_is_never_negative() {
+        let gpu = Gpu::v100();
+        // Tiny problem: execution well under the launch overhead.
+        let a = gen::uniform(4, 4, 0.5, 331);
+        let bs: Vec<Matrix<f32>> = (0..8).map(|i| Matrix::random(4, 4, 332 + i)).collect();
+        let cfg = SpmmConfig::heuristic::<f32>(4);
+        for k in 1..=bs.len() {
+            let refs: Vec<&Matrix<f32>> = bs[..k].iter().collect();
+            let result = spmm_batched(&gpu, &a, &refs, cfg);
+            assert!(
+                result.overhead_saved_us() >= 0.0,
+                "batch of {k}: saved {} us is negative (stream {} vs naive {})",
+                result.overhead_saved_us(),
+                result.stream_us,
+                result.naive_us
+            );
+        }
     }
 
     #[test]
@@ -147,5 +237,66 @@ mod tests {
                 assert!((a - b).abs() < 1e-3);
             }
         }
+        assert_eq!(result.cache_hits, 1, "pair 2 replays pair 1's simulation");
+    }
+
+    /// The cache replays *statistics*, never values: every item's functional
+    /// output must match its own reference even when served from the cache.
+    #[test]
+    fn cache_hits_do_not_cross_contaminate_outputs() {
+        let gpu = Gpu::v100();
+        let a = gen::uniform(48, 40, 0.6, 340);
+        let bs: Vec<Matrix<f32>> = (0..4).map(|i| Matrix::random(40, 16, 341 + i)).collect();
+        let refs: Vec<&Matrix<f32>> = bs.iter().collect();
+        let result = spmm_batched(&gpu, &a, &refs, SpmmConfig::heuristic::<f32>(16));
+        assert_eq!(result.cache_hits, 3);
+        for (out, b) in result.outputs.iter().zip(&bs) {
+            assert!(out.max_abs_diff(&reference::spmm(&a, b)) < 1e-3);
+        }
+    }
+
+    #[test]
+    fn shared_cache_hits_across_batched_calls() {
+        let gpu = Gpu::v100();
+        let cache = LaunchCache::new();
+        let a = gen::uniform(64, 48, 0.7, 350);
+        let bs: Vec<Matrix<f32>> = (0..3).map(|i| Matrix::random(48, 32, 351 + i)).collect();
+        let refs: Vec<&Matrix<f32>> = bs.iter().collect();
+        let cfg = SpmmConfig::heuristic::<f32>(32);
+        let first = spmm_batched_cached(&gpu, &cache, &a, &refs, cfg);
+        assert_eq!(first.cache_hits, 2, "first call: items 2..3 hit");
+        let second = spmm_batched_cached(&gpu, &cache, &a, &refs, cfg);
+        assert_eq!(second.cache_hits, 3, "second call: every item hits");
+        assert_eq!(first.stream_us, second.stream_us, "replay is bit-identical");
+    }
+
+    /// Fault-plan GPUs must bypass the batch cache (fault schedules consume
+    /// per-launch indices): every launch simulates, and scheduled faults
+    /// still fire at their exact index.
+    #[test]
+    fn fault_plan_bypasses_batch_cache() {
+        let a = gen::uniform(64, 48, 0.7, 360);
+        let bs: Vec<Matrix<f32>> = (0..3).map(|i| Matrix::random(48, 32, 361 + i)).collect();
+        let refs: Vec<&Matrix<f32>> = bs.iter().collect();
+        let cfg = SpmmConfig::heuristic::<f32>(32);
+
+        // An armed-but-quiet plan: the cache must still be bypassed.
+        let gpu = Gpu::v100().with_fault_plan(FaultPlan::none());
+        let result = spmm_batched(&gpu, &a, &refs, cfg);
+        assert_eq!(result.cache_hits, 0, "no cache service under a fault plan");
+        assert_eq!(
+            gpu.fault_plan().map(FaultPlan::launches_observed),
+            Some(3),
+            "every batched launch consults the schedule"
+        );
+
+        // A plan that kills the first launch: the batch must panic (the
+        // stream uses the panicking launch path), proving launches were not
+        // served from a cache that would skip the fault.
+        let gpu = Gpu::v100().with_fault_plan(FaultPlan::fail_first(1, FaultKind::EccError));
+        let killed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            spmm_batched(&gpu, &a, &refs, cfg)
+        }));
+        assert!(killed.is_err(), "scheduled fault must abort the batch");
     }
 }

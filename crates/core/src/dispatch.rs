@@ -230,6 +230,16 @@ fn spmm_with_cache<T: Scalar>(
                 Ok((out, stats))
             }) {
                 Ok((out, stats)) => {
+                    if rung != Rung::Sputnik {
+                        gpu_sim::metrics::global().incr("dispatch_degraded", 1);
+                        if gpu_sim::trace::enabled() {
+                            gpu_sim::trace::instant(
+                                "dispatch",
+                                "dispatch",
+                                &format!("degraded: served by {rung} ({})", stats.kernel),
+                            );
+                        }
+                    }
                     let report = DispatchReport {
                         served_by: rung,
                         stats: Some(stats),
@@ -240,6 +250,14 @@ fn spmm_with_cache<T: Scalar>(
                 }
                 Err(err) => {
                     let transient = is_transient(&err);
+                    gpu_sim::metrics::global().incr("dispatch_failed_attempts", 1);
+                    if gpu_sim::trace::enabled() {
+                        gpu_sim::trace::instant(
+                            "dispatch",
+                            "dispatch",
+                            &format!("rung {rung} attempt {attempt} failed: {err}"),
+                        );
+                    }
                     attempts.push(Attempt { rung, error: err });
                     if !transient {
                         // Deterministic failure: retrying the same rung
@@ -253,6 +271,10 @@ fn spmm_with_cache<T: Scalar>(
 
     // Last rung: host execution. Identical accumulation order to the
     // fallback kernel, so results remain bit-stable across rungs for f32.
+    gpu_sim::metrics::global().incr("dispatch_degraded", 1);
+    if gpu_sim::trace::enabled() {
+        gpu_sim::trace::instant("dispatch", "dispatch", "degraded: served by cpu-reference");
+    }
     let out = reference_as_t::<T>(a, b);
     let report = DispatchReport {
         served_by: Rung::CpuReference,

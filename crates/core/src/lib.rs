@@ -18,7 +18,9 @@ pub mod spmm;
 pub mod transpose;
 pub mod tune;
 
-pub use batched::{sddmm_batched, spmm_batched, BatchedResult};
+pub use batched::{
+    sddmm_batched, sddmm_batched_cached, spmm_batched, spmm_batched_cached, BatchedResult,
+};
 pub use config::{SddmmConfig, SpmmConfig};
 pub use dispatch::{
     sanitize, spmm_cached, DegradationStats, DispatchPolicy, DispatchReport, FallbackSpmmKernel,

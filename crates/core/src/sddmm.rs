@@ -472,20 +472,28 @@ pub fn sddmm_profile_cached<T: Scalar>(
     if gpu.fault_plan().is_some() {
         return (sddmm_profile(gpu, mask, k, cfg), false);
     }
-    let mut fp = Fingerprint::new();
-    fp.write_u64(mask.fingerprint());
-    fp.write_u64(k as u64);
     let key = LaunchKey {
         kernel: SddmmKernel::<T>::launch_name(&cfg),
-        fingerprint: fp.finish(),
+        fingerprint: mask_fingerprint(mask, k),
         device: gpu.device().name.clone(),
     };
     if let Some(stats) = cache.lookup(&key) {
+        gpu.note_cache_hit(&stats);
         return (stats, true);
     }
     let stats = sddmm_profile(gpu, mask, k, cfg);
     cache.insert(key, stats.clone());
     (stats, false)
+}
+
+/// The launch-cache fingerprint for an SDDMM-shaped problem: the mask
+/// topology plus `k`, the dot-product length the kernel name does not
+/// encode (shared with the batched path).
+pub(crate) fn mask_fingerprint<T: Scalar>(mask: &CsrMatrix<T>, k: usize) -> u64 {
+    let mut fp = Fingerprint::new();
+    fp.write_u64(mask.fingerprint());
+    fp.write_u64(k as u64);
+    fp.finish()
 }
 
 #[cfg(test)]

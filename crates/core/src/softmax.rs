@@ -129,10 +129,42 @@ impl<T: Scalar> Kernel for SparseSoftmaxKernel<'_, T> {
                     .iter()
                     .map(|v| v.to_f32())
                     .fold(f32::NEG_INFINITY, f32::max);
-                let exps: Vec<f32> = vals.iter().map(|v| (v.to_f32() - max).exp()).collect();
-                let sum: f32 = exps.iter().sum();
-                for (i, &e) in exps.iter().enumerate() {
-                    unsafe { out.write(start + i, T::from_f32(e / sum)) };
+                if max == f32::INFINITY {
+                    // Softmax limit with +inf logits: the mass splits evenly
+                    // over the +inf entries, everything else gets zero.
+                    // (exp(inf - inf) would be NaN.)
+                    let top = vals
+                        .iter()
+                        .filter(|v| v.to_f32() == f32::INFINITY)
+                        .count()
+                        .max(1) as f32;
+                    for (i, v) in vals.iter().enumerate() {
+                        let p = if v.to_f32() == f32::INFINITY {
+                            1.0 / top
+                        } else {
+                            0.0
+                        };
+                        unsafe { out.write(start + i, T::from_f32(p)) };
+                    }
+                } else if max == f32::NEG_INFINITY {
+                    // Every logit is -inf (or NaN, which `f32::max` skips):
+                    // no anchor to normalize against, and exp(-inf - -inf)
+                    // is NaN — which the dispatch NaN-guard would misread
+                    // as a kernel fault. Emit the uniform distribution, the
+                    // limit of equally unlikely logits.
+                    let p = 1.0 / len as f32;
+                    for i in 0..len {
+                        unsafe { out.write(start + i, T::from_f32(p)) };
+                    }
+                } else {
+                    let exps: Vec<f32> = vals.iter().map(|v| (v.to_f32() - max).exp()).collect();
+                    // The max element contributes exp(0) = 1, so a finite
+                    // row cannot underflow the sum to zero; the clamp keeps
+                    // the division NaN-free even at the denormal edge.
+                    let sum: f32 = exps.iter().sum::<f32>().max(f32::MIN_POSITIVE);
+                    for (i, &e) in exps.iter().enumerate() {
+                        unsafe { out.write(start + i, T::from_f32(e / sum)) };
+                    }
                 }
             }
         }
@@ -232,6 +264,53 @@ mod tests {
             stats.dram_bytes < f32_stats.dram_bytes,
             "f16 halves the value traffic"
         );
+    }
+
+    /// Regression: the normalize pass divided by the exp-sum unguarded, so
+    /// rows whose logits drive the sum degenerate (all `-inf`, or a `+inf`
+    /// making `exp(inf - inf)` NaN) emitted NaNs — which the dispatch
+    /// NaN-guard then misattributed to a kernel fault. Every pathological
+    /// row must now produce a finite distribution that sums to one.
+    #[test]
+    fn pathological_rows_stay_finite() {
+        let m = CsrMatrix::<f32>::from_parts(
+            4,
+            4,
+            vec![0, 3, 5, 8, 10],
+            vec![0, 1, 2, 0, 3, 1, 2, 3, 0, 2],
+            vec![
+                // Row 0: all hugely negative but finite.
+                -3.0e38,
+                -3.0e38,
+                -3.0e38,
+                // Row 1: all -inf.
+                f32::NEG_INFINITY,
+                f32::NEG_INFINITY,
+                // Row 2: one +inf among finite logits.
+                1.0,
+                f32::INFINITY,
+                -2.0,
+                // Row 3: -inf mixed with finite.
+                f32::NEG_INFINITY,
+                4.0,
+            ],
+        )
+        .unwrap();
+        let gpu = Gpu::v100();
+        let (s, _) = sparse_softmax(&gpu, &m);
+        for r in 0..s.rows() {
+            let (_, vals) = s.row(r);
+            assert!(
+                vals.iter().all(|v| v.is_finite()),
+                "row {r} emitted non-finite probabilities: {vals:?}"
+            );
+            let sum: f32 = vals.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5, "row {r} sums to {sum}");
+        }
+        let (_, row2) = s.row(2);
+        assert_eq!(row2, [0.0, 1.0, 0.0], "+inf logit takes all the mass");
+        let (_, row3) = s.row(3);
+        assert_eq!(row3[0], 0.0, "-inf logit gets zero mass");
     }
 
     #[test]

@@ -791,6 +791,7 @@ pub fn spmm_profile_cached<T: Scalar>(
         device: gpu.device().name.clone(),
     };
     if let Some(stats) = cache.lookup(&key) {
+        gpu.note_cache_hit(&stats);
         return (stats, true);
     }
     let stats = spmm_profile(gpu, a, b_rows, n, cfg);

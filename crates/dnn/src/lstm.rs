@@ -82,6 +82,18 @@ impl SparseLstmCell {
         assert_eq!(c.cols(), batch);
         assert_eq!(h.rows(), self.hidden);
 
+        // The whole step is one span on the device track: two SpMMs plus the
+        // fused elementwise kernel. Capture the flag once so the span is
+        // closed iff it was opened.
+        let traced = gpu_sim::trace::enabled();
+        if traced {
+            gpu_sim::trace::begin_span(
+                "layer",
+                &gpu.device().name,
+                &format!("lstm_step h={} b={batch}", self.hidden),
+            );
+        }
+
         // Gates from the input path.
         let cfg = SpmmConfig::heuristic::<f32>(batch);
         let mut gates = Matrix::<f32>::zeros(4 * self.hidden, batch);
@@ -109,6 +121,9 @@ impl SparseLstmCell {
             gpu.launch(&kernel)
         };
 
+        if traced {
+            gpu_sim::trace::end_span(&gpu.device().name);
+        }
         LstmStep {
             h: h_out,
             c: c_out,

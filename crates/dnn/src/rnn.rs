@@ -106,6 +106,27 @@ pub fn problem_suite(hidden_sizes: &[usize]) -> Vec<RnnProblem> {
     out
 }
 
+/// Profile one problem's recurrent SpMM on the simulator, wrapped in a
+/// trace span labelled with the Figure 10 problem name so profile reports
+/// attribute the launch to its problem.
+pub fn profile_problem(
+    gpu: &gpu_sim::Gpu,
+    problem: &RnnProblem,
+    seed: u64,
+) -> gpu_sim::LaunchStats {
+    let w = problem.weights(seed);
+    let traced = gpu_sim::trace::enabled();
+    if traced {
+        gpu_sim::trace::begin_span("layer", &gpu.device().name, &problem.label());
+    }
+    let cfg = sputnik::SpmmConfig::heuristic::<f32>(problem.n());
+    let stats = sputnik::spmm_profile::<f32>(gpu, &w, problem.k(), problem.n(), cfg);
+    if traced {
+        gpu_sim::trace::end_span(&gpu.device().name);
+    }
+    stats
+}
+
 /// The paper's hidden-size list.
 pub const PAPER_HIDDEN_SIZES: [usize; 4] = [1024, 2048, 4096, 8192];
 

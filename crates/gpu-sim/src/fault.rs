@@ -178,11 +178,16 @@ impl FaultPlan {
             return None;
         }
         self.injected.fetch_add(1, Ordering::Relaxed);
-        Some(DeviceFault {
+        let fault = DeviceFault {
             kind: self.kind,
             kernel: kernel.to_string(),
             launch_index: index,
-        })
+        };
+        crate::metrics::global().incr("faults_injected", 1);
+        if crate::trace::enabled() {
+            crate::trace::instant("fault", "faults", &fault.to_string());
+        }
+        Some(fault)
     }
 
     /// A deterministic seed for poisoning the faulted launch's output.

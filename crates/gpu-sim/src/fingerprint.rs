@@ -42,16 +42,23 @@ impl Fingerprint {
         self.write_u64(word as u64)
     }
 
-    /// Absorb a slice of words (e.g. a CSR index array).
+    /// Absorb a slice of words (e.g. a CSR index array). The slice *length*
+    /// is folded in first: without it, consecutive `write_slice` calls
+    /// concatenate, so two operand sets that split the same word sequence at
+    /// different boundaries (a length-extension pair) would collide into one
+    /// fingerprint — and one [`crate::LaunchKey`].
     pub fn write_slice(&mut self, words: &[u32]) -> &mut Self {
+        self.write_usize(words.len());
         for &w in words {
             self.write_u64(w as u64);
         }
         self
     }
 
-    /// Absorb raw bytes (e.g. a kernel name).
+    /// Absorb raw bytes (e.g. a kernel name), length-prefixed like
+    /// [`Fingerprint::write_slice`].
     pub fn write_bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        self.write_usize(bytes.len());
         for &b in bytes {
             self.state ^= b as u64;
             self.state = self.state.wrapping_mul(FNV_PRIME);
@@ -91,5 +98,29 @@ mod tests {
         let mut f = Fingerprint::new();
         f.write_u64(7).write_u64(11);
         assert_eq!(f.finish(), hash_words(&[7, 11]));
+    }
+
+    #[test]
+    fn slice_boundaries_are_not_extension_collisions() {
+        // Regression: two same-prefix topologies that split the identical
+        // word stream at different buffer boundaries must not share a
+        // fingerprint. Before length mixing, `[1,2,3] ++ [4]` and
+        // `[1,2,3,4] ++ []` hashed identically.
+        let mut a = Fingerprint::new();
+        a.write_slice(&[1, 2, 3]).write_slice(&[4]);
+        let mut b = Fingerprint::new();
+        b.write_slice(&[1, 2, 3, 4]).write_slice(&[]);
+        assert_ne!(a.finish(), b.finish());
+
+        let mut c = Fingerprint::new();
+        c.write_bytes(b"ab").write_bytes(b"c");
+        let mut d = Fingerprint::new();
+        d.write_bytes(b"abc").write_bytes(b"");
+        assert_ne!(c.finish(), d.finish());
+
+        // Same split, same content: still deterministic.
+        let mut e = Fingerprint::new();
+        e.write_slice(&[1, 2, 3]).write_slice(&[4]);
+        assert_eq!(a.finish(), e.finish());
     }
 }

@@ -7,10 +7,12 @@ use crate::device::DeviceConfig;
 use crate::fault::{DeviceFault, FaultKind, FaultPlan};
 use crate::kernel::Kernel;
 use crate::launch_cache::{LaunchCache, LaunchKey};
+use crate::metrics;
 use crate::occupancy::{self, Occupancy};
 use crate::sanitizer::{self, BlockSan, SanitizerReport};
 use crate::scheduler;
 use crate::timing;
+use crate::trace;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -267,6 +269,7 @@ impl Gpu {
         }
         let key = self.cache_key(kernel, fingerprint);
         if let Some(stats) = cache.lookup(&key) {
+            self.note_cache_hit(&stats);
             return Ok((stats, true));
         }
         let stats = self.try_profile(kernel)?;
@@ -290,11 +293,22 @@ impl Gpu {
         if let Some(stats) = cache.lookup(&key) {
             self.validate(kernel)?;
             self.replay_functional(kernel);
+            self.note_cache_hit(&stats);
             return Ok((stats, true));
         }
         let stats = self.try_launch(kernel)?;
         cache.insert(key, stats.clone());
         Ok((stats, false))
+    }
+
+    /// Record a launch served from a [`LaunchCache`] into the trace and
+    /// metrics (the simulated paths record themselves; cache hits replay
+    /// stats without simulating, so whoever serves the hit must report it).
+    /// Called by [`Gpu::try_profile_cached`] / [`Gpu::try_launch_cached`]
+    /// and by higher-level cached entry points that do their own lookup.
+    pub fn note_cache_hit(&self, stats: &LaunchStats) {
+        metrics::global().record_launch(stats, true);
+        trace::launch(&self.dev.name, stats, Some(true));
     }
 
     /// Execute every block functionally with cost recording disabled (the
@@ -364,7 +378,22 @@ impl Gpu {
         }
         report.absorb_session(race_count, race_examples);
 
-        Ok((self.finish(kernel, occ, total, lites), report))
+        let stats = self.finish(kernel, occ, total, lites);
+        metrics::global().incr_many(&[
+            ("sanitizer_runs", 1),
+            ("sanitizer_violations", report.violation_count),
+        ]);
+        if trace::enabled() {
+            trace::instant(
+                "sanitizer",
+                &self.dev.name,
+                &format!(
+                    "sanitize: {} ({} violations, {} warnings)",
+                    report.kernel, report.violation_count, report.warning_count
+                ),
+            );
+        }
+        Ok((stats, report))
     }
 
     /// Resource validation shared by every launch path.
@@ -499,6 +528,10 @@ impl Gpu {
         if unique.len() as u64 == n_blocks {
             return None;
         }
+        metrics::global().incr_many(&[
+            ("dedup_blocks_total", n_blocks),
+            ("dedup_blocks_executed", unique.len() as u64),
+        ]);
 
         let costs: Vec<BlockCost> = unique
             .par_iter()
@@ -629,7 +662,12 @@ impl Gpu {
             })
             .collect();
 
-        self.assemble(kernel, occ, &total, dram_bytes, &block_cycles)
+        let stats = self.assemble(kernel, occ, &total, dram_bytes, &block_cycles);
+        // Every simulated launch path funnels through here (the reference
+        // engine calls `assemble` directly and stays unrecorded).
+        metrics::global().record_launch(&stats, false);
+        trace::launch(&self.dev.name, &stats, None);
+        stats
     }
 
     /// Shared tail of every launch path: schedule the per-block cycles onto
@@ -735,6 +773,9 @@ impl Gpu {
 pub struct Stream<'g> {
     gpu: &'g Gpu,
     launches: Vec<LaunchStats>,
+    /// Optional launch cache consulted by [`Stream::launch_cached`].
+    cache: Option<&'g LaunchCache>,
+    cache_hits: u64,
 }
 
 impl<'g> Stream<'g> {
@@ -742,12 +783,48 @@ impl<'g> Stream<'g> {
         Self {
             gpu,
             launches: Vec::new(),
+            cache: None,
+            cache_hits: 0,
+        }
+    }
+
+    /// A stream whose [`Stream::launch_cached`] launches are memoized in
+    /// `cache`. The cache obeys the usual bypass rule: a [`Gpu`] carrying a
+    /// fault plan simulates every launch in full.
+    pub fn with_cache(gpu: &'g Gpu, cache: &'g LaunchCache) -> Self {
+        Self {
+            gpu,
+            launches: Vec::new(),
+            cache: Some(cache),
+            cache_hits: 0,
         }
     }
 
     /// Launch functionally on the stream; returns this kernel's stats.
     pub fn launch(&mut self, kernel: &dyn Kernel) -> LaunchStats {
         let stats = self.gpu.launch(kernel);
+        self.launches.push(stats.clone());
+        stats
+    }
+
+    /// Launch functionally on the stream through the attached cache (see
+    /// [`Gpu::try_launch_cached`] for what `fingerprint` must cover). On a
+    /// hit the kernel still executes for its outputs but the statistics are
+    /// replayed instead of re-simulated. Falls back to an uncached launch
+    /// when no cache is attached. Panics on launch errors, like
+    /// [`Stream::launch`].
+    pub fn launch_cached(&mut self, fingerprint: u64, kernel: &dyn Kernel) -> LaunchStats {
+        let stats = match self.cache {
+            Some(cache) => {
+                let (stats, hit) = self
+                    .gpu
+                    .try_launch_cached(cache, fingerprint, kernel)
+                    .unwrap_or_else(|e| panic!("{e}"));
+                self.cache_hits += u64::from(hit);
+                stats
+            }
+            None => self.gpu.launch(kernel),
+        };
         self.launches.push(stats.clone());
         stats
     }
@@ -763,20 +840,34 @@ impl<'g> Stream<'g> {
         &self.launches
     }
 
+    /// Launches served from the attached cache so far.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits
+    }
+
     /// Total simulated stream time: per-kernel execution plus ONE launch
     /// overhead (subsequent launches are pipelined behind execution, except
     /// when a kernel is shorter than the overhead itself).
+    ///
+    /// Invariant: never exceeds the naive sum of the individual launch
+    /// times — pipelining can only *hide* overhead. The gap penalty for a
+    /// too-short kernel applies only to launches with a successor (it models
+    /// the next launch's exposed setup); the final launch has none.
     pub fn total_us(&self) -> f64 {
         if self.launches.is_empty() {
             return 0.0;
         }
         let overhead = self.gpu.device().launch_overhead_us;
         let mut total = overhead;
-        for s in &self.launches {
+        for (i, s) in self.launches.iter().enumerate() {
             let exec = s.time_us - overhead;
-            // A kernel shorter than the launch overhead leaves a gap the
-            // next launch cannot fully hide.
-            total += exec.max(overhead * 0.3);
+            if i + 1 < self.launches.len() {
+                // A kernel shorter than the launch overhead leaves a gap
+                // the next launch cannot fully hide.
+                total += exec.max(overhead * 0.3);
+            } else {
+                total += exec;
+            }
         }
         total
     }
@@ -799,6 +890,9 @@ pub struct LaunchSummary {
     pub cache_hits: u64,
     /// Launches that missed the cache and simulated in full.
     pub cache_misses: u64,
+    /// Entries the cache evicted under capacity pressure (0 unless
+    /// [`LaunchSummary::absorb_cache`] was used).
+    pub cache_evictions: u64,
 }
 
 impl LaunchSummary {
@@ -818,6 +912,11 @@ impl LaunchSummary {
         } else {
             self.cache_misses += 1;
         }
+    }
+
+    /// Fold in a cache's eviction count (call once per sweep, after it).
+    pub fn absorb_cache(&mut self, cache: &LaunchCache) {
+        self.cache_evictions = cache.evictions();
     }
 
     /// Accumulate a sanitized launch: the stats plus its sanitizer findings.
@@ -926,5 +1025,86 @@ mod tests {
     fn empty_stream_costs_nothing() {
         let gpu = Gpu::v100();
         assert_eq!(Stream::new(&gpu).total_us(), 0.0);
+    }
+
+    /// Regression: the short-kernel gap penalty used to apply to the *last*
+    /// launch too, making a single-launch stream "slower" than the same
+    /// launch alone — which is how `BatchedResult::overhead_saved_us` went
+    /// negative. A stream of one is exactly the solo launch.
+    #[test]
+    fn single_launch_stream_equals_solo_launch() {
+        let gpu = Gpu::v100();
+        // Tiny kernel: execution far below the launch overhead, the case
+        // that used to trip the gap penalty.
+        let k = Noop {
+            blocks: 1,
+            cycles_of_fma: 1,
+        };
+        let solo = gpu.profile(&k).time_us;
+        let mut stream = Stream::new(&gpu);
+        stream.profile(&k);
+        assert!(
+            (stream.total_us() - solo).abs() < 1e-12,
+            "stream of one ({}) must equal solo launch ({solo})",
+            stream.total_us()
+        );
+    }
+
+    /// Pipelining can only hide overhead: a stream is never slower than
+    /// launching its kernels back to back, for any kernel size.
+    #[test]
+    fn stream_never_exceeds_naive_sum() {
+        let gpu = Gpu::v100();
+        for cycles in [1, 2_000, 50_000] {
+            let k = Noop {
+                blocks: 4,
+                cycles_of_fma: cycles,
+            };
+            for n in 1..5 {
+                let mut stream = Stream::new(&gpu);
+                let mut naive = 0.0;
+                for _ in 0..n {
+                    naive += stream.profile(&k).time_us;
+                }
+                assert!(
+                    stream.total_us() <= naive + 1e-9,
+                    "stream {} > naive {naive} for {n} x {cycles}-cycle kernels",
+                    stream.total_us()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stream_cache_replays_identical_launches() {
+        let gpu = Gpu::v100();
+        let cache = LaunchCache::new();
+        let mut stream = Stream::with_cache(&gpu, &cache);
+        let k = Noop {
+            blocks: 8,
+            cycles_of_fma: 100,
+        };
+        let a = stream.launch_cached(42, &k);
+        let b = stream.launch_cached(42, &k);
+        assert_eq!(a, b, "replayed stats are bit-identical");
+        assert_eq!(stream.cache_hits(), 1);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(stream.launches().len(), 2);
+    }
+
+    #[test]
+    fn stream_cache_bypassed_under_fault_plan() {
+        let gpu = Gpu::v100().with_fault_plan(FaultPlan::none());
+        let cache = LaunchCache::new();
+        let mut stream = Stream::with_cache(&gpu, &cache);
+        let k = Noop {
+            blocks: 8,
+            cycles_of_fma: 100,
+        };
+        stream.launch_cached(42, &k);
+        stream.launch_cached(42, &k);
+        assert_eq!(stream.cache_hits(), 0, "fault-plan GPUs simulate in full");
+        assert!(cache.is_empty(), "no inserts while a fault plan is armed");
     }
 }

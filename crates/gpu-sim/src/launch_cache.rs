@@ -17,6 +17,17 @@
 //! indices) *and* any problem dimension not implied by it (e.g. SpMM's dense
 //! column count `n`, which the kernel name does not encode).
 //!
+//! ## Capacity and eviction
+//!
+//! Dataset sweeps can touch tens of thousands of distinct keys; an unbounded
+//! memo table would grow with the corpus. The cache holds at most
+//! `capacity` entries ([`LaunchCache::with_capacity`]; the default is
+//! [`DEFAULT_CAPACITY`]). When an insert would exceed it, the
+//! least-recently-used *half* of the entries is evicted in one generation
+//! sweep — amortized O(1) per insert, no per-lookup bookkeeping beyond a
+//! recency tick — and the [`LaunchCache::evictions`] counter records the
+//! drops (also surfaced on [`crate::LaunchSummary`]).
+//!
 //! ## Functional launches
 //!
 //! A cache hit on a functional launch still has to produce outputs. The
@@ -33,9 +44,15 @@
 //! skip scheduled faults and desynchronize the schedule.
 
 use crate::launch::LaunchStats;
+use crate::{metrics, trace};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+
+/// Default entry capacity: comfortably above any single sweep's working set
+/// (the full-grid `simwall` run populates a few hundred keys) while bounding
+/// a corpus-scale sweep's memory.
+pub const DEFAULT_CAPACITY: usize = 8192;
 
 /// Cache key: (kernel name incl. config tag, operand fingerprint, device).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -45,24 +62,53 @@ pub struct LaunchKey {
     pub device: String,
 }
 
-/// A thread-safe memo table of simulated launch statistics.
+#[derive(Debug)]
+struct Entry {
+    stats: LaunchStats,
+    /// Recency tick of the last lookup hit or insert.
+    last_used: u64,
+}
+
+/// A thread-safe, capacity-bounded memo table of simulated launch statistics.
 ///
 /// Shared by `&` reference (interior mutability), so one cache can serve an
 /// entire benchmark sweep or a whole dispatch ladder without plumbing `&mut`
 /// through every call site.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct LaunchCache {
-    entries: Mutex<HashMap<LaunchKey, LaunchStats>>,
+    entries: Mutex<HashMap<LaunchKey, Entry>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+    tick: AtomicU64,
+    capacity: usize,
+}
+
+impl Default for LaunchCache {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl LaunchCache {
+    /// A cache with the [`DEFAULT_CAPACITY`] entry bound.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_capacity(DEFAULT_CAPACITY)
     }
 
-    fn entries(&self) -> std::sync::MutexGuard<'_, HashMap<LaunchKey, LaunchStats>> {
+    /// A cache bounded to `capacity` entries (min 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            entries: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            tick: AtomicU64::new(0),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn entries(&self) -> std::sync::MutexGuard<'_, HashMap<LaunchKey, Entry>> {
         // A poisoned mutex only means another thread panicked mid-insert;
         // the map itself is still a valid memo table.
         match self.entries.lock() {
@@ -71,24 +117,66 @@ impl LaunchCache {
         }
     }
 
-    /// Look up a key, counting the hit or miss.
+    fn next_tick(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Look up a key, counting the hit or miss and refreshing the entry's
+    /// recency on a hit.
     pub fn lookup(&self, key: &LaunchKey) -> Option<LaunchStats> {
-        let found = self.entries().get(key).cloned();
+        let tick = self.next_tick();
+        let found = {
+            let mut map = self.entries();
+            map.get_mut(key).map(|e| {
+                e.last_used = tick;
+                e.stats.clone()
+            })
+        };
         match found {
             Some(stats) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                metrics::global().incr("cache_hits", 1);
+                if trace::enabled() {
+                    trace::instant("cache", &key.device, &format!("hit: {}", key.kernel));
+                }
                 Some(stats)
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                metrics::global().incr("cache_misses", 1);
+                if trace::enabled() {
+                    trace::instant("cache", &key.device, &format!("miss: {}", key.kernel));
+                }
                 None
             }
         }
     }
 
-    /// Record freshly simulated statistics under a key.
+    /// Record freshly simulated statistics under a key, evicting the
+    /// least-recently-used half of the table first when it is full.
     pub fn insert(&self, key: LaunchKey, stats: LaunchStats) {
-        self.entries().insert(key, stats);
+        let tick = self.next_tick();
+        let mut map = self.entries();
+        if map.len() >= self.capacity && !map.contains_key(&key) {
+            let mut ticks: Vec<u64> = map.values().map(|e| e.last_used).collect();
+            ticks.sort_unstable();
+            // Ticks are unique (fetch_add), so retaining strictly-newer
+            // than the median drops ceil(len/2) entries in one sweep.
+            let cutoff = ticks[(ticks.len() - 1) / 2];
+            let before = map.len();
+            map.retain(|_, e| e.last_used > cutoff);
+            let evicted = (before - map.len()) as u64;
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+            metrics::global().incr("cache_evictions", evicted);
+        }
+        map.insert(
+            key,
+            Entry {
+                stats,
+                last_used: tick,
+            },
+        );
+        metrics::global().incr("cache_inserts", 1);
     }
 
     pub fn hits(&self) -> u64 {
@@ -97,6 +185,17 @@ impl LaunchCache {
 
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries dropped by capacity eviction since creation (or the last
+    /// [`LaunchCache::clear`]).
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// The entry bound this cache evicts down to.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     pub fn len(&self) -> usize {
@@ -112,6 +211,7 @@ impl LaunchCache {
         self.entries().clear();
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
     }
 }
 
@@ -184,12 +284,65 @@ mod tests {
 
     #[test]
     fn clear_resets_everything() {
-        let cache = LaunchCache::new();
+        let cache = LaunchCache::with_capacity(1);
         cache.insert(key(1), dummy_stats(1.0));
-        let _ = cache.lookup(&key(1));
+        cache.insert(key(2), dummy_stats(1.0)); // evicts key 1
+        let _ = cache.lookup(&key(2));
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(cache.hits(), 0);
         assert_eq!(cache.misses(), 0);
+        assert_eq!(cache.evictions(), 0);
+    }
+
+    /// Regression (unbounded growth): a 10k-distinct-key sweep must hold the
+    /// table at its capacity, counting every drop.
+    #[test]
+    fn ten_thousand_key_sweep_is_capacity_bounded() {
+        let cache = LaunchCache::with_capacity(256);
+        for fp in 0..10_000 {
+            cache.insert(key(fp), dummy_stats(fp as f64));
+        }
+        assert!(
+            cache.len() <= 256,
+            "cache grew past capacity: {} entries",
+            cache.len()
+        );
+        assert!(!cache.is_empty());
+        // Everything inserted beyond what the table retains was evicted.
+        assert_eq!(cache.evictions(), 10_000 - cache.len() as u64);
+        // The survivors are the most recent generation.
+        assert!(cache.lookup(&key(9_999)).is_some());
+        assert!(cache.lookup(&key(0)).is_none());
+    }
+
+    #[test]
+    fn eviction_prefers_least_recently_used() {
+        let cache = LaunchCache::with_capacity(4);
+        for fp in 0..4 {
+            cache.insert(key(fp), dummy_stats(1.0));
+        }
+        // Touch 0 and 1 so 2 and 3 become the LRU half.
+        assert!(cache.lookup(&key(0)).is_some());
+        assert!(cache.lookup(&key(1)).is_some());
+        cache.insert(key(4), dummy_stats(1.0));
+        assert_eq!(cache.evictions(), 2);
+        assert!(cache.lookup(&key(0)).is_some(), "recently used survives");
+        assert!(cache.lookup(&key(1)).is_some(), "recently used survives");
+        assert!(cache.lookup(&key(2)).is_none(), "LRU half evicted");
+        assert!(cache.lookup(&key(3)).is_none(), "LRU half evicted");
+        assert!(cache.lookup(&key(4)).is_some(), "new entry present");
+    }
+
+    #[test]
+    fn reinserting_existing_key_never_evicts() {
+        let cache = LaunchCache::with_capacity(2);
+        cache.insert(key(1), dummy_stats(1.0));
+        cache.insert(key(2), dummy_stats(2.0));
+        cache.insert(key(1), dummy_stats(3.0)); // overwrite, table full
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(cache.len(), 2);
+        let got = cache.lookup(&key(1)).expect("overwritten entry");
+        assert_eq!(got.time_us, 3.0);
     }
 }

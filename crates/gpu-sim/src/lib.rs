@@ -65,11 +65,13 @@ pub mod kernel;
 pub mod launch;
 pub mod launch_cache;
 pub mod memory;
+pub mod metrics;
 pub mod microbench;
 pub mod occupancy;
 pub mod sanitizer;
 pub mod scheduler;
 pub mod timing;
+pub mod trace;
 pub mod util;
 
 pub use cache::{AccessPattern, BufferSpec, DramTraffic};
@@ -82,8 +84,10 @@ pub use fingerprint::Fingerprint;
 pub use kernel::Kernel;
 pub use launch::{Gpu, LaunchError, LaunchStats, LaunchSummary, PipelineBreakdown, Stream};
 pub use launch_cache::{LaunchCache, LaunchKey};
+pub use metrics::{MetricsRegistry, MetricsSnapshot};
 pub use microbench::{validate, Validation};
 pub use occupancy::{occupancy, BlockRequirements, Occupancy, OccupancyLimit};
 pub use sanitizer::{SanitizerReport, SanitizerViolation, SanitizerWarning, SmemScope};
 pub use scheduler::{simulate_schedule, volta_first_wave_sm, ScheduleResult};
+pub use trace::{chrome_trace_json, validate_chrome_trace, ProfileReport, TraceEvent};
 pub use util::SyncUnsafeSlice;

@@ -168,37 +168,43 @@ impl Kernel for GemmKernel<'_> {
 
         // ---- Cost: the full tile is paid for even when partially masked
         // (tile quantization). All warps share the block's instructions.
-        let warps = (threads / 32) as u64;
-        for _ in 0..k_iters {
-            // Stage A and B tiles with float4 loads spread over the block.
-            let stage_elems = (tm * TILE_K + TILE_K * tn) as u64;
-            let stage_instrs = stage_elems.div_ceil(threads as u64 * 4);
-            // Per warp bookkeeping: instruction counts are per-warp issued;
-            // multiply by warps since all warps participate.
-            ctx.cost.ld_global_instrs += stage_instrs * warps;
-            ctx.smem_store(stage_instrs * warps, stage_elems * 4, SmemScope::Block);
-            ctx.cost.gmem[BUF_A.0 as usize].ld_sectors += (tm * TILE_K * 4) as u64 / 32;
-            ctx.cost.gmem[BUF_B.0 as usize].ld_sectors += (TILE_K * tn * 4) as u64 / 32;
-            ctx.bar_sync();
+        // Skipped entirely on cache-hit replays (the replay context discards
+        // recorded cost).
+        if ctx.recording() {
+            let warps = (threads / 32) as u64;
+            for _ in 0..k_iters {
+                // Stage A and B tiles with float4 loads spread over the block.
+                let stage_elems = (tm * TILE_K + TILE_K * tn) as u64;
+                let stage_instrs = stage_elems.div_ceil(threads as u64 * 4);
+                // Per warp bookkeeping: instruction counts are per-warp issued;
+                // multiply by warps since all warps participate.
+                ctx.cost.ld_global_instrs += stage_instrs * warps;
+                ctx.smem_store(stage_instrs * warps, stage_elems * 4, SmemScope::Block);
+                ctx.cost.gmem[BUF_A.0 as usize].ld_sectors += (tm * TILE_K * 4) as u64 / 32;
+                ctx.cost.gmem[BUF_B.0 as usize].ld_sectors += (TILE_K * tn * 4) as u64 / 32;
+                ctx.bar_sync();
 
-            // Math: tm*tn*TILE_K scalar FMAs per strip; each warp
-            // instruction covers 32 lanes.
-            let fmas = (tm * tn * TILE_K) as u64;
-            ctx.cost.fma_instrs += fmas / 32;
-            // Shared->register fragment loads, 128-bit, heavily reused.
-            ctx.smem_load(fmas / 32 / 8, fmas / 8, SmemScope::Block);
-            ctx.misc(8 * warps);
-        }
-        // Useful FLOPs only count the live region.
-        ctx.cost.flops += 2 * (tile_m * tile_n * self.k) as u64;
+                // Math: tm*tn*TILE_K scalar FMAs per strip; each warp
+                // instruction covers 32 lanes.
+                let fmas = (tm * tn * TILE_K) as u64;
+                ctx.cost.fma_instrs += fmas / 32;
+                // Shared->register fragment loads, 128-bit, heavily reused.
+                ctx.smem_load(fmas / 32 / 8, fmas / 8, SmemScope::Block);
+                ctx.misc(8 * warps);
+            }
+            // Useful FLOPs only count the live region.
+            ctx.cost.flops += 2 * (tile_m * tile_n * self.k) as u64;
 
-        // Epilogue: vectorized stores of the tile.
-        let store_instrs = ((tm * tn) as u64).div_ceil(threads as u64 * 4);
-        ctx.cost.st_global_instrs += store_instrs * warps;
-        for r in 0..tile_m {
-            ctx.st_global_trace(
+            // Epilogue: vectorized stores of the tile — one batched trace per
+            // tile instead of a call per row (the row stride is a kernel
+            // constant, so the batched form is bit-identical).
+            let store_instrs = ((tm * tn) as u64).div_ceil(threads as u64 * 4);
+            ctx.cost.st_global_instrs += store_instrs * warps;
+            ctx.st_global_trace_tiled(
                 BUF_C,
-                ((row0 + r) * self.n + col0) as u64 * 4,
+                (row0 * self.n + col0) as u64 * 4,
+                self.n as u64 * 4,
+                tile_m as u64,
                 tile_n as u64 * 4,
             );
         }
@@ -209,13 +215,41 @@ impl Kernel for GemmKernel<'_> {
         {
             let a = a.as_slice();
             let b = b.as_slice();
-            for r in row0..row0 + tile_m {
-                for c in col0..col0 + tile_n {
-                    let mut acc = 0.0f32;
-                    for l in 0..self.k {
-                        acc += a[r * self.k + l] * b[l * self.n + c];
+            // Register-blocked body: arena row tiles of accumulators; the
+            // lanes helpers keep each 8-column chunk in a vector register
+            // across the whole K reduction, and row pairs share one pass
+            // over the B strips. Per-output-element accumulation order over
+            // l is unchanged from the naive loop.
+            let mut acc = gpu_sim::arena::ScratchF32::take(tile_n);
+            let mut acc1 = gpu_sim::arena::ScratchF32::take(tile_n);
+            let (k, n) = (self.k, self.n);
+            let mut r = row0;
+            while r + 1 < row0 + tile_m {
+                acc.fill(0.0);
+                acc1.fill(0.0);
+                gpu_sim::lanes::fma_accumulate_pair(
+                    &mut acc,
+                    &mut acc1,
+                    (0..k).map(|l| (a[r * k + l], a[(r + 1) * k + l], &b[l * n + col0..])),
+                    |bv| bv,
+                );
+                for (ci, (&v0, &v1)) in acc.iter().zip(acc1.iter()).enumerate() {
+                    unsafe {
+                        out.write(r * n + col0 + ci, v0);
+                        out.write((r + 1) * n + col0 + ci, v1);
                     }
-                    unsafe { out.write(r * self.n + c, acc) };
+                }
+                r += 2;
+            }
+            if r < row0 + tile_m {
+                acc.fill(0.0);
+                gpu_sim::lanes::fma_accumulate(
+                    &mut acc,
+                    (0..k).map(|l| (a[r * k + l], &b[l * n + col0..])),
+                    |bv| bv,
+                );
+                for (ci, &v) in acc.iter().enumerate() {
+                    unsafe { out.write(r * n + col0 + ci, v) };
                 }
             }
         }
@@ -332,22 +366,35 @@ impl Kernel for TransposeKernel<'_> {
         let w = T_TILE.min(self.cols - c0);
 
         // 4 warps ping a 32x32 tile through shared memory: coalesced reads,
-        // coalesced writes, conflict-free via padding.
-        let rounds = (T_TILE as u64 * T_TILE as u64).div_ceil(32 * 8);
-        ctx.cost.ld_global_instrs += rounds * 8;
-        ctx.smem_store(rounds * 8, (T_TILE * T_TILE * 4) as u64, SmemScope::Block);
-        for r in 0..h {
-            ctx.ld_global_trace(BUF_A, ((r0 + r) * self.cols + c0) as u64 * 4, w as u64 * 4);
+        // coalesced writes, conflict-free via padding. Cost-only; replays
+        // skip it. Both traces batch per tile — the row strides are kernel
+        // constants, so the batched form is bit-identical to the row loops.
+        if ctx.recording() {
+            let rounds = (T_TILE as u64 * T_TILE as u64).div_ceil(32 * 8);
+            ctx.cost.ld_global_instrs += rounds * 8;
+            ctx.smem_store(rounds * 8, (T_TILE * T_TILE * 4) as u64, SmemScope::Block);
+            ctx.ld_global_trace_tiled(
+                BUF_A,
+                (r0 * self.cols + c0) as u64 * 4,
+                self.cols as u64 * 4,
+                h as u64,
+                w as u64 * 4,
+            );
+            // The transposed readback crosses warps (each warp reads columns
+            // the other warps staged), so the tile must be fully written
+            // first.
+            ctx.bar_sync();
+            ctx.smem_load(rounds * 8, (T_TILE * T_TILE * 4) as u64, SmemScope::Block);
+            ctx.cost.st_global_instrs += rounds * 8;
+            ctx.st_global_trace_tiled(
+                BUF_C,
+                (c0 * self.rows + r0) as u64 * 4,
+                self.rows as u64 * 4,
+                w as u64,
+                h as u64 * 4,
+            );
+            ctx.misc(12);
         }
-        // The transposed readback crosses warps (each warp reads columns the
-        // other warps staged), so the tile must be fully written first.
-        ctx.bar_sync();
-        ctx.smem_load(rounds * 8, (T_TILE * T_TILE * 4) as u64, SmemScope::Block);
-        ctx.cost.st_global_instrs += rounds * 8;
-        for c in 0..w {
-            ctx.st_global_trace(BUF_C, ((c0 + c) * self.rows + r0) as u64 * 4, h as u64 * 4);
-        }
-        ctx.misc(12);
 
         if let (true, Some(src), Some(out)) = (ctx.functional(), self.src, self.out.as_ref()) {
             let src = src.as_slice();

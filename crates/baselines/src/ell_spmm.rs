@@ -140,66 +140,79 @@ impl Kernel for EllSpmmKernel<'_> {
         let n0 = block.x as usize * 32;
         let tile_n = 32.min(self.n - n0);
 
-        ctx.misc(6);
-        ctx.ld_global(BUF_LENGTHS, r0 as u64 * 4, count as u32, 1, 4);
+        // Cost-only work is skipped entirely on cache-hit replays.
+        if ctx.recording() {
+            ctx.misc(6);
+            ctx.ld_global(BUF_LENGTHS, r0 as u64 * 4, count as u32, 1, 4);
 
-        // Warps execute until their longest resident row is done (ELLR-T's
-        // per-row early exit limits the waste to the warp's max length).
-        for w0 in (0..count).step_by(32) {
-            let lanes = 32.min(count - w0);
-            let max_len = (w0..w0 + lanes)
-                .map(|i| self.a.row_length(r0 + i))
-                .max()
-                .unwrap_or(0);
-            for j in 0..max_len {
-                // Values + indices at slot j: coalesced across the 32 rows.
-                ctx.ld_global(
-                    BUF_VALUES,
-                    ((j * rows + r0 + w0) * 4) as u64,
-                    lanes as u32,
-                    1,
-                    4,
-                );
-                ctx.ld_global(
-                    BUF_INDICES,
-                    ((j * rows + r0 + w0) * 4) as u64,
-                    lanes as u32,
-                    1,
-                    4,
-                );
-                // Each lane then reads ITS row's B entries for the column
-                // tile — 32 different B rows: a gather of row strips.
-                ctx.cost.ld_global_instrs += tile_n as u64; // one pass per output column
-                                                            // Sector accounting: each active lane touches `tile_n`
-                                                            // contiguous elements of its own B row.
-                let active = (w0..w0 + lanes)
-                    .filter(|&i| j < self.a.row_length(r0 + i))
-                    .count() as u64;
-                ctx.cost.gmem[BUF_B.0 as usize].ld_sectors +=
-                    active * gpu_sim::memory::sectors_contiguous(0, tile_n as u64 * 4);
-                ctx.cost.fma_instrs += tile_n as u64;
-                ctx.misc(3);
-                ctx.cost.flops += 2 * active * tile_n as u64;
+            // Warps execute until their longest resident row is done (ELLR-T's
+            // per-row early exit limits the waste to the warp's max length).
+            for w0 in (0..count).step_by(32) {
+                let lanes = 32.min(count - w0);
+                let max_len = (w0..w0 + lanes)
+                    .map(|i| self.a.row_length(r0 + i))
+                    .max()
+                    .unwrap_or(0);
+                for j in 0..max_len {
+                    // Values + indices at slot j: coalesced across the 32 rows.
+                    ctx.ld_global(
+                        BUF_VALUES,
+                        ((j * rows + r0 + w0) * 4) as u64,
+                        lanes as u32,
+                        1,
+                        4,
+                    );
+                    ctx.ld_global(
+                        BUF_INDICES,
+                        ((j * rows + r0 + w0) * 4) as u64,
+                        lanes as u32,
+                        1,
+                        4,
+                    );
+                    // Each lane then reads ITS row's B entries for the column
+                    // tile — 32 different B rows: a gather of row strips.
+                    ctx.cost.ld_global_instrs += tile_n as u64; // one pass per output column
+                                                                // Sector accounting: each active lane touches `tile_n`
+                                                                // contiguous elements of its own B row.
+                    let active = (w0..w0 + lanes)
+                        .filter(|&i| j < self.a.row_length(r0 + i))
+                        .count() as u64;
+                    ctx.cost.gmem[BUF_B.0 as usize].ld_sectors +=
+                        active * gpu_sim::memory::sectors_contiguous(0, tile_n as u64 * 4);
+                    ctx.cost.fma_instrs += tile_n as u64;
+                    ctx.misc(3);
+                    ctx.cost.flops += 2 * active * tile_n as u64;
+                }
             }
-        }
 
-        // Coalesced stores of the tile.
-        ctx.cost.st_global_instrs += (count as u64).div_ceil(32) * tile_n as u64 / 8;
-        for r in r0..r0 + count {
-            ctx.st_global_trace(BUF_C, (r * self.n + n0) as u64 * 4, tile_n as u64 * 4);
+            // Coalesced stores of the tile, batched per block (the row stride
+            // is a kernel constant, so this is bit-identical to a row loop).
+            ctx.cost.st_global_instrs += (count as u64).div_ceil(32) * tile_n as u64 / 8;
+            ctx.st_global_trace_tiled(
+                BUF_C,
+                (r0 * self.n + n0) as u64 * 4,
+                self.n as u64 * 4,
+                count as u64,
+                tile_n as u64 * 4,
+            );
         }
 
         if let (true, Some(b), Some(out)) = (ctx.functional(), self.b, self.out.as_ref()) {
             let b = b.as_slice();
+            // Arena-staged accumulator tile, reused across rows; the lanes
+            // helper keeps the per-element accumulation order over j.
+            let mut acc = gpu_sim::arena::ScratchF32::take(tile_n);
+            let n = self.n;
             for r in r0..r0 + count {
-                let mut acc = vec![0.0f32; tile_n];
-                for j in 0..self.a.row_length(r) {
-                    let (c, v) = self.a.slot(r, j);
-                    let brow = &b[c as usize * self.n + n0..c as usize * self.n + n0 + tile_n];
-                    for (x, bv) in brow.iter().enumerate() {
-                        acc[x] += v * bv;
-                    }
-                }
+                acc.fill(0.0);
+                gpu_sim::lanes::fma_accumulate(
+                    &mut acc,
+                    (0..self.a.row_length(r)).map(|j| {
+                        let (c, v) = self.a.slot(r, j);
+                        (v, &b[c as usize * n + n0..])
+                    }),
+                    |bv| bv,
+                );
                 for (x, &v) in acc.iter().enumerate() {
                     unsafe { out.write(r * self.n + n0 + x, v) };
                 }

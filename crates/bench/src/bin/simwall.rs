@@ -21,8 +21,7 @@
 use gpu_sim::{Gpu, LaunchCache, LaunchSummary};
 use sparse::dataset::{self, ProblemSpec};
 use sputnik::{SddmmConfig, SpmmConfig};
-use sputnik_bench::{has_flag, Table};
-use std::io::{self, Read as _};
+use sputnik_bench::{gate, has_flag, Table};
 use std::time::Instant;
 
 /// One full sweep over the corpus; returns the accumulated summary.
@@ -56,19 +55,6 @@ fn sweep(
         }
     }
     summary
-}
-
-/// Extract the raw text of `"key": <value>` from a flat JSON object.
-fn json_raw<'a>(text: &'a str, key: &str) -> Option<&'a str> {
-    let needle = format!("\"{key}\":");
-    let start = text.find(&needle)? + needle.len();
-    let rest = text[start..].trim_start();
-    let end = rest.find([',', '}', '\n']).unwrap_or(rest.len());
-    Some(rest[..end].trim())
-}
-
-fn json_f64(text: &str, key: &str) -> Option<f64> {
-    json_raw(text, key)?.parse().ok()
 }
 
 fn main() {
@@ -172,16 +158,7 @@ fn main() {
 
 /// Fail when the cold→warm speedup regressed to below half the baseline's.
 fn check_regression(baseline_path: &str, current_speedup: f64) -> Result<(), String> {
-    let mut text = String::new();
-    std::fs::File::open(baseline_path)
-        .and_then(|mut f| f.read_to_string(&mut text).map(|_| ()))
-        .map_err(|e: io::Error| format!("cannot read baseline {baseline_path}: {e}"))?;
-    let baseline = json_f64(&text, "cold_warm_speedup")
-        .ok_or_else(|| format!("no cold_warm_speedup in {baseline_path}"))?;
-    if current_speedup * 2.0 < baseline {
-        return Err(format!(
-            "cold_warm_speedup {current_speedup:.2}x is a >2x regression vs baseline {baseline:.2}x"
-        ));
-    }
-    Ok(())
+    let text = gate::read_baseline(baseline_path)?;
+    let baseline = gate::metric_f64(&text, "cold_warm_speedup", baseline_path)?;
+    gate::require_not_below("cold_warm_speedup", baseline, current_speedup, 0.5)
 }

@@ -25,7 +25,7 @@ use dnn::{mobilenet, rnn, transformer};
 use gpu_sim::{metrics, trace, FaultKind, FaultPlan, Gpu, LaunchCache};
 use sparse::{gen, Matrix};
 use sputnik::{DispatchPolicy, SpmmConfig};
-use std::io::Read as _;
+use sputnik_bench::gate;
 
 fn main() {
     metrics::global().reset();
@@ -174,40 +174,12 @@ fn main() {
     }
 }
 
-/// Extract the raw text of `"key": <value>` from a flat JSON object.
-fn json_raw<'a>(text: &'a str, key: &str) -> Option<&'a str> {
-    let needle = format!("\"{key}\":");
-    let start = text.find(&needle)? + needle.len();
-    let rest = text[start..].trim_start();
-    let end = rest.find([',', '}', '\n']).unwrap_or(rest.len());
-    Some(rest[..end].trim())
-}
-
-fn json_u64(text: &str, key: &str) -> Option<u64> {
-    json_raw(text, key)?.parse().ok()
-}
-
 /// The workload is fixed and the simulator deterministic, so the launch
 /// count must match the baseline exactly; the cache must still hit.
 fn check_counters(baseline_path: &str, snap: &gpu_sim::MetricsSnapshot) -> Result<(), String> {
-    let mut text = String::new();
-    std::fs::File::open(baseline_path)
-        .and_then(|mut f| f.read_to_string(&mut text).map(|_| ()))
-        .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
-    let base_launches = json_u64(&text, "launches")
-        .ok_or_else(|| format!("no launches counter in {baseline_path}"))?;
-    let launches = snap.get("launches");
-    if launches != base_launches {
-        return Err(format!(
-            "launch count drifted: {launches} vs baseline {base_launches} \
-             (regenerate BENCH_trace_model.json if this change is intended)"
-        ));
-    }
-    if snap.get("cache_hits") == 0 {
-        return Err("launch cache produced no hits".into());
-    }
-    if snap.get("launches_replayed") == 0 {
-        return Err("no launches were replayed from the cache".into());
-    }
-    Ok(())
+    let text = gate::read_baseline(baseline_path)?;
+    let base_launches = gate::metric_u64(&text, "launches", baseline_path)?;
+    gate::require_exact("launches", base_launches, snap.get("launches"))?;
+    gate::require_nonzero("cache_hits", snap.get("cache_hits"))?;
+    gate::require_nonzero("launches_replayed", snap.get("launches_replayed"))
 }

@@ -4,6 +4,7 @@
 //! index), plus shared reporting helpers. Each binary prints the same rows
 //! or series the paper reports and appends a JSON record under `results/`.
 
+pub mod gate;
 pub mod report;
 
 pub use report::{geo_mean, has_flag, write_json, Row, Table};

@@ -16,15 +16,18 @@ pub fn spmm<T: Scalar>(a: &CsrMatrix<T>, b: &Matrix<f32>) -> Matrix<f32> {
     let mut c = Matrix::<f32>::zeros(a.rows(), n);
     for i in 0..a.rows() {
         let (cols, vals) = a.row(i);
-        for (&col, &val) in cols.iter().zip(vals) {
-            let v = val.to_f32();
-            let brow = b.row(col as usize);
-            let crow_start = i * n;
-            let out = c.as_mut_slice();
-            for j in 0..n {
-                out[crow_start + j] += v * brow[j];
-            }
-        }
+        let crow_start = i * n;
+        let out = c.as_mut_slice();
+        // Fused multiply-add, matching the kernels' accumulation: the
+        // per-element order is the natural nonzero order either way, and
+        // using the same rounding keeps kernel outputs bit-comparable.
+        gpu_sim::lanes::fma_accumulate(
+            &mut out[crow_start..crow_start + n],
+            cols.iter()
+                .zip(vals)
+                .map(|(&col, &val)| (val.to_f32(), b.row(col as usize))),
+            |bv| bv,
+        );
     }
     c
 }
@@ -45,18 +48,13 @@ pub fn sddmm<T: Scalar>(
     );
     assert_eq!(mask.rows(), lhs.rows());
     assert_eq!(mask.cols(), rhs.rows());
-    let k = lhs.cols();
     let mut values = Vec::with_capacity(mask.nnz());
     for i in 0..mask.rows() {
         let (cols, _) = mask.row(i);
         let arow = lhs.row(i);
         for &j in cols {
             let brow = rhs.row(j as usize);
-            let mut acc = 0.0f32;
-            for l in 0..k {
-                acc += arow[l] * brow[l];
-            }
-            values.push(acc);
+            values.push(gpu_sim::lanes::fma_dot(arow, brow, |v| v));
         }
     }
     mask.convert::<f32>().with_values(values)

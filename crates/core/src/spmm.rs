@@ -104,6 +104,39 @@ struct SubwarpWork {
     total: usize,
 }
 
+/// Upper bound on subwarps per block (`block_items_y <= 32`, enforced by
+/// [`SpmmConfig::validate`]). Lets the prelude resolve descriptors into a
+/// stack buffer instead of a per-block heap allocation.
+const MAX_BLOCK_SUBWARPS: usize = 32;
+
+impl SubwarpWork {
+    /// Placeholder for unresolved stack-buffer slots.
+    const EMPTY: SubwarpWork = SubwarpWork {
+        row: usize::MAX,
+        nnz: 0,
+        aligned_offset: 0,
+        prefix: 0,
+        total: 0,
+    };
+}
+
+/// Collect `row * scale` for every in-range subwarp into a stack buffer;
+/// returns the count. Shared by the offset/bias gathers and the signature.
+fn gather_row_addrs(
+    subs: &[SubwarpWork],
+    scale: u64,
+    out: &mut [u64; MAX_BLOCK_SUBWARPS],
+) -> usize {
+    let mut n = 0;
+    for s in subs {
+        if s.row != usize::MAX {
+            out[n] = s.row as u64 * scale;
+            n += 1;
+        }
+    }
+    n
+}
+
 impl<'a, T: Scalar> SpmmKernel<'a, T> {
     pub fn new(
         a: &'a CsrMatrix<T>,
@@ -260,7 +293,9 @@ impl<'a, T: Scalar> SpmmKernel<'a, T> {
     /// through the kernel's actual control flow (aligned start, masked
     /// prefix, zero-padded residue).
     fn compute_subwarp(&self, sub: &SubwarpWork, n_off: usize, tile_w: usize) {
-        let mut acc = vec![0.0f32; tile_w];
+        // The accumulator tile models the subwarp's register/shared staging:
+        // arena-pooled (zero heap traffic once warm) and lane-vectorized.
+        let mut acc = gpu_sim::arena::ScratchF32::take(tile_w);
         let values = self.a.values();
         let indices = self.a.col_indices();
         // Both operands are always present on the functional path (the only
@@ -281,9 +316,7 @@ impl<'a, T: Scalar> SpmmKernel<'a, T> {
                 continue;
             }
             let brow = &b[col * self.n + n_off..col * self.n + n_off + tile_w];
-            for (x, bv) in brow.iter().enumerate() {
-                acc[x] += val * bv.to_f32();
-            }
+            gpu_sim::lanes::fma_axpy(&mut acc, val, brow, |bv| bv.to_f32());
         }
         let bias = self.bias.map(|bias| bias[sub.row]).unwrap_or(0.0);
         for (x, &v) in acc.iter().enumerate() {
@@ -318,14 +351,13 @@ impl<'a, T: Scalar> SpmmKernel<'a, T> {
             // the access is contiguous).
             ctx.ld_global(BUF_SWIZZLE, 0, subs.len() as u32, 1, 4);
         }
-        // Row offset + next offset per subwarp: scattered pair loads.
-        let offset_addrs: Vec<u64> = subs
-            .iter()
-            .filter(|s| s.row != usize::MAX)
-            .map(|s| s.row as u64 * 4)
-            .collect();
-        if !offset_addrs.is_empty() {
-            ctx.ld_global_gather(BUF_A_OFFSETS, &offset_addrs, 8);
+        // Row offset + next offset per subwarp: scattered pair loads. The
+        // address list is bounded by the subwarp cap, so it lives on the
+        // stack — no heap traffic on the cost path either.
+        let mut offset_addrs = [0u64; MAX_BLOCK_SUBWARPS];
+        let n_offset_addrs = gather_row_addrs(subs, 4, &mut offset_addrs);
+        if n_offset_addrs > 0 {
+            ctx.ld_global_gather(BUF_A_OFFSETS, &offset_addrs[..n_offset_addrs], 8);
         }
         ctx.misc(2); // nnz computation
         if cfg.roma && vw > 1 {
@@ -492,13 +524,10 @@ impl<'a, T: Scalar> SpmmKernel<'a, T> {
         let store_instrs = gpu_sim::memory::vector_instr_count(tile_w as u64, threads_x, store_vw);
         ctx.cost.st_global_instrs += store_instrs;
         if cfg.fused_bias_relu {
-            let bias_addrs: Vec<u64> = subs
-                .iter()
-                .filter(|s| s.row != usize::MAX)
-                .map(|s| s.row as u64 * 4)
-                .collect();
-            if !bias_addrs.is_empty() {
-                ctx.ld_global_gather(BUF_BIAS, &bias_addrs, 4);
+            let mut bias_addrs = [0u64; MAX_BLOCK_SUBWARPS];
+            let n_bias_addrs = gather_row_addrs(subs, 4, &mut bias_addrs);
+            if n_bias_addrs > 0 {
+                ctx.ld_global_gather(BUF_BIAS, &bias_addrs[..n_bias_addrs], 4);
             }
             ctx.fp(2 * store_instrs, 0);
         }
@@ -631,18 +660,19 @@ impl<T: Scalar> Kernel for SpmmKernel<'_, T> {
 
         let biy = cfg.block_items_y as usize;
         let base_m = block.y as usize * biy;
-        let subs: Vec<SubwarpWork> = (0..biy).map(|s| self.subwarp_work(base_m + s)).collect();
+        let mut subs_buf = [SubwarpWork::EMPTY; MAX_BLOCK_SUBWARPS];
+        for (s, slot) in subs_buf.iter_mut().take(biy).enumerate() {
+            *slot = self.subwarp_work(base_m + s);
+        }
+        let subs = &subs_buf[..biy];
         // Chunk boundaries are fixed per kernel, so hashing subwarps in order
         // preserves the per-warp grouping the divergence model depends on.
         for chunk in subs.chunks(cfg.subwarps_per_warp() as usize) {
-            let gather: Vec<u64> = chunk
-                .iter()
-                .filter(|s| s.row != usize::MAX)
-                .map(|s| s.row as u64 * 4)
-                .collect();
-            fp.write_u64(gpu_sim::memory::sectors_gather(&gather, 8));
+            let mut gather = [0u64; MAX_BLOCK_SUBWARPS];
+            let n_gather = gather_row_addrs(chunk, 4, &mut gather);
+            fp.write_u64(gpu_sim::memory::sectors_gather(&gather[..n_gather], 8));
             if cfg.fused_bias_relu {
-                fp.write_u64(gpu_sim::memory::sectors_gather(&gather, 4));
+                fp.write_u64(gpu_sim::memory::sectors_gather(&gather[..n_gather], 4));
             }
             for sub in chunk {
                 if sub.row == usize::MAX {
@@ -667,20 +697,28 @@ impl<T: Scalar> Kernel for SpmmKernel<'_, T> {
             return;
         }
 
-        // Prelude: resolve every subwarp's row and alignment.
+        // Prelude: resolve every subwarp's row and alignment (stack buffer;
+        // block_items_y <= 32 by config validation).
         let biy = cfg.block_items_y as usize;
         let base_m = block.y as usize * biy;
-        let subs: Vec<SubwarpWork> = (0..biy).map(|s| self.subwarp_work(base_m + s)).collect();
+        let mut subs_buf = [SubwarpWork::EMPTY; MAX_BLOCK_SUBWARPS];
+        for (s, slot) in subs_buf.iter_mut().take(biy).enumerate() {
+            *slot = self.subwarp_work(base_m + s);
+        }
+        let subs = &subs_buf[..biy];
 
-        // Cost: warps execute their subwarps in lockstep.
-        let spw = cfg.subwarps_per_warp() as usize;
-        for chunk in subs.chunks(spw) {
-            self.cost_warp(ctx, chunk, n_off, tile_w);
+        // Cost: warps execute their subwarps in lockstep. A cache-hit
+        // replay discards the cost, so skip the trace math entirely.
+        if ctx.recording() {
+            let spw = cfg.subwarps_per_warp() as usize;
+            for chunk in subs.chunks(spw) {
+                self.cost_warp(ctx, chunk, n_off, tile_w);
+            }
         }
 
         // Functional output.
         if ctx.functional() && self.b.is_some() {
-            for sub in &subs {
+            for sub in subs {
                 if sub.row != usize::MAX {
                     self.compute_subwarp(sub, n_off, tile_w);
                 }

@@ -165,21 +165,28 @@ impl<T: Scalar> Kernel for PermuteKernel<'_, T> {
         }
         let eb = T::BYTES;
         let warps = (count as u64).div_ceil(32);
-        // Permutation indices and destination: coalesced.
-        ctx.cost.ld_global_instrs += warps;
-        ctx.ld_global_trace(BUF_PERM, (start * 4) as u64, count as u64 * 4);
-        ctx.cost.st_global_instrs += warps;
-        ctx.st_global_trace(
-            BUF_DST,
-            (start * eb as usize) as u64,
-            count as u64 * eb as u64,
-        );
-        // Source values: a gather — count real sectors from the permutation.
-        for chunk in self.perm[start..start + count].chunks(32) {
-            let addrs: Vec<u64> = chunk.iter().map(|&p| p as u64 * eb as u64).collect();
-            ctx.ld_global_gather(BUF_SRC, &addrs, eb);
+        // Cost-only work (including gather-address staging) is skipped on
+        // cache-hit replays.
+        if ctx.recording() {
+            // Permutation indices and destination: coalesced.
+            ctx.cost.ld_global_instrs += warps;
+            ctx.ld_global_trace(BUF_PERM, (start * 4) as u64, count as u64 * 4);
+            ctx.cost.st_global_instrs += warps;
+            ctx.st_global_trace(
+                BUF_DST,
+                (start * eb as usize) as u64,
+                count as u64 * eb as u64,
+            );
+            // Source values: a gather — count real sectors from the
+            // permutation, staged through the arena (32 lanes per warp).
+            let mut addrs = ctx.scratch_u64(32);
+            for chunk in self.perm[start..start + count].chunks(32) {
+                addrs.clear();
+                addrs.extend(chunk.iter().map(|&p| p as u64 * eb as u64));
+                ctx.ld_global_gather(BUF_SRC, &addrs, eb);
+            }
+            ctx.misc(2 * warps);
         }
-        ctx.misc(2 * warps);
 
         if ctx.functional() {
             for i in start..start + count {

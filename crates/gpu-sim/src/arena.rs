@@ -1,0 +1,209 @@
+//! Thread-local scratch arenas for kernel staging buffers.
+//!
+//! A CUDA kernel stages operands in shared memory: storage that exists for
+//! the lifetime of one thread block and is recycled by the next block on the
+//! same SM. The simulator's functional kernel bodies used to model that
+//! storage with per-block `vec!` allocations — correct, but it put a heap
+//! round-trip on every simulated block, and the functional path executes
+//! millions of blocks per sweep.
+//!
+//! This module gives each rayon worker thread a small pool of reusable
+//! buffers. A kernel checks a buffer out for the duration of one block
+//! (through [`BlockContext::scratch_f32`](crate::BlockContext::scratch_f32)
+//! or the free functions here) and the buffer returns to the pool when the
+//! guard drops — exactly the shared-memory lifetime. After a short warm-up
+//! (each worker growing its pooled buffers to the largest block it has
+//! seen), block execution performs **zero heap allocations**; the
+//! `zero_alloc` integration test enforces this.
+//!
+//! Ownership rules, mirroring CUDA shared memory:
+//!
+//! 1. A checkout is block-scoped: guards must not outlive `execute_block`
+//!    (they cannot — the guard borrows nothing, but storing one would defeat
+//!    the pool, so don't).
+//! 2. A fresh checkout is zero-initialized (`scratch_f32`) or empty with
+//!    retained capacity (`scratch_u64`): no data leaks between blocks, just
+//!    as `__shared__` contents are undefined across blocks and must be
+//!    written before being read.
+//! 3. Checkouts nest: a block may hold several buffers at once (accumulator
+//!    tile + gather-address list); they return to the pool LIFO.
+
+use std::cell::RefCell;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Pool size cap per thread and element type. Blocks hold at most a few
+/// buffers at a time; anything beyond this would be a leak of the pattern.
+const MAX_POOLED: usize = 16;
+
+/// Count of heap-backed checkouts that could not be served from the pool
+/// (pool empty — the buffer had to be freshly allocated). Strictly
+/// monotonic; the zero-alloc test and `funcwall` read deltas of it.
+static POOL_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Total checkouts served (hits + misses), for the `funcwall` report.
+static CHECKOUTS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static F32_POOL: RefCell<Vec<Vec<f32>>> = const { RefCell::new(Vec::new()) };
+    static U64_POOL: RefCell<Vec<Vec<u64>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Checkouts served since process start (pool hits + misses).
+pub fn checkouts() -> u64 {
+    CHECKOUTS.load(Ordering::Relaxed)
+}
+
+/// Checkouts that required a fresh heap allocation (empty pool).
+pub fn pool_misses() -> u64 {
+    POOL_MISSES.load(Ordering::Relaxed)
+}
+
+/// A pooled `f32` staging buffer, zeroed to `len` on checkout. Derefs to
+/// `[f32]`; returns to the per-thread pool on drop.
+#[derive(Debug)]
+pub struct ScratchF32 {
+    buf: Vec<f32>,
+}
+
+impl ScratchF32 {
+    /// Check out a zero-initialized buffer of exactly `len` elements.
+    pub fn take(len: usize) -> Self {
+        CHECKOUTS.fetch_add(1, Ordering::Relaxed);
+        let mut buf = F32_POOL.with(|p| p.borrow_mut().pop()).unwrap_or_else(|| {
+            POOL_MISSES.fetch_add(1, Ordering::Relaxed);
+            Vec::new()
+        });
+        buf.clear();
+        buf.resize(len, 0.0);
+        Self { buf }
+    }
+}
+
+impl Deref for ScratchF32 {
+    type Target = [f32];
+    fn deref(&self) -> &[f32] {
+        &self.buf
+    }
+}
+
+impl DerefMut for ScratchF32 {
+    fn deref_mut(&mut self) -> &mut [f32] {
+        &mut self.buf
+    }
+}
+
+impl Drop for ScratchF32 {
+    fn drop(&mut self) {
+        let buf = std::mem::take(&mut self.buf);
+        F32_POOL.with(|p| {
+            let mut pool = p.borrow_mut();
+            if pool.len() < MAX_POOLED {
+                pool.push(buf);
+            }
+        });
+    }
+}
+
+/// A pooled `u64` list (gather-address staging). Checked out **empty** with
+/// retained capacity; callers `push` into it. Derefs to `Vec<u64>`.
+#[derive(Debug)]
+pub struct ScratchU64 {
+    buf: Vec<u64>,
+}
+
+impl ScratchU64 {
+    /// Check out an empty list with at least `cap` reserved elements.
+    pub fn take(cap: usize) -> Self {
+        CHECKOUTS.fetch_add(1, Ordering::Relaxed);
+        let mut buf = U64_POOL.with(|p| p.borrow_mut().pop()).unwrap_or_else(|| {
+            POOL_MISSES.fetch_add(1, Ordering::Relaxed);
+            Vec::new()
+        });
+        buf.clear();
+        if buf.capacity() < cap {
+            buf.reserve(cap - buf.capacity());
+        }
+        Self { buf }
+    }
+}
+
+impl Deref for ScratchU64 {
+    type Target = Vec<u64>;
+    fn deref(&self) -> &Vec<u64> {
+        &self.buf
+    }
+}
+
+impl DerefMut for ScratchU64 {
+    fn deref_mut(&mut self) -> &mut Vec<u64> {
+        &mut self.buf
+    }
+}
+
+impl Drop for ScratchU64 {
+    fn drop(&mut self) {
+        let buf = std::mem::take(&mut self.buf);
+        U64_POOL.with(|p| {
+            let mut pool = p.borrow_mut();
+            if pool.len() < MAX_POOLED {
+                pool.push(buf);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scratch_f32_is_zeroed_after_reuse() {
+        {
+            let mut s = ScratchF32::take(8);
+            for v in s.iter_mut() {
+                *v = 7.0;
+            }
+        }
+        let s = ScratchF32::take(8);
+        assert!(s.iter().all(|&v| v == 0.0), "reused buffer must be zeroed");
+        assert_eq!(s.len(), 8);
+    }
+
+    #[test]
+    fn scratch_f32_reuses_capacity() {
+        {
+            let _ = ScratchF32::take(1024);
+        }
+        let misses_before = pool_misses();
+        let s = ScratchF32::take(512);
+        assert_eq!(s.len(), 512);
+        assert_eq!(
+            pool_misses(),
+            misses_before,
+            "second checkout on the same thread must hit the pool"
+        );
+    }
+
+    #[test]
+    fn scratch_u64_starts_empty_with_capacity() {
+        {
+            let mut s = ScratchU64::take(4);
+            s.push(1);
+            s.push(2);
+        }
+        let s = ScratchU64::take(4);
+        assert!(s.is_empty(), "reused list must be cleared");
+        assert!(s.capacity() >= 4);
+    }
+
+    #[test]
+    fn nested_checkouts_are_independent() {
+        let mut a = ScratchF32::take(4);
+        let mut b = ScratchF32::take(4);
+        a[0] = 1.0;
+        b[0] = 2.0;
+        assert_eq!(a[0], 1.0);
+        assert_eq!(b[0], 2.0);
+    }
+}

@@ -232,6 +232,30 @@ impl BlockContext {
         self.functional
     }
 
+    /// Whether cost recording is active. Kernels use this to skip work that
+    /// exists only to feed the cost model (gather-address staging, sector
+    /// bookkeeping) when the context is a cache-hit replay.
+    #[inline]
+    pub fn recording(&self) -> bool {
+        self.record
+    }
+
+    /// Check out a zeroed per-block `f32` staging buffer from the thread's
+    /// scratch arena (see [`crate::arena`]). The buffer models CUDA shared
+    /// memory: block-scoped, recycled across blocks, zero heap allocations
+    /// once the worker's pool is warm. Must not outlive `execute_block`.
+    #[inline]
+    pub fn scratch_f32(&self, len: usize) -> crate::arena::ScratchF32 {
+        crate::arena::ScratchF32::take(len)
+    }
+
+    /// Check out an empty per-block `u64` list (gather-address staging) with
+    /// at least `cap` reserved elements; mirror of [`Self::scratch_f32`].
+    #[inline]
+    pub fn scratch_u64(&self, cap: usize) -> crate::arena::ScratchU64 {
+        crate::arena::ScratchU64::take(cap)
+    }
+
     /// A contiguous warp-wide global load: `lanes` active lanes, lane `i`
     /// reading `vec_width` consecutive elements of `elem_bytes` starting at
     /// `byte_addr + i * vec_width * elem_bytes`. One warp instruction.
@@ -437,6 +461,61 @@ impl BlockContext {
         }
     }
 
+    /// Batched form of [`Self::ld_global_trace`]: `count` rows of `bytes`
+    /// contiguous bytes each, row `i` starting at `base + i * stride_bytes`.
+    ///
+    /// Bit-identical to calling `ld_global_trace` once per row — the sector
+    /// count of a contiguous access depends only on `byte_addr %
+    /// SECTOR_BYTES` and its length, so when the stride is a whole number of
+    /// sectors every row costs the same and one multiply replaces the loop.
+    /// Ragged strides (or an active sanitizer, which must see every row's
+    /// address) fall back to the per-row loop.
+    #[inline]
+    pub fn ld_global_trace_tiled(
+        &mut self,
+        buf: BufferId,
+        base: u64,
+        stride_bytes: u64,
+        count: u64,
+        bytes: u64,
+    ) {
+        if !self.record {
+            return;
+        }
+        if self.san.is_none() && stride_bytes.is_multiple_of(memory::SECTOR_BYTES) {
+            self.cost.gmem[buf.0 as usize].ld_sectors +=
+                count * memory::sectors_contiguous(base, bytes);
+        } else {
+            for i in 0..count {
+                self.ld_global_trace(buf, base + i * stride_bytes, bytes);
+            }
+        }
+    }
+
+    /// Batched form of [`Self::st_global_trace`]; mirror of
+    /// [`Self::ld_global_trace_tiled`].
+    #[inline]
+    pub fn st_global_trace_tiled(
+        &mut self,
+        buf: BufferId,
+        base: u64,
+        stride_bytes: u64,
+        count: u64,
+        bytes: u64,
+    ) {
+        if !self.record {
+            return;
+        }
+        if self.san.is_none() && stride_bytes.is_multiple_of(memory::SECTOR_BYTES) {
+            self.cost.gmem[buf.0 as usize].st_sectors +=
+                count * memory::sectors_contiguous(base, bytes);
+        } else {
+            for i in 0..count {
+                self.st_global_trace(buf, base + i * stride_bytes, bytes);
+            }
+        }
+    }
+
     /// `warp_instrs` FMA warp instructions performing `scalar_fmas` useful
     /// scalar fused multiply-adds (2 FLOPs each).
     #[inline]
@@ -525,6 +604,41 @@ mod tests {
         assert_eq!(total.fma_instrs, 20);
         assert_eq!(total.flops, 2 * 320 * 2);
         assert_eq!(total.gmem[1].ld_sectors, 8);
+    }
+
+    #[test]
+    fn tiled_trace_is_bit_identical_to_per_row_loop() {
+        // Aligned and misaligned bases, sector-multiple and ragged strides.
+        for &(base, stride, count, bytes) in &[
+            (0u64, 512u64, 16u64, 512u64),
+            (20, 512, 16, 128),
+            (0, 300, 7, 96),  // ragged stride: falls back to the loop
+            (13, 96, 33, 40), // misaligned base, sector-multiple stride
+            (64, 32, 1, 32),  // single row
+            (0, 128, 0, 64),  // empty tile
+        ] {
+            let mut tiled = BlockContext::new(false);
+            let mut looped = BlockContext::new(false);
+            tiled.ld_global_trace_tiled(BufferId(2), base, stride, count, bytes);
+            tiled.st_global_trace_tiled(BufferId(3), base, stride, count, bytes);
+            for i in 0..count {
+                looped.ld_global_trace(BufferId(2), base + i * stride, bytes);
+                looped.st_global_trace(BufferId(3), base + i * stride, bytes);
+            }
+            assert_eq!(
+                tiled.cost, looped.cost,
+                "tiled trace diverged at base={base} stride={stride} count={count} bytes={bytes}"
+            );
+        }
+    }
+
+    #[test]
+    fn replay_context_skips_recording_and_reports_it() {
+        let mut ctx = BlockContext::replay();
+        assert!(ctx.functional());
+        assert!(!ctx.recording());
+        ctx.ld_global_trace_tiled(BufferId(0), 0, 128, 8, 128);
+        assert_eq!(ctx.cost, BlockCost::default());
     }
 
     #[test]

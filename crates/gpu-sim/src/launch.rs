@@ -312,8 +312,12 @@ impl Gpu {
     }
 
     /// Execute every block functionally with cost recording disabled (the
-    /// output-producing half of a cached functional launch).
-    fn replay_functional(&self, kernel: &dyn Kernel) {
+    /// output-producing half of a cached functional launch). This is the
+    /// warm hot path: kernel bodies stage through the scratch arena
+    /// ([`crate::arena`]) and skip cost-only work, so after each rayon
+    /// worker's pools are warm a replay performs **zero heap allocations**
+    /// (enforced by the `zero_alloc` integration test).
+    pub fn replay_functional(&self, kernel: &dyn Kernel) {
         let grid = kernel.grid();
         (0..grid.size()).into_par_iter().for_each(|lin| {
             let mut ctx = BlockContext::replay();
@@ -449,10 +453,17 @@ impl Gpu {
         let grid = kernel.grid();
         let n_blocks = grid.size();
 
-        // Profile-mode fast path: execute one representative per structural
-        // block signature, replay its cost for the rest.
-        if !functional && self.dedup {
-            if let Some(stats) = self.run_profile_dedup(kernel, occ) {
+        // Dedup fast paths: execute (or cost-record) one representative per
+        // structural block signature, replay its cost for the rest. In
+        // functional mode every block still executes for its outputs — only
+        // the cost recording is deduplicated.
+        if self.dedup {
+            let fast = if functional {
+                self.run_functional_dedup(kernel, occ)
+            } else {
+                self.run_profile_dedup(kernel, occ)
+            };
+            if let Some(stats) = fast {
                 return stats;
             }
         }
@@ -494,13 +505,83 @@ impl Gpu {
     fn run_profile_dedup(&self, kernel: &dyn Kernel, occ: Occupancy) -> Option<LaunchStats> {
         let grid = kernel.grid();
         let n_blocks = grid.size();
+        let (unique, member) = self.dedup_plan(kernel)?;
+
+        metrics::global().incr_many(&[
+            ("dedup_blocks_total", n_blocks),
+            ("dedup_blocks_executed", unique.len() as u64),
+        ]);
+
+        let costs: Vec<BlockCost> = unique
+            .par_iter()
+            .map(|&lin| {
+                let mut ctx = BlockContext::new(false);
+                kernel.execute_block(grid.delinearize(lin), &mut ctx);
+                ctx.cost
+            })
+            .collect();
+
+        Some(self.finish_dedup(kernel, occ, &costs, &member))
+    }
+
+    /// Functional-mode structural dedup: every block still executes for its
+    /// outputs, but only one representative per signature records a cost
+    /// trace — the rest run with recording disabled (their cost is replayed
+    /// from the representative, exactly as in profile mode). Sound for the
+    /// same reason [`Gpu::run_profile_dedup`] is (equal signatures must
+    /// record bit-identical [`BlockCost`]), plus the standing invariant that
+    /// a kernel's functional output cannot depend on whether cost recording
+    /// is on (cached functional replays already rely on it).
+    fn run_functional_dedup(&self, kernel: &dyn Kernel, occ: Occupancy) -> Option<LaunchStats> {
+        let grid = kernel.grid();
+        let n_blocks = grid.size();
+        let (unique, member) = self.dedup_plan(kernel)?;
+
+        metrics::global().incr_many(&[
+            ("dedup_blocks_total", n_blocks),
+            ("dedup_blocks_executed", unique.len() as u64),
+        ]);
+
+        // Pass A: representatives run functionally WITH cost recording.
+        let costs: Vec<BlockCost> = unique
+            .par_iter()
+            .map(|&lin| {
+                let mut ctx = BlockContext::new(true);
+                kernel.execute_block(grid.delinearize(lin), &mut ctx);
+                ctx.cost
+            })
+            .collect();
+
+        // Pass B: every other block runs functionally with recording off —
+        // the kernels' `ctx.recording()` gates skip the cost-only work, and
+        // staging goes through the warm scratch arena.
+        let mut is_rep = vec![false; n_blocks as usize];
+        for &lin in &unique {
+            is_rep[lin as usize] = true;
+        }
+        (0..n_blocks).into_par_iter().for_each(|lin| {
+            if is_rep[lin as usize] {
+                return;
+            }
+            let mut ctx = BlockContext::replay();
+            kernel.execute_block(grid.delinearize(lin), &mut ctx);
+        });
+
+        Some(self.finish_dedup(kernel, occ, &costs, &member))
+    }
+
+    /// Group blocks by structural signature. Returns `(unique, member)`:
+    /// `unique` lists the blocks that really execute (signature-less blocks
+    /// and first occurrences); `member[i]` is the slot in `unique` whose cost
+    /// block `i` replays. Signatures are computed in parallel (they can walk
+    /// per-row metadata); only the grouping is serial. Returns `None` when no
+    /// two blocks share a signature (the plain streaming path is cheaper).
+    fn dedup_plan(&self, kernel: &dyn Kernel) -> Option<(Vec<u64>, Vec<usize>)> {
+        let grid = kernel.grid();
+        let n_blocks = grid.size();
         if n_blocks == 0 {
             return None;
         }
-        // `unique` lists the blocks that really execute (signature-less
-        // blocks and first occurrences); `member[i]` is the slot in `unique`
-        // whose cost block `i` replays. Signatures are computed in parallel
-        // (they can walk per-row metadata); only the grouping is serial.
         let sigs: Vec<Option<u64>> = (0..n_blocks)
             .into_par_iter()
             .map(|lin| kernel.block_signature(grid.delinearize(lin)))
@@ -528,28 +609,27 @@ impl Gpu {
         if unique.len() as u64 == n_blocks {
             return None;
         }
-        metrics::global().incr_many(&[
-            ("dedup_blocks_total", n_blocks),
-            ("dedup_blocks_executed", unique.len() as u64),
-        ]);
+        Some((unique, member))
+    }
 
-        let costs: Vec<BlockCost> = unique
-            .par_iter()
-            .map(|&lin| {
-                let mut ctx = BlockContext::new(false);
-                kernel.execute_block(grid.delinearize(lin), &mut ctx);
-                ctx.cost
-            })
-            .collect();
-
+    /// Shared tail of the dedup paths: replay each representative's cost for
+    /// its members (exact `u64` sums, landing at the original linear indices)
+    /// and hand the totals to the cache/timing/scheduling models.
+    fn finish_dedup(
+        &self,
+        kernel: &dyn Kernel,
+        occ: Occupancy,
+        costs: &[BlockCost],
+        member: &[usize],
+    ) -> LaunchStats {
         let mut total = BlockCost::default();
-        let mut lites = Vec::with_capacity(n_blocks as usize);
-        for &slot in &member {
+        let mut lites = Vec::with_capacity(member.len());
+        for &slot in member {
             let c = &costs[slot];
             total.merge(c);
             lites.push(BlockCostLite::from(c));
         }
-        Some(self.finish(kernel, occ, total, lites))
+        self.finish(kernel, occ, total, lites)
     }
 
     /// The pre-fast-path launch engine: collect one full [`BlockCost`] per

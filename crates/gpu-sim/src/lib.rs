@@ -54,6 +54,7 @@
 //! assert!(stats.time_us > 0.0);
 //! ```
 
+pub mod arena;
 pub mod cache;
 pub mod cache_sim;
 pub mod cost;
@@ -62,6 +63,7 @@ pub mod dim;
 pub mod fault;
 pub mod fingerprint;
 pub mod kernel;
+pub mod lanes;
 pub mod launch;
 pub mod launch_cache;
 pub mod memory;
@@ -74,6 +76,7 @@ pub mod timing;
 pub mod trace;
 pub mod util;
 
+pub use arena::{ScratchF32, ScratchU64};
 pub use cache::{AccessPattern, BufferSpec, DramTraffic};
 pub use cache_sim::{CacheConfig, CacheSim, CacheStats};
 pub use cost::{BlockContext, BlockCost, BlockCostLite, BufferId, Traffic, MAX_BUFFERS};

@@ -119,7 +119,7 @@ impl<T: Scalar> BsrMatrix<T> {
     }
 
     /// Blocks in block-row `br`: `(block_col, payload)` pairs.
-    pub fn block_row(&self, br: usize) -> impl Iterator<Item = (usize, &[T])> + '_ {
+    pub fn block_row(&self, br: usize) -> impl Iterator<Item = (usize, &[T])> + Clone + '_ {
         let s = self.block_row_offsets[br] as usize;
         let e = self.block_row_offsets[br + 1] as usize;
         let bb = self.block_size * self.block_size;

@@ -120,6 +120,13 @@ impl DispatchReport {
 }
 
 /// Aggregate rung usage across many dispatched calls.
+///
+/// [`DegradationStats::record`] also mirrors each call into the process-wide
+/// [`gpu_sim::metrics`] registry as monotonic per-rung counters (see
+/// [`DegradationStats::RUNG_COUNTERS`]), so serving sweeps and plain kernel
+/// sweeps share one degradation dashboard: any snapshot of the global
+/// registry shows how many calls each rung served, regardless of which
+/// subsystem dispatched them.
 #[derive(Debug, Clone, Default)]
 pub struct DegradationStats {
     pub calls: u64,
@@ -129,11 +136,20 @@ pub struct DegradationStats {
 }
 
 impl DegradationStats {
+    /// Global-metrics counter name for each rung, indexed by `Rung as usize`.
+    pub const RUNG_COUNTERS: [&'static str; 4] = [
+        "dispatch_rung_sputnik",
+        "dispatch_rung_heuristic",
+        "dispatch_rung_fallback",
+        "dispatch_rung_cpu_reference",
+    ];
+
     pub fn record(&mut self, report: &DispatchReport) {
         self.calls += 1;
         self.served[report.served_by as usize] += 1;
         self.failed_attempts += report.attempts.len() as u64;
         self.backoff_us += report.backoff_us;
+        gpu_sim::metrics::global().incr(Self::RUNG_COUNTERS[report.served_by as usize], 1);
     }
 
     /// Fraction of calls served by the requested Sputnik configuration.

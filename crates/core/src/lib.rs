@@ -19,7 +19,8 @@ pub mod transpose;
 pub mod tune;
 
 pub use batched::{
-    sddmm_batched, sddmm_batched_cached, spmm_batched, spmm_batched_cached, BatchedResult,
+    sddmm_batched, sddmm_batched_cached, sddmm_batched_dispatch, spmm_batched, spmm_batched_cached,
+    spmm_batched_dispatch, BatchedResult, DispatchedBatch,
 };
 pub use config::{SddmmConfig, SpmmConfig};
 pub use dispatch::{

@@ -26,6 +26,10 @@
 //! | `dedup_blocks_total` / `dedup_blocks_executed` | structural block dedup (ratio = executed/total) |
 //! | `faults_injected` | faults delivered by a [`crate::FaultPlan`] |
 //! | `sanitizer_runs` / `sanitizer_violations` | sanitized launches and findings |
+//! | `dispatch_degraded` / `dispatch_failed_attempts` | degradation-ladder traffic |
+//! | `dispatch_rung_*` | served requests per ladder rung (`sputnik`, `heuristic`, `fallback`, `cpu_reference`) |
+//! | `serve_offered` / `serve_served` / `serve_shed` / `serve_rejected` | front-door outcome totals |
+//! | `serve_late` / `serve_batches` / `serve_degraded` | SLO misses, launch windows, degraded serves |
 
 use crate::launch::LaunchStats;
 use std::collections::BTreeMap;

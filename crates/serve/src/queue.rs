@@ -1,0 +1,159 @@
+//! Bounded admission queue with typed outcomes.
+//!
+//! The queue bound is a *hard invariant*, not a tuning knob: no code path
+//! can push the depth past `capacity`, so a traffic burst translates into
+//! typed [`Admission::Rejected`] outcomes at the door instead of unbounded
+//! memory growth. Everything softer — backpressure shedding, deadline
+//! expiry — is policy, decided by the server and recorded as
+//! [`Admission::Shed`]; the queue itself only enforces the bound.
+
+use crate::traffic::{OpKind, Request};
+use std::collections::VecDeque;
+
+/// Typed outcome of offering a request at the front door.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Admission {
+    /// Queued; will be served or (if its deadline expires first) shed.
+    Admitted,
+    /// Hard bound: the queue was at capacity. Never entered the queue.
+    Rejected,
+    /// Policy decision: backpressure shed the request at the door because
+    /// the projected completion latency exceeded the SLO budget.
+    Shed,
+}
+
+/// FIFO request queue with a hard capacity bound.
+#[derive(Debug)]
+pub struct AdmissionQueue {
+    capacity: usize,
+    items: VecDeque<Request>,
+    max_depth: usize,
+}
+
+impl AdmissionQueue {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "a zero-capacity queue can serve nothing");
+        Self {
+            capacity,
+            items: VecDeque::with_capacity(capacity),
+            max_depth: 0,
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// High-water mark of the depth over the queue's lifetime — the
+    /// invariants tests pin `max_depth() <= capacity()`.
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+
+    /// Oldest queued request, if any.
+    pub fn front(&self) -> Option<&Request> {
+        self.items.front()
+    }
+
+    /// Admit if below the bound; [`Admission::Rejected`] otherwise. This is
+    /// the only way in, so the bound holds by construction.
+    pub fn try_admit(&mut self, request: Request) -> Admission {
+        if self.items.len() >= self.capacity {
+            return Admission::Rejected;
+        }
+        self.items.push_back(request);
+        self.max_depth = self.max_depth.max(self.items.len());
+        Admission::Admitted
+    }
+
+    /// Remove up to `max` requests matching the `(op, topology)` batch key,
+    /// preserving FIFO order among them; non-matching requests keep their
+    /// relative order. This is the continuous-batching coalescing step.
+    pub fn take_window(&mut self, op: OpKind, topology: usize, max: usize) -> Vec<Request> {
+        let mut taken = Vec::new();
+        let mut rest = VecDeque::with_capacity(self.items.len());
+        for r in self.items.drain(..) {
+            if taken.len() < max && r.op == op && r.topology == topology {
+                taken.push(r);
+            } else {
+                rest.push_back(r);
+            }
+        }
+        self.items = rest;
+        taken
+    }
+
+    /// Remove every queued request whose deadline has already passed —
+    /// serving them now would spend device time producing answers nobody
+    /// will accept. The server records each as shed.
+    pub fn take_expired(&mut self, now_us: f64) -> Vec<Request> {
+        let mut expired = Vec::new();
+        let mut rest = VecDeque::with_capacity(self.items.len());
+        for r in self.items.drain(..) {
+            if r.deadline_us < now_us {
+                expired.push(r);
+            } else {
+                rest.push_back(r);
+            }
+        }
+        self.items = rest;
+        expired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u64, op: OpKind, topology: usize) -> Request {
+        Request {
+            id,
+            arrival_us: id as f64,
+            deadline_us: id as f64 + 100.0,
+            op,
+            topology,
+        }
+    }
+
+    #[test]
+    fn bound_is_hard() {
+        let mut q = AdmissionQueue::new(2);
+        assert_eq!(q.try_admit(req(0, OpKind::Spmm, 0)), Admission::Admitted);
+        assert_eq!(q.try_admit(req(1, OpKind::Spmm, 0)), Admission::Admitted);
+        assert_eq!(q.try_admit(req(2, OpKind::Spmm, 0)), Admission::Rejected);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.max_depth(), 2);
+    }
+
+    #[test]
+    fn window_takes_only_matching_key_in_fifo_order() {
+        let mut q = AdmissionQueue::new(8);
+        q.try_admit(req(0, OpKind::Spmm, 0));
+        q.try_admit(req(1, OpKind::Sddmm, 0));
+        q.try_admit(req(2, OpKind::Spmm, 1));
+        q.try_admit(req(3, OpKind::Spmm, 0));
+        let w = q.take_window(OpKind::Spmm, 0, 4);
+        assert_eq!(w.iter().map(|r| r.id).collect::<Vec<_>>(), vec![0, 3]);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.front().map(|r| r.id), Some(1));
+    }
+
+    #[test]
+    fn expired_requests_are_pulled_out() {
+        let mut q = AdmissionQueue::new(8);
+        q.try_admit(req(0, OpKind::Spmm, 0)); // deadline 100
+        q.try_admit(req(50, OpKind::Spmm, 0)); // deadline 150
+        let expired = q.take_expired(120.0);
+        assert_eq!(expired.len(), 1);
+        assert_eq!(expired[0].id, 0);
+        assert_eq!(q.len(), 1);
+    }
+}

@@ -1,0 +1,296 @@
+//! The serving front door: a discrete-event continuous-batching scheduler
+//! on a simulated clock.
+//!
+//! The loop is the whole design:
+//!
+//! 1. **Admit.** Arrivals inside the current batch window go through the
+//!    bounded [`AdmissionQueue`]. Queue full ⇒ typed `Rejected`. Projected
+//!    completion latency over the p99 budget ⇒ typed `Shed` at the door
+//!    (backpressure: refuse work you cannot serve in time, rather than
+//!    queueing it to miss its deadline).
+//! 2. **Expire.** Queued requests whose deadline already passed are shed —
+//!    device time is not spent on answers nobody will accept.
+//! 3. **Coalesce.** The oldest queued request picks the `(op, topology)`
+//!    batch key; up to `max_batch` matching requests form a window. Keying
+//!    by topology is what makes windows hit the [`LaunchCache`].
+//! 4. **Serve.** The window runs through the fault-tolerant batched
+//!    dispatchers ([`sputnik::spmm_batched_dispatch`] /
+//!    [`sputnik::sddmm_batched_dispatch`]), so an armed
+//!    [`gpu_sim::FaultPlan`] degrades individual requests down the PR-1
+//!    ladder instead of crashing the server. Every request gets a
+//!    [`sputnik::DispatchReport`] attributing the rung that served it.
+//!
+//! Conservation is asserted on every run: `served + shed + rejected ==
+//! offered`. Nothing falls on the floor, with or without faults — the chaos
+//! test suite and the servewall chaos gate both pin this.
+
+use crate::queue::{Admission, AdmissionQueue};
+use crate::slo::LatencyRecorder;
+use crate::traffic::{OpKind, Request};
+use crate::workload::Topology;
+use gpu_sim::{trace, Gpu, LaunchCache};
+use sparse::Matrix;
+use sputnik::{sddmm_batched_dispatch, spmm_batched_dispatch, DispatchPolicy, Rung, SputnikError};
+
+/// Serving policy: the queue bound, the batching window, and the robustness
+/// envelope (backpressure budget, host-fallback cost model).
+#[derive(Clone, Debug)]
+pub struct ServePolicy {
+    /// Hard bound on queued requests; offers beyond it are `Rejected`.
+    pub queue_capacity: usize,
+    /// Max requests coalesced into one batched launch window.
+    pub max_batch: usize,
+    /// How long the scheduler holds a window open to coalesce arrivals, in
+    /// simulated microseconds. Every batch pays this once.
+    pub batch_window_us: f64,
+    /// Backpressure budget: a new arrival is shed at the door when its
+    /// projected completion latency (backlog batches × smoothed batch time)
+    /// exceeds this.
+    pub p99_budget_us: f64,
+    /// Host time charged per CPU-served item (the dispatch ladder's bottom
+    /// rung reports no device time; the server owns the host-time model).
+    pub cpu_service_us: f64,
+    /// Degradation-ladder policy applied to every launch.
+    pub dispatch: DispatchPolicy,
+}
+
+impl Default for ServePolicy {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 64,
+            max_batch: 8,
+            batch_window_us: 30.0,
+            p99_budget_us: 5_000.0,
+            cpu_service_us: 400.0,
+            dispatch: DispatchPolicy::default(),
+        }
+    }
+}
+
+/// Everything a serving run produced. `latency` holds one sample per served
+/// request (completion − arrival, including queue wait and window wait).
+#[derive(Debug, Default)]
+pub struct ServeReport {
+    pub offered: u64,
+    pub served: u64,
+    pub shed: u64,
+    pub rejected: u64,
+    /// Served past deadline (subset of `served`).
+    pub late: u64,
+    pub latency: LatencyRecorder,
+    /// Served requests by degradation rung, indexed like
+    /// [`sputnik::DegradationStats::RUNG_COUNTERS`].
+    pub rung_counts: [u64; 4],
+    /// Served requests whose rung was not the requested configuration.
+    pub degraded: u64,
+    pub max_queue_depth: usize,
+    pub batches: u64,
+    pub cache_hits: u64,
+    /// Faults the GPU's plan delivered during this run.
+    pub faults_injected: u64,
+    /// Simulated clock at the end of the run.
+    pub sim_end_us: f64,
+}
+
+impl ServeReport {
+    /// Requests served within their deadline.
+    pub fn goodput(&self) -> u64 {
+        self.served - self.late
+    }
+
+    /// Requests unaccounted for — zero by the conservation invariant; kept
+    /// as a queryable quantity so gates can pin it rather than trust us.
+    pub fn lost(&self) -> i64 {
+        self.offered as i64 - (self.served + self.shed + self.rejected) as i64
+    }
+}
+
+/// Projected completion latency for a request joining a backlog of `depth`
+/// queued requests: how many windows must drain first, times the smoothed
+/// per-window time (window wait + service).
+fn projected_latency_us(depth: usize, policy: &ServePolicy, ewma_batch_us: f64) -> f64 {
+    let batches_ahead = depth.div_ceil(policy.max_batch) + 1;
+    batches_ahead as f64 * (policy.batch_window_us + ewma_batch_us)
+}
+
+/// Serve a traffic trace (sorted by arrival) against the topologies.
+///
+/// Errors are deterministic input violations only (shape mismatches);
+/// transient device faults always degrade down the ladder and are part of
+/// normal operation.
+pub fn run(
+    gpu: &Gpu,
+    topologies: &[Topology],
+    policy: &ServePolicy,
+    requests: &[Request],
+) -> Result<ServeReport, SputnikError> {
+    assert!(!topologies.is_empty(), "cannot serve without topologies");
+    let cache = LaunchCache::new();
+    let mut queue = AdmissionQueue::new(policy.queue_capacity);
+    let mut report = ServeReport {
+        offered: requests.len() as u64,
+        ..ServeReport::default()
+    };
+    let faults_before = gpu.fault_plan().map_or(0, |p| p.faults_injected());
+    let tracing = trace::enabled();
+
+    let mut now = 0.0f64;
+    let mut next_arrival = 0usize;
+    // Smoothed per-window service time, seeding the backpressure projection
+    // before the first batch completes.
+    let mut ewma_batch_us = policy.batch_window_us.max(1.0);
+
+    while next_arrival < requests.len() || !queue.is_empty() {
+        if queue.is_empty() {
+            // Idle: jump the clock to the next arrival.
+            now = now.max(requests[next_arrival].arrival_us);
+        }
+
+        // 1. Admit everything arriving inside this batch window.
+        let window_close = now + policy.batch_window_us;
+        while next_arrival < requests.len() && requests[next_arrival].arrival_us <= window_close {
+            let r = requests[next_arrival].clone();
+            next_arrival += 1;
+            let projected = projected_latency_us(queue.len(), policy, ewma_batch_us);
+            let outcome = if projected > policy.p99_budget_us {
+                Admission::Shed
+            } else {
+                queue.try_admit(r.clone())
+            };
+            match outcome {
+                Admission::Admitted => {}
+                Admission::Rejected => {
+                    report.rejected += 1;
+                    if tracing {
+                        trace::instant(
+                            "serve",
+                            "serve",
+                            &format!("rejected: request {} (queue at bound)", r.id),
+                        );
+                    }
+                }
+                Admission::Shed => {
+                    report.shed += 1;
+                    if tracing {
+                        trace::instant(
+                            "serve",
+                            "serve",
+                            &format!(
+                                "shed at door: request {} (projected {projected:.0} us over budget)",
+                                r.id
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+        now = window_close;
+
+        // 2. Shed queued requests that already missed their deadline.
+        for r in queue.take_expired(now) {
+            report.shed += 1;
+            if tracing {
+                trace::instant(
+                    "serve",
+                    "serve",
+                    &format!(
+                        "shed expired: request {} (deadline {:.0} us)",
+                        r.id, r.deadline_us
+                    ),
+                );
+            }
+        }
+
+        // 3. Coalesce a window keyed by the oldest request's (op, topology).
+        let Some(front) = queue.front() else {
+            continue;
+        };
+        let (op, topo_idx) = (front.op, front.topology);
+        let window = queue.take_window(op, topo_idx, policy.max_batch);
+        let topo = &topologies[topo_idx];
+
+        // 4. Serve it through the fault-tolerant batched dispatchers.
+        let (cpu_served, stream_us, hits, reports) = match op {
+            OpKind::Spmm => {
+                let bs: Vec<&Matrix<f32>> = window.iter().map(|_| &topo.dense).collect();
+                let d = spmm_batched_dispatch(
+                    gpu,
+                    &cache,
+                    &topo.mask,
+                    &bs,
+                    topo.spmm_cfg,
+                    &policy.dispatch,
+                )?;
+                (d.cpu_served(), d.stream_us, d.cache_hits, d.reports)
+            }
+            OpKind::Sddmm => {
+                let pairs: Vec<(&Matrix<f32>, &Matrix<f32>)> =
+                    window.iter().map(|_| (&topo.lhs, &topo.rhs)).collect();
+                let d = sddmm_batched_dispatch(
+                    gpu,
+                    &cache,
+                    &pairs,
+                    &topo.mask,
+                    topo.sddmm_cfg,
+                    &policy.dispatch,
+                )?;
+                (d.cpu_served(), d.stream_us, d.cache_hits, d.reports)
+            }
+        };
+        let service_us = stream_us + cpu_served as f64 * policy.cpu_service_us;
+        if tracing {
+            trace::replay(
+                "serve",
+                &format!("window {op}/{} x{}", topo.name, window.len()),
+                service_us,
+                window.len() as u64,
+            );
+        }
+        now += service_us;
+        ewma_batch_us = 0.7 * ewma_batch_us + 0.3 * service_us;
+        report.batches += 1;
+        report.cache_hits += hits;
+        for (r, rep) in window.iter().zip(&reports) {
+            report.served += 1;
+            report.latency.record(now - r.arrival_us);
+            report.rung_counts[rep.served_by as usize] += 1;
+            if rep.served_by != Rung::Sputnik {
+                report.degraded += 1;
+            }
+            if now > r.deadline_us {
+                report.late += 1;
+            }
+        }
+    }
+
+    report.max_queue_depth = queue.max_depth();
+    report.sim_end_us = now;
+    report.faults_injected = gpu.fault_plan().map_or(0, |p| p.faults_injected()) - faults_before;
+
+    // The conservation invariant: every offered request got exactly one
+    // typed outcome. A violation is a server bug, never load.
+    assert_eq!(
+        report.served + report.shed + report.rejected,
+        report.offered,
+        "conservation violation: served {} + shed {} + rejected {} != offered {}",
+        report.served,
+        report.shed,
+        report.rejected,
+        report.offered
+    );
+
+    // Export the run into the shared metrics registry so serving and
+    // non-serving runs land on one dashboard (the registry is monotonic and
+    // process-global; concurrent runs sum).
+    gpu_sim::metrics::global().incr_many(&[
+        ("serve_offered", report.offered),
+        ("serve_served", report.served),
+        ("serve_shed", report.shed),
+        ("serve_rejected", report.rejected),
+        ("serve_late", report.late),
+        ("serve_batches", report.batches),
+        ("serve_degraded", report.degraded),
+    ]);
+
+    Ok(report)
+}

@@ -1,0 +1,56 @@
+//! The serving workload: sparse-attention topologies from the paper's
+//! Transformer (§VII).
+//!
+//! A topology bundles a sparse attention mask with the configs and dense
+//! operands its requests need. All requests against one topology share the
+//! mask's fingerprint, so a serving window batched by topology replays the
+//! first launch's simulation from the [`gpu_sim::LaunchCache`] — the whole
+//! point of keying the continuous-batching scheduler on topology.
+//!
+//! Operand *values* are shared per topology. That is deliberate: the
+//! simulator's cost model depends on topology and config, not values, so
+//! distinct per-request operands would only add allocation traffic without
+//! changing any measured quantity; the functional outputs still exercise
+//! the dispatch ladder's finite/checksum guards.
+
+use sparse::{gen, CsrMatrix, Matrix};
+use sputnik::{SddmmConfig, SpmmConfig};
+
+/// One attention pattern the front door can serve requests against.
+pub struct Topology {
+    pub name: &'static str,
+    /// seq × seq sparse attention mask.
+    pub mask: CsrMatrix<f32>,
+    pub spmm_cfg: SpmmConfig,
+    pub sddmm_cfg: SddmmConfig,
+    /// Dense operand for SpMM requests (seq × head_dim).
+    pub dense: Matrix<f32>,
+    /// Query/key factors for SDDMM requests (each seq × head_dim).
+    pub lhs: Matrix<f32>,
+    pub rhs: Matrix<f32>,
+}
+
+/// Build the transformer serving topologies: banded attention masks with
+/// random off-diagonal entries, per [`gen::attention_mask`]. Two patterns —
+/// a narrow band with sparse long-range attention and a wider band — keep
+/// the batch scheduler honest about keying windows by topology.
+pub fn attention_topologies(seq: usize, head_dim: usize, seed: u64) -> Vec<Topology> {
+    let specs: &[(&'static str, usize, f64)] = &[("band8", 8, 0.995), ("band32", 32, 0.98)];
+    specs
+        .iter()
+        .enumerate()
+        .map(|(i, &(name, band, sparsity))| {
+            let i = i as u64;
+            let mask = gen::attention_mask(seq, band, sparsity, seed.wrapping_add(i));
+            Topology {
+                name,
+                mask,
+                spmm_cfg: SpmmConfig::heuristic::<f32>(head_dim),
+                sddmm_cfg: SddmmConfig::heuristic::<f32>(head_dim),
+                dense: Matrix::<f32>::random(seq, head_dim, seed ^ (0x51 + i)),
+                lhs: Matrix::<f32>::random(seq, head_dim, seed ^ (0x52 + i)),
+                rhs: Matrix::<f32>::random(seq, head_dim, seed ^ (0x53 + i)),
+            }
+        })
+        .collect()
+}

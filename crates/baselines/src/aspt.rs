@@ -16,7 +16,8 @@
 //!   sizes of 32 or 128.
 
 use gpu_sim::{
-    AccessPattern, BlockContext, BufferId, BufferSpec, Dim3, Gpu, Kernel, LaunchStats, SmemScope,
+    AccessBound, AccessPattern, AlignmentFacts, BarrierFacts, BlockContext, BufferBound, BufferId,
+    BufferSpec, Dim3, Gpu, Kernel, LaunchStats, SmemScope, StageBound, StaticFacts,
     SyncUnsafeSlice,
 };
 use sparse::{CsrMatrix, IndexWidth, Matrix, Scalar};
@@ -283,6 +284,47 @@ impl<T: Scalar> Kernel for AsptSpmmKernel<'_, T> {
         }
         fp.write_u64((panel.row_end - panel.row_start) as u64);
         Some(fp.finish())
+    }
+
+    /// Static safety facts for the launch auditor.
+    ///
+    /// Soundness: the metadata prelude reads 128 bytes from offset 0; heavy
+    /// B stages read 32-element strips of real column rows (`c < cols` by
+    /// the CSR column invariant), ending at or before `cols * n * eb`; the
+    /// panel's clamped output strip ends at or before `rows * n * eb`
+    /// (`n0 + 32 <= n` since N is 32 or 128). Value/index traffic is
+    /// address-free sector accounting. One heavy tile (at most `TILE_COLS *
+    /// 32 * 4` bytes, the declared capacity) is staged per barrier epoch.
+    fn static_facts(&self) -> StaticFacts {
+        let eb = T::BYTES as u64;
+        let nnz = self.a.nnz() as u64;
+        StaticFacts {
+            bounds: Some(vec![
+                BufferBound {
+                    slot: BUF_A_VALUES.0,
+                    bound: AccessBound::Extent(nnz * eb),
+                },
+                BufferBound {
+                    slot: BUF_A_INDICES.0,
+                    bound: AccessBound::Extent(nnz * 4),
+                },
+                BufferBound {
+                    slot: BUF_A_META.0,
+                    bound: AccessBound::Extent(128),
+                },
+                BufferBound {
+                    slot: BUF_B.0,
+                    bound: AccessBound::Extent((self.a.cols() * self.n) as u64 * eb),
+                },
+                BufferBound {
+                    slot: BUF_C.0,
+                    bound: AccessBound::Extent((self.a.rows() * self.n) as u64 * eb),
+                },
+            ]),
+            alignment: AlignmentFacts::ScalarOnly,
+            barrier: BarrierFacts::BarrierSeparated,
+            stage: StageBound::Bytes((TILE_COLS * 32 * 4) as u64),
+        }
     }
 
     fn execute_block(&self, block: Dim3, ctx: &mut BlockContext) {

@@ -11,7 +11,8 @@
 //! retained model quality.
 
 use gpu_sim::{
-    AccessPattern, BlockContext, BufferId, BufferSpec, Dim3, Gpu, Kernel, LaunchStats, SmemScope,
+    AccessBound, AccessPattern, AlignmentFacts, BarrierFacts, BlockContext, BufferBound, BufferId,
+    BufferSpec, Dim3, Gpu, Kernel, LaunchStats, SmemScope, StageBound, StaticFacts,
     SyncUnsafeSlice,
 };
 use sparse::block::BsrMatrix;
@@ -131,6 +132,42 @@ impl Kernel for BlockSpmmKernel<'_> {
         }
         fp.write_u64((br * bs * self.n + n0) as u64 * 4 % 32);
         Some(fp.finish())
+    }
+
+    /// Static safety facts for the launch auditor.
+    ///
+    /// Soundness: the meta prelude reads an 8-byte pair at `br * 4`
+    /// (`br < block_rows`, under the `(nnz_blocks + block_rows + 1) * 4`
+    /// footprint); B-strip and output traces use clamped tiles whose last
+    /// rows sit at `((bc + 1) * bs - 1)` and `((br + 1) * bs - 1)`
+    /// respectively, inside `cols * n * 4` / `rows * n * 4`. Block payloads
+    /// are address-free sector traffic. Each barrier epoch stages one
+    /// A-block + one B-strip — half the declared double buffer.
+    fn static_facts(&self) -> StaticFacts {
+        let bs = self.a.block_size();
+        StaticFacts {
+            bounds: Some(vec![
+                BufferBound {
+                    slot: BUF_BLOCKS.0,
+                    bound: AccessBound::Extent(self.a.stored_elements() as u64 * 4),
+                },
+                BufferBound {
+                    slot: BUF_META.0,
+                    bound: AccessBound::Extent((self.a.block_rows() as u64 + 1) * 4),
+                },
+                BufferBound {
+                    slot: BUF_B.0,
+                    bound: AccessBound::Extent((self.a.cols() * self.n * 4) as u64),
+                },
+                BufferBound {
+                    slot: BUF_C.0,
+                    bound: AccessBound::Extent((self.a.rows() * self.n * 4) as u64),
+                },
+            ]),
+            alignment: AlignmentFacts::ScalarOnly,
+            barrier: BarrierFacts::BarrierSeparated,
+            stage: StageBound::Bytes(((bs * bs + bs * TILE_N) * 4) as u64),
+        }
     }
 
     fn execute_block(&self, block: Dim3, ctx: &mut BlockContext) {

@@ -9,7 +9,8 @@
 //! stair-step performance on ragged shapes.
 
 use gpu_sim::{
-    AccessPattern, BlockContext, BufferId, BufferSpec, Dim3, Gpu, Kernel, LaunchStats, SmemScope,
+    AccessBound, AccessPattern, AlignmentFacts, BarrierFacts, BlockContext, BufferBound, BufferId,
+    BufferSpec, Dim3, Gpu, Kernel, LaunchStats, SmemScope, StageBound, StaticFacts,
     SyncUnsafeSlice,
 };
 use sparse::Matrix;
@@ -156,6 +157,38 @@ impl Kernel for GemmKernel<'_> {
         fp.write_u64(self.tile_n.min(self.n - col0) as u64);
         fp.write_u64((row0 * self.n + col0) as u64 * 4 % 32);
         Some(fp.finish())
+    }
+
+    /// Static safety facts for the launch auditor.
+    ///
+    /// Soundness: A and B tiles are modeled as address-free sector traffic
+    /// (bounded by their footprints by construction); the only addressed
+    /// access is the epilogue's tiled store of the *clamped* live extent,
+    /// whose last byte is `(row0 + tile_m - 1) * n * 4 + (col0 + tile_n) * 4
+    /// <= m * n * 4`. All addressed traffic is scalar-width. The double
+    /// buffer means each barrier epoch stages exactly half the declared
+    /// shared memory; warps communicate through it, so the barrier structure
+    /// is left to the dynamic epoch tracker.
+    fn static_facts(&self) -> StaticFacts {
+        StaticFacts {
+            bounds: Some(vec![
+                BufferBound {
+                    slot: BUF_A.0,
+                    bound: AccessBound::Extent((self.m * self.k * 4) as u64),
+                },
+                BufferBound {
+                    slot: BUF_B.0,
+                    bound: AccessBound::Extent((self.k * self.n * 4) as u64),
+                },
+                BufferBound {
+                    slot: BUF_C.0,
+                    bound: AccessBound::Extent((self.m * self.n * 4) as u64),
+                },
+            ]),
+            alignment: AlignmentFacts::ScalarOnly,
+            barrier: BarrierFacts::BarrierSeparated,
+            stage: StageBound::Bytes(((self.tile_m * TILE_K + TILE_K * self.tile_n) * 4) as u64),
+        }
     }
 
     fn execute_block(&self, block: Dim3, ctx: &mut BlockContext) {
@@ -357,6 +390,32 @@ impl Kernel for TransposeKernel<'_> {
         fp.write_u64((r0 * self.cols + c0) as u64 * 4 % 32);
         fp.write_u64((c0 * self.rows + r0) as u64 * 4 % 32);
         Some(fp.finish())
+    }
+
+    /// Static safety facts for the launch auditor.
+    ///
+    /// Soundness: both tiled traces use the clamped live extent, so the last
+    /// source byte is `(r0 + h - 1) * cols * 4 + (c0 + w) * 4` which stays
+    /// within `rows * cols * 4`, and symmetrically for the destination. One
+    /// 32x32 tile is staged per barrier epoch, under the 32x33 padded
+    /// declaration.
+    fn static_facts(&self) -> StaticFacts {
+        let bytes = (self.rows * self.cols * 4) as u64;
+        StaticFacts {
+            bounds: Some(vec![
+                BufferBound {
+                    slot: BUF_A.0,
+                    bound: AccessBound::Extent(bytes),
+                },
+                BufferBound {
+                    slot: BUF_C.0,
+                    bound: AccessBound::Extent(bytes),
+                },
+            ]),
+            alignment: AlignmentFacts::ScalarOnly,
+            barrier: BarrierFacts::BarrierSeparated,
+            stage: StageBound::Bytes((T_TILE * T_TILE * 4) as u64),
+        }
     }
 
     fn execute_block(&self, block: Dim3, ctx: &mut BlockContext) {

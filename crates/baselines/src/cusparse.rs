@@ -17,7 +17,8 @@
 //!   (see [`crate::cublas::TransposeKernel`]); the harness includes it.
 
 use gpu_sim::{
-    AccessPattern, BlockContext, BufferId, BufferSpec, Dim3, Gpu, Kernel, LaunchStats, SmemScope,
+    AccessBound, AccessPattern, AlignmentFacts, BarrierFacts, BlockContext, BufferBound, BufferId,
+    BufferSpec, Dim3, Gpu, Kernel, LaunchStats, SmemScope, StageBound, StaticFacts,
     SyncUnsafeSlice,
 };
 use sparse::{CsrMatrix, Matrix, Scalar};
@@ -174,6 +175,46 @@ impl<T: Scalar> Kernel for CusparseSpmmKernel<'_, T> {
             }
         }
         Some(fp.finish())
+    }
+
+    /// Static safety facts for the launch auditor.
+    ///
+    /// Soundness: row traces cover `[offset, offset + row_len)` of the
+    /// value/index arrays, the offsets pair ends at `(rows + 1) * 4`, and
+    /// the empty-row strided zero-store's last element is
+    /// `((n0 + tile_n - 1) * rows + row + 1) * eb`, within `rows * n * eb`.
+    /// B gathers and non-empty output stores are address-free sector
+    /// traffic. Everything is scalar; there is no shared memory.
+    fn static_facts(&self) -> StaticFacts {
+        let eb = T::BYTES as u64;
+        let nnz = self.a.nnz() as u64;
+        StaticFacts {
+            bounds: Some(vec![
+                BufferBound {
+                    slot: BUF_A_VALUES.0,
+                    bound: AccessBound::Extent(nnz * eb),
+                },
+                BufferBound {
+                    slot: BUF_A_INDICES.0,
+                    bound: AccessBound::Extent(nnz * 4),
+                },
+                BufferBound {
+                    slot: BUF_A_OFFSETS.0,
+                    bound: AccessBound::Extent((self.a.rows() as u64 + 1) * 4),
+                },
+                BufferBound {
+                    slot: BUF_B.0,
+                    bound: AccessBound::Extent((self.a.cols() * self.n) as u64 * eb),
+                },
+                BufferBound {
+                    slot: BUF_C.0,
+                    bound: AccessBound::Extent((self.a.rows() * self.n) as u64 * eb),
+                },
+            ]),
+            alignment: AlignmentFacts::ScalarOnly,
+            barrier: BarrierFacts::WarpSynchronous,
+            stage: StageBound::Bytes(0),
+        }
     }
 
     fn execute_block(&self, block: Dim3, ctx: &mut BlockContext) {
@@ -338,6 +379,42 @@ impl<T: Scalar> Kernel for CusparseSpmmHalfFallbackKernel<'_, T> {
             }
         }
         Some(fp.finish())
+    }
+
+    /// Static safety facts for the launch auditor: the degenerate path is
+    /// modeled entirely as address-free sector traffic (one sector per
+    /// scalar touch), so every bound is the buffer footprint by
+    /// construction. No shared memory, no cross-warp communication.
+    fn static_facts(&self) -> StaticFacts {
+        let eb = T::BYTES as u64;
+        let nnz = self.a.nnz() as u64;
+        StaticFacts {
+            bounds: Some(vec![
+                BufferBound {
+                    slot: BUF_A_VALUES.0,
+                    bound: AccessBound::Extent(nnz * eb),
+                },
+                BufferBound {
+                    slot: BUF_A_INDICES.0,
+                    bound: AccessBound::Extent(nnz * 4),
+                },
+                BufferBound {
+                    slot: BUF_A_OFFSETS.0,
+                    bound: AccessBound::Extent((self.a.rows() as u64 + 1) * 4),
+                },
+                BufferBound {
+                    slot: BUF_B.0,
+                    bound: AccessBound::Extent((self.a.cols() * self.n) as u64 * eb),
+                },
+                BufferBound {
+                    slot: BUF_C.0,
+                    bound: AccessBound::Extent((self.a.rows() * self.n) as u64 * eb),
+                },
+            ]),
+            alignment: AlignmentFacts::ScalarOnly,
+            barrier: BarrierFacts::WarpSynchronous,
+            stage: StageBound::Bytes(0),
+        }
     }
 
     fn execute_block(&self, block: Dim3, ctx: &mut BlockContext) {
@@ -513,6 +590,47 @@ impl<T: Scalar> Kernel for ConstrainedGemmKernel<'_, T> {
         fp.write_u64(masked);
         fp.write_u64(row0 as u64 * 4 % 32);
         Some(fp.finish())
+    }
+
+    /// Static safety facts for the launch auditor.
+    ///
+    /// Soundness: the only addressed access is the epilogue's offsets load
+    /// at `row0 * 4` for `tile_m` clamped entries, ending at or before
+    /// `rows * 4`; everything else (dense tile stages, index gather, output
+    /// scatter) is address-free sector traffic bounded by footprints. Each
+    /// barrier epoch stages one A-tile + one B-tile — half the declared
+    /// double-width shared memory — and warps communicate through it, so
+    /// barrier structure stays with the dynamic epoch tracker.
+    fn static_facts(&self) -> StaticFacts {
+        let eb = T::BYTES as u64;
+        let nnz = self.mask.nnz() as u64;
+        StaticFacts {
+            bounds: Some(vec![
+                BufferBound {
+                    slot: BUF_A_VALUES.0,
+                    bound: AccessBound::Extent((self.mask.rows() * self.k) as u64 * eb),
+                },
+                BufferBound {
+                    slot: BUF_B.0,
+                    bound: AccessBound::Extent((self.k * self.mask.cols()) as u64 * eb),
+                },
+                BufferBound {
+                    slot: BUF_A_OFFSETS.0,
+                    bound: AccessBound::Extent((self.mask.rows() as u64 + 1) * 4),
+                },
+                BufferBound {
+                    slot: BUF_A_INDICES.0,
+                    bound: AccessBound::Extent(nnz * 4),
+                },
+                BufferBound {
+                    slot: BUF_C.0,
+                    bound: AccessBound::Extent(nnz * eb),
+                },
+            ]),
+            alignment: AlignmentFacts::ScalarOnly,
+            barrier: BarrierFacts::BarrierSeparated,
+            stage: StageBound::Bytes((64 + 64) * 32 * eb),
+        }
     }
 
     fn execute_block(&self, block: Dim3, ctx: &mut BlockContext) {

@@ -9,8 +9,8 @@
 //! load per slot, padding included.
 
 use gpu_sim::{
-    AccessPattern, BlockContext, BufferId, BufferSpec, Dim3, Gpu, Kernel, LaunchStats,
-    SyncUnsafeSlice,
+    AccessBound, AccessPattern, AlignmentFacts, BarrierFacts, BlockContext, BufferBound, BufferId,
+    BufferSpec, Dim3, Gpu, Kernel, LaunchStats, StageBound, StaticFacts, SyncUnsafeSlice,
 };
 use sparse::ell::EllMatrix;
 use sparse::Matrix;
@@ -128,6 +128,46 @@ impl Kernel for EllSpmmKernel<'_> {
             fp.write_u64(self.a.row_length(r) as u64);
         }
         Some(fp.finish())
+    }
+
+    /// Static safety facts for the launch auditor.
+    ///
+    /// Soundness: the column-major ELL slot access at byte offset
+    /// `(j * rows + r0 + w0) * 4` spans at most `lanes <= rows - r0 - w0`
+    /// entries with `j < width`, so it ends at or before `width * rows * 4`,
+    /// the padded footprint. Lengths end at `rows * 4`, the clamped output
+    /// tile at `rows * n * 4`, and B is modeled as address-free sector
+    /// traffic. All loads are scalar; warps never communicate (no shared
+    /// memory at all).
+    fn static_facts(&self) -> StaticFacts {
+        let padded = (self.a.rows() * self.a.width()) as u64;
+        StaticFacts {
+            bounds: Some(vec![
+                BufferBound {
+                    slot: BUF_VALUES.0,
+                    bound: AccessBound::Extent(padded * 4),
+                },
+                BufferBound {
+                    slot: BUF_INDICES.0,
+                    bound: AccessBound::Extent(padded * 4),
+                },
+                BufferBound {
+                    slot: BUF_LENGTHS.0,
+                    bound: AccessBound::Extent(self.a.rows() as u64 * 4),
+                },
+                BufferBound {
+                    slot: BUF_B.0,
+                    bound: AccessBound::Extent((self.a.cols() * self.n * 4) as u64),
+                },
+                BufferBound {
+                    slot: BUF_C.0,
+                    bound: AccessBound::Extent((self.a.rows() * self.n * 4) as u64),
+                },
+            ]),
+            alignment: AlignmentFacts::ScalarOnly,
+            barrier: BarrierFacts::WarpSynchronous,
+            stage: StageBound::Bytes(0),
+        }
     }
 
     fn execute_block(&self, block: Dim3, ctx: &mut BlockContext) {

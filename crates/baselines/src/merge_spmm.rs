@@ -15,8 +15,8 @@
 //!   divisible by 32.
 
 use gpu_sim::{
-    AccessPattern, BlockContext, BufferId, BufferSpec, Dim3, Gpu, Kernel, LaunchStats,
-    SyncUnsafeSlice,
+    AccessBound, AccessPattern, AlignmentFacts, BarrierFacts, BlockContext, BufferBound, BufferId,
+    BufferSpec, Dim3, Gpu, Kernel, LaunchStats, StageBound, StaticFacts, SyncUnsafeSlice,
 };
 use sparse::{CsrMatrix, Matrix, Scalar};
 
@@ -155,6 +155,47 @@ impl<T: Scalar> Kernel for MergeSpmmKernel<'_, T> {
             fp.write_u64((row * self.n + n0) as u64 * eb % 32);
         }
         Some(fp.finish())
+    }
+
+    /// Static safety facts for the launch auditor.
+    ///
+    /// Soundness: strip loads cover `[row_off, row_off + row_len)` of the
+    /// value/index arrays (`<= nnz` by CSR), the offsets pair ends at
+    /// `(rows + 1) * 4`, and the 32-wide output store ends at `(row * n +
+    /// n0 + 32) * eb <= rows * n * eb` because N is a multiple of 32. B is
+    /// address-free sector traffic. Everything is scalar, and per-nonzero
+    /// broadcasts are warp shuffles — the declared shared memory is never
+    /// staged, so the stage bound is zero.
+    fn static_facts(&self) -> StaticFacts {
+        let eb = T::BYTES as u64;
+        let nnz = self.a.nnz() as u64;
+        StaticFacts {
+            bounds: Some(vec![
+                BufferBound {
+                    slot: BUF_A_VALUES.0,
+                    bound: AccessBound::Extent(nnz * eb),
+                },
+                BufferBound {
+                    slot: BUF_A_INDICES.0,
+                    bound: AccessBound::Extent(nnz * 4),
+                },
+                BufferBound {
+                    slot: BUF_A_OFFSETS.0,
+                    bound: AccessBound::Extent((self.a.rows() as u64 + 1) * 4),
+                },
+                BufferBound {
+                    slot: BUF_B.0,
+                    bound: AccessBound::Extent((self.a.cols() * self.n) as u64 * eb),
+                },
+                BufferBound {
+                    slot: BUF_C.0,
+                    bound: AccessBound::Extent((self.a.rows() * self.n) as u64 * eb),
+                },
+            ]),
+            alignment: AlignmentFacts::ScalarOnly,
+            barrier: BarrierFacts::WarpSynchronous,
+            stage: StageBound::Bytes(0),
+        }
     }
 
     fn execute_block(&self, block: Dim3, ctx: &mut BlockContext) {

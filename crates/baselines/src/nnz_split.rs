@@ -11,7 +11,10 @@
 //! implementation exists to make that comparison concrete
 //! (`ext_load_balancing`).
 
-use gpu_sim::{AccessPattern, BlockContext, BufferId, BufferSpec, Dim3, Gpu, Kernel, LaunchStats};
+use gpu_sim::{
+    AccessBound, AccessPattern, AlignmentFacts, BarrierFacts, BlockContext, BufferBound, BufferId,
+    BufferSpec, Dim3, Gpu, Kernel, LaunchStats, StageBound, StaticFacts,
+};
 use sparse::{CsrMatrix, Matrix, Scalar};
 use std::sync::atomic::{AtomicU32, Ordering};
 
@@ -168,6 +171,45 @@ impl<T: Scalar> Kernel for NnzSplitSpmmKernel<'_, T> {
         let last_row = self.row_of(start + count - 1);
         fp.write_u64(last_row.saturating_sub(first_row) as u64);
         Some(fp.finish())
+    }
+
+    /// Static safety facts for the launch auditor.
+    ///
+    /// Soundness: strip loads cover `[start, start + count)` with `start +
+    /// count <= nnz` (the head vector load is clamped to `count`); the
+    /// binary-search offset loads, B strips, and atomic output stores are
+    /// modeled as address-free sector traffic bounded by their footprints by
+    /// construction. Blocks are a single warp with no staged shared memory.
+    fn static_facts(&self) -> StaticFacts {
+        let eb = T::BYTES as u64;
+        let nnz = self.a.nnz() as u64;
+        StaticFacts {
+            bounds: Some(vec![
+                BufferBound {
+                    slot: BUF_A_VALUES.0,
+                    bound: AccessBound::Extent(nnz * eb),
+                },
+                BufferBound {
+                    slot: BUF_A_INDICES.0,
+                    bound: AccessBound::Extent(nnz * 4),
+                },
+                BufferBound {
+                    slot: BUF_A_OFFSETS.0,
+                    bound: AccessBound::Extent((self.a.rows() as u64 + 1) * 4),
+                },
+                BufferBound {
+                    slot: BUF_B.0,
+                    bound: AccessBound::Extent((self.a.cols() * self.n) as u64 * eb),
+                },
+                BufferBound {
+                    slot: BUF_C.0,
+                    bound: AccessBound::Extent((self.a.rows() * self.n) as u64 * eb),
+                },
+            ]),
+            alignment: AlignmentFacts::ScalarOnly,
+            barrier: BarrierFacts::WarpSynchronous,
+            stage: StageBound::Bytes(0),
+        }
     }
 
     fn execute_block(&self, block: Dim3, ctx: &mut BlockContext) {

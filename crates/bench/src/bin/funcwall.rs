@@ -21,6 +21,10 @@
 //! per cold launch (must not grow) and pool misses per checkout (the arena
 //! must keep absorbing staging traffic).
 
+// Wall-timing bin: reading the host clock is the whole point here, and is
+// exactly what `clippy.toml` bans inside simulated-clock code.
+#![allow(clippy::disallowed_methods)]
+
 use gpu_sim::{Gpu, LaunchCache};
 use sparse::{gen, BsrMatrix, EllMatrix, Matrix};
 use sputnik::{SddmmConfig, SpmmConfig};

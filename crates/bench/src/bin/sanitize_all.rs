@@ -1,27 +1,38 @@
-//! Run every simulated kernel under the sanitizer (`Gpu::sanitize`) across a
-//! grid of shapes and fail if any kernel reports a violation.
+//! Run every registered kernel under the sanitizer and fail if any kernel
+//! reports a violation.
 //!
 //! This is the repo's analogue of running the whole kernel suite under
 //! `compute-sanitizer`: racecheck, memcheck, aligncheck, and the coalescing /
 //! bank-conflict lints all execute against real launches of every Sputnik
-//! kernel and every baseline. Lint warnings are reported but do not fail the
-//! run; violations do (`exit(1)`), which is what the CI gate keys on.
+//! kernel and every baseline. The kernel/launch inventory lives in
+//! [`sputnik_bench::registry`] — the same list `static_audit` proves
+//! verdicts over, so the two CI gates cannot cover different kernel sets.
+//!
+//! Since the static auditor landed, the suite runs in
+//! dynamic-only-where-needed mode and checks the audit three ways:
+//!
+//! 1. **Audited pass** (`Gpu::sanitize_cached` over a cold cache, which
+//!    audits each launch and disarms statically proven checks): the pass
+//!    whose violations gate CI.
+//! 2. **Reference pass** (`Gpu::sanitize_full`, every dynamic check
+//!    armed): every kernel's (violations, warnings) must agree with the
+//!    audited pass — a disagreement means the auditor disarmed a check
+//!    that would have fired, i.e. an unsound `static_facts` declaration.
+//! 3. **Warm replay pass** (same cache, now hot): every launch must be
+//!    served from the cache, and the pass must beat the reference pass's
+//!    wall time — the "dynamic checking only where needed" saving this
+//!    whole layer exists for, asserted on every CI run.
+//!
+//! Lint warnings are reported but do not fail the run; violations and
+//! disagreements do (`exit(1)`), which is what the CI gate keys on.
 
-use baselines::aspt::AsptSpmmKernel;
-use baselines::cusparse::{
-    ConstrainedGemmKernel, CusparseSpmmHalfFallbackKernel, CusparseSpmmKernel,
-};
-use baselines::{
-    AsptDirection, AsptPlan, BlockSpmmKernel, EllSpmmKernel, GemmKernel, MergeSpmmKernel,
-    NnzSplitSpmmKernel, TransposeKernel,
-};
-use gpu_sim::{Gpu, Kernel, LaunchSummary, SanitizerReport};
-use sparse::ell::EllMatrix;
-use sparse::{block, gen, Layout, Matrix, RowSwizzle};
-use sputnik::{
-    FallbackSpmmKernel, PermuteKernel, SddmmConfig, SddmmKernel, SparseSoftmaxKernel, SpmmConfig,
-};
-use std::sync::atomic::AtomicU32;
+// Wall-timing bin: reading the host clock is the whole point here, and is
+// exactly what `clippy.toml` bans inside simulated-clock code.
+#![allow(clippy::disallowed_methods)]
+
+use gpu_sim::{Gpu, LaunchCache, LaunchSummary, SanitizerReport};
+use sputnik_bench::registry;
+use std::time::Instant;
 
 fn note(report: &SanitizerReport, failures: &mut u64) {
     if report.violation_count > 0 {
@@ -37,189 +48,95 @@ fn note(report: &SanitizerReport, failures: &mut u64) {
     }
 }
 
-fn check(gpu: &Gpu, kernel: &dyn Kernel, summary: &mut LaunchSummary, failures: &mut u64) {
-    match gpu.sanitize(kernel) {
-        Ok((stats, report)) => {
-            summary.add_sanitized(&stats, &report);
-            note(&report, failures);
-        }
-        Err(e) => {
-            *failures += 1;
-            println!("FAIL {}: launch error: {e}", kernel.name());
-        }
-    }
-}
-
 fn main() {
     let gpu = Gpu::v100();
     let mut summary = LaunchSummary::default();
     let mut failures = 0u64;
+    let cache = LaunchCache::new();
 
-    // (m, k, n, sparsity): one square power-of-two shape, one ragged shape
-    // exercising partial tiles, and one high-sparsity shape with empty rows.
-    let shapes: &[(usize, usize, usize, f64)] =
-        &[(64, 96, 32, 0.7), (128, 128, 128, 0.9), (100, 76, 40, 0.8)];
-
-    for (i, &(m, k, n, sparsity)) in shapes.iter().enumerate() {
-        let seed = 0x5A17 + i as u64 * 101;
-        println!("-- shape {m}x{k}x{n} sparsity {sparsity} --");
-        let a = gen::uniform(m, k, sparsity, seed);
-        let b = Matrix::<f32>::random(k, n, seed + 1);
-
-        // Sputnik SpMM through the dispatch-level sanitize entry point, under
-        // the default config, the heuristic config, and with row swizzling.
-        for cfg in [
-            SpmmConfig::default(),
-            SpmmConfig::heuristic::<f32>(n),
-            SpmmConfig {
-                row_swizzle: true,
-                ..SpmmConfig::heuristic::<f32>(n)
-            },
-        ] {
-            match sputnik::sanitize(&gpu, &a, &b, cfg) {
-                Ok((_, stats, report)) => {
-                    summary.add_sanitized(&stats, &report);
-                    note(&report, &mut failures);
-                }
-                Err(e) => {
-                    failures += 1;
-                    println!("FAIL sputnik::sanitize: {e}");
-                }
+    // Pass 1: audited, cold cache. The registry is deterministic, so the
+    // pair index is a sound operand fingerprint.
+    println!("-- audited sanitize (statically proven checks disarmed) --");
+    let mut audited: Vec<(u64, u64)> = Vec::new();
+    let mut fp = 0u64;
+    registry::for_each_kernel(&mut |kernel| {
+        fp += 1;
+        match gpu.sanitize_cached(&cache, fp, kernel) {
+            Ok((stats, report, _)) => {
+                summary.add_sanitized(&stats, &report);
+                audited.push((report.violation_count, report.warning_count));
+                note(&report, &mut failures);
             }
-        }
-
-        // Scalar fallback SpMM.
-        {
-            let mut out = Matrix::<f32>::zeros(m, n);
-            let kernel = FallbackSpmmKernel::new(&a, &b, &mut out);
-            check(&gpu, &kernel, &mut summary, &mut failures);
-        }
-
-        // SDDMM: lhs (m x k) . rhs^T (n x k), sampled by an m x n mask.
-        {
-            let mask = gen::uniform(m, n, sparsity, seed + 2);
-            let lhs = Matrix::<f32>::random(m, k, seed + 3);
-            let rhs = Matrix::<f32>::random(n, k, seed + 4);
-            let swizzle = RowSwizzle::by_length_desc(&mask);
-            let mut values = vec![0.0f32; mask.nnz()];
-            match SddmmKernel::try_new(
-                &lhs,
-                &rhs,
-                &mask,
-                &mut values,
-                &swizzle,
-                SddmmConfig::heuristic::<f32>(k),
-            ) {
-                Ok(kernel) => check(&gpu, &kernel, &mut summary, &mut failures),
-                Err(e) => {
-                    failures += 1;
-                    println!("FAIL sddmm construction: {e}");
-                }
-            }
-        }
-
-        // Sparse softmax over the sparse matrix's values.
-        {
-            let mut values = vec![0.0f32; a.nnz()];
-            let kernel = SparseSoftmaxKernel::new(&a, &mut values);
-            check(&gpu, &kernel, &mut summary, &mut failures);
-        }
-
-        // Value permute (the cached-transpose gather).
-        {
-            let src = a.values().to_vec();
-            let perm: Vec<u32> = (0..a.nnz() as u32).rev().collect();
-            let mut dst = vec![0.0f32; a.nnz()];
-            let kernel = PermuteKernel::new(&src, &perm, &mut dst);
-            check(&gpu, &kernel, &mut summary, &mut failures);
-        }
-
-        // Dense GEMM and the staging transpose.
-        {
-            let da = Matrix::<f32>::random(m, k, seed + 5);
-            let mut out = Matrix::<f32>::zeros(m, n);
-            let kernel = GemmKernel::new(&da, &b, &mut out);
-            check(&gpu, &kernel, &mut summary, &mut failures);
-
-            let mut t = Matrix::<f32>::zeros(k, m);
-            let kernel = TransposeKernel::new(&da, &mut t);
-            check(&gpu, &kernel, &mut summary, &mut failures);
-        }
-
-        // ELLR-T SpMM.
-        {
-            let ell = EllMatrix::from_csr(&a);
-            let mut out = Matrix::<f32>::zeros(m, n);
-            let kernel = EllSpmmKernel::new(&ell, &b, &mut out);
-            check(&gpu, &kernel, &mut summary, &mut failures);
-        }
-
-        // Merge-based SpMM requires N % 32 == 0.
-        if n % 32 == 0 {
-            let mut out = Matrix::<f32>::zeros(m, n);
-            match MergeSpmmKernel::new(&a, &b, &mut out) {
-                Ok(kernel) => check(&gpu, &kernel, &mut summary, &mut failures),
-                Err(e) => {
-                    failures += 1;
-                    println!("FAIL merge_spmm construction: {e}");
-                }
-            }
-        }
-
-        // Nonzero-splitting SpMM (atomic output: racecheck is suppressed,
-        // every other check still runs).
-        {
-            let out: Vec<AtomicU32> = (0..m * n).map(|_| AtomicU32::new(0)).collect();
-            let kernel = NnzSplitSpmmKernel::new(&a, &b, &out);
-            check(&gpu, &kernel, &mut summary, &mut failures);
-        }
-
-        // cuSPARSE-style SpMM wants column-major B and C.
-        {
-            let b_cm = b.to_layout(Layout::ColMajor);
-            let mut out = Matrix::<f32>::zeros_with_layout(m, n, Layout::ColMajor);
-            let kernel = CusparseSpmmKernel::new(&a, &b_cm, &mut out);
-            check(&gpu, &kernel, &mut summary, &mut failures);
-
-            let kernel = CusparseSpmmHalfFallbackKernel::new(&a, n);
-            check(&gpu, &kernel, &mut summary, &mut failures);
-        }
-
-        // cusparseConstrainedGeMM-style SDDMM (pre-transposed RHS).
-        {
-            let mask = gen::uniform(m, n, sparsity, seed + 6);
-            let lhs = Matrix::<f32>::random(m, k, seed + 7);
-            let rhs_t = Matrix::<f32>::random(k, n, seed + 8);
-            let mut values = vec![0.0f32; mask.nnz()];
-            let kernel = ConstrainedGemmKernel::new(&lhs, &rhs_t, &mask, &mut values);
-            check(&gpu, &kernel, &mut summary, &mut failures);
-        }
-    }
-
-    // Shape-constrained baselines get dedicated launches.
-    println!("-- shape-constrained baselines --");
-    {
-        // ASpT: rows % 256 == 0, n in {32, 128}.
-        let a = gen::uniform(256, 128, 0.8, 0xA597);
-        let b = Matrix::<f32>::random(128, 32, 0xA598);
-        let plan = AsptPlan::build(&a, AsptDirection::Spmm);
-        let mut out = Matrix::<f32>::zeros(256, 32);
-        match AsptSpmmKernel::new(&a, &plan, &b, &mut out) {
-            Ok(kernel) => check(&gpu, &kernel, &mut summary, &mut failures),
             Err(e) => {
                 failures += 1;
-                println!("FAIL aspt construction: {e}");
+                audited.push((u64::MAX, u64::MAX));
+                println!("FAIL {}: launch error: {e}", kernel.name());
             }
         }
+    });
+
+    // Pass 2: the full-dynamic reference. Findings must agree with the
+    // audited pass, kernel by kernel; this is the soundness check on every
+    // `static_facts` declaration in the tree.
+    println!("-- full-dynamic reference (cross-check) --");
+    let mut idx = 0usize;
+    let t = Instant::now();
+    registry::for_each_kernel(&mut |kernel| {
+        let (a_viol, a_warn) = audited[idx];
+        idx += 1;
+        match gpu.sanitize_full(kernel) {
+            Ok((_, report)) => {
+                if (report.violation_count, report.warning_count) != (a_viol, a_warn) {
+                    failures += 1;
+                    println!(
+                        "FAIL {}: audited pass found ({a_viol} violations, {a_warn} \
+                         warnings) but the full-dynamic reference found ({}, {}) — \
+                         the static audit disarmed a check unsoundly",
+                        report.kernel, report.violation_count, report.warning_count
+                    );
+                }
+            }
+            Err(e) => {
+                failures += 1;
+                println!("FAIL {}: reference launch error: {e}", kernel.name());
+            }
+        }
+    });
+    let full_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    // Pass 3: warm replay. Every launch must hit the cache, and skipping
+    // the dynamic pass must actually be cheaper than running it.
+    let t = Instant::now();
+    let mut hits = 0u64;
+    let mut fp = 0u64;
+    registry::for_each_kernel(&mut |kernel| {
+        fp += 1;
+        match gpu.sanitize_cached(&cache, fp, kernel) {
+            Ok((_, _, hit)) => hits += u64::from(hit),
+            Err(e) => {
+                failures += 1;
+                println!("FAIL {}: warm replay error: {e}", kernel.name());
+            }
+        }
+    });
+    let warm_ms = t.elapsed().as_secs_f64() * 1e3;
+    let launches = fp;
+    if hits != launches {
+        failures += 1;
+        println!("FAIL warm replay: only {hits}/{launches} launches served from the cache");
     }
-    {
-        // Block-sparse SpMM on a block-pruned weight matrix.
-        let dense = Matrix::<f32>::random(64, 64, 0xB10C);
-        let bsr = block::block_prune(&dense, 8, 0.5);
-        let b = Matrix::<f32>::random(64, 32, 0xB10D);
-        let mut out = Matrix::<f32>::zeros(64, 32);
-        let kernel = BlockSpmmKernel::new(&bsr, &b, &mut out);
-        check(&gpu, &kernel, &mut summary, &mut failures);
+    if warm_ms >= full_ms {
+        failures += 1;
+        println!(
+            "FAIL warm replay: {warm_ms:.1} ms did not beat the full-dynamic \
+             reference ({full_ms:.1} ms) — the sanitize cache stopped saving wall time"
+        );
+    } else {
+        println!(
+            "warm replay: {warm_ms:.1} ms vs full-dynamic {full_ms:.1} ms \
+             ({:.0}% saved), {hits}/{launches} cache hits",
+            (1.0 - warm_ms / full_ms) * 100.0
+        );
     }
 
     println!(
@@ -227,7 +144,7 @@ fn main() {
         summary.launches, summary.violations, summary.warnings
     );
     if failures > 0 {
-        println!("sanitize_all: FAILED ({failures} violations)");
+        println!("sanitize_all: FAILED ({failures} failures)");
         std::process::exit(1);
     }
     println!("sanitize_all: clean");

@@ -18,6 +18,10 @@
 //! the quantity the fast path actually controls — and fails when the
 //! current speedup drops below half the committed baseline's.
 
+// Wall-timing bin: reading the host clock is the whole point here, and is
+// exactly what `clippy.toml` bans inside simulated-clock code.
+#![allow(clippy::disallowed_methods)]
+
 use gpu_sim::{Gpu, LaunchCache, LaunchSummary};
 use sparse::dataset::{self, ProblemSpec};
 use sputnik::{SddmmConfig, SpmmConfig};

@@ -1,0 +1,429 @@
+//! Workspace lint for the simulator's structural invariants — the rules
+//! `cargo clippy` cannot express because they span files and crates.
+//!
+//! No `syn` in the vendored dependency set, so this is a lexical pass: each
+//! source file is stripped of comments, string literals, and char literals
+//! by a small state machine, then scanned line by line. Three rules:
+//!
+//! * `sim-clock` — the simulated-clock crates (`gpu-sim`, `serve`) must
+//!   not touch `std::time`. Simulated time comes from the cost model and
+//!   the event queue; a wall-clock read in those crates is a
+//!   nondeterminism bug by construction. (Bench bins, which measure real
+//!   wall time on purpose, live in their own crate and are exempt.)
+//! * `raw-ptr-write` — raw-pointer writes are confined to
+//!   `gpu-sim/src/util.rs` (the `SyncUnsafeSlice` shared-output
+//!   abstraction, whose safety argument is the grid's disjoint-write
+//!   contract). Everywhere else, kernels must write through it, so the
+//!   sanitizer's shadow map observes every store. Bench bins are exempt
+//!   (the counting allocator in `funcwall` implements `GlobalAlloc`).
+//! * `kernel-registry` — every type that overrides `Kernel::block_signature`
+//!   (i.e. opts into block-dedup'd cost modeling) must be constructed in
+//!   the shared kernel registry (`crates/bench/src/registry.rs`), so it is
+//!   swept by both `sanitize_all` and `static_audit`. A kernel missing
+//!   from the registry ships without any CI sanitizer or audit coverage —
+//!   exactly the gap this lint closes.
+//!
+//! Exit status 1 with one line per finding; 0 on a clean tree. Run from
+//! the repo root (CI does).
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Strip comments, string literals, and char literals, preserving
+/// newlines so findings keep their line numbers. Raw strings (any `#`
+/// depth) and nested block comments are handled; escapes inside strings
+/// are skipped without interpretation.
+fn strip(source: &str) -> String {
+    let b: Vec<char> = source.chars().collect();
+    let mut out = String::with_capacity(source.len());
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        // Line comment.
+        if c == '/' && b.get(i + 1) == Some(&'/') {
+            while i < b.len() && b[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment (nested).
+        if c == '/' && b.get(i + 1) == Some(&'*') {
+            let mut depth = 1;
+            i += 2;
+            while i < b.len() && depth > 0 {
+                if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    if b[i] == '\n' {
+                        out.push('\n');
+                    }
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw string r"..." / r#"..."# (also br-prefixed).
+        if (c == 'r' || (c == 'b' && b.get(i + 1) == Some(&'r'))) && !prev_is_ident(&b, i) {
+            let start = if c == 'b' { i + 2 } else { i + 1 };
+            let mut hashes = 0;
+            while b.get(start + hashes) == Some(&'#') {
+                hashes += 1;
+            }
+            if b.get(start + hashes) == Some(&'"') {
+                let mut j = start + hashes + 1;
+                'raw: while j < b.len() {
+                    if b[j] == '"' {
+                        let mut k = 0;
+                        while k < hashes && b.get(j + 1 + k) == Some(&'#') {
+                            k += 1;
+                        }
+                        if k == hashes {
+                            j += 1 + hashes;
+                            break 'raw;
+                        }
+                    }
+                    if b[j] == '\n' {
+                        out.push('\n');
+                    }
+                    j += 1;
+                }
+                out.push_str("\"\"");
+                i = j;
+                continue;
+            }
+        }
+        // Ordinary string (also b"...").
+        if c == '"' {
+            i += 1;
+            while i < b.len() {
+                if b[i] == '\\' {
+                    i += 2;
+                    continue;
+                }
+                if b[i] == '"' {
+                    i += 1;
+                    break;
+                }
+                if b[i] == '\n' {
+                    out.push('\n');
+                }
+                i += 1;
+            }
+            out.push_str("\"\"");
+            continue;
+        }
+        // Char literal — only when it cannot be a lifetime: 'a' has a
+        // closing quote one or two (escape) chars ahead.
+        if c == '\'' {
+            let close = if b.get(i + 1) == Some(&'\\') {
+                // '\n', '\'', '\\', '\u{..}': scan for the closing quote.
+                let mut j = i + 2;
+                while j < b.len() && b[j] != '\'' && b[j] != '\n' && j < i + 12 {
+                    j += 1;
+                }
+                (b.get(j) == Some(&'\'')).then_some(j)
+            } else if b.get(i + 2) == Some(&'\'') {
+                Some(i + 2)
+            } else {
+                None
+            };
+            if let Some(j) = close {
+                out.push_str("' '");
+                i = j + 1;
+                continue;
+            }
+        }
+        out.push(c);
+        i += 1;
+    }
+    out
+}
+
+fn prev_is_ident(b: &[char], i: usize) -> bool {
+    i > 0 && (b[i - 1].is_alphanumeric() || b[i - 1] == '_')
+}
+
+/// Recursively collect `.rs` files under `dir`.
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            rust_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Line spans covered by `#[cfg(test)]`-gated items (test modules): the
+/// registry lint must not demand registration for probe kernels that only
+/// exist inside unit tests.
+fn test_spans(stripped: &str) -> Vec<(usize, usize)> {
+    let lines: Vec<&str> = stripped.lines().collect();
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < lines.len() {
+        if lines[i].trim_start().starts_with("#[cfg(test)]") {
+            // Find the gated item's opening brace, then its matching close.
+            let mut depth = 0i64;
+            let mut opened = false;
+            let start = i;
+            let mut j = i;
+            'span: while j < lines.len() {
+                for ch in lines[j].chars() {
+                    match ch {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                if opened && depth <= 0 {
+                    break 'span;
+                }
+                j += 1;
+            }
+            spans.push((start, j));
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    spans
+}
+
+fn in_spans(spans: &[(usize, usize)], line: usize) -> bool {
+    spans.iter().any(|&(a, b)| a <= line && line <= b)
+}
+
+struct Findings(Vec<String>);
+
+impl Findings {
+    fn push(&mut self, path: &Path, line: usize, rule: &str, msg: &str) {
+        self.0
+            .push(format!("{}:{}: [{rule}] {msg}", path.display(), line + 1));
+    }
+}
+
+/// Rule `sim-clock`: no `std::time` in the simulated-clock crates.
+fn lint_sim_clock(path: &Path, stripped: &str, findings: &mut Findings) {
+    for (n, line) in stripped.lines().enumerate() {
+        for needle in ["std::time", "Instant::now", "SystemTime::now"] {
+            if line.contains(needle) {
+                findings.push(
+                    path,
+                    n,
+                    "sim-clock",
+                    &format!(
+                        "`{needle}` in a simulated-clock crate: time must come \
+                         from the cost model, not the host wall clock"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Rule `raw-ptr-write`: raw-pointer machinery outside util.rs.
+fn lint_raw_ptr(path: &Path, stripped: &str, findings: &mut Findings) {
+    for (n, line) in stripped.lines().enumerate() {
+        for needle in ["*mut ", "ptr::write", "write_volatile"] {
+            if line.contains(needle) {
+                findings.push(
+                    path,
+                    n,
+                    "raw-ptr-write",
+                    &format!(
+                        "`{needle}` outside gpu-sim/src/util.rs: kernel stores \
+                         must go through SyncUnsafeSlice so the sanitizer's \
+                         shadow map observes them"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Rule `kernel-registry`: collect types overriding `block_signature`
+/// outside test modules. Returns the implementing type names found in
+/// this file.
+fn signature_impl_types(stripped: &str) -> Vec<String> {
+    let lines: Vec<&str> = stripped.lines().collect();
+    let spans = test_spans(stripped);
+    let mut types = Vec::new();
+    for (n, line) in lines.iter().enumerate() {
+        if !line.contains("fn block_signature") || in_spans(&spans, n) {
+            continue;
+        }
+        // Nearest preceding `impl ... for Type` / `trait` header decides
+        // whether this is an override or the trait's own default body.
+        for m in (0..n).rev() {
+            let t = lines[m].trim_start();
+            let is_impl = t.starts_with("impl ") || t.starts_with("impl<");
+            let is_trait = t.starts_with("trait ") || t.starts_with("pub trait ");
+            if is_impl {
+                if let Some(pos) = t.find(" for ") {
+                    let rest = &t[pos + 5..];
+                    let name: String = rest
+                        .chars()
+                        .take_while(|c| c.is_alphanumeric() || *c == '_')
+                        .collect();
+                    if !name.is_empty() {
+                        types.push(name);
+                    }
+                }
+                break;
+            }
+            if is_trait {
+                break;
+            }
+        }
+    }
+    types
+}
+
+fn main() {
+    let root = Path::new(".");
+    if !root.join("crates").is_dir() {
+        eprintln!("xlint: run from the repo root (no ./crates directory here)");
+        std::process::exit(2);
+    }
+    let mut files = Vec::new();
+    rust_files(&root.join("crates"), &mut files);
+    files.sort();
+
+    let registry_path = root.join("crates/bench/src/registry.rs");
+    let registry_text = std::fs::read_to_string(&registry_path)
+        .unwrap_or_else(|e| panic!("xlint: cannot read {}: {e}", registry_path.display()));
+
+    let mut findings = Findings(Vec::new());
+    let mut unregistered: Vec<(PathBuf, String)> = Vec::new();
+    let mut checked = 0u64;
+
+    for path in &files {
+        let Ok(source) = std::fs::read_to_string(path) else {
+            continue;
+        };
+        checked += 1;
+        let stripped = strip(&source);
+        let rel = path.to_string_lossy().replace('\\', "/");
+
+        let in_gpu_sim = rel.contains("crates/gpu-sim/src/");
+        let in_serve = rel.contains("crates/serve/src/");
+        if in_gpu_sim || in_serve {
+            lint_sim_clock(path, &stripped, &mut findings);
+        }
+
+        let is_util = rel.ends_with("crates/gpu-sim/src/util.rs");
+        let is_bench = rel.contains("crates/bench/");
+        if !is_util && !is_bench {
+            lint_raw_ptr(path, &stripped, &mut findings);
+        }
+
+        if !rel.contains("/tests/") && !is_bench {
+            for ty in signature_impl_types(&stripped) {
+                if !registry_text.contains(&ty) {
+                    unregistered.push((path.clone(), ty));
+                }
+            }
+        }
+    }
+
+    for (path, ty) in &unregistered {
+        let mut msg = String::new();
+        let _ = write!(
+            msg,
+            "{}: [kernel-registry] `{ty}` overrides Kernel::block_signature \
+             but is never constructed in crates/bench/src/registry.rs — it \
+             ships without sanitize_all or static_audit coverage",
+            path.display()
+        );
+        findings.0.push(msg);
+    }
+
+    if findings.0.is_empty() {
+        println!("xlint: {checked} files clean (sim-clock, raw-ptr-write, kernel-registry)");
+        return;
+    }
+    for f in &findings.0 {
+        println!("{f}");
+    }
+    eprintln!("xlint: {} finding(s) in {checked} files", findings.0.len());
+    std::process::exit(1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strip_removes_comments_and_strings() {
+        let src = "let a = \"std::time\"; // std::time\n/* std::time */ let b = 1;\n";
+        let s = strip(src);
+        assert!(!s.contains("std::time"), "{s}");
+        assert_eq!(s.lines().count(), 2, "newlines preserved: {s}");
+    }
+
+    #[test]
+    fn strip_handles_raw_strings_and_chars() {
+        let src = "let a = r#\"Instant::now\"#; let c = '\\n'; let lt: &'static str = \"\";\n";
+        let s = strip(src);
+        assert!(!s.contains("Instant::now"), "{s}");
+        assert!(s.contains("'static"), "lifetimes survive: {s}");
+    }
+
+    #[test]
+    fn sim_clock_fires_on_wall_clock_reads() {
+        let mut f = Findings(Vec::new());
+        lint_sim_clock(
+            Path::new("x.rs"),
+            "use std::time::Instant;\nlet t = Instant::now();\n",
+            &mut f,
+        );
+        assert_eq!(f.0.len(), 2, "{:?}", f.0);
+    }
+
+    #[test]
+    fn sim_clock_ignores_commented_and_quoted_mentions() {
+        let mut f = Findings(Vec::new());
+        lint_sim_clock(
+            Path::new("x.rs"),
+            &strip("// Instant::now is banned here\nlet k = \"std::time\";\n"),
+            &mut f,
+        );
+        assert!(f.0.is_empty(), "{:?}", f.0);
+    }
+
+    #[test]
+    fn raw_ptr_fires_on_pointer_writes() {
+        let mut f = Findings(Vec::new());
+        lint_raw_ptr(
+            Path::new("x.rs"),
+            "unsafe { ptr::write(p, v) }\nlet q: *mut f32 = p;\n",
+            &mut f,
+        );
+        assert_eq!(f.0.len(), 2, "{:?}", f.0);
+    }
+
+    #[test]
+    fn signature_types_resolve_through_impl_headers() {
+        let src = "impl<T: Scalar> Kernel for MyKernel<'_, T> {\n    fn block_signature(&self, b: Dim3) -> Option<u64> { None }\n}\n";
+        assert_eq!(signature_impl_types(&strip(src)), vec!["MyKernel"]);
+    }
+
+    #[test]
+    fn signature_types_skip_trait_defaults_and_test_modules() {
+        let src = "pub trait Kernel {\n    fn block_signature(&self, _b: Dim3) -> Option<u64> { None }\n}\n\
+                   #[cfg(test)]\nmod tests {\n    impl Kernel for Probe {\n        fn block_signature(&self, b: Dim3) -> Option<u64> { None }\n    }\n}\n";
+        assert!(signature_impl_types(&strip(src)).is_empty());
+    }
+}

@@ -5,6 +5,7 @@
 //! or series the paper reports and appends a JSON record under `results/`.
 
 pub mod gate;
+pub mod registry;
 pub mod report;
 
 pub use report::{geo_mean, has_flag, write_json, Row, Table};

@@ -31,8 +31,9 @@ use crate::spmm::{
     BUF_B, BUF_C,
 };
 use gpu_sim::{
-    AccessPattern, BlockContext, BufferSpec, Dim3, Fingerprint, Gpu, Kernel, LaunchCache,
-    LaunchStats, SyncUnsafeSlice,
+    AccessBound, AccessPattern, AlignmentFacts, BarrierFacts, BlockContext, BufferBound,
+    BufferSpec, Dim3, Fingerprint, Gpu, Kernel, LaunchCache, LaunchStats, StageBound, StaticFacts,
+    SyncUnsafeSlice,
 };
 use sparse::{CsrMatrix, Matrix, RowSwizzle, Scalar};
 
@@ -339,6 +340,78 @@ pub fn sanitize<T: Scalar>(
     Ok((out, stats, report))
 }
 
+/// [`sanitize`] consulting a cross-launch [`LaunchCache`]: a
+/// fingerprint-identical launch that was already sanitized skips the whole
+/// dynamic pass (the report is replayed from the cache, the functional
+/// output recomputed). The extra `bool` reports whether the cache served.
+pub fn sanitize_cached<T: Scalar>(
+    gpu: &Gpu,
+    cache: &LaunchCache,
+    a: &CsrMatrix<T>,
+    b: &Matrix<T>,
+    cfg: SpmmConfig,
+) -> Result<(Matrix<T>, LaunchStats, gpu_sim::SanitizerReport, bool), SputnikError> {
+    if a.cols() != b.rows() {
+        return Err(SputnikError::ShapeMismatch {
+            expected: format!("B with {} rows", a.cols()),
+            found: format!("{}x{}", b.rows(), b.cols()),
+            context: "sanitize spmm inner dimension",
+        });
+    }
+    if b.layout() != sparse::Layout::RowMajor {
+        return Err(SputnikError::IllegalConfig {
+            reason: "Sputnik uses row-major dense operands".into(),
+        });
+    }
+    let swizzle = if cfg.row_swizzle {
+        RowSwizzle::by_length_desc(a)
+    } else {
+        RowSwizzle::identity(a.rows())
+    };
+    let mut out = Matrix::<T>::zeros(a.rows(), b.cols());
+    let (stats, report, cached) = {
+        let kernel = SpmmKernel::try_new(a, b, &mut out, &swizzle, cfg)?;
+        gpu.sanitize_cached(cache, operand_fingerprint(a, b.cols()), &kernel)?
+    };
+    Ok((out, stats, report, cached))
+}
+
+/// Gate a kernel launch on the static auditor (see
+/// [`gpu_sim::static_check`]): a `Refuted` verdict rejects the launch with a
+/// typed [`SputnikError::StaticallyRefuted`] *before* the simulator executes
+/// a single block. Inside the dispatch ladder this is a deterministic
+/// failure, so the rung is abandoned immediately and the ladder degrades.
+fn audit_launch(gpu: &Gpu, kernel: &dyn Kernel) -> Result<(), SputnikError> {
+    let audit = gpu.audit(kernel);
+    if let Some(finding) = audit.refutation() {
+        gpu_sim::metrics::global().incr("dispatch_static_refuted", 1);
+        if gpu_sim::trace::enabled() {
+            gpu_sim::trace::instant(
+                "dispatch",
+                "dispatch",
+                &format!("statically refuted: {} ({})", audit.kernel, finding.detail),
+            );
+        }
+        return Err(SputnikError::StaticallyRefuted {
+            kernel: audit.kernel.clone(),
+            class: finding.class.name().to_string(),
+            detail: finding.detail.clone(),
+        });
+    }
+    Ok(())
+}
+
+/// Launch any kernel through the dispatch layer's static-audit gate:
+/// `Refuted` launches come back as [`SputnikError::StaticallyRefuted`]
+/// without executing a single block; everything else launches normally.
+/// This is the same gate every internal ladder rung passes through —
+/// exposed so out-of-ladder callers (tests, tools, new subsystems) reject
+/// provably bad launches just as early.
+pub fn launch_audited(gpu: &Gpu, kernel: &dyn Kernel) -> Result<LaunchStats, SputnikError> {
+    audit_launch(gpu, kernel)?;
+    gpu.try_launch(kernel).map_err(SputnikError::from)
+}
+
 fn launch_sputnik<T: Scalar>(
     gpu: &Gpu,
     cache: Option<&LaunchCache>,
@@ -354,6 +427,7 @@ fn launch_sputnik<T: Scalar>(
     let mut out = Matrix::<T>::zeros(a.rows(), b.cols());
     let stats = {
         let kernel = SpmmKernel::try_new(a, b, &mut out, &swizzle, cfg)?;
+        audit_launch(gpu, &kernel)?;
         match cache {
             Some(c) => {
                 gpu.try_launch_cached(c, operand_fingerprint(a, b.cols()), &kernel)?
@@ -374,6 +448,7 @@ fn launch_fallback<T: Scalar>(
     let mut out = Matrix::<T>::zeros(a.rows(), b.cols());
     let stats = {
         let kernel = FallbackSpmmKernel::new(a, b, &mut out);
+        audit_launch(gpu, &kernel)?;
         match cache {
             Some(c) => {
                 gpu.try_launch_cached(c, operand_fingerprint(a, b.cols()), &kernel)?
@@ -575,6 +650,48 @@ impl<T: Scalar> Kernel for FallbackSpmmKernel<'_, T> {
             }
         }
         Some(fp.finish())
+    }
+
+    /// Static facts (see [`gpu_sim::static_check`]): one row per block with
+    /// purely scalar chunked loads, so every extent follows from the row
+    /// walk — values/indices stay inside `[offset, offset + nnz)`, the
+    /// offsets read touches `row * 4 .. row * 4 + 8`, B strips end at
+    /// `(col + 1) * n <= cols * n` (validated CSR indices), and the output
+    /// strip ends at `(row + 1) * n <= rows * n`. No shared-memory staging
+    /// at all, and the block is a single warp.
+    fn static_facts(&self) -> StaticFacts {
+        let nnz = self.a.nnz() as u64;
+        let rows = self.a.rows() as u64;
+        let cols = self.a.cols() as u64;
+        let n = self.n as u64;
+        let eb = T::BYTES as u64;
+        StaticFacts {
+            bounds: Some(vec![
+                BufferBound {
+                    slot: BUF_A_VALUES.0,
+                    bound: AccessBound::Extent(nnz * eb),
+                },
+                BufferBound {
+                    slot: BUF_A_INDICES.0,
+                    bound: AccessBound::Extent(nnz * 4),
+                },
+                BufferBound {
+                    slot: BUF_A_OFFSETS.0,
+                    bound: AccessBound::Extent((rows + 1) * 4),
+                },
+                BufferBound {
+                    slot: BUF_B.0,
+                    bound: AccessBound::Extent(cols * n * eb),
+                },
+                BufferBound {
+                    slot: BUF_C.0,
+                    bound: AccessBound::Extent(rows * n * eb),
+                },
+            ]),
+            alignment: AlignmentFacts::ScalarOnly,
+            barrier: BarrierFacts::WarpSynchronous,
+            stage: StageBound::Bytes(0),
+        }
     }
 
     fn execute_block(&self, block: Dim3, ctx: &mut BlockContext) {

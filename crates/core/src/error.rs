@@ -43,6 +43,15 @@ pub enum SputnikError {
     /// A launch completed but its output failed a detection guard
     /// (non-finite values or a checksum mismatch).
     CorruptOutput { kernel: String, reason: String },
+    /// The static launch auditor (`gpu_sim::static_check`) refuted a safety
+    /// property of the launch descriptor — the launch was rejected before a
+    /// single block was simulated.
+    StaticallyRefuted {
+        kernel: String,
+        /// The refuted check class (`bounds`, `alignment`, ...).
+        class: String,
+        detail: String,
+    },
 }
 
 impl fmt::Display for SputnikError {
@@ -83,6 +92,13 @@ impl fmt::Display for SputnikError {
             SputnikError::DeviceFault(fault) => write!(f, "device fault: {fault}"),
             SputnikError::CorruptOutput { kernel, reason } => {
                 write!(f, "corrupt output from kernel {kernel}: {reason}")
+            }
+            SputnikError::StaticallyRefuted {
+                kernel,
+                class,
+                detail,
+            } => {
+                write!(f, "kernel {kernel} statically refuted [{class}]: {detail}")
             }
         }
     }

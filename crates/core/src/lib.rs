@@ -24,8 +24,8 @@ pub use batched::{
 };
 pub use config::{SddmmConfig, SpmmConfig};
 pub use dispatch::{
-    sanitize, spmm_cached, DegradationStats, DispatchPolicy, DispatchReport, FallbackSpmmKernel,
-    Rung,
+    launch_audited, sanitize, sanitize_cached, spmm_cached, DegradationStats, DispatchPolicy,
+    DispatchReport, FallbackSpmmKernel, Rung,
 };
 pub use error::SputnikError;
 pub use roma::MemoryAligner;

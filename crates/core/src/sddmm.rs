@@ -17,8 +17,9 @@ use crate::config::SddmmConfig;
 use crate::error::SputnikError;
 use crate::spmm::require_finite;
 use gpu_sim::{
-    AccessPattern, BlockContext, BufferId, BufferSpec, Dim3, Fingerprint, Gpu, Kernel, LaunchCache,
-    LaunchKey, LaunchStats, SyncUnsafeSlice,
+    AccessBound, AccessPattern, AlignmentFacts, BarrierFacts, BlockContext, BufferBound, BufferId,
+    BufferSpec, Dim3, Fingerprint, Gpu, Kernel, LaunchCache, LaunchKey, LaunchStats, StageBound,
+    StaticFacts, SyncUnsafeSlice,
 };
 use sparse::{CsrMatrix, Matrix, RowSwizzle, Scalar};
 
@@ -275,6 +276,66 @@ impl<T: Scalar> Kernel for SddmmKernel<'_, T> {
             }
         }
         Some(fp.finish())
+    }
+
+    /// Static safety facts for the launch auditor.
+    ///
+    /// Soundness: every simulated access is scalar (`vector_width` only
+    /// shapes instruction counts, never `check_align`), so alignment is
+    /// trivially proven. Per-buffer access ends:
+    /// - LHS: one row per block at `row * k * eb` for `k * eb` bytes, and
+    ///   `row < mask.rows()` — end `rows * k * eb`, the footprint.
+    /// - RHS: row `j * k * eb` for `k * eb` bytes with `j < mask.cols()` by
+    ///   the CSR column invariant — end `cols * k * eb`.
+    /// - mask offsets: an 8-byte pair at `row * 4`, max end `(rows + 1) * 4`.
+    /// - mask indices: strip index loads end at `nnz * 4`; with
+    ///   `scale_by_mask` the value pass re-reads through the same buffer id
+    ///   at element width, ending at `nnz * eb` — the bound covers both.
+    /// - output: strip stores end at `nnz * eb`.
+    /// - swizzle: one id per block at `block.y * 4`, end `rows * 4`.
+    ///
+    /// Blocks are a single warp, and the staged strip indices fit the
+    /// declared `block_items_x * 4` bytes of shared memory exactly.
+    fn static_facts(&self) -> StaticFacts {
+        let eb = T::BYTES as u64;
+        let k = self.k as u64;
+        let rows = self.mask.rows() as u64;
+        let cols = self.mask.cols() as u64;
+        let nnz = self.mask.nnz() as u64;
+        let mut bounds = vec![
+            BufferBound {
+                slot: BUF_LHS.0,
+                bound: AccessBound::Extent(rows * k * eb),
+            },
+            BufferBound {
+                slot: BUF_RHS.0,
+                bound: AccessBound::Extent(cols * k * eb),
+            },
+            BufferBound {
+                slot: BUF_MASK_OFFSETS.0,
+                bound: AccessBound::Extent((rows + 1) * 4),
+            },
+            BufferBound {
+                slot: BUF_MASK_INDICES.0,
+                bound: AccessBound::Extent(nnz * 4.max(eb)),
+            },
+            BufferBound {
+                slot: BUF_OUT.0,
+                bound: AccessBound::Extent(nnz * eb),
+            },
+        ];
+        if self.cfg.row_swizzle {
+            bounds.push(BufferBound {
+                slot: BUF_SWIZZLE.0,
+                bound: AccessBound::Extent(rows * 4),
+            });
+        }
+        StaticFacts {
+            bounds: Some(bounds),
+            alignment: AlignmentFacts::ScalarOnly,
+            barrier: BarrierFacts::WarpSynchronous,
+            stage: StageBound::Bytes(u64::from(self.cfg.block_items_x) * 4),
+        }
     }
 
     fn execute_block(&self, block: Dim3, ctx: &mut BlockContext) {

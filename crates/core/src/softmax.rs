@@ -8,8 +8,8 @@
 //! reductions between passes.
 
 use gpu_sim::{
-    AccessPattern, BlockContext, BufferId, BufferSpec, Dim3, Gpu, Kernel, LaunchStats,
-    SyncUnsafeSlice,
+    AccessBound, AccessPattern, AlignmentFacts, BarrierFacts, BlockContext, BufferBound, BufferId,
+    BufferSpec, Dim3, Gpu, Kernel, LaunchStats, StageBound, StaticFacts, SyncUnsafeSlice,
 };
 use sparse::{CsrMatrix, Scalar};
 
@@ -85,6 +85,38 @@ impl<T: Scalar> Kernel for SparseSoftmaxKernel<'_, T> {
                 pattern: AccessPattern::Streaming,
             },
         ]
+    }
+
+    /// Static safety facts for the launch auditor.
+    ///
+    /// Soundness: each warp owns one row and touches `[start, start + len)`
+    /// of the value/output buffers (`start + len <= nnz` by CSR), plus an
+    /// 8-byte offset pair ending at `(rows + 1) * 4`. All accesses are
+    /// scalar (the vector width only shapes instruction counts), warps never
+    /// communicate (reductions are intra-warp shuffles), and no shared
+    /// memory is declared or staged.
+    fn static_facts(&self) -> StaticFacts {
+        let eb = T::BYTES as u64;
+        let nnz = self.m.nnz() as u64;
+        StaticFacts {
+            bounds: Some(vec![
+                BufferBound {
+                    slot: BUF_VALUES.0,
+                    bound: AccessBound::Extent(nnz * eb),
+                },
+                BufferBound {
+                    slot: BUF_OFFSETS.0,
+                    bound: AccessBound::Extent((self.m.rows() as u64 + 1) * 4),
+                },
+                BufferBound {
+                    slot: BUF_OUT.0,
+                    bound: AccessBound::Extent(nnz * eb),
+                },
+            ]),
+            alignment: AlignmentFacts::ScalarOnly,
+            barrier: BarrierFacts::WarpSynchronous,
+            stage: StageBound::Bytes(0),
+        }
     }
 
     fn execute_block(&self, block: Dim3, ctx: &mut BlockContext) {

@@ -18,8 +18,9 @@ use crate::config::SpmmConfig;
 use crate::error::SputnikError;
 use crate::roma::{MemoryAligner, ROMA_MASK_INSTRS, ROMA_PRELUDE_INSTRS};
 use gpu_sim::{
-    AccessPattern, BlockContext, BufferId, BufferSpec, Dim3, Fingerprint, Gpu, Kernel, LaunchCache,
-    LaunchKey, LaunchStats, SmemScope, SyncUnsafeSlice,
+    AccessBound, AccessPattern, AlignmentFacts, BarrierFacts, BlockContext, BufferBound, BufferId,
+    BufferSpec, Dim3, Fingerprint, Gpu, Kernel, LaunchCache, LaunchKey, LaunchStats, SmemScope,
+    StageBound, StaticFacts, SyncUnsafeSlice, VectorClass,
 };
 use sparse::{CsrMatrix, Matrix, RowSwizzle, Scalar};
 
@@ -723,6 +724,122 @@ impl<T: Scalar> Kernel for SpmmKernel<'_, T> {
                     self.compute_subwarp(sub, n_off, tile_w);
                 }
             }
+        }
+    }
+
+    /// Declarative facts for the static auditor ([`gpu_sim::static_check`]).
+    ///
+    /// Every extent is derived from the kernel's *tile arithmetic* — the
+    /// same address formulas `cost_warp` traces — independently of the
+    /// footprints `buffers()` declares from the operand shapes, so the
+    /// audit's extent-vs-footprint comparison genuinely cross-checks two
+    /// derivations. Soundness arguments, per buffer:
+    ///
+    /// * `a_values` / `a_indices`: each subwarp reads
+    ///   `[aligned_offset, aligned_offset + total)`. Without ROMA that is
+    ///   `[offset, offset + nnz)`; with ROMA, `aligned_offset + total =
+    ///   (offset - prefix) + (nnz + prefix) = offset + nnz` — the aligner
+    ///   moves the start, never the end — so both are bounded by the CSR's
+    ///   total nonzero count.
+    /// * `a_row_offsets`: the prelude gathers an 8-byte offset pair at
+    ///   `row * 4`, so the furthest byte is `(rows - 1) * 4 + 8`.
+    /// * `b`: strips end at `(col + 1) * n <= cols * n` because validated
+    ///   CSR column indices are `< cols`. (The trace adds B sectors in bulk
+    ///   without per-address memcheck, so this static bound is the *only*
+    ///   bounds guarantee B gets.)
+    /// * `c` / `bias` / `row_indices`: indexed by real row ids `< rows`
+    ///   (the swizzle is a permutation of `0..rows`).
+    fn static_facts(&self) -> StaticFacts {
+        let cfg = &self.cfg;
+        let eb = T::BYTES as u64;
+        let ib = cfg.index_width.bytes() as u64;
+        let rows = self.a.rows() as u64;
+        let cols = self.a.cols() as u64;
+        let nnz = self.a.nnz() as u64;
+        let n = self.n as u64;
+
+        let mut bounds = vec![
+            BufferBound {
+                slot: BUF_A_VALUES.0,
+                bound: AccessBound::Extent(nnz * eb),
+            },
+            BufferBound {
+                slot: BUF_A_INDICES.0,
+                bound: AccessBound::Extent(nnz * ib),
+            },
+            BufferBound {
+                slot: BUF_A_OFFSETS.0,
+                bound: AccessBound::Extent((rows + 1) * 4),
+            },
+            BufferBound {
+                slot: BUF_B.0,
+                bound: AccessBound::Extent(cols * n * eb),
+            },
+            BufferBound {
+                slot: BUF_C.0,
+                bound: AccessBound::Extent(rows * n * eb),
+            },
+        ];
+        if cfg.row_swizzle {
+            // The prelude loads one swizzled row id per subwarp in the warp,
+            // starting at address 0, even for tail subwarps past the last
+            // row — the worst chunk is `subwarps_per_warp` wide (capped by
+            // the block's `block_items_y` subwarps).
+            let chunk = u64::from(cfg.subwarps_per_warp().min(cfg.block_items_y));
+            bounds.push(BufferBound {
+                slot: BUF_SWIZZLE.0,
+                bound: AccessBound::Extent(chunk * 4),
+            });
+        }
+        if cfg.fused_bias_relu {
+            bounds.push(BufferBound {
+                slot: BUF_BIAS.0,
+                bound: AccessBound::Extent(rows * 4),
+            });
+        }
+
+        // Vector-access alignment, the mod-`vw*eb` analogue of the address
+        // classes `block_signature` hashes. ROMA proves residue 0 by
+        // construction; `assume_aligned` must actually *check* the promise
+        // against every non-empty row's start offset — an O(rows) scan that
+        // turns an unpadded CSR into a static refutation instead of a
+        // debug-only assertion.
+        let vw = cfg.vector_width;
+        let alignment = if vw <= 1 || self.vw_a() == 1 {
+            AlignmentFacts::ScalarOnly
+        } else if cfg.assume_aligned {
+            // `subwarp_work` prefers the assume_aligned (raw offset) path
+            // even when ROMA is also enabled, so the scan governs here.
+            let worst = (0..self.a.rows())
+                .filter(|&r| self.a.row_len(r) > 0)
+                .map(|r| (self.a.row_offsets()[r] as u64 % u64::from(vw)) * eb)
+                .max()
+                .unwrap_or(0);
+            AlignmentFacts::Residues(vec![VectorClass {
+                slot: BUF_A_VALUES.0,
+                vec_width: vw,
+                elem_bytes: T::BYTES,
+                worst_residue: worst,
+            }])
+        } else {
+            // ROMA: the aligner backs every row start up to a multiple of
+            // the vector width, and element 0 is allocation-aligned.
+            AlignmentFacts::Residues(vec![VectorClass {
+                slot: BUF_A_VALUES.0,
+                vec_width: vw,
+                elem_bytes: T::BYTES,
+                worst_residue: 0,
+            }])
+        };
+
+        StaticFacts {
+            bounds: Some(bounds),
+            // All staging is SmemScope::Warp — the warp that stores a strip
+            // is its only consumer (Sputnik's subwarp tiling) — so no
+            // block-scope bytes are ever staged and no barrier is needed.
+            alignment,
+            barrier: BarrierFacts::WarpSynchronous,
+            stage: StageBound::Bytes(0),
         }
     }
 

@@ -15,8 +15,8 @@
 use crate::config::SpmmConfig;
 use crate::spmm::SpmmKernel;
 use gpu_sim::{
-    AccessPattern, BlockContext, BufferId, BufferSpec, Dim3, Gpu, Kernel, LaunchStats,
-    SyncUnsafeSlice,
+    AccessBound, AccessPattern, AlignmentFacts, BarrierFacts, BlockContext, BufferBound, BufferId,
+    BufferSpec, Dim3, Gpu, Kernel, LaunchStats, StageBound, StaticFacts, SyncUnsafeSlice,
 };
 use sparse::{CsrMatrix, Matrix, RowSwizzle, Scalar};
 
@@ -155,6 +155,46 @@ impl<T: Scalar> Kernel for PermuteKernel<'_, T> {
                 pattern: AccessPattern::Streaming,
             },
         ]
+    }
+
+    /// Static safety facts for the launch auditor.
+    ///
+    /// Soundness: permutation reads and destination writes stream
+    /// `[start, start + count)` with `start + count <= n`. The source gather
+    /// dereferences `perm[i] * eb`, which is data-dependent — so the bound
+    /// is established by scanning the permutation here, before launch: the
+    /// worst access ends at `(max(perm) + 1) * eb`. For a true permutation
+    /// that equals the footprint `n * eb` and bounds are proven; a corrupt
+    /// permutation is refuted at dispatch instead of faulting mid-launch.
+    /// No shared memory, no cross-warp communication.
+    fn static_facts(&self) -> StaticFacts {
+        let eb = T::BYTES as u64;
+        let n = self.src.len() as u64;
+        let src_end = self
+            .perm
+            .iter()
+            .map(|&p| (u64::from(p) + 1) * eb)
+            .max()
+            .unwrap_or(0);
+        StaticFacts {
+            bounds: Some(vec![
+                BufferBound {
+                    slot: BUF_SRC.0,
+                    bound: AccessBound::Extent(src_end),
+                },
+                BufferBound {
+                    slot: BUF_PERM.0,
+                    bound: AccessBound::Extent(n * 4),
+                },
+                BufferBound {
+                    slot: BUF_DST.0,
+                    bound: AccessBound::Extent(n * eb),
+                },
+            ]),
+            alignment: AlignmentFacts::ScalarOnly,
+            barrier: BarrierFacts::WarpSynchronous,
+            stage: StageBound::Bytes(0),
+        }
     }
 
     fn execute_block(&self, block: Dim3, ctx: &mut BlockContext) {

@@ -4,6 +4,7 @@ use crate::cache::BufferSpec;
 use crate::cost::BlockContext;
 use crate::dim::Dim3;
 use crate::occupancy::BlockRequirements;
+use crate::static_check::StaticFacts;
 
 /// A simulated GPU kernel.
 ///
@@ -76,6 +77,18 @@ pub trait Kernel: Sync {
     /// runs.
     fn atomic_output(&self) -> bool {
         false
+    }
+
+    /// Declarative facts for the static launch auditor
+    /// ([`crate::static_check::audit`]): sound access-extent bounds,
+    /// worst-case vector residue classes, barrier discipline, and staging
+    /// bounds. The default declares nothing, which audits every
+    /// data-dependent check to `NeedsDynamic` — always sound, never fast.
+    /// Like [`Kernel::block_signature`], soundness of a non-default
+    /// declaration is the implementor's burden; `static_audit` and
+    /// `sanitize_all` cross-check it against the dynamic sanitizer in CI.
+    fn static_facts(&self) -> StaticFacts {
+        StaticFacts::conservative()
     }
 
     /// Derived per-block resource requirements.

@@ -9,8 +9,9 @@ use crate::kernel::Kernel;
 use crate::launch_cache::{LaunchCache, LaunchKey};
 use crate::metrics;
 use crate::occupancy::{self, Occupancy};
-use crate::sanitizer::{self, BlockSan, SanitizerReport};
+use crate::sanitizer::{self, BlockSan, ChecksMask, SanitizerReport, Verdict};
 use crate::scheduler;
+use crate::static_check::{self, StaticAudit};
 use crate::timing;
 use crate::trace;
 use rayon::prelude::*;
@@ -325,15 +326,90 @@ impl Gpu {
         });
     }
 
+    /// Statically audit a kernel's launch descriptor against this device's
+    /// model ([`crate::static_check::audit`]): per-check `Proven` /
+    /// `Refuted` / `NeedsDynamic` verdicts, without executing a block.
+    pub fn audit(&self, kernel: &dyn Kernel) -> StaticAudit {
+        static_check::audit(&self.dev, kernel)
+    }
+
     /// Run a kernel under the sanitizer (see [`crate::sanitizer`]): a
     /// functional launch whose blocks additionally record racecheck /
     /// memcheck / aligncheck / lint findings, the simulator's analogue of
     /// `compute-sanitizer`. The fault plan is not consulted — the sanitizer
     /// checks the kernel, not the device. Sanitized launches serialize
     /// process-wide (a global shadow map backs the cross-block racecheck).
+    ///
+    /// The launch is first statically audited: dynamic checks whose class
+    /// the auditor `Proven` are disarmed (the cross-block racecheck always
+    /// stays on — it has no static counterpart), and `Refuted` findings are
+    /// folded into the report as hard violations while their dynamic checks
+    /// stay armed for defense in depth. Use [`Gpu::sanitize_full`] to force
+    /// every dynamic check regardless of the audit.
     pub fn sanitize(
         &self,
         kernel: &dyn Kernel,
+    ) -> Result<(LaunchStats, SanitizerReport), LaunchError> {
+        let audit = self.audit(kernel);
+        let mask = audit.dynamic_mask();
+        metrics::global().incr_many(&[
+            ("static_audits", 1),
+            ("static_checks_proven", audit.proven()),
+            ("sanitizer_checks_skipped", mask.skipped()),
+        ]);
+        let (stats, mut report) = self.sanitize_with_mask(kernel, mask)?;
+        for f in &audit.findings {
+            if f.verdict == Verdict::Refuted {
+                report.push_static_refutation(f.class, &f.detail);
+                metrics::global().incr("sanitizer_violations", 1);
+            }
+        }
+        Ok((stats, report))
+    }
+
+    /// [`Gpu::sanitize`] with every dynamic check armed, ignoring the static
+    /// audit. This is the pre-audit behavior, kept as the reference the
+    /// audited path is validated against (`sanitize_all` runs both and
+    /// fails on any disagreement).
+    pub fn sanitize_full(
+        &self,
+        kernel: &dyn Kernel,
+    ) -> Result<(LaunchStats, SanitizerReport), LaunchError> {
+        self.sanitize_with_mask(kernel, ChecksMask::ALL)
+    }
+
+    /// Memoized sanitized launch: a [`LaunchCache`] hit whose entry carries
+    /// a sanitizer report skips re-sanitizing entirely — the sanitizer
+    /// checks the cost trace, which (kernel name, fingerprint, device) fully
+    /// determines — replaying functional outputs only. Returns the stats,
+    /// the report, and whether they were served from the cache. Fault-plan
+    /// GPUs bypass the cache like every other cached path.
+    pub fn sanitize_cached(
+        &self,
+        cache: &LaunchCache,
+        fingerprint: u64,
+        kernel: &dyn Kernel,
+    ) -> Result<(LaunchStats, SanitizerReport, bool), LaunchError> {
+        if self.fault.is_some() {
+            return self.sanitize(kernel).map(|(s, r)| (s, r, false));
+        }
+        let key = self.cache_key(kernel, fingerprint);
+        if let Some((stats, report)) = cache.lookup_sanitized(&key) {
+            self.validate(kernel)?;
+            self.replay_functional(kernel);
+            self.note_cache_hit(&stats);
+            metrics::global().incr("sanitizer_skips", 1);
+            return Ok((stats, report, true));
+        }
+        let (stats, report) = self.sanitize(kernel)?;
+        cache.insert_sanitized(key, stats.clone(), report.clone());
+        Ok((stats, report, false))
+    }
+
+    fn sanitize_with_mask(
+        &self,
+        kernel: &dyn Kernel,
+        mask: ChecksMask,
     ) -> Result<(LaunchStats, SanitizerReport), LaunchError> {
         let occ = self.validate(kernel)?;
         let req = kernel.block_requirements();
@@ -353,7 +429,7 @@ impl Gpu {
                 (BlockCost::default(), Vec::new(), Vec::new()),
                 |(mut total, mut lites, mut sans), lin| {
                     let idx = grid.delinearize(lin);
-                    let san = BlockSan::for_kernel(&buffers, req.smem_bytes, multi_warp);
+                    let san = BlockSan::with_mask(&buffers, req.smem_bytes, multi_warp, mask);
                     let mut ctx = BlockContext::sanitized(true, san);
                     sanitizer::enter_block(lin);
                     kernel.execute_block(idx, &mut ctx);

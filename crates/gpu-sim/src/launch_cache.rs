@@ -44,6 +44,7 @@
 //! skip scheduled faults and desynchronize the schedule.
 
 use crate::launch::LaunchStats;
+use crate::sanitizer::SanitizerReport;
 use crate::{metrics, trace};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -65,6 +66,11 @@ pub struct LaunchKey {
 #[derive(Debug)]
 struct Entry {
     stats: LaunchStats,
+    /// The sanitizer report from a prior sanitized run of this exact
+    /// (kernel, fingerprint, device) launch, if one happened. The sanitizer
+    /// checks the cost trace, which the key fully determines — so a
+    /// fingerprint-identical launch needs no re-sanitizing.
+    sanitized: Option<SanitizerReport>,
     /// Recency tick of the last lookup hit or insert.
     last_used: u64,
 }
@@ -153,8 +159,21 @@ impl LaunchCache {
     }
 
     /// Record freshly simulated statistics under a key, evicting the
-    /// least-recently-used half of the table first when it is full.
+    /// least-recently-used half of the table first when it is full. A prior
+    /// sanitizer report stored under the same key survives the overwrite
+    /// (the key determines the trace, so the report stays valid).
     pub fn insert(&self, key: LaunchKey, stats: LaunchStats) {
+        self.insert_entry(key, stats, None);
+    }
+
+    /// Record a sanitized launch: the statistics plus the sanitizer report,
+    /// so fingerprint-identical launches can skip re-sanitizing entirely
+    /// (served by [`LaunchCache::lookup_sanitized`]).
+    pub fn insert_sanitized(&self, key: LaunchKey, stats: LaunchStats, report: SanitizerReport) {
+        self.insert_entry(key, stats, Some(report));
+    }
+
+    fn insert_entry(&self, key: LaunchKey, stats: LaunchStats, sanitized: Option<SanitizerReport>) {
         let tick = self.next_tick();
         let mut map = self.entries();
         if map.len() >= self.capacity && !map.contains_key(&key) {
@@ -169,14 +188,59 @@ impl LaunchCache {
             self.evictions.fetch_add(evicted, Ordering::Relaxed);
             metrics::global().incr("cache_evictions", evicted);
         }
-        map.insert(
-            key,
-            Entry {
-                stats,
-                last_used: tick,
-            },
-        );
+        match map.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut slot) => {
+                let entry = slot.get_mut();
+                entry.stats = stats;
+                entry.last_used = tick;
+                if sanitized.is_some() {
+                    entry.sanitized = sanitized;
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(Entry {
+                    stats,
+                    sanitized,
+                    last_used: tick,
+                });
+            }
+        }
         metrics::global().incr("cache_inserts", 1);
+    }
+
+    /// Look up a key that was previously [`LaunchCache::insert_sanitized`]:
+    /// returns the cached statistics *and* the sanitizer report. An entry
+    /// that was only ever plain-inserted is a miss — its launch was never
+    /// sanitized, so there is no report to replay.
+    pub fn lookup_sanitized(&self, key: &LaunchKey) -> Option<(LaunchStats, SanitizerReport)> {
+        let tick = self.next_tick();
+        let found = {
+            let mut map = self.entries();
+            map.get_mut(key).and_then(|e| {
+                let report = e.sanitized.clone()?;
+                e.last_used = tick;
+                Some((e.stats.clone(), report))
+            })
+        };
+        match found {
+            Some(hit) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                metrics::global().incr("cache_hits", 1);
+                if trace::enabled() {
+                    trace::instant(
+                        "cache",
+                        &key.device,
+                        &format!("sanitized hit: {}", key.kernel),
+                    );
+                }
+                Some(hit)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                metrics::global().incr("cache_misses", 1);
+                None
+            }
+        }
     }
 
     pub fn hits(&self) -> u64 {

@@ -72,6 +72,7 @@ pub mod microbench;
 pub mod occupancy;
 pub mod sanitizer;
 pub mod scheduler;
+pub mod static_check;
 pub mod timing;
 pub mod trace;
 pub mod util;
@@ -90,7 +91,14 @@ pub use launch_cache::{LaunchCache, LaunchKey};
 pub use metrics::{MetricsRegistry, MetricsSnapshot};
 pub use microbench::{validate, Validation};
 pub use occupancy::{occupancy, BlockRequirements, Occupancy, OccupancyLimit};
-pub use sanitizer::{SanitizerReport, SanitizerViolation, SanitizerWarning, SmemScope};
+pub use sanitizer::{
+    CheckClass, ChecksMask, SanitizerReport, SanitizerViolation, SanitizerWarning, SmemScope,
+    Verdict,
+};
 pub use scheduler::{simulate_schedule, volta_first_wave_sm, ScheduleResult};
+pub use static_check::{
+    audit, AccessBound, AlignmentFacts, BarrierFacts, BufferBound, StageBound, StaticAudit,
+    StaticFacts, StaticFinding, VectorClass,
+};
 pub use trace::{chrome_trace_json, validate_chrome_trace, ProfileReport, TraceEvent};
 pub use util::SyncUnsafeSlice;

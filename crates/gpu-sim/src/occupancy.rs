@@ -191,6 +191,96 @@ mod tests {
     }
 
     #[test]
+    fn smem_exactly_at_sm_capacity_fits_one_block() {
+        // A block staging exactly `smem_per_sm` bytes is legal and leaves
+        // room for exactly one resident block — the boundary the static
+        // auditor's shared-capacity check sits on.
+        let dev = v100();
+        let occ = occupancy(
+            &dev,
+            &BlockRequirements {
+                threads: 128,
+                smem_bytes: dev.smem_per_sm,
+                regs_per_thread: 32,
+            },
+        );
+        assert_eq!(occ.blocks_per_sm, 1);
+        assert_eq!(occ.limited_by, OccupancyLimit::SharedMemory);
+        // One byte past capacity: zero resident blocks (the launch
+        // validator and the auditor's grid_occupancy check refuse this).
+        let occ = occupancy(
+            &dev,
+            &BlockRequirements {
+                threads: 128,
+                smem_bytes: dev.smem_per_sm + 1,
+                regs_per_thread: 32,
+            },
+        );
+        assert_eq!(occ.blocks_per_sm, 0);
+        assert_eq!(occ.warps_per_sm, 0);
+        assert_eq!(occ.limited_by, OccupancyLimit::SharedMemory);
+    }
+
+    #[test]
+    fn one_thread_blocks_occupy_a_full_warp_each() {
+        // A 1-thread block still allocates one warp; residency is capped
+        // by the per-SM block limit, not threads.
+        let dev = v100();
+        let occ = occupancy(
+            &dev,
+            &BlockRequirements {
+                threads: 1,
+                smem_bytes: 0,
+                regs_per_thread: 32,
+            },
+        );
+        assert_eq!(occ.blocks_per_sm, dev.max_blocks_per_sm);
+        assert_eq!(occ.limited_by, OccupancyLimit::Blocks);
+        assert_eq!(occ.warps_per_sm, dev.max_blocks_per_sm);
+        assert!(occ.fraction < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_thread_blocks_are_rejected() {
+        occupancy(
+            &v100(),
+            &BlockRequirements {
+                threads: 0,
+                smem_bytes: 0,
+                regs_per_thread: 32,
+            },
+        );
+    }
+
+    #[test]
+    fn effective_warps_clamp_at_the_occupancy_cap() {
+        // A grid far larger than the device cannot push more blocks onto
+        // an SM than occupancy permits: `blocks_per_active_sm` clamps at
+        // `occ.blocks_per_sm`, so effective warps clamp at `warps_per_sm`.
+        let dev = v100();
+        let occ = occupancy(
+            &dev,
+            &BlockRequirements {
+                threads: 1024,
+                smem_bytes: 0,
+                regs_per_thread: 32,
+            },
+        );
+        assert_eq!(occ.blocks_per_sm, 2);
+        for grid in [u64::from(dev.num_sms) * 2, 1 << 20, u64::MAX / 2] {
+            assert_eq!(
+                effective_warps_per_sm(&dev, &occ, grid, 32),
+                occ.warps_per_sm as f64,
+                "grid {grid}"
+            );
+        }
+        // And the degenerate boundaries: no work, and a single block.
+        assert_eq!(effective_warps_per_sm(&dev, &occ, 0, 32), 0.0);
+        assert_eq!(effective_warps_per_sm(&dev, &occ, 1, 32), 32.0);
+    }
+
+    #[test]
     fn effective_warps_small_grid() {
         let dev = v100();
         let occ = occupancy(

@@ -37,6 +37,105 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, MutexGuard};
 
+/// Three-valued verdict of one static check class (see
+/// [`crate::static_check`]). The lattice is ordered by severity:
+/// `Proven < NeedsDynamic < Refuted`.
+///
+/// * `Proven` — the property holds for every block of the launch, shown from
+///   the launch descriptor alone; the matching dynamic check is redundant.
+/// * `Refuted` — the descriptor already contains a counterexample; executing
+///   the launch would only rediscover it.
+/// * `NeedsDynamic` — the property depends on runtime data (gathered
+///   indices, barrier interleavings); fall back to the dynamic sanitizer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Verdict {
+    Proven,
+    NeedsDynamic,
+    Refuted,
+}
+
+impl Verdict {
+    pub fn name(self) -> &'static str {
+        match self {
+            Verdict::Proven => "proven",
+            Verdict::NeedsDynamic => "needs_dynamic",
+            Verdict::Refuted => "refuted",
+        }
+    }
+}
+
+/// The check classes the static auditor can rule on. Each maps onto the
+/// dynamic check the sanitizer would otherwise run for every block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CheckClass {
+    /// Traced global accesses vs declared buffer footprints (memcheck).
+    Bounds,
+    /// Vector-access natural alignment (aligncheck).
+    Alignment,
+    /// Per-epoch block-scope staging vs declared shared memory, and the
+    /// declared shared memory vs the device's per-block capacity.
+    SharedCapacity,
+    /// Grid/block dimension legality and nonzero occupancy.
+    GridOccupancy,
+    /// Block-scope store→load phases separated by `bar_sync`.
+    BarrierStructure,
+}
+
+impl CheckClass {
+    pub const ALL: [CheckClass; 5] = [
+        CheckClass::Bounds,
+        CheckClass::Alignment,
+        CheckClass::SharedCapacity,
+        CheckClass::GridOccupancy,
+        CheckClass::BarrierStructure,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            CheckClass::Bounds => "bounds",
+            CheckClass::Alignment => "alignment",
+            CheckClass::SharedCapacity => "shared_capacity",
+            CheckClass::GridOccupancy => "grid_occupancy",
+            CheckClass::BarrierStructure => "barrier_structure",
+        }
+    }
+}
+
+/// Which dynamic check classes a sanitized launch still has to run. A class
+/// the static auditor proved is switched off; everything else stays on.
+/// Racecheck (the cross-block shadow map) has no static counterpart and is
+/// always live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChecksMask {
+    pub bounds: bool,
+    pub alignment: bool,
+    pub shared_capacity: bool,
+    pub barrier: bool,
+}
+
+impl ChecksMask {
+    /// Every dynamic check armed (the pre-audit behavior).
+    pub const ALL: ChecksMask = ChecksMask {
+        bounds: true,
+        alignment: true,
+        shared_capacity: true,
+        barrier: true,
+    };
+
+    /// How many of the four per-block check classes are switched off.
+    pub fn skipped(&self) -> u64 {
+        [
+            self.bounds,
+            self.alignment,
+            self.shared_capacity,
+            self.barrier,
+        ]
+        .iter()
+        .filter(|&&on| !on)
+        .count() as u64
+    }
+}
+
 /// Scope of a shared-memory access for the barrier-epoch hazard check.
 ///
 /// `Warp` marks warp-synchronous staging (e.g. Sputnik's sparse-operand
@@ -89,6 +188,10 @@ pub enum SanitizerViolation {
     /// barrier epoch: the kernel omitted a `bar_sync` between the store
     /// phase and the load phase of a multi-warp block.
     MissingBarrier { epoch: u64 },
+    /// The static auditor refuted a check class from the launch descriptor
+    /// alone (see [`crate::static_check`]): the violation is certain without
+    /// executing a single block.
+    StaticallyRefuted { class: String, detail: String },
 }
 
 impl std::fmt::Display for SanitizerViolation {
@@ -125,6 +228,9 @@ impl std::fmt::Display for SanitizerViolation {
                 f,
                 "missing barrier: block-scope smem load after store in epoch {epoch} with no bar_sync"
             ),
+            SanitizerViolation::StaticallyRefuted { class, detail } => {
+                write!(f, "statically refuted [{class}]: {detail}")
+            }
         }
     }
 }
@@ -207,6 +313,16 @@ impl SanitizerReport {
         }
     }
 
+    /// Fold a static refutation (from [`crate::static_check`]) into the
+    /// report as a hard violation: a statically refuted launch is dirty even
+    /// if the dynamic checks happened to miss the counterexample block.
+    pub fn push_static_refutation(&mut self, class: CheckClass, detail: &str) {
+        self.push_violation(SanitizerViolation::StaticallyRefuted {
+            class: class.name().to_string(),
+            detail: detail.to_string(),
+        });
+    }
+
     fn push_warning(&mut self, w: SanitizerWarning) {
         self.warning_count += 1;
         if self.warnings.len() < MAX_REPORTED {
@@ -271,6 +387,9 @@ pub struct BlockSan {
     /// Whether the block runs more than one warp (barrier/capacity hazards
     /// only exist across warps; single-warp blocks are warp-synchronous).
     multi_warp: bool,
+    /// Which check classes are still armed; classes the static auditor
+    /// proved are off (see [`ChecksMask`]).
+    mask: ChecksMask,
     /// Barrier epoch counter (incremented by `bar_sync`).
     epoch: u64,
     /// A block-scope smem store happened in the current epoch.
@@ -288,6 +407,16 @@ pub struct BlockSan {
 
 impl BlockSan {
     pub fn for_kernel(buffers: &[BufferSpec], smem_bytes: u32, multi_warp: bool) -> Self {
+        Self::with_mask(buffers, smem_bytes, multi_warp, ChecksMask::ALL)
+    }
+
+    /// A per-block sanitizer with statically proven check classes disarmed.
+    pub fn with_mask(
+        buffers: &[BufferSpec],
+        smem_bytes: u32,
+        multi_warp: bool,
+        mask: ChecksMask,
+    ) -> Self {
         let mut footprints: [Option<(&'static str, u64)>; MAX_BUFFERS] = [None; MAX_BUFFERS];
         for b in buffers {
             let slot = b.id.0 as usize;
@@ -299,6 +428,7 @@ impl BlockSan {
             footprints,
             smem_bytes,
             multi_warp,
+            mask,
             epoch: 0,
             store_in_epoch: false,
             epoch_store_bytes: 0,
@@ -325,10 +455,18 @@ impl BlockSan {
         }
     }
 
+    /// Whether the bounds (memcheck) class is still armed. The batched trace
+    /// recorders consult this to restore their sanitizer-free fast path when
+    /// the static auditor proved bounds.
+    #[inline]
+    pub(crate) fn checks_bounds(&self) -> bool {
+        self.mask.bounds
+    }
+
     /// Memcheck: a traced global access of `bytes` at `byte_addr` against
     /// the declared footprint of buffer `slot`.
     pub(crate) fn check_global(&mut self, slot: usize, byte_addr: u64, bytes: u64) {
-        if bytes == 0 {
+        if bytes == 0 || !self.mask.bounds {
             return;
         }
         match self.footprints.get(slot).copied().flatten() {
@@ -354,7 +492,7 @@ impl BlockSan {
         vec_width: u32,
         elem_bytes: u32,
     ) {
-        if vec_width <= 1 {
+        if vec_width <= 1 || !self.mask.alignment {
             return;
         }
         let align = vec_width as u64 * elem_bytes as u64;
@@ -379,7 +517,12 @@ impl BlockSan {
         if scope != SmemScope::Block || !self.multi_warp {
             return;
         }
-        self.store_in_epoch = true;
+        if self.mask.barrier {
+            self.store_in_epoch = true;
+        }
+        if !self.mask.shared_capacity {
+            return;
+        }
         self.epoch_store_bytes += bytes;
         if !self.overflow_reported
             && self.smem_bytes > 0
@@ -399,6 +542,7 @@ impl BlockSan {
     pub(crate) fn note_smem_load(&mut self, scope: SmemScope) {
         if scope == SmemScope::Block
             && self.multi_warp
+            && self.mask.barrier
             && self.store_in_epoch
             && !self.barrier_reported
         {

@@ -391,3 +391,88 @@ fn launch_summary_accumulates_sanitizer_counts() {
     assert_eq!(summary.violations, 1);
     assert_eq!(summary.warnings, 1);
 }
+
+#[test]
+fn sanitize_cached_skips_resanitizing_identical_fingerprints() {
+    let gpu = Gpu::v100();
+    let cache = gpu_sim::LaunchCache::new();
+    let fingerprint = 0xF00D;
+
+    let mut a = vec![0.0f32; 256];
+    let (cold_stats, cold_report, hit) = {
+        let kernel = CleanKernel {
+            out: SyncUnsafeSlice::new(&mut a),
+        };
+        gpu.sanitize_cached(&cache, fingerprint, &kernel).unwrap()
+    };
+    assert!(!hit, "first sight of the fingerprint cannot be a cache hit");
+    assert_eq!(a[65], 1.0);
+
+    // Same kernel shape, same fingerprint: the whole dynamic pass is
+    // skipped, the memoized report replays, the output is still computed,
+    // and the skip is counted.
+    let skips_before = gpu_sim::metrics::global().get("sanitizer_skips");
+    let mut b = vec![0.0f32; 256];
+    let (warm_stats, warm_report, hit) = {
+        let kernel = CleanKernel {
+            out: SyncUnsafeSlice::new(&mut b),
+        };
+        gpu.sanitize_cached(&cache, fingerprint, &kernel).unwrap()
+    };
+    assert!(
+        hit,
+        "fingerprint-identical relaunch must serve from the cache"
+    );
+    assert_eq!(
+        b[65], 1.0,
+        "cache hits must still produce functional output"
+    );
+    assert_eq!(warm_stats.time_us, cold_stats.time_us);
+    assert_eq!(warm_report.violation_count, cold_report.violation_count);
+    assert_eq!(warm_report.warning_count, cold_report.warning_count);
+    assert_eq!(
+        gpu_sim::metrics::global().get("sanitizer_skips"),
+        skips_before + 1,
+        "the skip must be counted in the metrics registry"
+    );
+}
+
+#[test]
+fn sanitize_cached_distinguishes_fingerprints() {
+    let gpu = Gpu::v100();
+    let cache = gpu_sim::LaunchCache::new();
+
+    let mut a = vec![0.0f32; 256];
+    let kernel = CleanKernel {
+        out: SyncUnsafeSlice::new(&mut a),
+    };
+    let (_, _, hit) = gpu.sanitize_cached(&cache, 1, &kernel).unwrap();
+    assert!(!hit);
+    // A different operand fingerprint is a different launch: no false hit.
+    let (_, _, hit) = gpu.sanitize_cached(&cache, 2, &kernel).unwrap();
+    assert!(
+        !hit,
+        "distinct fingerprints must not share sanitize entries"
+    );
+    let (_, _, hit) = gpu.sanitize_cached(&cache, 1, &kernel).unwrap();
+    assert!(hit);
+}
+
+#[test]
+fn sanitize_cached_replays_violations_from_the_cache() {
+    // A violating kernel's memoized report must keep reporting the
+    // violation on hits — the cache cannot launder a bad kernel.
+    // (GlobalOobKernel violates through its cost trace, so the hit's
+    // functional replay is safe to run.)
+    let gpu = Gpu::v100();
+    let cache = gpu_sim::LaunchCache::new();
+
+    let (_, cold_report, hit) = gpu.sanitize_cached(&cache, 9, &GlobalOobKernel).unwrap();
+    assert!(!hit);
+    assert_eq!(cold_report.violation_count, 1);
+
+    let (_, report, hit) = gpu.sanitize_cached(&cache, 9, &GlobalOobKernel).unwrap();
+    assert!(hit);
+    assert_eq!(report.violation_count, 1);
+    assert_eq!(report.violations, cold_report.violations);
+}

@@ -5,11 +5,13 @@
 //! source file is stripped of comments, string literals, and char literals
 //! by a small state machine, then scanned line by line. Three rules:
 //!
-//! * `sim-clock` — the simulated-clock crates (`gpu-sim`, `serve`) must
-//!   not touch `std::time`. Simulated time comes from the cost model and
-//!   the event queue; a wall-clock read in those crates is a
-//!   nondeterminism bug by construction. (Bench bins, which measure real
-//!   wall time on purpose, live in their own crate and are exempt.)
+//! * `sim-clock` — the simulated-clock crates (`gpu-sim`, `serve`) and
+//!   the fleet-facing modules that schedule against the simulated stream
+//!   clock (`core/src/shard.rs`, `dnn/src/fleet.rs`) must not touch
+//!   `std::time`. Simulated time comes from the cost model and the event
+//!   queue; a wall-clock read there is a nondeterminism bug by
+//!   construction. (Bench bins, which measure real wall time on purpose,
+//!   live in their own crate and are exempt.)
 //! * `raw-ptr-write` — raw-pointer writes are confined to
 //!   `gpu-sim/src/util.rs` (the `SyncUnsafeSlice` shared-output
 //!   abstraction, whose safety argument is the grid's disjoint-write
@@ -319,7 +321,11 @@ fn main() {
 
         let in_gpu_sim = rel.contains("crates/gpu-sim/src/");
         let in_serve = rel.contains("crates/serve/src/");
-        if in_gpu_sim || in_serve {
+        // Fleet-facing modules schedule against the simulated stream clock
+        // and get the same wall-clock ban as the sim crates themselves.
+        let in_fleet =
+            rel.ends_with("crates/core/src/shard.rs") || rel.ends_with("crates/dnn/src/fleet.rs");
+        if in_gpu_sim || in_serve || in_fleet {
             lint_sim_clock(path, &stripped, &mut findings);
         }
 

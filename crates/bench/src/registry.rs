@@ -71,6 +71,19 @@ pub fn for_each_kernel(visit: &mut dyn FnMut(&dyn Kernel)) {
             visit(&kernel);
         }
 
+        // The K-split accumulate variant: same compute, but the epilogue
+        // folds into existing C instead of overwriting it, which changes
+        // the traced output traffic and the static write-set.
+        {
+            let swizzle = RowSwizzle::identity(a.rows());
+            let mut out = Matrix::<f32>::random(m, n, seed + 9);
+            let kernel =
+                SpmmKernel::try_new(&a, &b, &mut out, &swizzle, SpmmConfig::heuristic::<f32>(n))
+                    .unwrap_or_else(|e| panic!("registry: spmm acc construction: {e}"))
+                    .with_accumulate();
+            visit(&kernel);
+        }
+
         // Scalar fallback SpMM.
         {
             let mut out = Matrix::<f32>::zeros(m, n);
@@ -203,17 +216,17 @@ pub fn pair_count() -> u64 {
 mod tests {
     use super::*;
 
-    /// The registry is deterministic: 15 kernels per shape (three SpMM
-    /// configs plus twelve other kernels), merge-SpMM only where
-    /// `n % 32 == 0` (shapes 0 and 1), plus the two shape-constrained
-    /// baselines.
+    /// The registry is deterministic: 16 kernels per shape (three SpMM
+    /// configs, the accumulate variant, and twelve other kernels),
+    /// merge-SpMM only where `n % 32 == 0` (shapes 0 and 1), plus the two
+    /// shape-constrained baselines.
     #[test]
     fn registry_enumerates_every_kernel() {
         let mut names = Vec::new();
         for_each_kernel(&mut |k| names.push(k.name().to_string()));
         let expected: usize = SHAPES
             .iter()
-            .map(|&(_, _, n, _)| 14 + usize::from(n % 32 == 0))
+            .map(|&(_, _, n, _)| 15 + usize::from(n % 32 == 0))
             .sum::<usize>()
             + 2;
         assert_eq!(names.len(), expected, "{names:?}");
@@ -242,5 +255,7 @@ mod tests {
         // The half-precision cuSPARSE fallback is a distinct kernel from
         // the f32 path even though the names share a prefix.
         assert!(names.iter().any(|n| n.ends_with("_fallback")), "{names:?}");
+        // The accumulate epilogue registers as its own launch.
+        assert!(names.iter().any(|n| n.ends_with("_acc")), "{names:?}");
     }
 }

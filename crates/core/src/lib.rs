@@ -13,6 +13,7 @@ pub mod error;
 pub mod reference;
 pub mod roma;
 pub mod sddmm;
+pub mod shard;
 pub mod softmax;
 pub mod spmm;
 pub mod transpose;
@@ -30,6 +31,10 @@ pub use dispatch::{
 pub use error::SputnikError;
 pub use roma::MemoryAligner;
 pub use sddmm::{sddmm, sddmm_profile, sddmm_profile_cached, try_sddmm, SddmmKernel};
+pub use shard::{
+    k_slice, plan_row_shards, row_slice, sddmm_row_sharded, spmm_k_split, spmm_row_sharded,
+    ShardedRun,
+};
 pub use softmax::{sparse_softmax, sparse_softmax_profile, SparseSoftmaxKernel};
 pub use spmm::{spmm, spmm_profile, spmm_profile_cached, try_spmm, SpmmKernel};
 pub use transpose::{CachedTranspose, PermuteKernel};

@@ -567,6 +567,7 @@ pub fn sddmm_profile_cached<T: Scalar>(
         kernel: SddmmKernel::<T>::launch_name(&cfg),
         fingerprint: mask_fingerprint(mask, k),
         device: gpu.device().name.clone(),
+        arch: gpu.device().arch_fingerprint(),
     };
     if let Some(stats) = cache.lookup(&key) {
         gpu.note_cache_hit(&stats);

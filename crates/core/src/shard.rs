@@ -1,0 +1,588 @@
+//! Sharded multi-device kernels over a simulated [`Fleet`].
+//!
+//! Two parallelism strategies from the serving/training playbook, both
+//! proven **bit-identical** to the single-device reference:
+//!
+//! * **Row sharding (data parallel)** — [`spmm_row_sharded`] /
+//!   [`sddmm_row_sharded`]: each device owns a contiguous, nnz-balanced
+//!   block of output rows. Per-row folds are untouched (a row's entire
+//!   CSR segment stays on one device), so concatenating the shard outputs
+//!   reproduces the single-device result bit for bit. Shards computed on
+//!   devices other than 0 are gathered to device 0 over the interconnect.
+//!
+//! * **K splitting (tensor parallel)** — [`spmm_k_split`]: the reduction
+//!   dimension is cut into contiguous column chunks, one per device, and
+//!   partial products are combined with a simulated ring all-reduce.
+//!   Naively summing independent partials would *not* be bit-identical
+//!   (each fma fuses its multiply-add; `round(p0) + round(p1)` differs
+//!   from the fused chain), so the functional execution instead folds the
+//!   chunks **in rank order** through [`SpmmKernel::with_accumulate`]:
+//!   CSR rows are strictly column-sorted, so contiguous K chunks partition
+//!   each row's nonzeros into contiguous in-order subsequences, and
+//!   seeding each chunk's accumulator from the current output composes the
+//!   exact per-row fma chain of the reference kernel. The *timing* model
+//!   still runs the chunks concurrently (one stream per device) followed
+//!   by the ring all-reduce — the standard modeling split between
+//!   numerical semantics and schedule.
+//!
+//! Every shard launch goes through [`Gpu::sanitize_cached`]: statically
+//! audited, sanitized on first sight, and replayed through the
+//! [`LaunchCache`] (functional outputs only) on repeat launches.
+//!
+//! [`Gpu::sanitize_cached`]: gpu_sim::Gpu::sanitize_cached
+
+use crate::config::{SddmmConfig, SpmmConfig};
+use crate::error::SputnikError;
+use crate::sddmm::{mask_fingerprint, SddmmKernel};
+use crate::spmm::{operand_fingerprint, require_finite, SpmmKernel};
+use gpu_sim::{Fleet, FleetSync, LaunchCache, LaunchStats, SanitizerReport};
+use sparse::{CsrMatrix, Matrix, RowSwizzle, Scalar};
+
+/// The result of a sharded kernel run: the assembled output plus the
+/// per-shard launch stats and the resolved fleet timeline.
+#[derive(Debug, Clone)]
+pub struct ShardedRun<Out> {
+    /// The assembled output, bit-identical to the single-device kernel.
+    pub output: Out,
+    /// Per-shard launch stats, in device order (empty shards skipped).
+    pub shard_stats: Vec<LaunchStats>,
+    /// How many shard launches were served from the [`LaunchCache`]
+    /// (functional replay, memoized sanitizer report).
+    pub cache_hits: usize,
+    /// The resolved fleet timeline: per-device busy clocks, makespan, and
+    /// interconnect counters.
+    pub sync: FleetSync,
+}
+
+impl<Out> ShardedRun<Out> {
+    /// The sum of per-shard kernel times — what a single stream would pay
+    /// for the same launches, ignoring transfers. The scaling-efficiency
+    /// numerator in `fleetwall`.
+    pub fn serial_kernel_us(&self) -> f64 {
+        self.shard_stats.iter().map(|s| s.time_us).sum()
+    }
+}
+
+/// Split `0..a.rows()` into `devices` contiguous ranges balanced by nnz
+/// (falling back to an even row split for an all-zero matrix). Ranges may
+/// be empty when there are more devices than rows (or the nnz mass is
+/// concentrated); empty ranges launch nothing.
+pub fn plan_row_shards<T: Scalar>(a: &CsrMatrix<T>, devices: usize) -> Vec<(usize, usize)> {
+    assert!(devices > 0, "cannot shard across zero devices");
+    let rows = a.rows();
+    let total = a.nnz() as u64;
+    let mut ranges = Vec::with_capacity(devices);
+    let mut r0 = 0usize;
+    for d in 0..devices - 1 {
+        let r1 = if total == 0 {
+            rows * (d + 1) / devices
+        } else {
+            // Largest prefix whose nnz stays within this device's share.
+            let target = total * (d as u64 + 1) / devices as u64;
+            let offsets = a.row_offsets();
+            let mut r1 = r0;
+            while r1 < rows && u64::from(offsets[r1 + 1]) <= target {
+                r1 += 1;
+            }
+            r1
+        };
+        ranges.push((r0, r1));
+        r0 = r1;
+    }
+    ranges.push((r0, rows));
+    ranges
+}
+
+/// The contiguous row block `r0..r1` of `a` as a standalone CSR matrix
+/// (offsets rebased; columns untouched).
+pub fn row_slice<T: Scalar>(
+    a: &CsrMatrix<T>,
+    r0: usize,
+    r1: usize,
+) -> Result<CsrMatrix<T>, SputnikError> {
+    assert!(r0 <= r1 && r1 <= a.rows(), "row slice out of range");
+    let off = a.row_offsets();
+    let base = off[r0];
+    let (lo, hi) = (off[r0] as usize, off[r1] as usize);
+    let offsets: Vec<u32> = off[r0..=r1].iter().map(|&o| o - base).collect();
+    Ok(CsrMatrix::from_parts(
+        r1 - r0,
+        a.cols(),
+        offsets,
+        a.col_indices()[lo..hi].to_vec(),
+        a.values()[lo..hi].to_vec(),
+    )?)
+}
+
+/// The column band `k0..k1` of `a` as a standalone CSR matrix with columns
+/// rebased by `-k0`. Per-row column order is preserved (CSR rows are
+/// strictly sorted, and filtering a sorted sequence keeps it sorted), which
+/// is what makes rank-ordered K-split accumulation bit-identical.
+pub fn k_slice<T: Scalar>(
+    a: &CsrMatrix<T>,
+    k0: usize,
+    k1: usize,
+) -> Result<CsrMatrix<T>, SputnikError> {
+    assert!(k0 <= k1 && k1 <= a.cols(), "column slice out of range");
+    let mut offsets = Vec::with_capacity(a.rows() + 1);
+    offsets.push(0u32);
+    let mut cols = Vec::new();
+    let mut vals = Vec::new();
+    for r in 0..a.rows() {
+        let (ci, vi) = a.row(r);
+        for (&c, &v) in ci.iter().zip(vi) {
+            let c = c as usize;
+            if (k0..k1).contains(&c) {
+                cols.push((c - k0) as u32);
+                vals.push(v);
+            }
+        }
+        offsets.push(cols.len() as u32);
+    }
+    Ok(CsrMatrix::from_parts(
+        a.rows(),
+        k1 - k0,
+        offsets,
+        cols,
+        vals,
+    )?)
+}
+
+/// Reject shard launches whose sanitizer report is not clean: a sharded
+/// run must be exactly as safe as the single-device path it replaces.
+fn require_clean(report: &SanitizerReport, device: usize) -> Result<(), SputnikError> {
+    if report.clean() {
+        Ok(())
+    } else {
+        Err(SputnikError::CorruptOutput {
+            kernel: report.kernel.clone(),
+            reason: format!(
+                "sanitizer reported {} violation(s) on device {device}",
+                report.violation_count
+            ),
+        })
+    }
+}
+
+fn spmm_swizzle<T: Scalar>(shard: &CsrMatrix<T>, cfg: &SpmmConfig) -> RowSwizzle {
+    if cfg.row_swizzle {
+        RowSwizzle::by_length_desc(shard)
+    } else {
+        RowSwizzle::identity(shard.rows())
+    }
+}
+
+/// Row-sharded (data-parallel) SpMM across a fleet: `A (m x k) * B (k x n)`
+/// with contiguous nnz-balanced row blocks, one per device. Each shard is
+/// sanitized/audited and launched through the [`LaunchCache`]; shards on
+/// devices other than 0 gather their output block to device 0 over the
+/// interconnect (`B` is assumed pre-replicated, the data-parallel norm).
+/// The assembled output is bit-identical to [`crate::spmm`].
+pub fn spmm_row_sharded<T: Scalar>(
+    fleet: &mut Fleet,
+    cache: &LaunchCache,
+    a: &CsrMatrix<T>,
+    b: &Matrix<T>,
+    cfg: SpmmConfig,
+) -> Result<ShardedRun<Matrix<T>>, SputnikError> {
+    require_finite("a", a.values())?;
+    require_finite("b", b.as_slice())?;
+    let n = b.cols();
+    let plan = plan_row_shards(a, fleet.num_devices());
+    let mut output = Matrix::<T>::zeros(a.rows(), n);
+    let mut shard_stats = Vec::new();
+    let mut cache_hits = 0usize;
+    let mut gathers = Vec::new();
+    for (dev, &(r0, r1)) in plan.iter().enumerate() {
+        if r0 == r1 {
+            continue;
+        }
+        let shard = row_slice(a, r0, r1)?;
+        let swizzle = spmm_swizzle(&shard, &cfg);
+        let mut out_d = Matrix::<T>::zeros(shard.rows(), n);
+        let (stats, report, hit) = {
+            let kernel = SpmmKernel::try_new(&shard, b, &mut out_d, &swizzle, cfg)?;
+            fleet
+                .gpu(dev)
+                .sanitize_cached(cache, operand_fingerprint(&shard, n), &kernel)?
+        };
+        require_clean(&report, dev)?;
+        cache_hits += usize::from(hit);
+        fleet.submit(dev, stats.time_us);
+        shard_stats.push(stats);
+        if dev != 0 {
+            let bytes = (out_d.rows() * n) as u64 * u64::from(T::BYTES);
+            gathers.push(fleet.transfer(dev, 0, bytes, "gather C row-shard"));
+        }
+        output.as_mut_slice()[r0 * n..r1 * n].copy_from_slice(out_d.as_slice());
+    }
+    for ev in gathers {
+        fleet.wait_event(0, ev);
+    }
+    let sync = fleet.sync()?;
+    Ok(ShardedRun {
+        output,
+        shard_stats,
+        cache_hits,
+        sync,
+    })
+}
+
+/// Row-sharded (data-parallel) SDDMM across a fleet: mask rows are split
+/// into contiguous nnz-balanced blocks; each device computes the sampled
+/// dot products for its block against its slice of `lhs` rows and the full
+/// `rhs`. Per-shard value vectors concatenate in row order (CSR values are
+/// laid out row-major), so the assembled output is bit-identical to
+/// [`crate::sddmm`].
+pub fn sddmm_row_sharded<T: Scalar>(
+    fleet: &mut Fleet,
+    cache: &LaunchCache,
+    lhs: &Matrix<T>,
+    rhs: &Matrix<T>,
+    mask: &CsrMatrix<T>,
+    cfg: SddmmConfig,
+) -> Result<ShardedRun<CsrMatrix<T>>, SputnikError> {
+    require_finite("lhs", lhs.as_slice())?;
+    require_finite("rhs", rhs.as_slice())?;
+    require_finite("mask", mask.values())?;
+    let k = lhs.cols();
+    let plan = plan_row_shards(mask, fleet.num_devices());
+    let mut values = vec![T::zero(); mask.nnz()];
+    let mut shard_stats = Vec::new();
+    let mut cache_hits = 0usize;
+    let mut gathers = Vec::new();
+    for (dev, &(r0, r1)) in plan.iter().enumerate() {
+        if r0 == r1 {
+            continue;
+        }
+        let shard_mask = row_slice(mask, r0, r1)?;
+        let lhs_shard = Matrix::from_vec(r1 - r0, k, lhs.as_slice()[r0 * k..r1 * k].to_vec());
+        let swizzle = if cfg.row_swizzle {
+            RowSwizzle::by_length_desc(&shard_mask)
+        } else {
+            RowSwizzle::identity(shard_mask.rows())
+        };
+        let mut vals_d = vec![T::zero(); shard_mask.nnz()];
+        let (stats, report, hit) = {
+            let kernel =
+                SddmmKernel::try_new(&lhs_shard, rhs, &shard_mask, &mut vals_d, &swizzle, cfg)?;
+            fleet
+                .gpu(dev)
+                .sanitize_cached(cache, mask_fingerprint(&shard_mask, k), &kernel)?
+        };
+        require_clean(&report, dev)?;
+        cache_hits += usize::from(hit);
+        fleet.submit(dev, stats.time_us);
+        shard_stats.push(stats);
+        if dev != 0 && !vals_d.is_empty() {
+            let bytes = vals_d.len() as u64 * u64::from(T::BYTES);
+            gathers.push(fleet.transfer(dev, 0, bytes, "gather SDDMM value shard"));
+        }
+        let base = mask.row_offsets()[r0] as usize;
+        values[base..base + vals_d.len()].copy_from_slice(&vals_d);
+    }
+    for ev in gathers {
+        fleet.wait_event(0, ev);
+    }
+    let sync = fleet.sync()?;
+    Ok(ShardedRun {
+        output: mask.with_values(values),
+        shard_stats,
+        cache_hits,
+        sync,
+    })
+}
+
+/// K-split (tensor-parallel) SpMM across a fleet: the reduction dimension
+/// is cut into contiguous column chunks, one per device, each multiplying
+/// its band of `A` against its block of `B` rows; partial outputs are
+/// combined with a simulated ring all-reduce of the full `C` payload.
+///
+/// Functionally the chunks fold in rank order through
+/// [`SpmmKernel::with_accumulate`], composing the reference kernel's exact
+/// per-row fma chains — see the module docs for why independent partials
+/// would not be bit-identical. Rejected for `fused_bias_relu` configs: a
+/// nonlinear epilogue cannot be applied per-chunk.
+pub fn spmm_k_split<T: Scalar>(
+    fleet: &mut Fleet,
+    cache: &LaunchCache,
+    a: &CsrMatrix<T>,
+    b: &Matrix<T>,
+    cfg: SpmmConfig,
+) -> Result<ShardedRun<Matrix<T>>, SputnikError> {
+    if cfg.fused_bias_relu {
+        return Err(SputnikError::IllegalConfig {
+            reason: "k-split cannot compose with fused_bias_relu: the epilogue is nonlinear, \
+                     so per-chunk application would differ from the single-device kernel"
+                .into(),
+        });
+    }
+    require_finite("a", a.values())?;
+    require_finite("b", b.as_slice())?;
+    let n = b.cols();
+    let k = a.cols();
+    let devices = fleet.num_devices();
+    let mut output = Matrix::<T>::zeros(a.rows(), n);
+    let mut shard_stats = Vec::new();
+    let mut cache_hits = 0usize;
+    for dev in 0..devices {
+        let (k0, k1) = (k * dev / devices, k * (dev + 1) / devices);
+        if k0 == k1 {
+            continue;
+        }
+        let chunk = k_slice(a, k0, k1)?;
+        let b_chunk = Matrix::from_vec(k1 - k0, n, b.as_slice()[k0 * n..k1 * n].to_vec());
+        let swizzle = spmm_swizzle(&chunk, &cfg);
+        let (stats, report, hit) = {
+            let kernel = SpmmKernel::try_new(&chunk, &b_chunk, &mut output, &swizzle, cfg)?
+                .with_accumulate();
+            fleet
+                .gpu(dev)
+                .sanitize_cached(cache, operand_fingerprint(&chunk, n), &kernel)?
+        };
+        require_clean(&report, dev)?;
+        cache_hits += usize::from(hit);
+        fleet.submit(dev, stats.time_us);
+        shard_stats.push(stats);
+    }
+    fleet.ring_all_reduce((a.rows() * n) as u64 * u64::from(T::BYTES));
+    let sync = fleet.sync()?;
+    Ok(ShardedRun {
+        output,
+        shard_stats,
+        cache_hits,
+        sync,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sddmm::sddmm;
+    use crate::spmm::spmm;
+    use gpu_sim::{Gpu, LinkProfile};
+    use sparse::gen;
+
+    fn fleet(n: usize) -> Fleet {
+        Fleet::v100(n)
+    }
+
+    fn assert_bits_eq(got: &Matrix<f32>, want: &Matrix<f32>, what: &str) {
+        assert_eq!(got.rows(), want.rows(), "{what}: row count");
+        assert_eq!(got.cols(), want.cols(), "{what}: col count");
+        for (i, (g, w)) in got.as_slice().iter().zip(want.as_slice()).enumerate() {
+            assert_eq!(
+                g.to_bits(),
+                w.to_bits(),
+                "{what}: element {i} differs ({g} vs {w})"
+            );
+        }
+    }
+
+    #[test]
+    fn row_shard_plan_covers_rows_and_balances_nnz() {
+        let a = gen::power_law(128, 96, 12.0, 1.5, 7);
+        for devices in [1, 2, 4, 8] {
+            let plan = plan_row_shards(&a, devices);
+            assert_eq!(plan.len(), devices);
+            assert_eq!(plan[0].0, 0);
+            assert_eq!(plan[devices - 1].1, a.rows());
+            for w in plan.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "shards must be contiguous");
+            }
+            // Each shard's nnz stays within one max-row-length of the ideal
+            // share: the greedy cut can only overshoot by a row boundary.
+            let ideal = a.nnz() as f64 / devices as f64;
+            for &(r0, r1) in &plan {
+                let nnz = (a.row_offsets()[r1] - a.row_offsets()[r0]) as f64;
+                assert!(nnz <= ideal + a.max_row_len() as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn row_and_k_slices_partition_the_matrix() {
+        let a = gen::uniform(60, 44, 0.8, 11);
+        let plan = plan_row_shards(&a, 3);
+        let total: usize = plan
+            .iter()
+            .map(|&(r0, r1)| row_slice(&a, r0, r1).unwrap().nnz())
+            .sum();
+        assert_eq!(total, a.nnz());
+
+        let cuts = [0, 15, 29, 44];
+        let mut seen = 0;
+        for w in cuts.windows(2) {
+            let band = k_slice(&a, w[0], w[1]).unwrap();
+            assert_eq!(band.rows(), a.rows());
+            assert_eq!(band.cols(), w[1] - w[0]);
+            seen += band.nnz();
+        }
+        assert_eq!(seen, a.nnz());
+    }
+
+    #[test]
+    fn spmm_row_sharded_is_bit_identical_to_single_device() {
+        let gpu = Gpu::v100();
+        for &(m, k, n, sp) in &[(64usize, 96usize, 32usize, 0.7f64), (128, 128, 64, 0.9)] {
+            let a = gen::uniform(m, k, sp, 3);
+            let b = Matrix::<f32>::random(k, n, 5);
+            for swizzle in [false, true] {
+                let cfg = SpmmConfig {
+                    row_swizzle: swizzle,
+                    ..SpmmConfig::default()
+                };
+                let (reference, _) = spmm(&gpu, &a, &b, cfg);
+                for devices in [1, 2, 4] {
+                    let cache = LaunchCache::new();
+                    let mut f = fleet(devices);
+                    let run = spmm_row_sharded(&mut f, &cache, &a, &b, cfg).unwrap();
+                    assert_bits_eq(
+                        &run.output,
+                        &reference,
+                        &format!("spmm {m}x{k}x{n} D={devices} swizzle={swizzle}"),
+                    );
+                    if devices > 1 {
+                        assert!(run.sync.transfer_bytes > 0, "gathers must cross the link");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sddmm_row_sharded_is_bit_identical_to_single_device() {
+        let gpu = Gpu::v100();
+        let mask = gen::uniform(96, 80, 0.85, 17);
+        let lhs = Matrix::<f32>::random(96, 64, 19);
+        let rhs = Matrix::<f32>::random(80, 64, 23);
+        for swizzle in [false, true] {
+            let cfg = SddmmConfig {
+                row_swizzle: swizzle,
+                ..SddmmConfig::default()
+            };
+            let (reference, _) = sddmm(&gpu, &lhs, &rhs, &mask, cfg);
+            for devices in [1, 2, 4] {
+                let cache = LaunchCache::new();
+                let mut f = fleet(devices);
+                let run = sddmm_row_sharded(&mut f, &cache, &lhs, &rhs, &mask, cfg).unwrap();
+                assert!(run.output.same_pattern(&reference));
+                for (i, (g, w)) in run
+                    .output
+                    .values()
+                    .iter()
+                    .zip(reference.values())
+                    .enumerate()
+                {
+                    assert_eq!(g.to_bits(), w.to_bits(), "sddmm value {i} D={devices}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spmm_k_split_is_bit_identical_to_single_device() {
+        let gpu = Gpu::v100();
+        for &(m, k, n, sp) in &[(64usize, 96usize, 32usize, 0.7f64), (100, 76, 40, 0.8)] {
+            let a = gen::uniform(m, k, sp, 29);
+            let b = Matrix::<f32>::random(k, n, 31);
+            for swizzle in [false, true] {
+                let cfg = SpmmConfig {
+                    row_swizzle: swizzle,
+                    ..SpmmConfig::default()
+                };
+                let (reference, _) = spmm(&gpu, &a, &b, cfg);
+                for devices in [1, 2, 4] {
+                    let cache = LaunchCache::new();
+                    let mut f = fleet(devices);
+                    let run = spmm_k_split(&mut f, &cache, &a, &b, cfg).unwrap();
+                    assert_bits_eq(
+                        &run.output,
+                        &reference,
+                        &format!("k-split {m}x{k}x{n} D={devices} swizzle={swizzle}"),
+                    );
+                    if devices > 1 {
+                        // Ring all-reduce: 2(N-1) steps on each of N devices.
+                        assert_eq!(
+                            run.sync.transfers,
+                            2 * (devices as u64 - 1) * devices as u64
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn k_split_rejects_fused_epilogue() {
+        let a = gen::uniform(32, 32, 0.5, 1);
+        let b = Matrix::<f32>::random(32, 32, 2);
+        let cfg = SpmmConfig {
+            fused_bias_relu: true,
+            ..SpmmConfig::default()
+        };
+        let cache = LaunchCache::new();
+        let mut f = fleet(2);
+        let err = spmm_k_split(&mut f, &cache, &a, &b, cfg).unwrap_err();
+        assert!(matches!(err, SputnikError::IllegalConfig { .. }));
+    }
+
+    #[test]
+    fn sharded_relaunch_replays_every_shard_from_the_cache() {
+        let a = gen::power_law(96, 64, 10.0, 1.5, 41);
+        let b = Matrix::<f32>::random(64, 48, 43);
+        let cfg = SpmmConfig::default();
+        let cache = LaunchCache::new();
+
+        let mut f = fleet(4);
+        let cold = spmm_row_sharded(&mut f, &cache, &a, &b, cfg).unwrap();
+        assert_eq!(cold.cache_hits, 0);
+
+        let mut f = fleet(4);
+        let warm = spmm_row_sharded(&mut f, &cache, &a, &b, cfg).unwrap();
+        assert_eq!(warm.cache_hits, warm.shard_stats.len());
+        assert_bits_eq(&warm.output, &cold.output, "replayed run");
+        assert!(warm.sync.transfer_bytes > 0);
+    }
+
+    #[test]
+    fn heterogeneous_fleet_replays_do_not_cross_devices() {
+        // Two fleets with identical device *names* but different silicon:
+        // the arch fingerprint in the launch key must keep their cache
+        // entries apart (the stats would disagree).
+        let a = gen::uniform(64, 64, 0.8, 53);
+        let b = Matrix::<f32>::random(64, 32, 59);
+        let cfg = SpmmConfig::default();
+        let cache = LaunchCache::new();
+
+        let big = gpu_sim::DeviceConfig::v100();
+        let mut small = gpu_sim::DeviceConfig::v100();
+        small.num_sms = 20;
+
+        let mut f1 = Fleet::homogeneous(&big, 2, LinkProfile::nvlink());
+        let cold = spmm_row_sharded(&mut f1, &cache, &a, &b, cfg).unwrap();
+        assert_eq!(cold.cache_hits, 0);
+
+        let mut f2 = Fleet::homogeneous(&small, 2, LinkProfile::nvlink());
+        let cross = spmm_row_sharded(&mut f2, &cache, &a, &b, cfg).unwrap();
+        assert_eq!(
+            cross.cache_hits, 0,
+            "a different arch must never replay another device's stats"
+        );
+        assert_bits_eq(&cross.output, &cold.output, "hetero fleet output");
+    }
+
+    #[test]
+    fn more_devices_than_rows_still_assembles_correctly() {
+        let gpu = Gpu::v100();
+        let a = gen::uniform(3, 40, 0.6, 61);
+        let b = Matrix::<f32>::random(40, 16, 67);
+        let cfg = SpmmConfig::default();
+        let (reference, _) = spmm(&gpu, &a, &b, cfg);
+        let cache = LaunchCache::new();
+        let mut f = fleet(8);
+        let run = spmm_row_sharded(&mut f, &cache, &a, &b, cfg).unwrap();
+        assert_bits_eq(&run.output, &reference, "tiny matrix on 8 devices");
+        assert!(run.shard_stats.len() <= 3);
+    }
+}

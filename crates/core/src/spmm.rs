@@ -88,6 +88,9 @@ pub struct SpmmKernel<'a, T: Scalar> {
     bias: Option<&'a [f32]>,
     cfg: SpmmConfig,
     n: usize,
+    /// Accumulate into the existing output (`C += A·B`) instead of
+    /// overwriting it. See [`SpmmKernel::with_accumulate`].
+    accumulate: bool,
 }
 
 /// Per-subwarp state computed in the prelude.
@@ -188,6 +191,7 @@ impl<'a, T: Scalar> SpmmKernel<'a, T> {
             bias: None,
             cfg,
             n,
+            accumulate: false,
         })
     }
 
@@ -209,7 +213,26 @@ impl<'a, T: Scalar> SpmmKernel<'a, T> {
             bias: None,
             cfg,
             n,
+            accumulate: false,
         }
+    }
+
+    /// Accumulate into the existing output instead of overwriting it:
+    /// `C += A·B`, with each row's accumulation chain *continuing* from the
+    /// values already in `C`. The K-split tensor-parallel path
+    /// ([`crate::shard`]) runs one accumulating launch per contiguous
+    /// K-chunk in rank order; because a validated CSR keeps every row's
+    /// entries column-sorted, those chunk folds compose into exactly the
+    /// fma chain the single-device kernel executes — bit identity, not
+    /// approximate equality. Incompatible with the fused bias+ReLU
+    /// epilogue, which is not linear in the partial sums.
+    pub fn with_accumulate(mut self) -> Self {
+        assert!(
+            !self.cfg.fused_bias_relu,
+            "accumulate cannot compose with fused_bias_relu"
+        );
+        self.accumulate = true;
+        self
     }
 
     /// Attach a fused bias + ReLU epilogue (`cfg.fused_bias_relu` must be set).
@@ -305,6 +328,13 @@ impl<'a, T: Scalar> SpmmKernel<'a, T> {
             return;
         };
         let b = b.as_slice();
+        if self.accumulate {
+            // Seed the accumulator tile with the output's current values so
+            // the fma chain continues where the previous K-chunk stopped.
+            for (x, slot) in acc.iter_mut().enumerate() {
+                *slot = unsafe { out.read(sub.row * self.n + n_off + x) }.to_f32();
+            }
+        }
         for j in 0..sub.total {
             let pos = sub.aligned_offset + j;
             // ROMA masking: the prefix belongs to the previous row.
@@ -349,8 +379,13 @@ impl<'a, T: Scalar> SpmmKernel<'a, T> {
         ctx.misc(6);
         if cfg.row_swizzle {
             // One gather of the swizzled row indices (consecutive m_idx, so
-            // the access is contiguous).
-            ctx.ld_global(BUF_SWIZZLE, 0, subs.len() as u32, 1, 4);
+            // the access is contiguous). Tail subwarps past the last row
+            // never issue the load, so the lane count is clamped by the
+            // matrix height — matters only when rows < block_items_y.
+            let live = subs.len().min(self.a.rows()) as u32;
+            if live > 0 {
+                ctx.ld_global(BUF_SWIZZLE, 0, live, 1, 4);
+            }
         }
         // Row offset + next offset per subwarp: scattered pair loads. The
         // address list is bounded by the subwarp cap, so it lives on the
@@ -524,6 +559,20 @@ impl<'a, T: Scalar> SpmmKernel<'a, T> {
         };
         let store_instrs = gpu_sim::memory::vector_instr_count(tile_w as u64, threads_x, store_vw);
         ctx.cost.st_global_instrs += store_instrs;
+        if self.accumulate {
+            // Read-modify-write epilogue: load the existing C tile with the
+            // same vectorization the store uses. No extra arithmetic — the
+            // loads seed the register accumulators that the fma chain
+            // already charges.
+            ctx.cost.ld_global_instrs += store_instrs;
+            for sub in subs {
+                if sub.row == usize::MAX {
+                    continue;
+                }
+                let addr = (sub.row * self.n + n_off) as u64 * eb as u64;
+                ctx.ld_global_trace(BUF_C, addr, tile_w as u64 * eb as u64);
+            }
+        }
         if cfg.fused_bias_relu {
             let mut bias_addrs = [0u64; MAX_BLOCK_SUBWARPS];
             let n_bias_addrs = gather_row_addrs(subs, 4, &mut bias_addrs);
@@ -553,7 +602,14 @@ impl<T: Scalar> SpmmKernel<'_, T> {
 
 impl<T: Scalar> Kernel for SpmmKernel<'_, T> {
     fn name(&self) -> String {
-        Self::launch_name(&self.cfg)
+        // The accumulate epilogue changes the cost trace (extra C loads),
+        // so it must be a distinct launch identity for the cache and the
+        // sanitizer memo.
+        if self.accumulate {
+            format!("{}_acc", Self::launch_name(&self.cfg))
+        } else {
+            Self::launch_name(&self.cfg)
+        }
     }
 
     fn grid(&self) -> Dim3 {
@@ -658,6 +714,9 @@ impl<T: Scalar> Kernel for SpmmKernel<'_, T> {
             && n_off.is_multiple_of(cfg.vector_width as usize)
             && tile_w.is_multiple_of(cfg.vector_width as usize);
         fp.write_u64(store_vw as u64);
+        // Kernel-wide constant, but the signature is also compared across
+        // dedup representatives in equivalence suites — keep it explicit.
+        fp.write_u64(self.accumulate as u64);
 
         let biy = cfg.block_items_y as usize;
         let base_m = block.y as usize * biy;
@@ -781,11 +840,11 @@ impl<T: Scalar> Kernel for SpmmKernel<'_, T> {
             },
         ];
         if cfg.row_swizzle {
-            // The prelude loads one swizzled row id per subwarp in the warp,
-            // starting at address 0, even for tail subwarps past the last
-            // row — the worst chunk is `subwarps_per_warp` wide (capped by
-            // the block's `block_items_y` subwarps).
-            let chunk = u64::from(cfg.subwarps_per_warp().min(cfg.block_items_y));
+            // The prelude loads one swizzled row id per *live* subwarp in
+            // the warp, starting at address 0 — the worst chunk is
+            // `subwarps_per_warp` wide (capped by the block's
+            // `block_items_y` subwarps and the matrix height).
+            let chunk = u64::from(cfg.subwarps_per_warp().min(cfg.block_items_y)).min(rows);
             bounds.push(BufferBound {
                 slot: BUF_SWIZZLE.0,
                 bound: AccessBound::Extent(chunk * 4),
@@ -944,6 +1003,7 @@ pub fn spmm_profile_cached<T: Scalar>(
         kernel: SpmmKernel::<T>::launch_name(&cfg),
         fingerprint: operand_fingerprint(a, n),
         device: gpu.device().name.clone(),
+        arch: gpu.device().arch_fingerprint(),
     };
     if let Some(stats) = cache.lookup(&key) {
         gpu.note_cache_hit(&stats);

@@ -7,6 +7,7 @@
 //! problem suite of Figure 10 — all running on the simulated GPU.
 pub mod accuracy;
 pub mod attention;
+pub mod fleet;
 pub mod gru;
 pub mod layers;
 pub mod lstm;
@@ -18,6 +19,10 @@ pub mod training;
 pub mod transformer;
 
 pub use attention::{dense_attention, sparse_attention, AttentionTime};
+pub use fleet::{
+    mobilenet_pointwise_problem, scaling_sweep, transformer_attention_problem, FleetProblem,
+    ScalingPoint, ShardStrategy,
+};
 pub use gru::{GruStep, SparseGruCell};
 pub use layers::{bias_relu, depthwise_conv, im2col_3x3, Chw, Linear};
 pub use lstm::{LstmStep, SparseLstmCell};

@@ -6,6 +6,7 @@
 //! for the sparse-Transformer experiment in Table III, where the dense model
 //! runs out of the 1080's 8 GiB of device memory.
 
+use crate::fingerprint::Fingerprint;
 use serde::{Deserialize, Serialize};
 
 /// Static description of a simulated GPU.
@@ -177,6 +178,88 @@ impl DeviceConfig {
     pub fn cycles_to_us(&self, cycles: f64) -> f64 {
         cycles / (self.clock_ghz * 1000.0)
     }
+
+    /// A stable structural hash of every architectural field (everything
+    /// *except* the marketing name). Two devices with the same name but
+    /// different resources — e.g. a fleet mixing a stock V100 with a
+    /// cut-down one — hash differently, so [`crate::LaunchKey`]s carrying
+    /// this value can never serve one profile's cached statistics to the
+    /// other.
+    pub fn arch_fingerprint(&self) -> u64 {
+        let mut f = Fingerprint::new();
+        f.write_u64(self.num_sms as u64)
+            .write_u64(self.clock_ghz.to_bits())
+            .write_u64(self.warp_size as u64)
+            .write_u64(self.fp32_lanes_per_sm as u64)
+            .write_u64(self.issue_slots_per_sm as u64)
+            .write_u64(self.lsu_lanes_per_sm as u64)
+            .write_u64(self.smem_bytes_per_cycle as u64)
+            .write_u64(self.max_threads_per_sm as u64)
+            .write_u64(self.max_blocks_per_sm as u64)
+            .write_u64(self.max_warps_per_sm as u64)
+            .write_u64(self.regs_per_sm as u64)
+            .write_u64(self.reg_alloc_granularity as u64)
+            .write_u64(self.smem_per_sm as u64)
+            .write_u64(self.smem_per_block_max as u64)
+            .write_u64(self.l2_bytes)
+            .write_u64(self.l1_bytes_per_sm as u64)
+            .write_u64(self.dram_bw_gbps.to_bits())
+            .write_u64(self.dram_capacity_bytes)
+            .write_u64(self.launch_overhead_us.to_bits())
+            .write_u64(self.dram_latency_cycles.to_bits())
+            .write_u64(self.latency_hiding_warps.to_bits())
+            .write_u64(self.block_overhead_cycles.to_bits());
+        f.finish()
+    }
+}
+
+/// An inter-device link: the cost model for moving bytes between two GPUs
+/// in a simulated fleet.
+///
+/// Transfers are charged `latency + bytes / bandwidth` on the simulated
+/// clock — the standard alpha-beta (latency/bandwidth) model used by
+/// collective-communication cost analyses. Two profiles bracket real
+/// machines: [`LinkProfile::nvlink`] for NVLink-class fabrics (DGX-style
+/// boxes) and [`LinkProfile::pcie`] for PCIe-attached fleets.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LinkProfile {
+    /// Profile name, e.g. `"NVLink2"`.
+    pub name: String,
+    /// Sustained point-to-point bandwidth in GB/s.
+    pub bandwidth_gbps: f64,
+    /// Fixed per-transfer latency in microseconds (software stack + fabric
+    /// hop). Applied once per transfer regardless of size.
+    pub latency_us: f64,
+}
+
+impl LinkProfile {
+    /// NVLink 2.0-class link: ~150 GB/s per direction between V100 pairs
+    /// in a DGX-1V, with a low microsecond-scale initiation cost.
+    pub fn nvlink() -> Self {
+        Self {
+            name: "NVLink2".to_string(),
+            bandwidth_gbps: 150.0,
+            latency_us: 1.3,
+        }
+    }
+
+    /// PCIe 3.0 x16-class link: ~12 GB/s sustained, with a heavier
+    /// initiation cost through the host stack.
+    pub fn pcie() -> Self {
+        Self {
+            name: "PCIe3-x16".to_string(),
+            bandwidth_gbps: 12.0,
+            latency_us: 5.0,
+        }
+    }
+
+    /// Simulated microseconds to move `bytes` across this link.
+    ///
+    /// `bytes / (GB/s * 1e3)` converts to microseconds directly
+    /// (1 GB/s == 1e3 bytes/us).
+    pub fn transfer_us(&self, bytes: u64) -> f64 {
+        self.latency_us + bytes as f64 / (self.bandwidth_gbps * 1e3)
+    }
 }
 
 #[cfg(test)]
@@ -226,5 +309,43 @@ mod tests {
         assert!(
             DeviceConfig::v100().dram_capacity_bytes > DeviceConfig::gtx1080().dram_capacity_bytes
         );
+    }
+
+    #[test]
+    fn arch_fingerprint_ignores_name_but_not_resources() {
+        let base = DeviceConfig::v100();
+        let mut renamed = base.clone();
+        renamed.name = "V100-dev3".to_string();
+        assert_eq!(
+            base.arch_fingerprint(),
+            renamed.arch_fingerprint(),
+            "the marketing name is not architecture"
+        );
+        let mut cut_down = base.clone();
+        cut_down.num_sms = 40;
+        assert_ne!(base.arch_fingerprint(), cut_down.arch_fingerprint());
+        let mut slower_dram = base.clone();
+        slower_dram.dram_bw_gbps = 450.0;
+        assert_ne!(base.arch_fingerprint(), slower_dram.arch_fingerprint());
+        assert_ne!(
+            DeviceConfig::v100().arch_fingerprint(),
+            DeviceConfig::a100().arch_fingerprint()
+        );
+    }
+
+    #[test]
+    fn link_transfer_cost_is_latency_plus_bandwidth_term() {
+        let nv = LinkProfile::nvlink();
+        // Zero bytes still pays the initiation latency.
+        assert!((nv.transfer_us(0) - nv.latency_us).abs() < 1e-12);
+        // 150 MB at 150 GB/s is 1 ms of bandwidth term.
+        let us = nv.transfer_us(150_000_000);
+        assert!(
+            (us - (nv.latency_us + 1000.0)).abs() < 1e-9,
+            "150 MB over NVLink should cost ~1 ms, got {us} us"
+        );
+        // PCIe is strictly slower for any nonzero payload.
+        let pcie = LinkProfile::pcie();
+        assert!(pcie.transfer_us(1 << 20) > nv.transfer_us(1 << 20));
     }
 }

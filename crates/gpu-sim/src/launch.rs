@@ -252,6 +252,7 @@ impl Gpu {
             kernel: kernel.name(),
             fingerprint,
             device: self.dev.name.clone(),
+            arch: self.dev.arch_fingerprint(),
         }
     }
 

@@ -55,12 +55,22 @@ use std::sync::Mutex;
 /// a corpus-scale sweep's memory.
 pub const DEFAULT_CAPACITY: usize = 8192;
 
-/// Cache key: (kernel name incl. config tag, operand fingerprint, device).
+/// Cache key: (kernel name incl. config tag, operand fingerprint, device
+/// name, device architecture).
+///
+/// The `arch` field is the structural hash of every architectural field of
+/// the device config ([`crate::DeviceConfig::arch_fingerprint`]). The name
+/// alone is not an identity: a heterogeneous fleet can legitimately hold two
+/// devices with the same marketing name but different resources (a stock
+/// V100 next to a cut-down one), and simulated statistics depend on the
+/// resources, not the label. With `arch` in the key, replay can never
+/// cross-pollinate between device profiles.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct LaunchKey {
     pub kernel: String,
     pub fingerprint: u64,
     pub device: String,
+    pub arch: u64,
 }
 
 #[derive(Debug)]
@@ -316,6 +326,7 @@ mod tests {
             kernel: "k".into(),
             fingerprint: fp,
             device: "V100".into(),
+            arch: 0xA4C4,
         }
     }
 
@@ -340,10 +351,50 @@ mod tests {
         other_kernel.kernel = "k2".into();
         let mut other_dev = key(1);
         other_dev.device = "A100".into();
+        let mut other_arch = key(1);
+        other_arch.arch = 0xBEEF;
         assert!(cache.lookup(&other_kernel).is_none());
         assert!(cache.lookup(&other_dev).is_none());
+        assert!(cache.lookup(&other_arch).is_none());
         assert!(cache.lookup(&key(2)).is_none());
         assert!(cache.lookup(&key(1)).is_some());
+    }
+
+    /// Regression (heterogeneous-fleet cross-pollination): two device models
+    /// sharing a marketing name but differing in resources must never serve
+    /// each other's cached statistics. Before `arch` joined the key, the
+    /// second device below would hit the first's entry.
+    #[test]
+    fn same_name_different_arch_never_cross_pollinates() {
+        use crate::device::DeviceConfig;
+        let stock = DeviceConfig::v100();
+        let mut cut_down = DeviceConfig::v100();
+        cut_down.num_sms = 40;
+        assert_eq!(stock.name, cut_down.name);
+
+        let cache = LaunchCache::new();
+        let stock_key = LaunchKey {
+            kernel: "k".into(),
+            fingerprint: 7,
+            device: stock.name.clone(),
+            arch: stock.arch_fingerprint(),
+        };
+        let cut_key = LaunchKey {
+            kernel: "k".into(),
+            fingerprint: 7,
+            device: cut_down.name.clone(),
+            arch: cut_down.arch_fingerprint(),
+        };
+        cache.insert(stock_key.clone(), dummy_stats(10.0));
+        assert!(
+            cache.lookup(&cut_key).is_none(),
+            "cut-down device must not see the stock device's entry"
+        );
+        cache.insert(cut_key.clone(), dummy_stats(20.0));
+        let stock_hit = cache.lookup(&stock_key).expect("stock entry intact");
+        let cut_hit = cache.lookup(&cut_key).expect("cut-down entry present");
+        assert_eq!(stock_hit.time_us, 10.0);
+        assert_eq!(cut_hit.time_us, 20.0);
     }
 
     #[test]

@@ -62,6 +62,7 @@ pub mod device;
 pub mod dim;
 pub mod fault;
 pub mod fingerprint;
+pub mod fleet;
 pub mod kernel;
 pub mod lanes;
 pub mod launch;
@@ -81,10 +82,11 @@ pub use arena::{ScratchF32, ScratchU64};
 pub use cache::{AccessPattern, BufferSpec, DramTraffic};
 pub use cache_sim::{CacheConfig, CacheSim, CacheStats};
 pub use cost::{BlockContext, BlockCost, BlockCostLite, BufferId, Traffic, MAX_BUFFERS};
-pub use device::DeviceConfig;
+pub use device::{DeviceConfig, LinkProfile};
 pub use dim::Dim3;
 pub use fault::{DeviceFault, FaultKind, FaultPlan};
 pub use fingerprint::Fingerprint;
+pub use fleet::{EventId, Fleet, FleetError, FleetSync};
 pub use kernel::Kernel;
 pub use launch::{Gpu, LaunchError, LaunchStats, LaunchSummary, PipelineBreakdown, Stream};
 pub use launch_cache::{LaunchCache, LaunchKey};

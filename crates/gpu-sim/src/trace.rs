@@ -65,6 +65,15 @@ pub enum EventKind {
     Replay { dur_us: f64, count: u64 },
     /// A point event (cache hit/miss, dispatch rung, fault, sanitizer run).
     Instant,
+    /// A cross-device interconnect transfer occupying the source device's
+    /// track for `dur_us`: `bytes` moved toward `dst`. The exporter
+    /// synthesizes an `interconnect_bytes` counter track from these
+    /// (bytes in flight at the start, back to zero at the end).
+    Transfer {
+        dur_us: f64,
+        bytes: u64,
+        dst: String,
+    },
 }
 
 /// One recorded event. Timestamps are simulated microseconds on the track's
@@ -86,7 +95,9 @@ impl TraceEvent {
     pub fn dur_us(&self) -> f64 {
         match &self.kind {
             EventKind::Launch { stats, .. } => stats.time_us,
-            EventKind::Span { dur_us } | EventKind::Replay { dur_us, .. } => *dur_us,
+            EventKind::Span { dur_us }
+            | EventKind::Replay { dur_us, .. }
+            | EventKind::Transfer { dur_us, .. } => *dur_us,
             EventKind::Instant => 0.0,
         }
     }
@@ -235,6 +246,31 @@ pub fn instant(cat: &'static str, track: &str, name: &str) {
         ts_us,
         kind: EventKind::Instant,
     });
+}
+
+/// Record an interconnect transfer on the source device's track: `bytes`
+/// moved toward `dst` over `dur_us` of simulated time. Advances the source
+/// track's clock by `dur_us` (the stream is busy sending). Called by the
+/// fleet layer ([`crate::fleet`]) when it resolves a transfer command;
+/// model code normally never calls this directly.
+pub fn transfer(track: &str, dst: &str, name: &str, bytes: u64, dur_us: f64) {
+    if !enabled() {
+        return;
+    }
+    let mut r = lock();
+    let ts_us = r.clock(track);
+    r.events.push(TraceEvent {
+        name: name.to_string(),
+        cat: "transfer",
+        track: track.to_string(),
+        ts_us,
+        kind: EventKind::Transfer {
+            dur_us,
+            bytes,
+            dst: dst.to_string(),
+        },
+    });
+    r.advance(track, dur_us);
 }
 
 /// Open a named region on `track`. Close it with [`end_span`]; its duration
@@ -414,6 +450,27 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
                     ",\n{{\"name\":\"{name}\",\"cat\":\"{}\",\"ph\":\"i\",\"ts\":{ts},\
                      \"pid\":0,\"tid\":{tid},\"s\":\"t\"}}",
                     ev.cat,
+                ));
+            }
+            EventKind::Transfer { dur_us, bytes, dst } => {
+                out.push_str(&format!(
+                    ",\n{{\"name\":\"{name}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{ts},\
+                     \"dur\":{},\"pid\":0,\"tid\":{tid},\"args\":{{\
+                     \"bytes\":{bytes},\"dst\":\"{}\"}}}}",
+                    ev.cat,
+                    json_num(*dur_us),
+                    escape_json(dst),
+                ));
+                // Counter track: bytes in flight step up for the duration of
+                // the transfer and drop back to zero when it completes.
+                let end = json_num(ev.ts_us + dur_us);
+                out.push_str(&format!(
+                    ",\n{{\"name\":\"interconnect_bytes\",\"ph\":\"C\",\"ts\":{ts},\
+                     \"pid\":0,\"tid\":{tid},\"args\":{{\"bytes\":{bytes}}}}}",
+                ));
+                out.push_str(&format!(
+                    ",\n{{\"name\":\"interconnect_bytes\",\"ph\":\"C\",\"ts\":{end},\
+                     \"pid\":0,\"tid\":{tid},\"args\":{{\"bytes\":0}}}}",
                 ));
             }
         }
@@ -1113,6 +1170,41 @@ mod tests {
         assert_eq!(check.instants, 1);
         assert_eq!(check.tracks, 1);
         assert!(check.counters >= 4, "occupancy + dram counters synthesized");
+    }
+
+    #[test]
+    fn transfer_events_advance_clock_and_export_counters() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        enable();
+        let track = "trace-test-xfer";
+        let gpu = test_gpu(track);
+        gpu.profile(&Tiny);
+        let before = clock(track);
+        transfer(track, "dev1", "shard -> dev1", 1 << 20, 12.5);
+        assert!(
+            (clock(track) - (before + 12.5)).abs() < 1e-9,
+            "transfer occupies the source track"
+        );
+        gpu.profile(&Tiny);
+        let events: Vec<TraceEvent> = disable().into_iter().filter(|e| e.track == track).collect();
+        let xfer = events
+            .iter()
+            .find(|e| matches!(e.kind, EventKind::Transfer { .. }))
+            .expect("transfer recorded");
+        assert!((xfer.ts_us - before).abs() < 1e-9);
+        assert!((xfer.dur_us() - 12.5).abs() < 1e-12);
+
+        let json = chrome_trace_json(&events);
+        let check = validate_chrome_trace(&json).expect("transfer traces stay schema-valid");
+        assert_eq!(check.launches, 2);
+        assert!(
+            json.contains("interconnect_bytes"),
+            "bytes-in-flight counter track synthesized"
+        );
+        assert!(
+            check.counters >= 2 * 4 + 2,
+            "launch + interconnect counters"
+        );
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub mod traffic;
 pub mod workload;
 
 pub use queue::{Admission, AdmissionQueue};
-pub use server::{run, ServePolicy, ServeReport};
+pub use server::{run, run_fleet, ServePolicy, ServeReport};
 pub use slo::LatencyRecorder;
 pub use traffic::{generate, ArrivalProcess, OpKind, Request, Rng64, TrafficConfig};
 pub use workload::{attention_topologies, Topology};

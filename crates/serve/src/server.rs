@@ -28,7 +28,7 @@ use crate::queue::{Admission, AdmissionQueue};
 use crate::slo::LatencyRecorder;
 use crate::traffic::{OpKind, Request};
 use crate::workload::Topology;
-use gpu_sim::{trace, Gpu, LaunchCache};
+use gpu_sim::{trace, Fleet, Gpu, LaunchCache};
 use sparse::Matrix;
 use sputnik::{sddmm_batched_dispatch, spmm_batched_dispatch, DispatchPolicy, Rung, SputnikError};
 
@@ -90,6 +90,9 @@ pub struct ServeReport {
     pub faults_injected: u64,
     /// Simulated clock at the end of the run.
     pub sim_end_us: f64,
+    /// Batches dispatched per device ([`run_fleet`] only; empty for the
+    /// single-device [`run`]).
+    pub per_device_batches: Vec<u64>,
 }
 
 impl ServeReport {
@@ -109,9 +112,74 @@ impl ServeReport {
 /// queued requests: how many windows must drain first, times the smoothed
 /// per-window time (window wait + service).
 fn projected_latency_us(depth: usize, policy: &ServePolicy, ewma_batch_us: f64) -> f64 {
-    let batches_ahead = depth.div_ceil(policy.max_batch) + 1;
+    projected_latency_fleet_us(depth, 1, policy, ewma_batch_us)
+}
+
+/// The fleet generalization of [`projected_latency_us`]: `devices` windows
+/// drain concurrently, so the backlog clears `devices` times faster.
+/// Identical to the single-device projection at `devices == 1`.
+fn projected_latency_fleet_us(
+    depth: usize,
+    devices: usize,
+    policy: &ServePolicy,
+    ewma_batch_us: f64,
+) -> f64 {
+    let batches_ahead = (depth.div_ceil(policy.max_batch) + 1).div_ceil(devices);
     batches_ahead as f64 * (policy.batch_window_us + ewma_batch_us)
 }
+
+/// Run one coalesced window through the batched dispatcher for `op`,
+/// returning `(cpu_served, stream_us, cache_hits, per-request reports)`.
+fn serve_window(
+    gpu: &Gpu,
+    cache: &LaunchCache,
+    topo: &Topology,
+    op: OpKind,
+    batch: usize,
+    policy: &ServePolicy,
+) -> Result<(u64, f64, u64, Vec<sputnik::DispatchReport>), SputnikError> {
+    match op {
+        OpKind::Spmm => {
+            let bs: Vec<&Matrix<f32>> = (0..batch).map(|_| &topo.dense).collect();
+            let d = spmm_batched_dispatch(
+                gpu,
+                cache,
+                &topo.mask,
+                &bs,
+                topo.spmm_cfg,
+                &policy.dispatch,
+            )?;
+            Ok((d.cpu_served(), d.stream_us, d.cache_hits, d.reports))
+        }
+        OpKind::Sddmm => {
+            let pairs: Vec<(&Matrix<f32>, &Matrix<f32>)> =
+                (0..batch).map(|_| (&topo.lhs, &topo.rhs)).collect();
+            let d = sddmm_batched_dispatch(
+                gpu,
+                cache,
+                &pairs,
+                &topo.mask,
+                topo.sddmm_cfg,
+                &policy.dispatch,
+            )?;
+            Ok((d.cpu_served(), d.stream_us, d.cache_hits, d.reports))
+        }
+    }
+}
+
+/// Per-device batch counters for fleet serving: the metrics registry takes
+/// `'static` names, so the fleet width observable this way is capped at 8
+/// (matching the largest fleet the benches sweep).
+const DEV_BATCHES: [&str; 8] = [
+    "serve_dev0_batches",
+    "serve_dev1_batches",
+    "serve_dev2_batches",
+    "serve_dev3_batches",
+    "serve_dev4_batches",
+    "serve_dev5_batches",
+    "serve_dev6_batches",
+    "serve_dev7_batches",
+];
 
 /// Serve a traffic trace (sorted by arrival) against the topologies.
 ///
@@ -210,33 +278,8 @@ pub fn run(
         let topo = &topologies[topo_idx];
 
         // 4. Serve it through the fault-tolerant batched dispatchers.
-        let (cpu_served, stream_us, hits, reports) = match op {
-            OpKind::Spmm => {
-                let bs: Vec<&Matrix<f32>> = window.iter().map(|_| &topo.dense).collect();
-                let d = spmm_batched_dispatch(
-                    gpu,
-                    &cache,
-                    &topo.mask,
-                    &bs,
-                    topo.spmm_cfg,
-                    &policy.dispatch,
-                )?;
-                (d.cpu_served(), d.stream_us, d.cache_hits, d.reports)
-            }
-            OpKind::Sddmm => {
-                let pairs: Vec<(&Matrix<f32>, &Matrix<f32>)> =
-                    window.iter().map(|_| (&topo.lhs, &topo.rhs)).collect();
-                let d = sddmm_batched_dispatch(
-                    gpu,
-                    &cache,
-                    &pairs,
-                    &topo.mask,
-                    topo.sddmm_cfg,
-                    &policy.dispatch,
-                )?;
-                (d.cpu_served(), d.stream_us, d.cache_hits, d.reports)
-            }
-        };
+        let (cpu_served, stream_us, hits, reports) =
+            serve_window(gpu, &cache, topo, op, window.len(), policy)?;
         let service_us = stream_us + cpu_served as f64 * policy.cpu_service_us;
         if tracing {
             trace::replay(
@@ -282,6 +325,152 @@ pub fn run(
     // Export the run into the shared metrics registry so serving and
     // non-serving runs land on one dashboard (the registry is monotonic and
     // process-global; concurrent runs sum).
+    gpu_sim::metrics::global().incr_many(&[
+        ("serve_offered", report.offered),
+        ("serve_served", report.served),
+        ("serve_shed", report.shed),
+        ("serve_rejected", report.rejected),
+        ("serve_late", report.late),
+        ("serve_batches", report.batches),
+        ("serve_degraded", report.degraded),
+    ]);
+
+    Ok(report)
+}
+
+/// Serve a traffic trace across a [`Fleet`]: batch windows are coalesced by
+/// the same admission/backpressure loop as [`run`] and dispatched
+/// round-robin across the fleet's devices, each with its own busy clock.
+/// The scheduler keeps coalescing while devices drain, so under a saturating
+/// load `N` devices cut queue wait roughly `N`-fold — the fleetwall gate
+/// pins that p99 at 2 devices beats 1 at fixed load. With a single device
+/// this reduces *exactly* to [`run`]'s semantics.
+///
+/// One [`LaunchCache`] is shared across the fleet: keys carry device
+/// identity, so homogeneous devices replay each other's topologies safely
+/// while heterogeneous ones never cross-pollinate.
+pub fn run_fleet(
+    fleet: &Fleet,
+    topologies: &[Topology],
+    policy: &ServePolicy,
+    requests: &[Request],
+) -> Result<ServeReport, SputnikError> {
+    assert!(!topologies.is_empty(), "cannot serve without topologies");
+    let devices = fleet.num_devices();
+    let cache = LaunchCache::new();
+    let mut queue = AdmissionQueue::new(policy.queue_capacity);
+    let mut report = ServeReport {
+        offered: requests.len() as u64,
+        per_device_batches: vec![0; devices],
+        ..ServeReport::default()
+    };
+    let faults_before: u64 = fleet
+        .gpus()
+        .iter()
+        .map(|g| g.fault_plan().map_or(0, |p| p.faults_injected()))
+        .sum();
+    let tracing = trace::enabled();
+
+    let mut now = 0.0f64;
+    let mut next_arrival = 0usize;
+    let mut ewma_batch_us = policy.batch_window_us.max(1.0);
+    let mut busy_until = vec![0.0f64; devices];
+    let mut next_dev = 0usize;
+
+    while next_arrival < requests.len() || !queue.is_empty() {
+        if queue.is_empty() {
+            now = now.max(requests[next_arrival].arrival_us);
+        }
+
+        // 1. Admit everything arriving inside this batch window.
+        let window_close = now + policy.batch_window_us;
+        while next_arrival < requests.len() && requests[next_arrival].arrival_us <= window_close {
+            let r = requests[next_arrival].clone();
+            next_arrival += 1;
+            let projected = projected_latency_fleet_us(queue.len(), devices, policy, ewma_batch_us);
+            let outcome = if projected > policy.p99_budget_us {
+                Admission::Shed
+            } else {
+                queue.try_admit(r.clone())
+            };
+            match outcome {
+                Admission::Admitted => {}
+                Admission::Rejected => report.rejected += 1,
+                Admission::Shed => report.shed += 1,
+            }
+        }
+        now = window_close;
+
+        // 2. Shed queued requests that already missed their deadline.
+        report.shed += queue.take_expired(now).len() as u64;
+
+        // 3. Coalesce a window keyed by the oldest request's (op, topology).
+        let Some(front) = queue.front() else {
+            continue;
+        };
+        let (op, topo_idx) = (front.op, front.topology);
+        let window = queue.take_window(op, topo_idx, policy.max_batch);
+        let topo = &topologies[topo_idx];
+
+        // 4. Dispatch round-robin: the window starts when both it has
+        // closed and its device is free; the scheduler moves on as soon as
+        // the earliest device frees, coalescing the next window meanwhile.
+        let dev = next_dev;
+        next_dev = (next_dev + 1) % devices;
+        let (cpu_served, stream_us, hits, reports) =
+            serve_window(fleet.gpu(dev), &cache, topo, op, window.len(), policy)?;
+        let service_us = stream_us + cpu_served as f64 * policy.cpu_service_us;
+        let start = window_close.max(busy_until[dev]);
+        let done = start + service_us;
+        busy_until[dev] = done;
+        if tracing {
+            trace::replay(
+                &format!("serve[dev{dev}]"),
+                &format!("window {op}/{} x{}", topo.name, window.len()),
+                service_us,
+                window.len() as u64,
+            );
+        }
+        now = window_close.max(busy_until.iter().copied().fold(f64::INFINITY, f64::min));
+        ewma_batch_us = 0.7 * ewma_batch_us + 0.3 * service_us;
+        report.batches += 1;
+        report.per_device_batches[dev] += 1;
+        report.cache_hits += hits;
+        if dev < DEV_BATCHES.len() {
+            gpu_sim::metrics::global().incr(DEV_BATCHES[dev], 1);
+        }
+        for (r, rep) in window.iter().zip(&reports) {
+            report.served += 1;
+            report.latency.record(done - r.arrival_us);
+            report.rung_counts[rep.served_by as usize] += 1;
+            if rep.served_by != Rung::Sputnik {
+                report.degraded += 1;
+            }
+            if done > r.deadline_us {
+                report.late += 1;
+            }
+        }
+    }
+
+    report.max_queue_depth = queue.max_depth();
+    report.sim_end_us = busy_until.iter().copied().fold(now, f64::max);
+    report.faults_injected = fleet
+        .gpus()
+        .iter()
+        .map(|g| g.fault_plan().map_or(0, |p| p.faults_injected()))
+        .sum::<u64>()
+        - faults_before;
+
+    assert_eq!(
+        report.served + report.shed + report.rejected,
+        report.offered,
+        "conservation violation: served {} + shed {} + rejected {} != offered {}",
+        report.served,
+        report.shed,
+        report.rejected,
+        report.offered
+    );
+
     gpu_sim::metrics::global().incr_many(&[
         ("serve_offered", report.offered),
         ("serve_served", report.served),

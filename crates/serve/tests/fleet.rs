@@ -1,0 +1,92 @@
+//! Fleet-serving properties: the round-robin scheduler reduces exactly to
+//! the single-device server at one device, spreads windows across devices,
+//! and converts added devices into tail-latency relief at fixed load.
+
+use gpu_sim::{Fleet, Gpu};
+use serve::{
+    attention_topologies, generate, run, run_fleet, ArrivalProcess, ServePolicy, TrafficConfig,
+};
+
+fn saturating_policy() -> ServePolicy {
+    ServePolicy {
+        queue_capacity: 512,
+        max_batch: 8,
+        batch_window_us: 25.0,
+        // Effectively no backpressure: the test wants raw queueing delay,
+        // not shed-vs-served divergence between fleet widths.
+        p99_budget_us: 1e9,
+        ..ServePolicy::default()
+    }
+}
+
+fn burst_traffic(n: usize) -> Vec<serve::Request> {
+    generate(&TrafficConfig {
+        seed: 0xF1EE7,
+        // Arrivals land almost simultaneously: a pure drain race.
+        process: ArrivalProcess::Poisson { rate_per_s: 1e9 },
+        requests: n,
+        deadline_us: 1e9,
+        sddmm_fraction: 0.3,
+        topologies: 2,
+    })
+}
+
+#[test]
+fn single_device_fleet_reduces_to_run() {
+    let topologies = attention_topologies(128, 32, 9);
+    let policy = saturating_policy();
+    let requests = burst_traffic(120);
+
+    let single = run(&Gpu::v100(), &topologies, &policy, &requests).unwrap();
+    let fleet = Fleet::v100(1);
+    let fleeted = run_fleet(&fleet, &topologies, &policy, &requests).unwrap();
+
+    assert_eq!(single.served, fleeted.served);
+    assert_eq!(single.shed, fleeted.shed);
+    assert_eq!(single.rejected, fleeted.rejected);
+    assert_eq!(single.batches, fleeted.batches);
+    assert_eq!(single.late, fleeted.late);
+    assert_eq!(single.latency.p99(), fleeted.latency.p99());
+    assert_eq!(single.sim_end_us, fleeted.sim_end_us);
+    assert_eq!(fleeted.per_device_batches, vec![fleeted.batches]);
+}
+
+#[test]
+fn two_devices_beat_one_on_p99_at_fixed_load() {
+    let topologies = attention_topologies(128, 32, 9);
+    let policy = saturating_policy();
+    let requests = burst_traffic(240);
+
+    let one = run_fleet(&Fleet::v100(1), &topologies, &policy, &requests).unwrap();
+    let two = run_fleet(&Fleet::v100(2), &topologies, &policy, &requests).unwrap();
+
+    assert_eq!(one.served, 240);
+    assert_eq!(two.served, 240);
+    assert!(
+        two.latency.p99() < one.latency.p99(),
+        "2-device p99 {:.0} us must beat 1-device p99 {:.0} us",
+        two.latency.p99(),
+        one.latency.p99()
+    );
+    assert!(
+        two.sim_end_us < one.sim_end_us,
+        "2 devices must drain the backlog sooner"
+    );
+}
+
+#[test]
+fn round_robin_spreads_windows_across_devices() {
+    let topologies = attention_topologies(128, 32, 9);
+    let policy = saturating_policy();
+    let requests = burst_traffic(240);
+
+    let report = run_fleet(&Fleet::v100(4), &topologies, &policy, &requests).unwrap();
+    assert_eq!(report.per_device_batches.len(), 4);
+    assert_eq!(
+        report.per_device_batches.iter().sum::<u64>(),
+        report.batches
+    );
+    for (dev, &batches) in report.per_device_batches.iter().enumerate() {
+        assert!(batches > 0, "device {dev} never served a window");
+    }
+}

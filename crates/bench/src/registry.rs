@@ -23,7 +23,7 @@ use baselines::{
     AsptDirection, AsptPlan, BlockSpmmKernel, EllSpmmKernel, GemmKernel, MergeSpmmKernel,
     NnzSplitSpmmKernel, TransposeKernel,
 };
-use gpu_sim::Kernel;
+use gpu_sim::{Kernel, SddmmSoftmaxSpmmKernel};
 use sparse::ell::EllMatrix;
 use sparse::{block, gen, Layout, Matrix, RowSwizzle};
 use sputnik::{
@@ -114,6 +114,30 @@ pub fn for_each_kernel(visit: &mut dyn FnMut(&dyn Kernel)) {
         {
             let mut values = vec![0.0f32; a.nnz()];
             let kernel = SparseSoftmaxKernel::new(&a, &mut values);
+            visit(&kernel);
+        }
+
+        // Fused sparse attention (SDDMM + scaled softmax + SpMM over one
+        // mask), with the same stage tiles the fusion planner would pick.
+        {
+            let mask = gen::uniform(m, n, sparsity, seed + 2);
+            let q = Matrix::<f32>::random(m, k, seed + 3);
+            let kmat = Matrix::<f32>::random(n, k, seed + 4);
+            let v = Matrix::<f32>::random(n, k, seed + 5);
+            let mut out = Matrix::<f32>::zeros(m, k);
+            let sddmm_tile = SddmmConfig::heuristic::<f32>(k).block_items_x as usize;
+            let spmm_tile = SpmmConfig::heuristic::<f32>(k).block_items_x as usize;
+            let kernel = SddmmSoftmaxSpmmKernel::new(
+                &q,
+                &kmat,
+                &v,
+                &mask,
+                out.as_mut_slice(),
+                0.125,
+                sddmm_tile,
+                spmm_tile,
+                format!("s{sddmm_tile}x{spmm_tile}"),
+            );
             visit(&kernel);
         }
 
@@ -216,17 +240,17 @@ pub fn pair_count() -> u64 {
 mod tests {
     use super::*;
 
-    /// The registry is deterministic: 16 kernels per shape (three SpMM
-    /// configs, the accumulate variant, and twelve other kernels),
-    /// merge-SpMM only where `n % 32 == 0` (shapes 0 and 1), plus the two
-    /// shape-constrained baselines.
+    /// The registry is deterministic: 17 kernels per shape (three SpMM
+    /// configs, the accumulate variant, the fused attention pipeline, and
+    /// twelve other kernels), merge-SpMM only where `n % 32 == 0` (shapes
+    /// 0 and 1), plus the two shape-constrained baselines.
     #[test]
     fn registry_enumerates_every_kernel() {
         let mut names = Vec::new();
         for_each_kernel(&mut |k| names.push(k.name().to_string()));
         let expected: usize = SHAPES
             .iter()
-            .map(|&(_, _, n, _)| 15 + usize::from(n % 32 == 0))
+            .map(|&(_, _, n, _)| 16 + usize::from(n % 32 == 0))
             .sum::<usize>()
             + 2;
         assert_eq!(names.len(), expected, "{names:?}");
@@ -236,6 +260,7 @@ mod tests {
             "fallback_spmm",
             "sputnik_sddmm",
             "sputnik_sparse_softmax",
+            "fused_sddmm_softmax_spmm",
             "value_permute",
             "cublas_sgemm",
             "cublas_transpose",

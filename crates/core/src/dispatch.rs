@@ -381,7 +381,7 @@ pub fn sanitize_cached<T: Scalar>(
 /// typed [`SputnikError::StaticallyRefuted`] *before* the simulator executes
 /// a single block. Inside the dispatch ladder this is a deterministic
 /// failure, so the rung is abandoned immediately and the ladder degrades.
-fn audit_launch(gpu: &Gpu, kernel: &dyn Kernel) -> Result<(), SputnikError> {
+pub(crate) fn audit_launch(gpu: &Gpu, kernel: &dyn Kernel) -> Result<(), SputnikError> {
     let audit = gpu.audit(kernel);
     if let Some(finding) = audit.refutation() {
         gpu_sim::metrics::global().incr("dispatch_static_refuted", 1);

@@ -10,6 +10,7 @@ pub mod batched;
 pub mod config;
 pub mod dispatch;
 pub mod error;
+pub mod plan;
 pub mod reference;
 pub mod roma;
 pub mod sddmm;
@@ -29,13 +30,21 @@ pub use dispatch::{
     DispatchReport, FallbackSpmmKernel, Rung,
 };
 pub use error::SputnikError;
+pub use plan::{
+    attention_configs, sparse_attention_fused, sparse_attention_fused_profile,
+    sparse_attention_unfused, try_sparse_attention_fused, AttentionConfigs, FusedAttention,
+    FusedAttentionTime, FusionDecision, FusionPlanner, PlanOp,
+};
 pub use roma::MemoryAligner;
 pub use sddmm::{sddmm, sddmm_profile, sddmm_profile_cached, try_sddmm, SddmmKernel};
 pub use shard::{
     k_slice, plan_row_shards, row_slice, sddmm_row_sharded, spmm_k_split, spmm_row_sharded,
     ShardedRun,
 };
-pub use softmax::{sparse_softmax, sparse_softmax_profile, SparseSoftmaxKernel};
+pub use softmax::{
+    sparse_softmax, sparse_softmax_profile, sparse_softmax_scaled, sparse_softmax_scaled_profile,
+    SparseSoftmaxKernel,
+};
 pub use spmm::{spmm, spmm_profile, spmm_profile_cached, try_spmm, SpmmKernel};
 pub use transpose::{CachedTranspose, PermuteKernel};
 pub use tune::{AutoTuner, ProblemClass, TuneResult};

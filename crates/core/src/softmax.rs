@@ -25,6 +25,11 @@ pub struct SparseSoftmaxKernel<'a, T: Scalar> {
     m: &'a CsrMatrix<T>,
     out_values: Option<SyncUnsafeSlice<'a, T>>,
     vector_width: u32,
+    /// Logit scale folded into the read passes (attention's `1/sqrt(d)`).
+    /// `None` is the plain softmax; `Some` meters one extra multiply pass
+    /// and tags the launch name, so scaled and unscaled launches can never
+    /// alias in the [`gpu_sim::LaunchCache`].
+    scale: Option<f32>,
 }
 
 impl<'a, T: Scalar> SparseSoftmaxKernel<'a, T> {
@@ -34,6 +39,7 @@ impl<'a, T: Scalar> SparseSoftmaxKernel<'a, T> {
             m,
             out_values: Some(SyncUnsafeSlice::new(out_values)),
             vector_width: 16 / T::BYTES,
+            scale: None,
         }
     }
 
@@ -42,13 +48,26 @@ impl<'a, T: Scalar> SparseSoftmaxKernel<'a, T> {
             m,
             out_values: None,
             vector_width: 16 / T::BYTES,
+            scale: None,
         }
+    }
+
+    /// Fold a logit scale into the kernel: every stored value is read as
+    /// `value * scale` before the max/exp/normalize passes. Replaces the
+    /// unmetered host-side scale loop the attention path used to run
+    /// between launches.
+    pub fn with_scale(mut self, scale: f32) -> Self {
+        self.scale = Some(scale);
+        self
     }
 }
 
 impl<T: Scalar> Kernel for SparseSoftmaxKernel<'_, T> {
     fn name(&self) -> String {
-        format!("sputnik_sparse_softmax_{}", T::TAG)
+        match self.scale {
+            None => format!("sputnik_sparse_softmax_{}", T::TAG),
+            Some(_) => format!("sputnik_sparse_softmax_scaled_{}", T::TAG),
+        }
     }
 
     fn grid(&self) -> Dim3 {
@@ -149,6 +168,11 @@ impl<T: Scalar> Kernel for SparseSoftmaxKernel<'_, T> {
                 // exp on each element + subtract max + divide: ~3 FLOPs each,
                 // exp modeled as one MUFU-pipe instruction per element slice.
                 let elem_instrs = (len as u64).div_ceil(32);
+                if self.scale.is_some() {
+                    // The metered logit-scale multiply (one pass).
+                    ctx.fp(elem_instrs, len as u64);
+                    ctx.cost.flops += len as u64;
+                }
                 ctx.fp(3 * elem_instrs, 3 * len as u64);
                 // Warp reductions: 5 shuffle + 5 op for max, same for sum.
                 ctx.shfl(10);
@@ -160,21 +184,25 @@ impl<T: Scalar> Kernel for SparseSoftmaxKernel<'_, T> {
 
             if let (true, Some(out)) = (ctx.functional(), self.out_values.as_ref()) {
                 let vals = &self.m.values()[start..start + len];
-                let max = vals
-                    .iter()
-                    .map(|v| v.to_f32())
-                    .fold(f32::NEG_INFINITY, f32::max);
+                // The logit transform: stored value times the folded scale
+                // (identity when unscaled — the closure leaves the plain
+                // path bit-for-bit untouched).
+                let logit = |v: &T| match self.scale {
+                    Some(s) => v.to_f32() * s,
+                    None => v.to_f32(),
+                };
+                let max = vals.iter().map(logit).fold(f32::NEG_INFINITY, f32::max);
                 if max == f32::INFINITY {
                     // Softmax limit with +inf logits: the mass splits evenly
                     // over the +inf entries, everything else gets zero.
                     // (exp(inf - inf) would be NaN.)
                     let top = vals
                         .iter()
-                        .filter(|v| v.to_f32() == f32::INFINITY)
+                        .filter(|v| logit(v) == f32::INFINITY)
                         .count()
                         .max(1) as f32;
                     for (i, v) in vals.iter().enumerate() {
-                        let p = if v.to_f32() == f32::INFINITY {
+                        let p = if logit(v) == f32::INFINITY {
                             1.0 / top
                         } else {
                             0.0
@@ -196,7 +224,7 @@ impl<T: Scalar> Kernel for SparseSoftmaxKernel<'_, T> {
                     // tile in the CUDA kernel).
                     let mut exps = ctx.scratch_f32(len);
                     for (e, v) in exps.iter_mut().zip(vals) {
-                        *e = (v.to_f32() - max).exp();
+                        *e = (logit(v) - max).exp();
                     }
                     // The max element contributes exp(0) = 1, so a finite
                     // row cannot underflow the sum to zero; the clamp keeps
@@ -224,6 +252,32 @@ pub fn sparse_softmax<T: Scalar>(gpu: &Gpu, m: &CsrMatrix<T>) -> (CsrMatrix<T>, 
 /// Profile the sparse softmax (cost only).
 pub fn sparse_softmax_profile<T: Scalar>(gpu: &Gpu, m: &CsrMatrix<T>) -> LaunchStats {
     let kernel = SparseSoftmaxKernel::for_profile(m);
+    gpu.profile(&kernel)
+}
+
+/// Run the sparse softmax with a folded logit scale: each stored value is
+/// read as `value * scale`. This is the attention path's `1/sqrt(d)` —
+/// previously a host-side loop between launches with zero simulated cost.
+pub fn sparse_softmax_scaled<T: Scalar>(
+    gpu: &Gpu,
+    m: &CsrMatrix<T>,
+    scale: f32,
+) -> (CsrMatrix<T>, LaunchStats) {
+    let mut values = vec![T::zero(); m.nnz()];
+    let stats = {
+        let kernel = SparseSoftmaxKernel::new(m, &mut values).with_scale(scale);
+        gpu.launch(&kernel)
+    };
+    (m.with_values(values), stats)
+}
+
+/// Profile the scaled sparse softmax (cost only).
+pub fn sparse_softmax_scaled_profile<T: Scalar>(
+    gpu: &Gpu,
+    m: &CsrMatrix<T>,
+    scale: f32,
+) -> LaunchStats {
+    let kernel = SparseSoftmaxKernel::for_profile(m).with_scale(scale);
     gpu.profile(&kernel)
 }
 
@@ -351,6 +405,25 @@ mod tests {
         assert_eq!(row2, [0.0, 1.0, 0.0], "+inf logit takes all the mass");
         let (_, row3) = s.row(3);
         assert_eq!(row3[0], 0.0, "-inf logit gets zero mass");
+    }
+
+    /// The folded logit scale must be bit-identical to scaling the stored
+    /// values on the host first (the behavior the attention path used to
+    /// get from its unmetered host loop), and must cost strictly more than
+    /// the plain softmax (the multiply pass is metered now).
+    #[test]
+    fn scaled_softmax_matches_prescaled_values() {
+        let m = gen::uniform(96, 80, 0.75, 45);
+        let scale = 0.125;
+        let gpu = Gpu::v100();
+        let (scaled, scaled_stats) = sparse_softmax_scaled(&gpu, &m, scale);
+        let prescaled = m.with_values(m.values().iter().map(|v| v * scale).collect());
+        let (want, plain_stats) = sparse_softmax(&gpu, &prescaled);
+        assert_eq!(scaled.values(), want.values(), "folded scale diverged");
+        assert!(
+            scaled_stats.instructions > plain_stats.instructions,
+            "the scale pass must be metered"
+        );
     }
 
     #[test]

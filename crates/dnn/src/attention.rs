@@ -5,28 +5,52 @@
 //! of QK^T and then multiplies the sparse output by V. With unstructured
 //! sparsity, these operations correspond to an SDDMM followed by an SpMM",
 //! with the paper's custom sparse softmax in between.
+//!
+//! The sparse path routes through the fusion planner
+//! ([`sputnik::FusionPlanner`]): when the mask's staging footprint fits the
+//! device's shared memory, the whole SDDMM → scale → softmax → SpMM chain
+//! runs as one fused launch; otherwise it falls back to the bit-identical
+//! three-launch pipeline. Either way the logit scale is folded into a
+//! kernel (never applied by the host), so every simulated microsecond and
+//! every device-data mutation is attributed to a launch.
 
-use gpu_sim::Gpu;
+use gpu_sim::{Gpu, LaunchCache};
 use sparse::{CsrMatrix, Matrix};
-use sputnik::{SddmmConfig, SpmmConfig};
+use sputnik::AutoTuner;
 
-/// Timing breakdown of one attention head's forward pass.
+/// Timing breakdown of one attention head's forward pass. A fused run
+/// reports one launch in `fused_us`; an unfused run reports the
+/// three-kernel breakdown. `total_us` sums whichever side is populated.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct AttentionTime {
     pub scores_us: f64,
     pub softmax_us: f64,
     pub context_us: f64,
+    /// Time of the single fused SDDMM+softmax+SpMM launch (0 when unfused).
+    pub fused_us: f64,
 }
 
 impl AttentionTime {
     pub fn total_us(&self) -> f64 {
-        self.scores_us + self.softmax_us + self.context_us
+        self.scores_us + self.softmax_us + self.context_us + self.fused_us
+    }
+}
+
+impl From<sputnik::FusedAttentionTime> for AttentionTime {
+    fn from(t: sputnik::FusedAttentionTime) -> Self {
+        AttentionTime {
+            scores_us: t.scores_us,
+            softmax_us: t.softmax_us,
+            context_us: t.context_us,
+            fused_us: t.fused_us,
+        }
     }
 }
 
 /// Functional dense attention for one head: `q`, `k`, `v` are `seq x d`.
 /// Returns the context and the simulated time of the three kernels (the
-/// host-side K transpose stands in for cuBLAS's transB mode, which is free).
+/// host-side K transpose stands in for cuBLAS's transB mode, which is free;
+/// the logit scale rides inside the softmax kernel's read pass).
 pub fn dense_attention(
     gpu: &Gpu,
     q: &Matrix<f32>,
@@ -39,11 +63,8 @@ pub fn dense_attention(
     let scale = 1.0 / (d as f32).sqrt();
 
     let kt = k.transpose();
-    let (mut scores, s1) = baselines::gemm(gpu, q, &kt);
-    for val in scores.as_mut_slice() {
-        *val *= scale;
-    }
-    let (probs, s2) = crate::layers::dense_softmax(gpu, &scores);
+    let (scores, s1) = baselines::gemm(gpu, q, &kt);
+    let (probs, s2) = crate::layers::dense_softmax_scaled(gpu, &scores, scale);
     let (ctxm, s3) = baselines::gemm(gpu, &probs, v);
     (
         ctxm,
@@ -51,12 +72,14 @@ pub fn dense_attention(
             scores_us: s1.time_us,
             softmax_us: s2.time_us,
             context_us: s3.time_us,
+            fused_us: 0.0,
         },
     )
 }
 
 /// Functional sparse attention for one head with the given connectivity
-/// mask: SDDMM -> scale -> sparse softmax -> SpMM.
+/// mask, through the fusion planner: one fused launch when the staging
+/// footprint fits shared memory, the three-launch fallback otherwise.
 pub fn sparse_attention(
     gpu: &Gpu,
     q: &Matrix<f32>,
@@ -64,54 +87,75 @@ pub fn sparse_attention(
     v: &Matrix<f32>,
     mask: &CsrMatrix<f32>,
 ) -> (Matrix<f32>, AttentionTime) {
-    assert_eq!(q.cols(), k.cols());
-    assert_eq!(mask.rows(), q.rows());
-    assert_eq!(mask.cols(), k.rows());
+    sparse_attention_cached(gpu, q, k, v, mask, None, None)
+}
+
+/// [`sparse_attention`] with an optional [`LaunchCache`] and [`AutoTuner`]
+/// threaded through to the planner (replayed heads hit the cache).
+pub fn sparse_attention_cached(
+    gpu: &Gpu,
+    q: &Matrix<f32>,
+    k: &Matrix<f32>,
+    v: &Matrix<f32>,
+    mask: &CsrMatrix<f32>,
+    cache: Option<&LaunchCache>,
+    tuner: Option<&mut AutoTuner>,
+) -> (Matrix<f32>, AttentionTime) {
     let d = q.cols();
     let scale = 1.0 / (d as f32).sqrt();
+    let run = sputnik::sparse_attention_fused(gpu, q, k, v, mask, scale, cache, tuner);
+    (run.context, run.time.into())
+}
 
-    // SDDMM computes Q K^T at the mask's nonzero positions (our kernel's
-    // native transposed-RHS form: no explicit transpose needed).
-    let (mut scores, s1) = sputnik::sddmm(gpu, q, k, mask, SddmmConfig::heuristic::<f32>(d));
-    for val in scores.values_mut() {
-        *val *= scale;
-    }
-    let (probs, s2) = sputnik::sparse_softmax(gpu, &scores);
-    let (context, s3) = sputnik::spmm(gpu, &probs, v, SpmmConfig::heuristic::<f32>(v.cols()));
-    (
-        context,
-        AttentionTime {
-            scores_us: s1.time_us,
-            softmax_us: s2.time_us,
-            context_us: s3.time_us,
-        },
-    )
+/// The three-launch sparse attention reference (SDDMM → scaled softmax →
+/// SpMM), bypassing the planner. Kept as the bit-exactness baseline the
+/// fused path is pinned against.
+pub fn sparse_attention_unfused(
+    gpu: &Gpu,
+    q: &Matrix<f32>,
+    k: &Matrix<f32>,
+    v: &Matrix<f32>,
+    mask: &CsrMatrix<f32>,
+) -> (Matrix<f32>, AttentionTime) {
+    let d = q.cols();
+    let scale = 1.0 / (d as f32).sqrt();
+    let configs = sputnik::attention_configs(gpu, None, None, mask, d, v.cols());
+    let (context, time) = sputnik::sparse_attention_unfused(gpu, q, k, v, mask, scale, &configs)
+        .unwrap_or_else(|e| panic!("sparse_attention_unfused: {e}"));
+    (context, time.into())
 }
 
 /// Cost-only dense attention for one `seq x d` head.
 pub fn dense_attention_profile(gpu: &Gpu, seq: usize, d: usize) -> AttentionTime {
+    let scale = 1.0 / (d as f32).sqrt();
     AttentionTime {
         scores_us: baselines::gemm_profile(gpu, seq, d, seq).time_us,
-        softmax_us: crate::layers::dense_softmax_profile(gpu, seq, seq).time_us,
+        softmax_us: crate::layers::dense_softmax_scaled_profile(gpu, seq, seq, scale).time_us,
         context_us: baselines::gemm_profile(gpu, seq, seq, d).time_us,
+        fused_us: 0.0,
     }
 }
 
-/// Cost-only sparse attention for one head with the given mask.
+/// Cost-only sparse attention for one head with the given mask, through
+/// the same planner and config selection as the functional path.
 pub fn sparse_attention_profile(gpu: &Gpu, mask: &CsrMatrix<f32>, d: usize) -> AttentionTime {
-    AttentionTime {
-        scores_us: sputnik::sddmm_profile::<f32>(gpu, mask, d, SddmmConfig::heuristic::<f32>(d))
-            .time_us,
-        softmax_us: sputnik::sparse_softmax_profile::<f32>(gpu, mask).time_us,
-        context_us: sputnik::spmm_profile::<f32>(
-            gpu,
-            mask,
-            mask.cols(),
-            d,
-            SpmmConfig::heuristic::<f32>(d),
-        )
-        .time_us,
-    }
+    sparse_attention_profile_cached(gpu, mask, d, None, None)
+}
+
+/// [`sparse_attention_profile`] with an optional cache/tuner, mirroring
+/// [`sparse_attention_cached`].
+pub fn sparse_attention_profile_cached(
+    gpu: &Gpu,
+    mask: &CsrMatrix<f32>,
+    d: usize,
+    cache: Option<&LaunchCache>,
+    tuner: Option<&mut AutoTuner>,
+) -> AttentionTime {
+    let scale = 1.0 / (d as f32).sqrt();
+    let (time, _, _) =
+        sputnik::sparse_attention_fused_profile(gpu, mask, d, d, scale, cache, tuner)
+            .unwrap_or_else(|e| panic!("sparse_attention_profile: {e}"));
+    time.into()
 }
 
 #[cfg(test)]
@@ -131,7 +175,8 @@ mod tests {
         let v = Matrix::<f32>::random(seq, d, 103);
         let mask = gen::attention_mask(seq, 8, 0.8, 104);
         let gpu = Gpu::v100();
-        let (ctxm, _) = sparse_attention(&gpu, &q, &k, &v, &mask);
+        let (ctxm, t) = sparse_attention(&gpu, &q, &k, &v, &mask);
+        assert!(t.fused_us > 0.0, "small head should take the fused path");
 
         // Host reference.
         let scale = 1.0 / (d as f32).sqrt();
@@ -159,6 +204,23 @@ mod tests {
                 assert!((got - want).abs() < 1e-3, "({i},{l}): {got} vs {want}");
             }
         }
+    }
+
+    /// The planner-routed path and the three-launch reference must agree
+    /// bitwise — fusion is invisible to the numbers.
+    #[test]
+    fn fused_and_unfused_attention_agree_bitwise() {
+        let seq = 64;
+        let d = 16;
+        let q = Matrix::<f32>::random(seq, d, 110);
+        let k = Matrix::<f32>::random(seq, d, 111);
+        let v = Matrix::<f32>::random(seq, d, 112);
+        let mask = gen::attention_mask(seq, 8, 0.8, 113);
+        let gpu = Gpu::v100();
+        let (fused, tf) = sparse_attention(&gpu, &q, &k, &v, &mask);
+        let (unfused, tu) = sparse_attention_unfused(&gpu, &q, &k, &v, &mask);
+        assert!(tf.fused_us > 0.0 && tu.fused_us == 0.0);
+        assert_eq!(fused.as_slice(), unfused.as_slice());
     }
 
     #[test]
@@ -192,6 +254,27 @@ mod tests {
         assert!(
             speedup > 1.5,
             "sparse attention should win at seq={seq}, got {speedup:.2}x"
+        );
+    }
+
+    #[test]
+    fn fusion_beats_unfused_profile_at_long_sequences() {
+        let gpu = Gpu::v100();
+        let d = 64;
+        let mask = gen::attention_mask(4096, 128, 0.95, 108);
+        let fused = sparse_attention_profile(&gpu, &mask, d);
+        assert!(fused.fused_us > 0.0, "band mask must fuse");
+        let scale = 1.0 / (d as f32).sqrt();
+        let configs = sputnik::attention_configs(&gpu, None, None, &mask, d, d);
+        let mut unfused_us = 0.0;
+        unfused_us += sputnik::sddmm_profile::<f32>(&gpu, &mask, d, configs.sddmm).time_us;
+        unfused_us += sputnik::sparse_softmax_scaled_profile::<f32>(&gpu, &mask, scale).time_us;
+        unfused_us +=
+            sputnik::spmm_profile::<f32>(&gpu, &mask, mask.cols(), d, configs.spmm).time_us;
+        let speedup = unfused_us / fused.total_us();
+        assert!(
+            speedup > 1.3,
+            "fusion should win at seq=4096, got {speedup:.2}x"
         );
     }
 }

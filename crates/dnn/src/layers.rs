@@ -552,6 +552,10 @@ pub struct DenseSoftmaxKernel<'a> {
     out: Option<SyncUnsafeSlice<'a, f32>>,
     m: usize,
     n: usize,
+    /// Logit scale applied on the fly while reading `x` (attention's
+    /// `1/sqrt(d_k)`), so the host never mutates device data outside a
+    /// launch. `None` is bit-identical to the historical unscaled kernel.
+    scale: Option<f32>,
 }
 
 impl<'a> DenseSoftmaxKernel<'a> {
@@ -563,6 +567,7 @@ impl<'a> DenseSoftmaxKernel<'a> {
             out: Some(SyncUnsafeSlice::new(out.as_mut_slice())),
             m,
             n,
+            scale: None,
         }
     }
 
@@ -572,13 +577,24 @@ impl<'a> DenseSoftmaxKernel<'a> {
             out: None,
             m,
             n,
+            scale: None,
         }
+    }
+
+    /// Fold a logit scale into the softmax's read pass.
+    pub fn with_scale(mut self, scale: f32) -> Self {
+        self.scale = Some(scale);
+        self
     }
 }
 
 impl Kernel for DenseSoftmaxKernel<'_> {
     fn name(&self) -> String {
-        "dense_softmax".to_string()
+        if self.scale.is_some() {
+            "dense_softmax_scaled".to_string()
+        } else {
+            "dense_softmax".to_string()
+        }
     }
 
     fn grid(&self) -> Dim3 {
@@ -617,6 +633,11 @@ impl Kernel for DenseSoftmaxKernel<'_> {
             let sectors = gpu_sim::memory::sectors_contiguous((row * self.n * 4) as u64, n * 4);
             ctx.cost.ld_global_instrs += 3 * load_instrs;
             ctx.cost.gmem[BUF_X.0 as usize].ld_sectors += 3 * sectors;
+            if self.scale.is_some() {
+                // One multiply per element across the three read passes.
+                ctx.fp(3 * n.div_ceil(32), 3 * n);
+                ctx.cost.flops += 3 * n;
+            }
             ctx.fp(3 * n.div_ceil(32), 3 * n);
             ctx.shfl(10);
             ctx.fp(10, 10);
@@ -628,10 +649,17 @@ impl Kernel for DenseSoftmaxKernel<'_> {
             if let (true, Some(x), Some(out)) = (ctx.functional(), self.x, self.out.as_ref()) {
                 let x = x.as_slice();
                 let rowv = &x[row * self.n..(row + 1) * self.n];
-                let max = rowv.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-                let sum: f32 = rowv.iter().map(|&v| (v - max).exp()).sum();
+                let logit = |v: f32| match self.scale {
+                    Some(s) => v * s,
+                    None => v,
+                };
+                let max = rowv
+                    .iter()
+                    .map(|&v| logit(v))
+                    .fold(f32::NEG_INFINITY, f32::max);
+                let sum: f32 = rowv.iter().map(|&v| (logit(v) - max).exp()).sum();
                 for (i, &v) in rowv.iter().enumerate() {
-                    unsafe { out.write(row * self.n + i, (v - max).exp() / sum) };
+                    unsafe { out.write(row * self.n + i, (logit(v) - max).exp() / sum) };
                 }
             }
         }
@@ -651,6 +679,22 @@ pub fn dense_softmax(gpu: &Gpu, x: &Matrix<f32>) -> (Matrix<f32>, LaunchStats) {
 /// Profile a dense softmax at the given shape.
 pub fn dense_softmax_profile(gpu: &Gpu, m: usize, n: usize) -> LaunchStats {
     gpu.profile(&DenseSoftmaxKernel::for_profile(m, n))
+}
+
+/// Functional dense softmax with the logit scale folded into the kernel's
+/// read pass (`softmax(x * scale)` in one launch, no host-side mutation).
+pub fn dense_softmax_scaled(gpu: &Gpu, x: &Matrix<f32>, scale: f32) -> (Matrix<f32>, LaunchStats) {
+    let mut out = Matrix::zeros(x.rows(), x.cols());
+    let stats = {
+        let kernel = DenseSoftmaxKernel::new(x, &mut out).with_scale(scale);
+        gpu.launch(&kernel)
+    };
+    (out, stats)
+}
+
+/// Profile a scaled dense softmax at the given shape.
+pub fn dense_softmax_scaled_profile(gpu: &Gpu, m: usize, n: usize, scale: f32) -> LaunchStats {
+    gpu.profile(&DenseSoftmaxKernel::for_profile(m, n).with_scale(scale))
 }
 
 // ---------------------------------------------------------------------------

@@ -63,6 +63,7 @@ pub mod dim;
 pub mod fault;
 pub mod fingerprint;
 pub mod fleet;
+pub mod fused;
 pub mod kernel;
 pub mod lanes;
 pub mod launch;
@@ -87,6 +88,7 @@ pub use dim::Dim3;
 pub use fault::{DeviceFault, FaultKind, FaultPlan};
 pub use fingerprint::Fingerprint;
 pub use fleet::{EventId, Fleet, FleetError, FleetSync};
+pub use fused::SddmmSoftmaxSpmmKernel;
 pub use kernel::Kernel;
 pub use launch::{Gpu, LaunchError, LaunchStats, LaunchSummary, PipelineBreakdown, Stream};
 pub use launch_cache::{LaunchCache, LaunchKey};

@@ -1010,6 +1010,33 @@ impl ProfileReport {
         report
     }
 
+    /// Signed drift between the per-layer rows and [`ProfileReport::total_us`]:
+    /// `Σ layers[i].dur_us - total_us`. Zero (up to rounding) whenever the
+    /// report is internally consistent — every simulated microsecond either
+    /// falls inside a top-level span or gets a synthetic row.
+    pub fn layer_sum_drift_us(&self) -> f64 {
+        self.layers.iter().map(|l| l.dur_us).sum::<f64>() - self.total_us
+    }
+
+    /// The layer-sum invariant as a checked result, for gates alongside
+    /// [`validate_chrome_trace`]: the per-layer breakdown must account for
+    /// every simulated microsecond of launch and replay work. A model that
+    /// opens a span and attributes work to it by multiplication (instead of
+    /// tracing the launches/replays inside it) shows up here as drift.
+    pub fn check(&self) -> Result<(), String> {
+        let drift = self.layer_sum_drift_us();
+        let tol = 1e-6 * self.total_us.max(1.0);
+        if drift.abs() > tol {
+            return Err(format!(
+                "per-layer rows sum to {:.6} us but the trace total is {:.6} us \
+                 (drift {drift:+.6} us)",
+                self.total_us + drift,
+                self.total_us
+            ));
+        }
+        Ok(())
+    }
+
     /// Render the report as a plain-text table block.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -1264,6 +1291,8 @@ mod tests {
             "layer durations {layer_sum} must sum to total {}",
             report.total_us
         );
+        report.check().expect("sum invariant holds");
+        assert!(report.layer_sum_drift_us().abs() <= 1e-9 * report.total_us.max(1.0));
         let body = report
             .layers
             .iter()
@@ -1273,5 +1302,27 @@ mod tests {
         assert!(report.kernels.iter().any(|k| k.name == "trace_tiny"));
         assert!(!report.top.is_empty());
         assert!(!report.render().is_empty());
+    }
+
+    /// A doctored report whose layer rows no longer cover the total must
+    /// fail the sum-invariant check.
+    #[test]
+    fn report_check_rejects_drift() {
+        let mut report = ProfileReport {
+            total_us: 100.0,
+            ..Default::default()
+        };
+        report.layers.push(LayerRow {
+            name: "layer0".into(),
+            track: "t".into(),
+            start_us: 0.0,
+            dur_us: 60.0,
+            launches: 1,
+            flops: 0,
+            dram_bytes: 0,
+        });
+        let err = report.check().expect_err("40 us unaccounted");
+        assert!(err.contains("drift"), "{err}");
+        assert!((report.layer_sum_drift_us() - (-40.0)).abs() < 1e-9);
     }
 }

@@ -23,7 +23,10 @@
 //!   the shared kernel registry (`crates/bench/src/registry.rs`), so it is
 //!   swept by both `sanitize_all` and `static_audit`. A kernel missing
 //!   from the registry ships without any CI sanitizer or audit coverage —
-//!   exactly the gap this lint closes.
+//!   exactly the gap this lint closes. "Constructed" means a
+//!   `TypeName::` path token in the registry's *code* (comments and
+//!   strings are stripped first): a doc-comment mention or an import
+//!   alone does not count as coverage.
 //!
 //! Exit status 1 with one line per finding; 0 on a clean tree. Run from
 //! the repo root (CI does).
@@ -293,6 +296,14 @@ fn signature_impl_types(stripped: &str) -> Vec<String> {
     types
 }
 
+/// Whether the (stripped) registry source actually *constructs* `ty`: a
+/// `Type::` path token — `Type::new(..)`, `Type::try_new(..)` — in code.
+/// A plain `contains(ty)` would be fooled by doc comments, error strings,
+/// or a `use` import of a type that is never instantiated.
+fn is_constructed(ty: &str, stripped_registry: &str) -> bool {
+    stripped_registry.contains(&format!("{ty}::"))
+}
+
 fn main() {
     let root = Path::new(".");
     if !root.join("crates").is_dir() {
@@ -306,6 +317,7 @@ fn main() {
     let registry_path = root.join("crates/bench/src/registry.rs");
     let registry_text = std::fs::read_to_string(&registry_path)
         .unwrap_or_else(|e| panic!("xlint: cannot read {}: {e}", registry_path.display()));
+    let registry_stripped = strip(&registry_text);
 
     let mut findings = Findings(Vec::new());
     let mut unregistered: Vec<(PathBuf, String)> = Vec::new();
@@ -337,7 +349,7 @@ fn main() {
 
         if !rel.contains("/tests/") && !is_bench {
             for ty in signature_impl_types(&stripped) {
-                if !registry_text.contains(&ty) {
+                if !is_constructed(&ty, &registry_stripped) {
                     unregistered.push((path.clone(), ty));
                 }
             }
@@ -424,6 +436,21 @@ mod tests {
     fn signature_types_resolve_through_impl_headers() {
         let src = "impl<T: Scalar> Kernel for MyKernel<'_, T> {\n    fn block_signature(&self, b: Dim3) -> Option<u64> { None }\n}\n";
         assert_eq!(signature_impl_types(&strip(src)), vec!["MyKernel"]);
+    }
+
+    #[test]
+    fn registry_coverage_requires_a_construction_token() {
+        // A doc-comment mention, an error string, or a bare `use` import of
+        // the type is not construction; only a `Type::` path token in code
+        // counts.
+        let registry = strip(
+            "use sputnik::{GhostKernel, RealKernel};\n\
+             // GhostKernel is documented here but never built.\n\
+             let msg = \"GhostKernel\";\n\
+             let k = RealKernel::try_new().unwrap();\n",
+        );
+        assert!(!is_constructed("GhostKernel", &registry));
+        assert!(is_constructed("RealKernel", &registry));
     }
 
     #[test]

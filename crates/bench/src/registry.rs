@@ -25,10 +25,10 @@ use baselines::{
 };
 use gpu_sim::{Kernel, SddmmSoftmaxSpmmKernel};
 use sparse::ell::EllMatrix;
-use sparse::{block, gen, Layout, Matrix, RowSwizzle};
+use sparse::{block, gen, Layout, Matrix, PatternGranularity, PatternLut, RowSwizzle};
 use sputnik::{
-    FallbackSpmmKernel, PermuteKernel, SddmmConfig, SddmmKernel, SparseSoftmaxKernel, SpmmConfig,
-    SpmmKernel,
+    joint_heuristic, FallbackSpmmKernel, JointSpmmKernel, PermuteKernel, SddmmConfig, SddmmKernel,
+    SparseSoftmaxKernel, SpmmConfig, SpmmKernel,
 };
 use std::sync::atomic::AtomicU32;
 
@@ -82,6 +82,22 @@ pub fn for_each_kernel(visit: &mut dyn FnMut(&dyn Kernel)) {
                     .unwrap_or_else(|e| panic!("registry: spmm acc construction: {e}"))
                     .with_accumulate();
             visit(&kernel);
+        }
+
+        // Joint activation x weight SpMM: same weights, but the dense
+        // operand comes from the seeded activation generator so the pattern
+        // LUT has dead tiles to probe — one launch per LUT granularity.
+        {
+            let acts = gen::activations(k, n, 0.8, seed + 10);
+            let cfg = joint_heuristic::<f32>(n);
+            let swizzle = RowSwizzle::identity(a.rows());
+            for granularity in [PatternGranularity::Fine, PatternGranularity::Coarse] {
+                let lut = PatternLut::build(&acts, granularity);
+                let mut out = Matrix::<f32>::zeros(m, n);
+                let kernel = JointSpmmKernel::try_new(&a, &acts, &mut out, &swizzle, &lut, cfg)
+                    .unwrap_or_else(|e| panic!("registry: joint spmm construction: {e}"));
+                visit(&kernel);
+            }
         }
 
         // Scalar fallback SpMM.
@@ -240,23 +256,25 @@ pub fn pair_count() -> u64 {
 mod tests {
     use super::*;
 
-    /// The registry is deterministic: 17 kernels per shape (three SpMM
-    /// configs, the accumulate variant, the fused attention pipeline, and
-    /// twelve other kernels), merge-SpMM only where `n % 32 == 0` (shapes
-    /// 0 and 1), plus the two shape-constrained baselines.
+    /// The registry is deterministic: 19 kernels per shape (three SpMM
+    /// configs, the accumulate variant, the two joint-sparsity LUT
+    /// granularities, the fused attention pipeline, and twelve other
+    /// kernels), merge-SpMM only where `n % 32 == 0` (shapes 0 and 1),
+    /// plus the two shape-constrained baselines.
     #[test]
     fn registry_enumerates_every_kernel() {
         let mut names = Vec::new();
         for_each_kernel(&mut |k| names.push(k.name().to_string()));
         let expected: usize = SHAPES
             .iter()
-            .map(|&(_, _, n, _)| 16 + usize::from(n % 32 == 0))
+            .map(|&(_, _, n, _)| 18 + usize::from(n % 32 == 0))
             .sum::<usize>()
             + 2;
         assert_eq!(names.len(), expected, "{names:?}");
         assert_eq!(pair_count(), expected as u64);
         for expected in [
             "sputnik_spmm",
+            "sputnik_joint_spmm",
             "fallback_spmm",
             "sputnik_sddmm",
             "sputnik_sparse_softmax",

@@ -10,6 +10,7 @@ pub mod batched;
 pub mod config;
 pub mod dispatch;
 pub mod error;
+pub mod joint;
 pub mod plan;
 pub mod reference;
 pub mod roma;
@@ -30,6 +31,10 @@ pub use dispatch::{
     DispatchReport, FallbackSpmmKernel, Rung,
 };
 pub use error::SputnikError;
+pub use joint::{
+    joint_heuristic, joint_spmm, joint_spmm_profile, joint_spmm_profile_cached, try_joint_spmm,
+    JointSpmmKernel, BUF_LUT,
+};
 pub use plan::{
     attention_configs, sparse_attention_fused, sparse_attention_fused_profile,
     sparse_attention_unfused, try_sparse_attention_fused, AttentionConfigs, FusedAttention,

@@ -24,8 +24,10 @@ use gpu_sim::{
 };
 use sparse::{CsrMatrix, Matrix, RowSwizzle, Scalar};
 
-/// Validate shapes/config shared by the functional and profile constructors.
-fn validate_spmm<T: Scalar>(
+/// Validate shapes/config shared by the functional and profile constructors
+/// (and by the joint-sparsity kernel, which layers its own LUT checks on
+/// top — see [`crate::joint`]).
+pub(crate) fn validate_spmm<T: Scalar>(
     a: &CsrMatrix<T>,
     swizzle: &RowSwizzle,
     cfg: &SpmmConfig,
@@ -93,29 +95,30 @@ pub struct SpmmKernel<'a, T: Scalar> {
     accumulate: bool,
 }
 
-/// Per-subwarp state computed in the prelude.
+/// Per-subwarp state computed in the prelude. Shared with the joint-sparsity
+/// kernel ([`crate::joint`]), which resolves subwarps identically.
 #[derive(Clone, Copy)]
-struct SubwarpWork {
+pub(crate) struct SubwarpWork {
     /// Output row this subwarp produces, or `usize::MAX` when out of range.
-    row: usize,
+    pub(crate) row: usize,
     /// True row length.
-    nnz: usize,
+    pub(crate) nnz: usize,
     /// ROMA-aligned start.
-    aligned_offset: usize,
+    pub(crate) aligned_offset: usize,
     /// Masked prefix length.
-    prefix: usize,
+    pub(crate) prefix: usize,
     /// Values to process including the prefix.
-    total: usize,
+    pub(crate) total: usize,
 }
 
 /// Upper bound on subwarps per block (`block_items_y <= 32`, enforced by
 /// [`SpmmConfig::validate`]). Lets the prelude resolve descriptors into a
 /// stack buffer instead of a per-block heap allocation.
-const MAX_BLOCK_SUBWARPS: usize = 32;
+pub(crate) const MAX_BLOCK_SUBWARPS: usize = 32;
 
 impl SubwarpWork {
     /// Placeholder for unresolved stack-buffer slots.
-    const EMPTY: SubwarpWork = SubwarpWork {
+    pub(crate) const EMPTY: SubwarpWork = SubwarpWork {
         row: usize::MAX,
         nnz: 0,
         aligned_offset: 0,
@@ -126,7 +129,7 @@ impl SubwarpWork {
 
 /// Collect `row * scale` for every in-range subwarp into a stack buffer;
 /// returns the count. Shared by the offset/bias gathers and the signature.
-fn gather_row_addrs(
+pub(crate) fn gather_row_addrs(
     subs: &[SubwarpWork],
     scale: u64,
     out: &mut [u64; MAX_BLOCK_SUBWARPS],
@@ -139,6 +142,80 @@ fn gather_row_addrs(
         }
     }
     n
+}
+
+/// Effective vector width for loads from the sparse matrix (see
+/// [`SpmmKernel`]'s `vw_a`); shared with [`crate::joint`].
+pub(crate) fn effective_vw_a(cfg: &SpmmConfig) -> u32 {
+    if cfg.roma || cfg.assume_aligned || cfg.vector_width == 1 {
+        cfg.vector_width
+    } else {
+        1
+    }
+}
+
+/// Sectors touched by one subwarp's load of a `tile_w`-element strip of a
+/// dense row-major `k x n` operand at column offset `n_off`; shared with
+/// [`crate::joint`].
+pub(crate) fn dense_strip_sectors(elem_bytes: u32, n: usize, n_off: usize, tile_w: usize) -> u64 {
+    let eb = elem_bytes as u64;
+    let row_bytes = n as u64 * eb;
+    let off_bytes = n_off as u64 * eb;
+    if row_bytes.is_multiple_of(32) && off_bytes.is_multiple_of(32) {
+        gpu_sim::memory::sectors_contiguous(0, tile_w as u64 * eb)
+    } else {
+        gpu_sim::memory::sectors_contiguous(eb, tile_w as u64 * eb)
+    }
+}
+
+/// Resolve one subwarp's work descriptor: swizzled row id, true length, and
+/// the ROMA / assume-aligned start adjustment. The dense-activation
+/// [`SpmmKernel`] and the joint-sparsity kernel ([`crate::joint`]) resolve
+/// subwarps through this one function, so their per-element iteration spaces
+/// are identical by construction — the foundation of the joint kernel's
+/// bit-identity claim.
+pub(crate) fn resolve_subwarp<T: Scalar>(
+    a: &CsrMatrix<T>,
+    swizzle: &RowSwizzle,
+    cfg: &SpmmConfig,
+    m_idx: usize,
+) -> SubwarpWork {
+    if m_idx >= a.rows() {
+        return SubwarpWork {
+            row: usize::MAX,
+            nnz: 0,
+            aligned_offset: 0,
+            prefix: 0,
+            total: 0,
+        };
+    }
+    let row = if cfg.row_swizzle {
+        swizzle.row(m_idx)
+    } else {
+        m_idx
+    };
+    let offset = a.row_offsets()[row] as usize;
+    let nnz = a.row_len(row);
+    let (aligned_offset, prefix, total) = if cfg.assume_aligned {
+        debug_assert_eq!(
+            offset % cfg.vector_width as usize,
+            0,
+            "assume_aligned requires padded rows (CsrMatrix::padded_to_multiple)"
+        );
+        (offset, 0, nnz)
+    } else if cfg.roma && cfg.vector_width > 1 {
+        let al = MemoryAligner::new(offset, nnz, cfg.vector_width);
+        (al.aligned_offset(), al.prefix(), al.aligned_nonzeros())
+    } else {
+        (offset, 0, nnz)
+    };
+    SubwarpWork {
+        row,
+        nnz,
+        aligned_offset,
+        prefix,
+        total,
+    }
 }
 
 impl<'a, T: Scalar> SpmmKernel<'a, T> {
@@ -251,11 +328,7 @@ impl<'a, T: Scalar> SpmmKernel<'a, T> {
     /// and the kernel falls back to scalar accesses (the padding alternative
     /// the paper rejects as "limiting the generality of the kernel").
     fn vw_a(&self) -> u32 {
-        if self.cfg.roma || self.cfg.assume_aligned || self.cfg.vector_width == 1 {
-            self.cfg.vector_width
-        } else {
-            1
-        }
+        effective_vw_a(&self.cfg)
     }
 
     /// Sectors touched by one subwarp's load of a `tile_w`-element strip of a
@@ -263,54 +336,12 @@ impl<'a, T: Scalar> SpmmKernel<'a, T> {
     /// are sector-aligned this is the same for every row of B; otherwise the
     /// strip straddles one extra sector (the representative misaligned case).
     fn b_load_sectors(&self, n_off: usize, tile_w: usize) -> u64 {
-        let eb = T::BYTES as u64;
-        let row_bytes = self.n as u64 * eb;
-        let off_bytes = n_off as u64 * eb;
-        if row_bytes.is_multiple_of(32) && off_bytes.is_multiple_of(32) {
-            gpu_sim::memory::sectors_contiguous(0, tile_w as u64 * eb)
-        } else {
-            gpu_sim::memory::sectors_contiguous(eb, tile_w as u64 * eb)
-        }
+        dense_strip_sectors(T::BYTES, self.n, n_off, tile_w)
     }
 
     /// Prepare one subwarp's work descriptor.
     fn subwarp_work(&self, m_idx: usize) -> SubwarpWork {
-        if m_idx >= self.a.rows() {
-            return SubwarpWork {
-                row: usize::MAX,
-                nnz: 0,
-                aligned_offset: 0,
-                prefix: 0,
-                total: 0,
-            };
-        }
-        let row = if self.cfg.row_swizzle {
-            self.swizzle.row(m_idx)
-        } else {
-            m_idx
-        };
-        let offset = self.a.row_offsets()[row] as usize;
-        let nnz = self.a.row_len(row);
-        let (aligned_offset, prefix, total) = if self.cfg.assume_aligned {
-            debug_assert_eq!(
-                offset % self.cfg.vector_width as usize,
-                0,
-                "assume_aligned requires padded rows (CsrMatrix::padded_to_multiple)"
-            );
-            (offset, 0, nnz)
-        } else if self.cfg.roma && self.cfg.vector_width > 1 {
-            let al = MemoryAligner::new(offset, nnz, self.cfg.vector_width);
-            (al.aligned_offset(), al.prefix(), al.aligned_nonzeros())
-        } else {
-            (offset, 0, nnz)
-        };
-        SubwarpWork {
-            row,
-            nnz,
-            aligned_offset,
-            prefix,
-            total,
-        }
+        resolve_subwarp(self.a, self.swizzle, &self.cfg, m_idx)
     }
 
     /// Functional computation for one subwarp: the real numerics, walked

@@ -9,6 +9,7 @@ pub mod accuracy;
 pub mod attention;
 pub mod fleet;
 pub mod gru;
+pub mod jointsweep;
 pub mod layers;
 pub mod lstm;
 pub mod mobilenet;
@@ -24,10 +25,11 @@ pub use fleet::{
     ScalingPoint, ShardStrategy,
 };
 pub use gru::{GruStep, SparseGruCell};
+pub use jointsweep::{joint_crossover_sweep, JointSweep, JointSweepPoint};
 pub use layers::{bias_relu, depthwise_conv, im2col_3x3, Chw, Linear};
 pub use lstm::{LstmStep, SparseLstmCell};
 pub use mobilenet::MobileNetV1;
-pub use pruning::magnitude_prune;
+pub use pruning::{magnitude_prune, threshold_activations};
 pub use resnet::resnet50_convs;
 pub use rnn::{problem_suite, CellKind, RnnProblem};
 pub use training::{

@@ -65,6 +65,11 @@ pub enum EventKind {
     Replay { dur_us: f64, count: u64 },
     /// A point event (cache hit/miss, dispatch rung, fault, sanitizer run).
     Instant,
+    /// A named counter sample at the track's current clock — a step on a
+    /// Chrome counter (`"ph":"C"`) track. Used for workload-level gauges the
+    /// launcher cannot synthesize itself, e.g. the joint-sparsity kernels'
+    /// `joint_tiles_skipped` / `joint_tiles_total` skip-rate tracks.
+    Counter { value: u64 },
     /// A cross-device interconnect transfer occupying the source device's
     /// track for `dur_us`: `bytes` moved toward `dst`. The exporter
     /// synthesizes an `interconnect_bytes` counter track from these
@@ -98,7 +103,7 @@ impl TraceEvent {
             EventKind::Span { dur_us }
             | EventKind::Replay { dur_us, .. }
             | EventKind::Transfer { dur_us, .. } => *dur_us,
-            EventKind::Instant => 0.0,
+            EventKind::Instant | EventKind::Counter { .. } => 0.0,
         }
     }
 }
@@ -245,6 +250,25 @@ pub fn instant(cat: &'static str, track: &str, name: &str) {
         track: track.to_string(),
         ts_us,
         kind: EventKind::Instant,
+    });
+}
+
+/// Record a counter sample at the track's current clock: a step on a named
+/// Chrome counter track. The exporter emits it as a `"ph":"C"` event whose
+/// `args` carry `{ "value": <value> }`. Does not advance the clock — pair it
+/// with the launches whose work it annotates.
+pub fn counter(cat: &'static str, track: &str, name: &str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    let mut r = lock();
+    let ts_us = r.clock(track);
+    r.events.push(TraceEvent {
+        name: name.to_string(),
+        cat,
+        track: track.to_string(),
+        ts_us,
+        kind: EventKind::Counter { value },
     });
 }
 
@@ -449,6 +473,13 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
                 out.push_str(&format!(
                     ",\n{{\"name\":\"{name}\",\"cat\":\"{}\",\"ph\":\"i\",\"ts\":{ts},\
                      \"pid\":0,\"tid\":{tid},\"s\":\"t\"}}",
+                    ev.cat,
+                ));
+            }
+            EventKind::Counter { value } => {
+                out.push_str(&format!(
+                    ",\n{{\"name\":\"{name}\",\"cat\":\"{}\",\"ph\":\"C\",\"ts\":{ts},\
+                     \"pid\":0,\"tid\":{tid},\"args\":{{\"value\":{value}}}}}",
                     ev.cat,
                 ));
             }
@@ -1232,6 +1263,30 @@ mod tests {
             check.counters >= 2 * 4 + 2,
             "launch + interconnect counters"
         );
+    }
+
+    #[test]
+    fn counter_events_export_as_counter_phase() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        enable();
+        let track = "trace-test-counter";
+        let gpu = test_gpu(track);
+        gpu.profile(&Tiny);
+        counter("joint", track, "joint_tiles_skipped", 42);
+        counter("joint", track, "joint_tiles_total", 64);
+        let events: Vec<TraceEvent> = disable().into_iter().filter(|e| e.track == track).collect();
+        let skipped = events
+            .iter()
+            .find(|e| e.name == "joint_tiles_skipped")
+            .expect("counter recorded");
+        assert!(matches!(skipped.kind, EventKind::Counter { value: 42 }));
+        assert_eq!(skipped.dur_us(), 0.0, "counters do not occupy the track");
+        let json = chrome_trace_json(&events);
+        assert!(json.contains("\"name\":\"joint_tiles_total\",\"cat\":\"joint\",\"ph\":\"C\""));
+        assert!(json.contains("\"args\":{\"value\":64}"));
+        let check = validate_chrome_trace(&json).expect("counter traces stay schema-valid");
+        // 4 synthesized launch counters + the 2 explicit ones.
+        assert!(check.counters >= 6);
     }
 
     #[test]

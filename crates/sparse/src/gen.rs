@@ -231,6 +231,121 @@ pub fn attention_mask(
     csr
 }
 
+/// splitmix64: the minimal bit-stable generator for the activation path.
+///
+/// `StdRng` is the vendored stub's chacha-ish stream and is already pinned,
+/// but the activation generator is part of the *reproducibility contract* of
+/// the joint-sparsity benches (committed baselines replay its exact bit
+/// patterns), so it uses its own frozen splitmix64 stream — the same
+/// constants as `serve`'s traffic generator — rather than inheriting
+/// whatever `StdRng` happens to be.
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in [0, 1) with 53 bits of mantissa — bit-exact across
+    /// platforms (pure integer ops plus one exact int→float conversion).
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Fraction of element-level zeros that is spent on aligned dead 8-row
+/// blocks (the skippable structure) vs unstructured ReLU noise. At target
+/// zero fraction `z`, the fine 8×32 dead-tile fraction lands near
+/// `BLOCK_ZERO_SHARE * z`.
+pub const BLOCK_ZERO_SHARE: f64 = 0.9;
+
+/// Dead→live exit probability of the per-column-group burst chain: mean
+/// dead-run length is `1 / BURST_EXIT` k-groups (ReLU activations kill
+/// *consecutive* feature blocks, not isolated ones).
+const BURST_EXIT: f64 = 0.25;
+
+/// ReLU-style dense activations at a target zero fraction, bit-reproducible.
+///
+/// Models the post-ReLU activation operand of a sparse inference GEMM
+/// (`k` features × `n` batch columns), calibrated like the `dataset.rs`
+/// generators — by a target density, swept by the benches:
+///
+/// - **Aligned dead feature blocks**: 8-row-aligned groups of features go
+///   entirely dead per 32-column group, in bursts (a two-state Markov chain
+///   over k-groups with stationary dead probability
+///   `BLOCK_ZERO_SHARE * zero_frac` and mean run length 4). These are the
+///   tiles the fine 8×32 pattern LUT discovers and the joint kernels skip.
+/// - **Per-column ReLU noise**: live groups carry unstructured elementwise
+///   zeros at a per-column-modulated rate (each column's rate drawn in
+///   [0.25, 1.75)× the mean — batch examples differ in how hard ReLU
+///   clips them), calibrated so the *total* zero fraction hits `zero_frac`.
+///
+/// All zeros are exactly `+0.0` (the only bit pattern [`crate::PatternLut`]
+/// treats as dead); nonzeros are positive, ReLU-style. The stream is
+/// splitmix64 with a fixed draw order, so equal `(k, n, zero_frac, seed)`
+/// produce bit-identical matrices on every platform and build.
+pub fn activations(k: usize, n: usize, zero_frac: f64, seed: u64) -> crate::Matrix<f32> {
+    assert!(
+        (0.0..1.0).contains(&zero_frac),
+        "zero_frac must be in [0, 1)"
+    );
+    let mut rng = SplitMix64::new(seed ^ 0xAC7_1FA7E);
+    let g = (zero_frac * BLOCK_ZERO_SHARE).min(0.99);
+    // Total zeros = g + (1-g)*e  =>  element rate e in live groups.
+    let e = ((zero_frac - g) / (1.0 - g)).clamp(0.0, 1.0);
+
+    // Per-column ReLU clip-rate modulation, mean 1.
+    let col_rate: Vec<f64> = (0..n)
+        .map(|_| (e * (0.25 + 1.5 * rng.next_f64())).min(1.0))
+        .collect();
+
+    // Bursty dead-block pattern over (k-group, column-group) cells: per
+    // column group, a Markov chain down the k-groups. Entry probability is
+    // solved from the stationary distribution: pi_dead = enter/(enter+exit).
+    let kgroups = k.div_ceil(8).max(1);
+    let ngroups = n.div_ceil(32).max(1);
+    let enter = if g >= 1.0 - 1e-12 {
+        1.0
+    } else {
+        (g * BURST_EXIT / (1.0 - g)).min(1.0)
+    };
+    let mut dead = vec![false; kgroups * ngroups];
+    for ng in 0..ngroups {
+        let mut state = rng.next_f64() < g;
+        for kg in 0..kgroups {
+            dead[kg * ngroups + ng] = state;
+            let p = if state { 1.0 - BURST_EXIT } else { enter };
+            state = rng.next_f64() < p;
+        }
+    }
+
+    let mut m = crate::Matrix::<f32>::zeros(k, n);
+    for r in 0..k {
+        let kg = r / 8;
+        for c in 0..n {
+            if dead[kg * ngroups + c / 32] {
+                continue; // stays exactly +0.0
+            }
+            if rng.next_f64() < col_rate[c] {
+                continue; // ReLU-clipped element
+            }
+            // Positive post-ReLU magnitude, bounded away from zero.
+            m.set(r, c, (0.02 + 1.98 * rng.next_f64()) as f32);
+        }
+    }
+    m
+}
+
 /// A deterministic banded matrix (useful for exact-value tests).
 pub fn banded(rows: usize, cols: usize, bandwidth: usize) -> CsrMatrix<f32> {
     let mut row_offsets = vec![0u32];
@@ -386,6 +501,71 @@ mod tests {
         let d = m.to_dense();
         assert_eq!(d.get(4, 3), 8.0);
         assert_eq!(d.get(4, 6), 0.0);
+    }
+
+    #[test]
+    fn activations_hit_target_zero_fraction() {
+        // The burst chain is heavily autocorrelated, so single draws are
+        // noisy: average the realized fraction over a few seeds.
+        for &z in &[0.3, 0.5, 0.7, 0.9] {
+            let frac: f64 = (17u64..20)
+                .map(|seed| {
+                    let m = activations(512, 512, z, seed);
+                    let zeros = m.as_slice().iter().filter(|v| **v == 0.0).count();
+                    zeros as f64 / (512.0 * 512.0)
+                })
+                .sum::<f64>()
+                / 3.0;
+            assert!((frac - z).abs() < 0.05, "target {z}, observed {frac}");
+        }
+    }
+
+    #[test]
+    fn activations_zeros_are_positive_zero() {
+        let m = activations(128, 96, 0.7, 5);
+        for v in m.as_slice() {
+            if *v == 0.0 {
+                assert_eq!(v.to_bits(), 0, "zeros must be +0.0 for LUT deadness");
+            } else {
+                assert!(*v > 0.0, "nonzeros are post-ReLU positive");
+            }
+        }
+    }
+
+    #[test]
+    fn activations_block_structure_is_discoverable() {
+        // The fine 8x32 LUT must find roughly BLOCK_ZERO_SHARE * z of its
+        // tiles dead — that is the structure the joint kernels skip.
+        let z = 0.7;
+        let m = activations(512, 256, z, 23);
+        let lut = crate::PatternLut::build(&m, crate::PatternGranularity::Fine);
+        let want = BLOCK_ZERO_SHARE * z;
+        assert!(
+            (lut.dead_fraction() - want).abs() < 0.08,
+            "fine dead fraction {} vs target {want}",
+            lut.dead_fraction()
+        );
+        // Bursty runs mean the coarse 64x32 LUT still finds real structure.
+        let coarse = crate::PatternLut::build(&m, crate::PatternGranularity::Coarse);
+        assert!(
+            coarse.dead_fraction() > 0.05,
+            "coarse dead fraction {} — burst runs should survive 64-row tiles",
+            coarse.dead_fraction()
+        );
+    }
+
+    #[test]
+    fn activations_are_bit_reproducible() {
+        let a = activations(96, 80, 0.6, 99);
+        let b = activations(96, 80, 0.6, 99);
+        let same = a
+            .as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .all(|(x, y)| x.to_bits() == y.to_bits());
+        assert!(same, "equal seeds must produce bit-identical activations");
+        let c = activations(96, 80, 0.6, 100);
+        assert_ne!(a.as_slice(), c.as_slice(), "different seed, different bits");
     }
 
     #[test]

@@ -29,6 +29,7 @@ pub mod f16;
 pub mod gen;
 pub mod io;
 pub mod mtx;
+pub mod pattern;
 pub mod stats;
 pub mod swizzle;
 
@@ -39,5 +40,6 @@ pub use dense::{Layout, Matrix};
 pub use element::{IndexWidth, Scalar};
 pub use ell::EllMatrix;
 pub use f16::Half;
+pub use pattern::{PatternGranularity, PatternLut};
 pub use stats::{matrix_stats, MatrixStats};
 pub use swizzle::RowSwizzle;
